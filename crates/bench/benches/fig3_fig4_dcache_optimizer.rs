@@ -1,0 +1,57 @@
+//! Figures 3 and 4 — dcache optimisation via the one-at-a-time optimiser,
+//! compared with the exhaustive optimum, for all four benchmarks.
+//!
+//! The figure-of-merit is the cost of the *optimiser* path (8 measured
+//! configurations + BINLP solve) versus the exhaustive path (19 feasible
+//! configurations) — the scalability argument of the paper's Section 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use autoreconf::{AutoReconfigurator, ParameterSpace, Weights};
+use bench::{bench_scale, measurement};
+use workloads::{Arith, Blastn, Drr, Frag, Workload};
+
+fn workloads_under_test() -> Vec<Box<dyn Workload + Send + Sync>> {
+    let scale = bench_scale();
+    vec![
+        Box::new(Blastn::scaled(scale)),
+        Box::new(Drr::scaled(scale)),
+        Box::new(Frag::scaled(scale)),
+        Box::new(Arith::scaled(scale)),
+    ]
+}
+
+fn fig3_fig4_dcache_optimizer(c: &mut Criterion) {
+    let tool = AutoReconfigurator::new()
+        .with_space(ParameterSpace::dcache_geometry())
+        .with_weights(Weights::runtime_only())
+        .with_measurement(measurement());
+
+    let mut group = c.benchmark_group("fig3_fig4_dcache_optimizer");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for workload in workloads_under_test() {
+        group.bench_with_input(
+            BenchmarkId::new("one_at_a_time_plus_binlp", workload.name()),
+            &workload,
+            |b, w| b.iter(|| tool.optimize(w.as_ref()).unwrap().selected),
+        );
+    }
+    group.finish();
+
+    // print the reproduced comparison once
+    for workload in workloads_under_test() {
+        let outcome = tool.optimize(workload.as_ref()).unwrap();
+        println!(
+            "[fig3/4] {:<7} optimiser picks dcache {}x{:>2} KB, runtime {:>12} cycles (base {:>12})",
+            outcome.workload,
+            outcome.recommended.dcache.ways,
+            outcome.recommended.dcache.way_kb,
+            outcome.validation.cycles,
+            outcome.cost_table.base.cycles
+        );
+    }
+}
+
+criterion_group!(benches, fig3_fig4_dcache_optimizer);
+criterion_main!(benches);

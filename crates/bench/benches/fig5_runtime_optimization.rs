@@ -1,0 +1,49 @@
+//! Figure 5 — application runtime optimisation over the full 52-variable
+//! space (`w1 = 100, w2 = 1`) for every benchmark.
+//!
+//! Each iteration runs the complete pipeline: 52 perturbation measurements,
+//! BINLP formulation and solve, and the validation build/run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use autoreconf::{AutoReconfigurator, Weights};
+use bench::{bench_scale, measurement};
+use workloads::{benchmark_suite, Workload};
+
+fn fig5_runtime_optimization(c: &mut Criterion) {
+    let tool = AutoReconfigurator::new()
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(measurement());
+
+    let mut group = c.benchmark_group("fig5_runtime_optimization");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    for workload in benchmark_suite(bench_scale()) {
+        group.bench_with_input(
+            BenchmarkId::new("full_space_pipeline", workload.name()),
+            &workload,
+            |b, w: &Box<dyn Workload + Send + Sync>| {
+                b.iter(|| tool.optimize(w.as_ref()).unwrap().runtime_gain_pct())
+            },
+        );
+    }
+    group.finish();
+
+    // print the reproduced figure once
+    println!("[fig5] application runtime optimisation (w1=100, w2=1):");
+    for workload in benchmark_suite(bench_scale()) {
+        let o = tool.optimize(workload.as_ref()).unwrap();
+        println!(
+            "[fig5] {:<7} gain {:>6.2}% (predicted {:>6.2}%)  LUT {:>2}% BRAM {:>2}%  changes: {:?}",
+            o.workload,
+            o.runtime_gain_pct(),
+            o.predicted_gain_pct(),
+            o.validation.lut_pct,
+            o.validation.bram_pct,
+            o.changes
+        );
+    }
+}
+
+criterion_group!(benches, fig5_runtime_optimization);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 7 — chip resource optimisation over the full 52-variable space
+//! (`w1 = 1, w2 = 100`) for every benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use autoreconf::{AutoReconfigurator, Weights};
+use bench::{bench_scale, measurement};
+use workloads::{benchmark_suite, Workload};
+
+fn fig7_resource_optimization(c: &mut Criterion) {
+    let tool = AutoReconfigurator::new()
+        .with_weights(Weights::resource_optimized())
+        .with_measurement(measurement());
+
+    let mut group = c.benchmark_group("fig7_resource_optimization");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    for workload in benchmark_suite(bench_scale()) {
+        group.bench_with_input(
+            BenchmarkId::new("full_space_pipeline", workload.name()),
+            &workload,
+            |b, w: &Box<dyn Workload + Send + Sync>| {
+                b.iter(|| tool.optimize(w.as_ref()).unwrap().validation.lut_pct)
+            },
+        );
+    }
+    group.finish();
+
+    println!("[fig7] chip resource optimisation (w1=1, w2=100):");
+    for workload in benchmark_suite(bench_scale()) {
+        let o = tool.optimize(workload.as_ref()).unwrap();
+        println!(
+            "[fig7] {:<7} LUT {:>2}% BRAM {:>2}% (base 39%/51%)  runtime {:+.2}%  changes: {:?}",
+            o.workload,
+            o.validation.lut_pct,
+            o.validation.bram_pct,
+            -o.runtime_gain_pct(),
+            o.changes
+        );
+    }
+}
+
+criterion_group!(benches, fig7_resource_optimization);
+criterion_main!(benches);

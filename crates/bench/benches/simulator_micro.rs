@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the measurement substrate: the cycle-level simulator
+//! (one run per benchmark application, plus cache-parameter sensitivity) and
+//! the analytical synthesis model.
+//!
+//! These are not paper figures; they quantify the cost of the substrates the
+//! reproduction had to build (see DESIGN.md §2) and catch performance
+//! regressions in the simulator that would inflate every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use bench::{bench_scale, MAX_CYCLES};
+use fpga_model::SynthesisModel;
+use leon_sim::{simulate, LeonConfig};
+use workloads::{benchmark_suite, Workload};
+
+fn simulator_runs(c: &mut Criterion) {
+    let base = LeonConfig::base();
+    let mut group = c.benchmark_group("simulator_micro/run");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for workload in benchmark_suite(bench_scale()) {
+        let program = workload.build();
+        let instructions = simulate(&base, &program, MAX_CYCLES).unwrap().stats.instructions;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_with_input(
+            BenchmarkId::new("base_config", workload.name()),
+            &program,
+            |b, p| b.iter(|| simulate(&base, p, MAX_CYCLES).unwrap().stats.cycles),
+        );
+    }
+    group.finish();
+}
+
+fn cache_parameter_sensitivity(c: &mut Criterion) {
+    // simulating the same program with different dcache sizes should cost the
+    // same host time — the simulator's speed must not depend on the guest
+    // configuration, or the measurement phase would be biased
+    let workload = workloads::Blastn::scaled(bench_scale());
+    let program = workload.build();
+    let mut group = c.benchmark_group("simulator_micro/dcache_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for way_kb in [1u32, 4, 32] {
+        let mut config = LeonConfig::base();
+        config.dcache.way_kb = way_kb;
+        group.bench_with_input(BenchmarkId::from_parameter(way_kb), &config, |b, cfg| {
+            b.iter(|| simulate(cfg, &program, MAX_CYCLES).unwrap().stats.cycles)
+        });
+    }
+    group.finish();
+}
+
+fn synthesis_model(c: &mut Criterion) {
+    let model = SynthesisModel::default();
+    let mut group = c.benchmark_group("simulator_micro/synthesis");
+    group.sample_size(50);
+    group.bench_function("synthesize_base", |b| {
+        b.iter(|| model.synthesize(&LeonConfig::base()).luts)
+    });
+    group.bench_function("synthesize_sweep_28_dcache_geometries", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for ways in 1..=4u8 {
+                for way_kb in [1u32, 2, 4, 8, 16, 32, 64] {
+                    let mut cfg = LeonConfig::base();
+                    cfg.dcache.ways = ways;
+                    cfg.dcache.way_kb = way_kb;
+                    total = total.wrapping_add(model.synthesize(&cfg).bram_blocks);
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator_runs, cache_parameter_sensitivity, synthesis_model);
+criterion_main!(benches);

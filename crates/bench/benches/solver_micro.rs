@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the BINLP solver substrate (the stand-in for the
+//! commercial Tomlab /MINLP package the paper uses).
+//!
+//! The paper notes that Tomlab "solves our formulation in seconds"; these
+//! benchmarks show the from-scratch branch-and-bound solver handles the same
+//! 52-variable formulation in well under a millisecond, and compare it with
+//! exhaustive enumeration on the small dcache sub-problem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use autoreconf::{formulate, measure_cost_table, FormulationOptions, ParameterSpace, Weights};
+use bench::{bench_scale, measurement};
+use binlp::{solve, solve_exhaustive, BranchBoundOptions};
+use fpga_model::SynthesisModel;
+use leon_sim::LeonConfig;
+use workloads::Blastn;
+
+fn solver_micro(c: &mut Criterion) {
+    let base = LeonConfig::base();
+    let model = SynthesisModel::default();
+    let workload = Blastn::scaled(bench_scale());
+
+    // measured cost tables (computed once, outside the timed region)
+    let full_space = ParameterSpace::paper();
+    let full_table = measure_cost_table(&full_space, &workload, &base, &model, &measurement()).unwrap();
+    let dcache_space = ParameterSpace::dcache_geometry();
+    let dcache_table = measure_cost_table(&dcache_space, &workload, &base, &model, &measurement()).unwrap();
+
+    let mut group = c.benchmark_group("solver_micro");
+    group.sample_size(30).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("formulate_52_variable_binlp", |b| {
+        b.iter(|| {
+            formulate(&full_space, &full_table, Weights::runtime_optimized(), FormulationOptions::default())
+                .problem
+                .constraints()
+                .len()
+        })
+    });
+
+    let full = formulate(&full_space, &full_table, Weights::runtime_optimized(), FormulationOptions::default());
+    group.bench_function("branch_and_bound_52_variables", |b| {
+        b.iter(|| solve(&full.problem).unwrap().objective)
+    });
+
+    let resource = formulate(&full_space, &full_table, Weights::resource_optimized(), FormulationOptions::default());
+    group.bench_function("branch_and_bound_52_variables_resource_weighted", |b| {
+        b.iter(|| solve(&resource.problem).unwrap().objective)
+    });
+
+    let small = formulate(&dcache_space, &dcache_table, Weights::runtime_only(), FormulationOptions::default());
+    group.bench_function("branch_and_bound_8_variables", |b| {
+        b.iter(|| solve(&small.problem).unwrap().objective)
+    });
+    group.bench_function("exhaustive_8_variables", |b| {
+        b.iter(|| solve_exhaustive(&small.problem).unwrap().objective)
+    });
+    group.bench_function("branch_and_bound_node_limited", |b| {
+        b.iter(|| {
+            binlp::solve_branch_bound(&full.problem, BranchBoundOptions { node_limit: 10_000 })
+                .unwrap()
+                .objective
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, solver_micro);
+criterion_main!(benches);

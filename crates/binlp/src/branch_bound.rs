@@ -1,0 +1,327 @@
+//! Depth-first branch-and-bound solver.
+//!
+//! This is the workhorse solver standing in for the commercial Tomlab /MINLP
+//! package the paper uses.  The paper's formulation has heavy structure — a
+//! linear objective, one-hot validity groups, implication constraints and a
+//! handful of bilinear resource constraints — which branch-and-bound with
+//! interval pruning solves exactly in milliseconds.
+//!
+//! Search strategy:
+//! * variables are ordered by the magnitude of their linear objective
+//!   coefficient (most impactful first);
+//! * the branch whose value looks better for the objective is explored first
+//!   (value 1 first for variables that improve the objective);
+//! * a node is pruned when any constraint becomes unsatisfiable under
+//!   interval reasoning, or when the objective bound of the sub-tree cannot
+//!   beat the incumbent.
+
+use crate::expr::VarId;
+use crate::problem::{Problem, Sense};
+use crate::solution::{SolveError, SolveStats, Solution};
+
+/// Options controlling the branch-and-bound search.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchBoundOptions {
+    /// Upper limit on explored nodes; when exceeded the best incumbent found
+    /// so far is returned with `proven_optimal = false`.
+    pub node_limit: u64,
+}
+
+impl Default for BranchBoundOptions {
+    fn default() -> Self {
+        BranchBoundOptions { node_limit: 20_000_000 }
+    }
+}
+
+struct Searcher<'a> {
+    problem: &'a Problem,
+    order: Vec<VarId>,
+    prefer_one: Vec<bool>,
+    partial: Vec<Option<bool>>,
+    incumbent: Option<(Vec<bool>, f64)>,
+    stats: SolveStats,
+    node_limit: u64,
+    hit_limit: bool,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(problem: &'a Problem, options: BranchBoundOptions) -> Searcher<'a> {
+        let n = problem.num_vars();
+        // linear objective coefficient of each variable (ignoring products,
+        // which only guide ordering, not correctness)
+        let mut coef = vec![0.0f64; n];
+        for term in problem.objective().terms() {
+            if term.vars.len() == 1 {
+                coef[term.vars[0]] += term.coef;
+            }
+        }
+        let mut order: Vec<VarId> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            coef[b]
+                .abs()
+                .partial_cmp(&coef[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let prefer_one = (0..n)
+            .map(|v| match problem.sense() {
+                Sense::Minimize => coef[v] < 0.0,
+                Sense::Maximize => coef[v] > 0.0,
+            })
+            .collect();
+        Searcher {
+            problem,
+            order,
+            prefer_one,
+            partial: vec![None; n],
+            incumbent: None,
+            stats: SolveStats::default(),
+            node_limit: options.node_limit,
+            hit_limit: false,
+        }
+    }
+
+    fn objective_bound_can_beat_incumbent(&self) -> bool {
+        let Some((_, incumbent)) = &self.incumbent else { return true };
+        let (lo, hi) = self.problem.objective().bounds(&self.partial);
+        match self.problem.sense() {
+            Sense::Minimize => lo < *incumbent - 1e-12,
+            Sense::Maximize => hi > *incumbent + 1e-12,
+        }
+    }
+
+    fn constraints_possibly_satisfiable(&self) -> bool {
+        self.problem
+            .constraints()
+            .iter()
+            .all(|c| c.possibly_satisfiable(&self.partial))
+    }
+
+    fn record_leaf(&mut self) {
+        let assignment: Vec<bool> = self.partial.iter().map(|v| v.unwrap_or(false)).collect();
+        if !self.problem.is_feasible(&assignment) {
+            return;
+        }
+        let objective = self.problem.objective_value(&assignment);
+        let better = match &self.incumbent {
+            None => true,
+            Some((_, inc)) => self.problem.is_better(objective, *inc),
+        };
+        if better {
+            self.incumbent = Some((assignment, objective));
+        }
+    }
+
+    fn search(&mut self, depth: usize) {
+        if self.hit_limit {
+            return;
+        }
+        self.stats.nodes += 1;
+        if self.stats.nodes > self.node_limit {
+            self.hit_limit = true;
+            return;
+        }
+        if !self.constraints_possibly_satisfiable() {
+            self.stats.pruned_by_constraints += 1;
+            return;
+        }
+        if !self.objective_bound_can_beat_incumbent() {
+            self.stats.pruned_by_bound += 1;
+            return;
+        }
+        if depth == self.order.len() {
+            self.record_leaf();
+            return;
+        }
+        let var = self.order[depth];
+        let first = self.prefer_one[var];
+        for value in [first, !first] {
+            self.partial[var] = Some(value);
+            self.search(depth + 1);
+            self.partial[var] = None;
+            if self.hit_limit {
+                return;
+            }
+        }
+    }
+}
+
+/// Solve with depth-first branch-and-bound.
+pub fn solve_branch_bound(
+    problem: &Problem,
+    options: BranchBoundOptions,
+) -> Result<Solution, SolveError> {
+    let mut searcher = Searcher::new(problem, options);
+    searcher.search(0);
+    let proven_optimal = !searcher.hit_limit;
+    let mut stats = searcher.stats;
+    stats.proven_optimal = proven_optimal;
+    match searcher.incumbent {
+        Some((assignment, objective)) => Ok(Solution { assignment, objective, stats }),
+        None if proven_optimal => Err(SolveError::Infeasible),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+/// Solve with default options.
+pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    solve_branch_bound(problem, BranchBoundOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::solve_exhaustive;
+    use crate::expr::Expr;
+    use crate::problem::{ConstraintOp, Sense};
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_exhaustive_on_knapsack() {
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        let b = p.add_var("b");
+        let c = p.add_var("c");
+        let d = p.add_var("d");
+        p.set_sense(Sense::Maximize);
+        p.set_objective(Expr::linear([(10.0, a), (7.0, b), (4.0, c), (3.0, d)]));
+        p.add_constraint(
+            "weight",
+            Expr::linear([(5.0, a), (4.0, b), (3.0, c), (1.0, d)]),
+            ConstraintOp::Le,
+            8.0,
+        );
+        let bb = solve(&p).unwrap();
+        let ex = solve_exhaustive(&p).unwrap();
+        assert_eq!(bb.objective, ex.objective);
+        assert!(bb.stats.proven_optimal);
+    }
+
+    #[test]
+    fn one_hot_groups_and_implications() {
+        // minimise -3a -2b -1c with a,b,c one-hot; selecting a requires d
+        // which costs +2.5, so the optimum is b alone.
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        let b = p.add_var("b");
+        let c = p.add_var("c");
+        let d = p.add_var("d");
+        p.set_objective(Expr::linear([(-3.0, a), (-2.0, b), (-1.0, c), (2.5, d)]));
+        p.at_most_one("group", [a, b, c]);
+        p.implies("a_needs_d", a, d);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.assignment, vec![false, true, false, false]);
+        assert_eq!(s.objective, -2.0);
+    }
+
+    #[test]
+    fn bilinear_resource_constraint() {
+        // The shape of the paper's cache constraint:
+        // minimise -(gain_ways + gain_size)
+        // subject to (1 + w) * (4 s) <= 6 — picking both ways and size
+        // overflows the budget, so only the more valuable one is chosen.
+        let mut p = Problem::new();
+        let w = p.add_var("extra_way");
+        let s = p.add_var("bigger_size");
+        p.set_objective(Expr::linear([(-1.0, w), (-2.0, s)]));
+        let capacity = Expr::constant(1.0)
+            .add(&Expr::term(1.0, w))
+            .multiply(&Expr::term(4.0, s));
+        p.add_constraint("bram", capacity, ConstraintOp::Le, 6.0);
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.assignment, vec![false, true]);
+        assert_eq!(sol.objective, -2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        let b = p.add_var("b");
+        p.add_constraint("need2", Expr::sum_of([a, b]), ConstraintOp::Ge, 2.0);
+        p.at_most_one("but_only_1", [a, b]);
+        assert_eq!(solve(&p), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent_unproven() {
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..16).map(|i| p.add_var(format!("x{i}"))).collect();
+        p.set_objective(Expr::linear(vars.iter().map(|&v| (-1.0, v))));
+        // enough nodes to reach one leaf (depth 16), far too few to prove
+        // optimality over the whole tree
+        let s = solve_branch_bound(&p, BranchBoundOptions { node_limit: 20 }).unwrap();
+        assert!(!s.stats.proven_optimal);
+        assert!(p.is_feasible(&s.assignment));
+    }
+
+    #[test]
+    fn pruning_actually_happens() {
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..14).map(|i| p.add_var(format!("x{i}"))).collect();
+        p.set_objective(Expr::linear(vars.iter().enumerate().map(|(i, &v)| (1.0 + i as f64, v))));
+        // minimisation with all-positive costs: optimum is all zeros, bound
+        // pruning should keep the tree tiny compared to 2^14
+        let s = solve(&p).unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.stats.nodes < 1_000, "expected heavy pruning, got {} nodes", s.stats.nodes);
+    }
+
+    // ---- property-based equivalence with the exhaustive solver ------------
+
+    fn arb_problem() -> impl Strategy<Value = Problem> {
+        // up to 9 variables, random linear objective, a couple of random
+        // constraints including an optional bilinear one
+        (2usize..=9).prop_flat_map(|n| {
+            let coefs = proptest::collection::vec(-5.0f64..5.0, n);
+            let groups = proptest::collection::vec(0usize..n, 0..4);
+            let cap = 0.0f64..(n as f64);
+            let bilinear = proptest::option::of((0usize..n, 0usize..n, 0.5f64..3.0));
+            (Just(n), coefs, groups, cap, bilinear).prop_map(|(n, coefs, group, cap, bilinear)| {
+                let mut p = Problem::new();
+                for i in 0..n {
+                    p.add_var(format!("x{i}"));
+                }
+                p.set_objective(Expr::linear(coefs.iter().enumerate().map(|(i, &c)| (c, i))));
+                p.add_constraint("cap", Expr::sum_of(0..n), ConstraintOp::Le, cap.floor());
+                if group.len() >= 2 {
+                    let mut g = group.clone();
+                    g.sort_unstable();
+                    g.dedup();
+                    p.at_most_one("grp", g);
+                }
+                if let Some((a, b, c)) = bilinear {
+                    if a != b {
+                        let e = Expr::term(1.0, a).multiply(&Expr::constant(1.0).add(&Expr::term(c, b)));
+                        p.add_constraint("bil", e, ConstraintOp::Le, 1.5);
+                    }
+                }
+                p
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn branch_bound_matches_exhaustive(p in arb_problem()) {
+            let bb = solve(&p);
+            let ex = solve_exhaustive(&p);
+            match (bb, ex) {
+                (Ok(b), Ok(e)) => {
+                    prop_assert!((b.objective - e.objective).abs() < 1e-9,
+                        "bb {} vs exhaustive {}", b.objective, e.objective);
+                    prop_assert!(p.is_feasible(&b.assignment));
+                }
+                (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+                (b, e) => prop_assert!(false, "solver disagreement: {b:?} vs {e:?}"),
+            }
+        }
+
+        #[test]
+        fn solutions_are_always_feasible(p in arb_problem()) {
+            if let Ok(s) = solve(&p) {
+                prop_assert!(p.is_feasible(&s.assignment));
+            }
+        }
+    }
+}

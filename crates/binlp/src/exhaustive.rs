@@ -1,0 +1,116 @@
+//! Exhaustive enumeration solver.
+//!
+//! Enumerates all `2ⁿ` assignments.  Used for small sub-problems (like the
+//! paper's scaled-down dcache validation of Section 5) and to certify the
+//! branch-and-bound solver in tests.
+
+use crate::problem::Problem;
+use crate::solution::{SolveError, SolveStats, Solution};
+
+/// Maximum number of variables the exhaustive solver accepts.
+pub const MAX_EXHAUSTIVE_VARS: usize = 30;
+
+/// Solve by enumerating every assignment.
+pub fn solve_exhaustive(problem: &Problem) -> Result<Solution, SolveError> {
+    let n = problem.num_vars();
+    if n > MAX_EXHAUSTIVE_VARS {
+        return Err(SolveError::TooLarge { vars: n, limit: MAX_EXHAUSTIVE_VARS });
+    }
+    let mut best: Option<(Vec<bool>, f64)> = None;
+    let mut nodes = 0u64;
+    for bits in 0u64..(1u64 << n) {
+        nodes += 1;
+        let assignment: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+        if !problem.is_feasible(&assignment) {
+            continue;
+        }
+        let objective = problem.objective_value(&assignment);
+        let better = match &best {
+            None => true,
+            Some((_, incumbent)) => problem.is_better(objective, *incumbent),
+        };
+        if better {
+            best = Some((assignment, objective));
+        }
+    }
+    match best {
+        Some((assignment, objective)) => Ok(Solution {
+            assignment,
+            objective,
+            stats: SolveStats { nodes, proven_optimal: true, ..SolveStats::default() },
+        }),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::problem::{ConstraintOp, Sense};
+
+    #[test]
+    fn picks_all_negative_cost_items_without_constraints() {
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..5).map(|i| p.add_var(format!("x{i}"))).collect();
+        p.set_objective(Expr::linear(vec![
+            (-1.0, vars[0]),
+            (2.0, vars[1]),
+            (-3.0, vars[2]),
+            (0.5, vars[3]),
+            (-0.25, vars[4]),
+        ]));
+        let s = solve_exhaustive(&p).unwrap();
+        assert_eq!(s.assignment, vec![true, false, true, false, true]);
+        assert_eq!(s.objective, -4.25);
+        assert!(s.stats.proven_optimal);
+    }
+
+    #[test]
+    fn respects_knapsack_constraint() {
+        // maximise 5a + 4b + 3c subject to 2a + 3b + c <= 3
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        let b = p.add_var("b");
+        let c = p.add_var("c");
+        p.set_sense(Sense::Maximize);
+        p.set_objective(Expr::linear([(5.0, a), (4.0, b), (3.0, c)]));
+        p.add_constraint("w", Expr::linear([(2.0, a), (3.0, b), (1.0, c)]), ConstraintOp::Le, 3.0);
+        let s = solve_exhaustive(&p).unwrap();
+        assert_eq!(s.assignment, vec![true, false, true]);
+        assert_eq!(s.objective, 8.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        p.add_constraint("ge2", Expr::term(1.0, a), ConstraintOp::Ge, 2.0);
+        assert_eq!(solve_exhaustive(&p), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn rejects_oversized_problems() {
+        let mut p = Problem::new();
+        p.add_vars(MAX_EXHAUSTIVE_VARS + 1);
+        assert!(matches!(solve_exhaustive(&p), Err(SolveError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn handles_nonlinear_constraints() {
+        // minimise -(a + b) subject to a*b = 0 (they exclude each other)
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        let b = p.add_var("b");
+        p.set_objective(Expr::linear([(-1.0, a), (-1.0, b)]));
+        p.add_constraint(
+            "excl",
+            Expr::term(1.0, a).multiply(&Expr::term(1.0, b)),
+            ConstraintOp::Eq,
+            0.0,
+        );
+        let s = solve_exhaustive(&p).unwrap();
+        assert_eq!(s.objective, -1.0);
+        assert_eq!(s.selected().len(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Polynomial expressions over binary variables.
+//!
+//! An [`Expr`] is a multilinear polynomial `c₀ + Σ cᵢ·∏ xⱼ` where every
+//! variable is binary.  Because `x² = x` for binary variables, every monomial
+//! is represented as a *set* of distinct variables; multiplication therefore
+//! stays multilinear, which is exactly the structure produced by the paper's
+//! nonlinear cache-resource constraints (products of one-hot sums).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Index of a binary decision variable.
+pub type VarId = usize;
+
+/// A single term: `coef · ∏ vars` (the empty product is the constant term).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Term {
+    /// Coefficient of the monomial.
+    pub coef: f64,
+    /// Distinct, sorted variable indices of the monomial.
+    pub vars: Vec<VarId>,
+}
+
+/// A multilinear polynomial over binary variables.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Expr {
+    terms: Vec<Term>,
+}
+
+impl Expr {
+    /// The zero expression.
+    pub fn zero() -> Expr {
+        Expr { terms: Vec::new() }
+    }
+
+    /// A constant expression.
+    pub fn constant(value: f64) -> Expr {
+        Expr { terms: vec![Term { coef: value, vars: Vec::new() }] }.simplified()
+    }
+
+    /// The expression `coef · x`.
+    pub fn term(coef: f64, var: VarId) -> Expr {
+        Expr { terms: vec![Term { coef, vars: vec![var] }] }.simplified()
+    }
+
+    /// A linear expression `Σ coefᵢ·xᵢ`.
+    pub fn linear(terms: impl IntoIterator<Item = (f64, VarId)>) -> Expr {
+        Expr {
+            terms: terms
+                .into_iter()
+                .map(|(coef, var)| Term { coef, vars: vec![var] })
+                .collect(),
+        }
+        .simplified()
+    }
+
+    /// The sum of the given variables (each with coefficient 1).
+    pub fn sum_of(vars: impl IntoIterator<Item = VarId>) -> Expr {
+        Expr::linear(vars.into_iter().map(|v| (1.0, v)))
+    }
+
+    /// The terms of the polynomial (simplified form).
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// True when the expression has no non-constant term.
+    pub fn is_constant(&self) -> bool {
+        self.terms.iter().all(|t| t.vars.is_empty())
+    }
+
+    /// True when no monomial has more than one variable.
+    pub fn is_linear(&self) -> bool {
+        self.terms.iter().all(|t| t.vars.len() <= 1)
+    }
+
+    /// Largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.terms.iter().flat_map(|t| t.vars.iter().copied()).max()
+    }
+
+    /// All distinct variables mentioned.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self.terms.iter().flat_map(|t| t.vars.iter().copied()).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Canonicalise: drop duplicate variables inside monomials (x²=x), merge
+    /// identical monomials, drop zero terms.
+    fn simplified(mut self) -> Expr {
+        let mut map: BTreeMap<Vec<VarId>, f64> = BTreeMap::new();
+        for mut term in self.terms.drain(..) {
+            term.vars.sort_unstable();
+            term.vars.dedup();
+            *map.entry(term.vars).or_insert(0.0) += term.coef;
+        }
+        Expr {
+            terms: map
+                .into_iter()
+                .filter(|(_, coef)| coef.abs() > 1e-12)
+                .map(|(vars, coef)| Term { coef, vars })
+                .collect(),
+        }
+    }
+
+    /// Add another expression.
+    pub fn add(&self, other: &Expr) -> Expr {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        Expr { terms }.simplified()
+    }
+
+    /// Add a constant.
+    pub fn add_constant(&self, value: f64) -> Expr {
+        self.add(&Expr::constant(value))
+    }
+
+    /// Multiply by a scalar.
+    pub fn scale(&self, factor: f64) -> Expr {
+        Expr {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term { coef: t.coef * factor, vars: t.vars.clone() })
+                .collect(),
+        }
+        .simplified()
+    }
+
+    /// Multiply two expressions (result stays multilinear because x²=x).
+    pub fn multiply(&self, other: &Expr) -> Expr {
+        let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for a in &self.terms {
+            for b in &other.terms {
+                let mut vars = a.vars.clone();
+                vars.extend(b.vars.iter().copied());
+                terms.push(Term { coef: a.coef * b.coef, vars });
+            }
+        }
+        Expr { terms }.simplified()
+    }
+
+    /// Evaluate under a complete assignment.
+    pub fn eval(&self, assignment: &[bool]) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| {
+                if t.vars.iter().all(|&v| assignment[v]) {
+                    t.coef
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Lower and upper bounds of the expression under a *partial* assignment
+    /// (`None` = still free, free variables range over {0, 1}).
+    pub fn bounds(&self, partial: &[Option<bool>]) -> (f64, f64) {
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for t in &self.terms {
+            let mut any_zero = false;
+            let mut any_free = false;
+            for &v in &t.vars {
+                match partial.get(v).copied().flatten() {
+                    Some(false) => {
+                        any_zero = true;
+                        break;
+                    }
+                    Some(true) => {}
+                    None => any_free = true,
+                }
+            }
+            if any_zero {
+                continue;
+            }
+            if any_free {
+                lo += t.coef.min(0.0);
+                hi += t.coef.max(0.0);
+            } else {
+                lo += t.coef;
+                hi += t.coef;
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_construction_and_eval() {
+        let e = Expr::linear([(2.0, 0), (-3.0, 1), (1.0, 2)]);
+        assert!(e.is_linear());
+        assert_eq!(e.eval(&[true, true, false]), -1.0);
+        assert_eq!(e.eval(&[false, false, false]), 0.0);
+        assert_eq!(e.max_var(), Some(2));
+    }
+
+    #[test]
+    fn x_squared_equals_x() {
+        let x = Expr::term(1.0, 0);
+        let sq = x.multiply(&x);
+        assert_eq!(sq, x);
+    }
+
+    #[test]
+    fn like_terms_combine_and_zeros_vanish() {
+        let e = Expr::term(2.0, 3).add(&Expr::term(-2.0, 3));
+        assert_eq!(e, Expr::zero());
+        let e = Expr::term(2.0, 3).add(&Expr::term(5.0, 3));
+        assert_eq!(e.terms().len(), 1);
+        assert_eq!(e.terms()[0].coef, 7.0);
+    }
+
+    #[test]
+    fn product_of_sums_is_bilinear() {
+        // (x0 + 2 x1)(x2 + x3) = x0x2 + x0x3 + 2x1x2 + 2x1x3
+        let a = Expr::linear([(1.0, 0), (2.0, 1)]);
+        let b = Expr::linear([(1.0, 2), (1.0, 3)]);
+        let p = a.multiply(&b);
+        assert!(!p.is_linear());
+        assert_eq!(p.terms().len(), 4);
+        assert_eq!(p.eval(&[true, false, true, true]), 2.0);
+        assert_eq!(p.eval(&[true, true, true, false]), 3.0);
+        assert_eq!(p.eval(&[false, true, false, true]), 2.0);
+    }
+
+    #[test]
+    fn constants_participate() {
+        // (1 + x0)(2 + x1) = 2 + x1 + 2x0 + x0x1
+        let a = Expr::constant(1.0).add(&Expr::term(1.0, 0));
+        let b = Expr::constant(2.0).add(&Expr::term(1.0, 1));
+        let p = a.multiply(&b);
+        assert_eq!(p.eval(&[false, false]), 2.0);
+        assert_eq!(p.eval(&[true, true]), 6.0);
+        assert!(!p.is_constant());
+    }
+
+    #[test]
+    fn bounds_with_partial_assignment() {
+        // 3 x0 - 2 x1 + 4 x0 x2
+        let e = Expr::linear([(3.0, 0), (-2.0, 1)]).add(&Expr {
+            terms: vec![Term { coef: 4.0, vars: vec![0, 2] }],
+        });
+        // nothing assigned: lo = -2 (x1 on), hi = 3 + 4
+        assert_eq!(e.bounds(&[None, None, None]), (-2.0, 7.0));
+        // x0 = 0 kills both the linear and the product term
+        assert_eq!(e.bounds(&[Some(false), None, None]), (-2.0, 0.0));
+        // x0 = 1, x2 = 1 fixes 3 + 4, x1 free
+        assert_eq!(e.bounds(&[Some(true), None, Some(true)]), (5.0, 7.0));
+        // fully assigned
+        assert_eq!(e.bounds(&[Some(true), Some(true), Some(false)]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn scale_and_add_constant() {
+        let e = Expr::term(2.0, 0).scale(3.0).add_constant(1.0);
+        assert_eq!(e.eval(&[true]), 7.0);
+        assert_eq!(e.eval(&[false]), 1.0);
+    }
+
+    #[test]
+    fn variables_listed_once() {
+        let e = Expr::linear([(1.0, 5), (1.0, 2), (1.0, 5)]);
+        assert_eq!(e.variables(), vec![2, 5]);
+    }
+}

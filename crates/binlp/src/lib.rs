@@ -1,0 +1,44 @@
+//! # binlp
+//!
+//! Constrained **B**inary **I**nteger **N**on**l**inear **P**rogramming for
+//! the `liquid-autoreconf` reproduction of *"Automatic Application-Specific
+//! Microarchitecture Reconfiguration"* (IPDPS 2006).
+//!
+//! The paper formulates per-application microarchitecture customisation as a
+//! BINLP — a linear objective over 52 binary perturbation variables subject
+//! to one-hot validity constraints, LEON structural implications and
+//! nonlinear (bilinear) FPGA-resource constraints — and solves it with the
+//! commercial Tomlab /MINLP package.  This crate provides the equivalent
+//! solver substrate from scratch:
+//!
+//! * [`Expr`] — multilinear polynomials over binary variables (`x² = x`);
+//! * [`Problem`] — objective + constraints with validity/implication sugar;
+//! * [`solve`] — exact depth-first branch-and-bound with interval pruning;
+//! * [`solve_exhaustive`] — brute force used for small sub-problems and to
+//!   certify the branch-and-bound solver in tests.
+//!
+//! ```
+//! use binlp::{Expr, Problem, solve};
+//!
+//! let mut p = Problem::new();
+//! let a = p.add_var("a");
+//! let b = p.add_var("b");
+//! p.set_objective(Expr::linear([(-2.0, a), (-1.0, b)]));
+//! p.at_most_one("pick one", [a, b]);
+//! let solution = solve(&p).unwrap();
+//! assert_eq!(solution.selected(), vec![a]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod exhaustive;
+pub mod expr;
+pub mod problem;
+pub mod solution;
+
+pub use branch_bound::{solve, solve_branch_bound, BranchBoundOptions};
+pub use exhaustive::{solve_exhaustive, MAX_EXHAUSTIVE_VARS};
+pub use expr::{Expr, Term, VarId};
+pub use problem::{Constraint, ConstraintOp, Problem, Sense};
+pub use solution::{SolveError, SolveStats, Solution};

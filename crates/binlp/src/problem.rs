@@ -1,0 +1,281 @@
+//! Problem definition: objective, constraints and variable metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{Expr, VarId};
+
+/// Direction of a constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A single constraint `expr ⋛ rhs`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Human-readable name (shown in infeasibility reports).
+    pub name: String,
+    /// Left-hand-side polynomial.
+    pub expr: Expr,
+    /// Relation.
+    pub op: ConstraintOp,
+    /// Right-hand-side constant.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Whether a complete assignment satisfies this constraint.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        let value = self.expr.eval(assignment);
+        match self.op {
+            ConstraintOp::Le => value <= self.rhs + 1e-9,
+            ConstraintOp::Ge => value >= self.rhs - 1e-9,
+            ConstraintOp::Eq => (value - self.rhs).abs() <= 1e-9,
+        }
+    }
+
+    /// Whether the constraint can still be satisfied given a partial
+    /// assignment (interval reasoning over the free variables).
+    pub fn possibly_satisfiable(&self, partial: &[Option<bool>]) -> bool {
+        let (lo, hi) = self.expr.bounds(partial);
+        match self.op {
+            ConstraintOp::Le => lo <= self.rhs + 1e-9,
+            ConstraintOp::Ge => hi >= self.rhs - 1e-9,
+            ConstraintOp::Eq => lo <= self.rhs + 1e-9 && hi >= self.rhs - 1e-9,
+        }
+    }
+}
+
+/// Optimisation direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Minimise the objective (the paper's formulation).
+    #[default]
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// A constrained binary integer (non)linear program.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Problem {
+    names: Vec<String>,
+    objective: Expr,
+    sense: Sense,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Create an empty minimisation problem.
+    pub fn new() -> Problem {
+        Problem::default()
+    }
+
+    /// Set the optimisation direction.
+    pub fn set_sense(&mut self, sense: Sense) -> &mut Self {
+        self.sense = sense;
+        self
+    }
+
+    /// The optimisation direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a decision variable and return its id.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.names.len() - 1
+    }
+
+    /// Add `n` anonymous variables, returning the id of the first.
+    pub fn add_vars(&mut self, n: usize) -> VarId {
+        let first = self.names.len();
+        for i in 0..n {
+            self.names.push(format!("x{}", first + i));
+        }
+        first
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var]
+    }
+
+    /// Set the objective expression.
+    pub fn set_objective(&mut self, objective: Expr) -> &mut Self {
+        assert!(
+            objective.max_var().map_or(true, |v| v < self.names.len()),
+            "objective references undeclared variables"
+        );
+        self.objective = objective;
+        self
+    }
+
+    /// The objective expression.
+    pub fn objective(&self) -> &Expr {
+        &self.objective
+    }
+
+    /// Add a constraint.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        expr: Expr,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> &mut Self {
+        assert!(
+            expr.max_var().map_or(true, |v| v < self.names.len()),
+            "constraint references undeclared variables"
+        );
+        self.constraints.push(Constraint { name: name.into(), expr, op, rhs });
+        self
+    }
+
+    /// Convenience: `Σ vars ≤ 1` (the paper's parameter-validity constraints).
+    pub fn at_most_one(&mut self, name: impl Into<String>, vars: impl IntoIterator<Item = VarId>) -> &mut Self {
+        self.add_constraint(name, Expr::sum_of(vars), ConstraintOp::Le, 1.0)
+    }
+
+    /// Convenience: `a ≤ b` for binary variables (an implication `a ⇒ b`).
+    pub fn implies(&mut self, name: impl Into<String>, a: VarId, b: VarId) -> &mut Self {
+        let expr = Expr::term(1.0, a).add(&Expr::term(-1.0, b));
+        self.add_constraint(name, expr, ConstraintOp::Le, 0.0)
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// True when the problem has only linear constraints and a linear
+    /// objective (i.e. it is a plain Binary ILP).
+    pub fn is_linear(&self) -> bool {
+        self.objective.is_linear() && self.constraints.iter().all(|c| c.expr.is_linear())
+    }
+
+    /// Whether a complete assignment satisfies every constraint.
+    pub fn is_feasible(&self, assignment: &[bool]) -> bool {
+        assignment.len() == self.num_vars() && self.constraints.iter().all(|c| c.satisfied(assignment))
+    }
+
+    /// Names of the constraints violated by `assignment`.
+    pub fn violated_constraints(&self, assignment: &[bool]) -> Vec<&str> {
+        self.constraints
+            .iter()
+            .filter(|c| !c.satisfied(assignment))
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Objective value of a complete assignment.
+    pub fn objective_value(&self, assignment: &[bool]) -> f64 {
+        self.objective.eval(assignment)
+    }
+
+    /// Compare two objective values according to the optimisation sense;
+    /// returns true when `a` is strictly better than `b`.
+    pub fn is_better(&self, a: f64, b: f64) -> bool {
+        match self.sense {
+            Sense::Minimize => a < b - 1e-12,
+            Sense::Maximize => a > b + 1e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_problem() -> Problem {
+        // minimise -2 x0 - 3 x1 + x2  s.t.  x0 + x1 + x2 <= 2
+        let mut p = Problem::new();
+        let x0 = p.add_var("x0");
+        let x1 = p.add_var("x1");
+        let x2 = p.add_var("x2");
+        p.set_objective(Expr::linear([(-2.0, x0), (-3.0, x1), (1.0, x2)]));
+        p.add_constraint("cap", Expr::sum_of([x0, x1, x2]), ConstraintOp::Le, 2.0);
+        p
+    }
+
+    #[test]
+    fn feasibility_and_objective() {
+        let p = simple_problem();
+        assert!(p.is_feasible(&[true, true, false]));
+        assert!(!p.is_feasible(&[true, true, true]));
+        assert_eq!(p.objective_value(&[true, true, false]), -5.0);
+        assert_eq!(p.violated_constraints(&[true, true, true]), vec!["cap"]);
+    }
+
+    #[test]
+    fn at_most_one_and_implies_sugar() {
+        let mut p = Problem::new();
+        let a = p.add_var("a");
+        let b = p.add_var("b");
+        let c = p.add_var("c");
+        p.at_most_one("group", [a, b]);
+        p.implies("a_implies_c", a, c);
+        assert!(p.is_feasible(&[false, false, false]));
+        assert!(p.is_feasible(&[true, false, true]));
+        assert!(!p.is_feasible(&[true, true, true]), "violates at-most-one");
+        assert!(!p.is_feasible(&[true, false, false]), "violates implication");
+    }
+
+    #[test]
+    fn linearity_detection() {
+        let mut p = simple_problem();
+        assert!(p.is_linear());
+        let x0 = 0;
+        let x1 = 1;
+        let bilinear = Expr::term(1.0, x0).multiply(&Expr::term(1.0, x1));
+        p.add_constraint("nl", bilinear, ConstraintOp::Le, 1.0);
+        assert!(!p.is_linear());
+    }
+
+    #[test]
+    fn sense_comparison() {
+        let mut p = Problem::new();
+        assert!(p.is_better(1.0, 2.0));
+        p.set_sense(Sense::Maximize);
+        assert!(p.is_better(2.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_undeclared_variables() {
+        let mut p = Problem::new();
+        p.add_var("only");
+        p.set_objective(Expr::term(1.0, 5));
+    }
+
+    #[test]
+    fn constraint_partial_satisfiability() {
+        let c = Constraint {
+            name: "cap".into(),
+            expr: Expr::sum_of([0, 1, 2]),
+            op: ConstraintOp::Le,
+            rhs: 1.0,
+        };
+        assert!(c.possibly_satisfiable(&[Some(true), None, None]));
+        assert!(!c.possibly_satisfiable(&[Some(true), Some(true), None]));
+        let ge = Constraint {
+            name: "need".into(),
+            expr: Expr::sum_of([0, 1]),
+            op: ConstraintOp::Ge,
+            rhs: 1.0,
+        };
+        assert!(ge.possibly_satisfiable(&[Some(false), None]));
+        assert!(!ge.possibly_satisfiable(&[Some(false), Some(false)]));
+    }
+}

@@ -1,0 +1,87 @@
+//! Solver output types.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics about a solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Search-tree nodes explored (branch-and-bound) or assignments
+    /// enumerated (exhaustive).
+    pub nodes: u64,
+    /// Nodes pruned by the objective bound.
+    pub pruned_by_bound: u64,
+    /// Nodes pruned by constraint infeasibility.
+    pub pruned_by_constraints: u64,
+    /// Whether the returned solution is proven optimal.
+    pub proven_optimal: bool,
+}
+
+/// A feasible assignment with its objective value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Value of every decision variable.
+    pub assignment: Vec<bool>,
+    /// Objective value of the assignment.
+    pub objective: f64,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Indices of the variables set to 1.
+    pub fn selected(&self) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| if v { Some(i) } else { None })
+            .collect()
+    }
+}
+
+/// Errors returned by the solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The problem is too large for the requested solver.
+    TooLarge {
+        /// Number of variables in the problem.
+        vars: usize,
+        /// The solver's limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "the problem has no feasible solution"),
+            SolveError::TooLarge { vars, limit } => {
+                write!(f, "problem with {vars} variables exceeds the solver limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_lists_true_variables() {
+        let s = Solution {
+            assignment: vec![true, false, true, false],
+            objective: -1.0,
+            stats: SolveStats::default(),
+        };
+        assert_eq!(s.selected(), vec![0, 2]);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SolveError::Infeasible.to_string().contains("feasible"));
+        assert!(SolveError::TooLarge { vars: 40, limit: 30 }.to_string().contains("40"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Experiment driver binary.
+//!
+//! Regenerates the paper's tables and figures:
+//!
+//! ```text
+//! experiments fig1|fig2|fig3|fig4|fig5|fig6|fig7|space|all [--scale tiny|small|large] [--json DIR]
+//! ```
+
+use std::io::Write;
+
+use autoreconf::experiments::{self, ExperimentOptions};
+use workloads::Scale;
+
+fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>) {
+    let mut figures = Vec::new();
+    let mut options = ExperimentOptions::default();
+    let mut json_dir = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_default();
+                options.scale = match value.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "large" => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale `{other}`, using `small`");
+                        Scale::Small
+                    }
+                };
+            }
+            "--threads" => {
+                options.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            }
+            "--json" => {
+                json_dir = args.next();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|space|all]... \
+                     [--scale tiny|small|large] [--threads N] [--json DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => figures.push(other.to_string()),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+    (figures, options, json_dir)
+}
+
+fn write_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json output directory");
+        let path = format!("{dir}/{name}.json");
+        let mut file = std::fs::File::create(&path).expect("create json file");
+        let body = serde_json::to_string_pretty(value).expect("serialise result");
+        file.write_all(body.as_bytes()).expect("write json file");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let (figures, options, json_dir) = parse_args();
+    let wants = |name: &str| figures.iter().any(|f| f == name || f == "all");
+    let started = std::time::Instant::now();
+
+    if wants("fig1") {
+        println!("{}", experiments::fig1_parameter_table());
+    }
+    if wants("space") {
+        println!("{}", experiments::space_summary());
+    }
+    if wants("fig2") {
+        let r = experiments::fig2(&options).expect("figure 2");
+        println!("{}", r.render());
+        write_json(&json_dir, "fig2", &r);
+    }
+    if wants("fig3") {
+        let r = experiments::fig3(&options).expect("figure 3");
+        println!("{}", r.render());
+        write_json(&json_dir, "fig3", &r);
+    }
+    if wants("fig4") {
+        let r = experiments::fig4(&options).expect("figure 4");
+        println!("{}", r.render());
+        write_json(&json_dir, "fig4", &r);
+    }
+    let mut fig5_result = None;
+    if wants("fig5") || wants("fig6") {
+        let r = experiments::fig5(&options).expect("figure 5");
+        if wants("fig5") {
+            println!("{}", r.render("Figure 5: Application runtime optimization"));
+            write_json(&json_dir, "fig5", &r);
+        }
+        fig5_result = Some(r);
+    }
+    if wants("fig6") {
+        let r = experiments::fig6_from(fig5_result.as_ref().expect("figure 5 result available"));
+        println!("{}", r.render());
+        write_json(&json_dir, "fig6", &r);
+    }
+    if wants("fig7") {
+        let r = experiments::fig7(&options).expect("figure 7");
+        println!("{}", r.render("Figure 7: Chip resource optimization"));
+        write_json(&json_dir, "fig7", &r);
+    }
+
+    eprintln!("total experiment time: {:.1}s", started.elapsed().as_secs_f64());
+}

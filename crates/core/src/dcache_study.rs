@@ -1,0 +1,156 @@
+//! The scaled-down exhaustive validation study of the paper's Section 5.
+//!
+//! The paper cannot enumerate the full configuration space (3.6 billion
+//! configurations), so it validates the parameter-independence assumption on
+//! the data-cache geometry sub-space — number of sets (ways) × set size —
+//! where exhaustive enumeration (28 combinations) is feasible, and compares
+//! the exhaustive optimum with the configuration chosen by the optimiser
+//! (Figures 2, 3 and 4).
+
+use fpga_model::SynthesisModel;
+use leon_sim::{LeonConfig, ReplacementPolicy, SimError};
+use serde::{Deserialize, Serialize};
+use workloads::Workload;
+
+/// One row of the exhaustive dcache sweep (a row of the paper's Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DcacheRow {
+    /// Number of dcache sets (ways).
+    pub ways: u8,
+    /// Size of each set in KB.
+    pub way_kb: u32,
+    /// Measured runtime in cycles (0 when the configuration does not fit).
+    pub cycles: u64,
+    /// Measured runtime in seconds.
+    pub seconds: f64,
+    /// %LUTs (truncated, as in the paper's tables).
+    pub lut_pct: u32,
+    /// %BRAM (truncated).
+    pub bram_pct: u32,
+    /// Whether the configuration fits the device (rows that do not fit are
+    /// excluded from the paper's Figure 2).
+    pub fits: bool,
+}
+
+impl DcacheRow {
+    /// Total dcache capacity in KB.
+    pub fn total_kb(&self) -> u32 {
+        self.ways as u32 * self.way_kb
+    }
+}
+
+/// All candidate (ways, way-KB) combinations of the paper's sweep.
+pub fn dcache_combinations() -> Vec<(u8, u32)> {
+    let mut combos = Vec::new();
+    for ways in 1..=4u8 {
+        for way_kb in [1u32, 2, 4, 8, 16, 32, 64] {
+            combos.push((ways, way_kb));
+        }
+    }
+    combos
+}
+
+/// Exhaustively evaluate every dcache geometry for `workload`.
+///
+/// Configurations that do not fit the device are reported with `fits =
+/// false` and are not simulated (the paper simply omits them).
+pub fn dcache_exhaustive(
+    workload: &dyn Workload,
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    max_cycles: u64,
+) -> Result<Vec<DcacheRow>, SimError> {
+    let mut rows = Vec::new();
+    for (ways, way_kb) in dcache_combinations() {
+        let mut config = *base;
+        config.dcache.ways = ways;
+        config.dcache.way_kb = way_kb;
+        if ways > 1 {
+            // multi-way sweeps in the paper keep the default policy where
+            // valid; random replacement is valid for any associativity
+            config.dcache.replacement = ReplacementPolicy::Random;
+        }
+        let report = model.synthesize(&config);
+        if !report.fits {
+            rows.push(DcacheRow {
+                ways,
+                way_kb,
+                cycles: 0,
+                seconds: 0.0,
+                lut_pct: report.lut_percent,
+                bram_pct: report.bram_percent,
+                fits: false,
+            });
+            continue;
+        }
+        let run = workloads::run_verified(workload, &config, max_cycles)?;
+        rows.push(DcacheRow {
+            ways,
+            way_kb,
+            cycles: run.stats.cycles,
+            seconds: run.seconds,
+            lut_pct: report.lut_percent,
+            bram_pct: report.bram_percent,
+            fits: true,
+        });
+    }
+    Ok(rows)
+}
+
+/// The feasible row with the lowest runtime ("a simple sort yields the
+/// optimal configuration", Section 5).  Ties are broken towards lower BRAM
+/// and then lower total capacity.
+pub fn best_runtime_row(rows: &[DcacheRow]) -> Option<&DcacheRow> {
+    rows.iter().filter(|r| r.fits).min_by(|a, b| {
+        a.cycles
+            .cmp(&b.cycles)
+            .then(a.bram_pct.cmp(&b.bram_pct))
+            .then(a.total_kb().cmp(&b.total_kb()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Arith, Blastn, Scale};
+
+    #[test]
+    fn sweep_covers_28_combinations_and_excludes_oversized_ones() {
+        let w = Arith::scaled(Scale::Tiny);
+        let rows =
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 100_000_000)
+                .unwrap();
+        assert_eq!(rows.len(), 28);
+        let feasible = rows.iter().filter(|r| r.fits).count();
+        // the paper's Figure 2 lists 19 feasible rows
+        assert_eq!(feasible, 19);
+        assert!(rows.iter().filter(|r| !r.fits).all(|r| r.way_kb == 64 || r.total_kb() >= 48));
+    }
+
+    #[test]
+    fn blastn_prefers_the_largest_feasible_cache() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let rows =
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 200_000_000)
+                .unwrap();
+        let best = best_runtime_row(&rows).unwrap();
+        // the best runtime is no worse than the base configuration's
+        let base_row = rows.iter().find(|r| r.ways == 1 && r.way_kb == 4).unwrap();
+        assert!(best.cycles <= base_row.cycles);
+        // and the largest feasible cache is at least as fast as the smallest
+        let smallest = rows.iter().find(|r| r.ways == 1 && r.way_kb == 1).unwrap();
+        let largest = rows.iter().find(|r| r.ways == 1 && r.way_kb == 32).unwrap();
+        assert!(largest.cycles <= smallest.cycles);
+    }
+
+    #[test]
+    fn arith_runtime_is_flat_across_the_sweep() {
+        let w = Arith::scaled(Scale::Tiny);
+        let rows =
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 100_000_000)
+                .unwrap();
+        let feasible: Vec<_> = rows.iter().filter(|r| r.fits).collect();
+        let first = feasible[0].cycles;
+        assert!(feasible.iter().all(|r| r.cycles == first), "Arith is not data intensive");
+    }
+}

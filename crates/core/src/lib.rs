@@ -1,0 +1,48 @@
+//! # autoreconf
+//!
+//! Automatic application-specific microarchitecture reconfiguration — the
+//! core contribution of *"Automatic Application-Specific Microarchitecture
+//! Reconfiguration"* (Padmanabhan, Cytron, Chamberlain, Lockwood;
+//! IPDPS 2006), reproduced in Rust.
+//!
+//! Given an application (a guest program for the LEON2-like simulator) and an
+//! objective (runtime-weighted or resource-weighted), the tool:
+//!
+//! 1. perturbs **one parameter value at a time** from the base LEON
+//!    configuration (the paper's Figure 1 space, 52 decision variables),
+//! 2. **measures** each perturbation's application runtime (cycle-accurate
+//!    simulation) and chip cost (%LUT / %BRAM via the analytical synthesis
+//!    model),
+//! 3. formulates a **constrained Binary Integer Nonlinear Program** over the
+//!    perturbation variables (Section 4 of the paper),
+//! 4. **solves** it exactly with branch-and-bound,
+//! 5. decodes and **validates** the recommended configuration by building and
+//!    running it.
+//!
+//! ```no_run
+//! use autoreconf::{AutoReconfigurator, Weights};
+//! use workloads::{Blastn, Scale};
+//!
+//! let tool = AutoReconfigurator::new().with_weights(Weights::runtime_optimized());
+//! let outcome = tool.optimize(&Blastn::scaled(Scale::Small)).unwrap();
+//! println!("recommended changes: {:?}", outcome.changes);
+//! println!("runtime gain: {:.2}%", outcome.runtime_gain_pct());
+//! ```
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's evaluation; the `experiments` binary prints them.
+
+#![warn(missing_docs)]
+
+pub mod dcache_study;
+pub mod experiments;
+pub mod formulation;
+pub mod measure;
+pub mod optimizer;
+pub mod params;
+
+pub use dcache_study::{best_runtime_row, dcache_exhaustive, DcacheRow};
+pub use formulation::{formulate, predict, ConstraintForm, FormulationOptions, Prediction, Weights};
+pub use measure::{measure_base, measure_cost_table, BaseCosts, CostTable, MeasurementOptions, VariableCost};
+pub use optimizer::{AutoReconfigurator, OptimizeError, Outcome, Validation};
+pub use params::{ParamChange, ParameterSpace, Variable};

@@ -1,0 +1,288 @@
+//! One-at-a-time cost measurement.
+//!
+//! This is the data-gathering phase of the paper's approach (Section 3): for
+//! every decision variable, build the perturbed processor configuration,
+//! synthesise it to measure the chip-resource deltas (λᵢ %LUTs and βᵢ %BRAM),
+//! and execute the application on it to measure the runtime delta (ρᵢ).
+//! The paper performs each measurement on real hardware (a ~30-minute FPGA
+//! build plus a timed run); here synthesis is analytical and runs are
+//! simulated, and the independent measurements are spread across worker
+//! threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fpga_model::SynthesisModel;
+use leon_sim::{LeonConfig, SimError};
+use serde::{Deserialize, Serialize};
+use workloads::Workload;
+
+use crate::params::{ParameterSpace, Variable};
+
+/// Options controlling the measurement phase.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasurementOptions {
+    /// Per-run simulation cycle budget.
+    pub max_cycles: u64,
+    /// Number of worker threads (0 = one per available CPU).
+    pub threads: usize,
+}
+
+impl Default for MeasurementOptions {
+    fn default() -> Self {
+        MeasurementOptions { max_cycles: leon_sim::DEFAULT_MAX_CYCLES, threads: 0 }
+    }
+}
+
+/// Measured costs of the base configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaseCosts {
+    /// Runtime in cycles.
+    pub cycles: u64,
+    /// Runtime in seconds at the nominal clock.
+    pub seconds: f64,
+    /// Absolute LUT count.
+    pub luts: u32,
+    /// Absolute BRAM block count.
+    pub bram_blocks: u32,
+    /// LUT utilisation in percent of the device (exact, not truncated).
+    pub lut_pct: f64,
+    /// BRAM utilisation in percent of the device (exact, not truncated).
+    pub bram_pct: f64,
+    /// Percent of the device LUTs still free after the base configuration
+    /// (the constant `L` of the paper's resource constraints).
+    pub headroom_lut_pct: f64,
+    /// Percent of the device BRAM still free after the base configuration
+    /// (the constant `B` of the paper's resource constraints).
+    pub headroom_bram_pct: f64,
+}
+
+/// Measured cost of one perturbation variable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VariableCost {
+    /// Paper variable index (1-based).
+    pub index: usize,
+    /// Human-readable description of the perturbation.
+    pub name: String,
+    /// Runtime of the perturbed configuration, in cycles.
+    pub cycles: u64,
+    /// Runtime of the perturbed configuration, in seconds.
+    pub seconds: f64,
+    /// ρᵢ: runtime delta as a percentage of the base runtime.
+    pub rho: f64,
+    /// λᵢ: LUT delta as a percentage of the device.
+    pub lambda: f64,
+    /// βᵢ: BRAM delta as a percentage of the device.
+    pub beta: f64,
+    /// Absolute LUT utilisation (percent of device, exact).
+    pub lut_pct: f64,
+    /// Absolute BRAM utilisation (percent of device, exact).
+    pub bram_pct: f64,
+}
+
+/// The complete one-at-a-time cost table for one application.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostTable {
+    /// Workload name.
+    pub workload: String,
+    /// Base-configuration costs.
+    pub base: BaseCosts,
+    /// Per-variable costs, ordered by paper index.
+    pub costs: Vec<VariableCost>,
+}
+
+impl CostTable {
+    /// Look up the cost entry of a paper variable index.
+    pub fn by_index(&self, index: usize) -> Option<&VariableCost> {
+        self.costs.iter().find(|c| c.index == index)
+    }
+
+    /// Number of measured configurations (excluding the base).
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True when no perturbations were measured.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+}
+
+fn exact_lut_pct(model: &SynthesisModel, luts: u32) -> f64 {
+    luts as f64 * 100.0 / model.device().luts as f64
+}
+
+fn exact_bram_pct(model: &SynthesisModel, blocks: u32) -> f64 {
+    blocks as f64 * 100.0 / model.device().bram_blocks as f64
+}
+
+/// Measure the base configuration: one synthesis plus one verified run.
+pub fn measure_base(
+    workload: &dyn Workload,
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    options: &MeasurementOptions,
+) -> Result<BaseCosts, SimError> {
+    let report = model.synthesize(base);
+    let run = workloads::run_verified(workload, base, options.max_cycles)?;
+    let lut_pct = exact_lut_pct(model, report.luts);
+    let bram_pct = exact_bram_pct(model, report.bram_blocks);
+    Ok(BaseCosts {
+        cycles: run.stats.cycles,
+        seconds: run.seconds,
+        luts: report.luts,
+        bram_blocks: report.bram_blocks,
+        lut_pct,
+        bram_pct,
+        headroom_lut_pct: 100.0 - lut_pct,
+        headroom_bram_pct: 100.0 - bram_pct,
+    })
+}
+
+fn measure_variable(
+    var: &Variable,
+    workload: &dyn Workload,
+    base: &LeonConfig,
+    base_costs: &BaseCosts,
+    model: &SynthesisModel,
+    options: &MeasurementOptions,
+) -> Result<VariableCost, SimError> {
+    // Reference point: the base configuration plus the enabler (if any), so
+    // that the additive model `cost(enabler) + cost(change)` approximates the
+    // cost of the combined configuration.
+    let mut reference = *base;
+    if let Some(enabler) = &var.enabler {
+        enabler.apply(&mut reference);
+    }
+    let mut perturbed = reference;
+    var.change.apply(&mut perturbed);
+
+    let (ref_cycles, ref_lut_pct, ref_bram_pct) = if var.enabler.is_some() {
+        let ref_report = model.synthesize(&reference);
+        let ref_run = workloads::run_verified(workload, &reference, options.max_cycles)?;
+        (
+            ref_run.stats.cycles,
+            exact_lut_pct(model, ref_report.luts),
+            exact_bram_pct(model, ref_report.bram_blocks),
+        )
+    } else {
+        (base_costs.cycles, base_costs.lut_pct, base_costs.bram_pct)
+    };
+
+    let report = model.synthesize(&perturbed);
+    let run = workloads::run_verified(workload, &perturbed, options.max_cycles)?;
+    let lut_pct = exact_lut_pct(model, report.luts);
+    let bram_pct = exact_bram_pct(model, report.bram_blocks);
+
+    Ok(VariableCost {
+        index: var.index,
+        name: var.name.clone(),
+        cycles: run.stats.cycles,
+        seconds: run.seconds,
+        rho: (run.stats.cycles as f64 - ref_cycles as f64) * 100.0 / base_costs.cycles as f64,
+        lambda: lut_pct - ref_lut_pct,
+        beta: bram_pct - ref_bram_pct,
+        lut_pct,
+        bram_pct,
+    })
+}
+
+/// Measure the full one-at-a-time cost table for `workload`, spreading the
+/// independent builds/runs across worker threads.
+pub fn measure_cost_table(
+    space: &ParameterSpace,
+    workload: &(dyn Workload + Sync),
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    options: &MeasurementOptions,
+) -> Result<CostTable, SimError> {
+    let base_costs = measure_base(workload, base, model, options)?;
+    let variables = space.variables();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Result<VariableCost, SimError>>> = Mutex::new(Vec::with_capacity(variables.len()));
+
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        options.threads
+    }
+    .min(variables.len().max(1));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= variables.len() {
+                    break;
+                }
+                let cost = measure_variable(&variables[i], workload, base, &base_costs, model, options);
+                results.lock().unwrap().push(cost);
+            });
+        }
+    })
+    .expect("measurement workers must not panic");
+
+    let mut costs = Vec::with_capacity(variables.len());
+    for r in results.into_inner().unwrap() {
+        costs.push(r?);
+    }
+    costs.sort_by_key(|c| c.index);
+    Ok(CostTable { workload: workload.name().to_string(), base: base_costs, costs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Arith, Scale};
+
+    fn options() -> MeasurementOptions {
+        MeasurementOptions { max_cycles: 100_000_000, threads: 2 }
+    }
+
+    #[test]
+    fn base_measurement_matches_synthesis_and_run() {
+        let w = Arith::scaled(Scale::Tiny);
+        let model = SynthesisModel::default();
+        let base = LeonConfig::base();
+        let b = measure_base(&w, &base, &model, &options()).unwrap();
+        assert_eq!(b.luts, 14_992);
+        assert_eq!(b.bram_blocks, 82);
+        assert!(b.cycles > 10_000);
+        assert!(b.headroom_lut_pct > 60.0);
+        assert!(b.headroom_bram_pct > 48.0);
+    }
+
+    #[test]
+    fn cost_table_covers_the_whole_space_and_is_deterministic() {
+        let w = Arith::scaled(Scale::Tiny);
+        let model = SynthesisModel::default();
+        let base = LeonConfig::base();
+        let space = ParameterSpace::dcache_geometry();
+        let t1 = measure_cost_table(&space, &w, &base, &model, &options()).unwrap();
+        let t2 = measure_cost_table(&space, &w, &base, &model, &options()).unwrap();
+        assert_eq!(t1.len(), space.len());
+        assert_eq!(t1.costs, t2.costs, "parallel measurement must be deterministic");
+        // Arith is not data intensive: every dcache perturbation has zero
+        // runtime delta (the paper's Figure 4 observation)
+        assert!(t1.costs.iter().all(|c| c.rho.abs() < 1e-9));
+        // but shrinking the dcache saves BRAM and growing it costs BRAM
+        let smaller = t1.by_index(15).unwrap(); // dcache 1 KB way
+        let larger = t1.by_index(19).unwrap(); // dcache 32 KB way
+        assert!(smaller.beta < 0.0);
+        assert!(larger.beta > 0.0);
+    }
+
+    #[test]
+    fn enabler_variables_measure_relative_to_their_enabler() {
+        let w = Arith::scaled(Scale::Tiny);
+        let model = SynthesisModel::default();
+        let base = LeonConfig::base();
+        let space = ParameterSpace::paper();
+        let lrr = space.by_index(21).unwrap();
+        let base_costs = measure_base(&w, &base, &model, &options()).unwrap();
+        let cost = measure_variable(lrr, &w, &base, &base_costs, &model, &options()).unwrap();
+        // replacement policy alone costs (almost) nothing in resources
+        assert!(cost.beta.abs() < 1.0);
+        assert!(cost.lambda.abs() < 1.0);
+    }
+}

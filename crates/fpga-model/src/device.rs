@@ -1,0 +1,84 @@
+//! Target FPGA device descriptions.
+//!
+//! The paper instantiates LEON2 on a Xilinx Virtex-E **XCV2000E**.  Only the
+//! two resources the paper optimises are modelled: 4-input lookup tables
+//! (LUTs) and Block RAM (4 Kbit blocks on Virtex-E).
+
+use serde::Serialize;
+
+/// An FPGA device with LUT and Block-RAM capacities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Device {
+    /// Marketing name of the part.
+    pub name: &'static str,
+    /// Total 4-input LUTs available.
+    pub luts: u32,
+    /// Total Block-RAM blocks available (4 Kbit each on Virtex-E).
+    pub bram_blocks: u32,
+    /// Size of one Block-RAM block in bits.
+    pub bram_block_bits: u32,
+}
+
+impl Device {
+    /// The Xilinx Virtex-E XCV2000E used by the paper: 38 400 LUTs and
+    /// 160 Block-RAM blocks.
+    pub const XCV2000E: Device = Device {
+        name: "Xilinx Virtex-E XCV2000E",
+        luts: 38_400,
+        bram_blocks: 160,
+        bram_block_bits: 4096,
+    };
+
+    /// A smaller Virtex-E part, useful for exercising tighter resource
+    /// constraints in tests and ablations.
+    pub const XCV1000E: Device = Device {
+        name: "Xilinx Virtex-E XCV1000E",
+        luts: 24_576,
+        bram_blocks: 96,
+        bram_block_bits: 4096,
+    };
+
+    /// Percentage (0–100+, truncated as the paper's tables do) of LUTs used.
+    pub fn lut_percent(&self, luts: u32) -> u32 {
+        (luts as u64 * 100 / self.luts as u64) as u32
+    }
+
+    /// Percentage (0–100+, truncated) of Block-RAM blocks used.
+    pub fn bram_percent(&self, blocks: u32) -> u32 {
+        (blocks as u64 * 100 / self.bram_blocks as u64) as u32
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::XCV2000E
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xcv2000e_capacities_match_the_paper() {
+        let d = Device::XCV2000E;
+        assert_eq!(d.luts, 38_400);
+        assert_eq!(d.bram_blocks, 160);
+    }
+
+    #[test]
+    fn base_leon_utilisation_percentages() {
+        // The paper: the default LEON configuration uses 14,992 LUTs (39%)
+        // and 82 BRAM blocks (51%).
+        let d = Device::XCV2000E;
+        assert_eq!(d.lut_percent(14_992), 39);
+        assert_eq!(d.bram_percent(82), 51);
+    }
+
+    #[test]
+    fn percentages_truncate() {
+        let d = Device::XCV2000E;
+        assert_eq!(d.bram_percent(145), 90); // 90.6 -> 90
+        assert_eq!(d.bram_percent(76), 47); // 47.5 -> 47
+    }
+}

@@ -1,0 +1,33 @@
+//! # fpga-model
+//!
+//! Analytical FPGA synthesis resource model for the `liquid-autoreconf`
+//! reproduction of *"Automatic Application-Specific Microarchitecture
+//! Reconfiguration"* (IPDPS 2006).
+//!
+//! The paper measures the chip cost of every candidate LEON2 configuration by
+//! actually synthesising it from VHDL onto a Xilinx Virtex-E XCV2000E — a
+//! ~30-minute build per configuration.  This crate substitutes an analytical
+//! model calibrated against the utilisation numbers published in the paper
+//! (base configuration 14 992 LUTs / 82 BRAM blocks; the full dcache
+//! geometry sweep of Figure 2; the per-parameter deltas of Figure 6), so that
+//! the optimisation pipeline can query `%LUT` / `%BRAM` costs instantly while
+//! preserving the same cost ordering and the same feasibility boundary (e.g.
+//! 64 KB cache ways exceed the device).
+//!
+//! ```
+//! use fpga_model::SynthesisModel;
+//! use leon_sim::LeonConfig;
+//!
+//! let model = SynthesisModel::default();
+//! let report = model.synthesize(&LeonConfig::base());
+//! assert_eq!(report.lut_percent, 39);
+//! assert_eq!(report.bram_percent, 51);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod synth;
+
+pub use device::Device;
+pub use synth::{SynthesisModel, SynthesisReport};

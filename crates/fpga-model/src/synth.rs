@@ -1,0 +1,398 @@
+//! Analytical synthesis model.
+//!
+//! The paper measures chip resources "by actually building the processor,
+//! from its source VHDL", a ~30-minute synthesis run per configuration.  This
+//! module replaces that step with an analytical model of the LEON2 RTL on a
+//! Virtex-E device, calibrated so that:
+//!
+//! * the base configuration costs 14 992 LUTs (39 %) and 82 BRAM blocks (51 %),
+//!   as reported in Section 2.4 of the paper;
+//! * the data-cache geometry sweep reproduces the %LUT / %BRAM columns of the
+//!   paper's Figure 2 exactly;
+//! * a 64 KB cache way exceeds the available BRAM by roughly a third
+//!   ("64 KB requires 213 BRAM, i.e. 33 % more than available");
+//! * the per-parameter LUT deltas match the costs listed in Figure 6
+//!   (e.g. removing the divider saves ≈2 % LUTs, the 32×32 multiplier adds
+//!   ≈1 %).
+
+use leon_sim::{CacheConfig, Divider, LeonConfig, Multiplier};
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+
+/// LUTs of the integer-unit core that never changes with the studied
+/// parameters (pipeline, bus interface, memory controller, …).
+const IU_BASE_LUTS: u32 = 10_986;
+/// LUTs per implemented register window.
+const LUTS_PER_WINDOW: u32 = 60;
+/// LUTs of the radix-2 hardware divider.
+const DIVIDER_LUTS: u32 = 770;
+/// LUTs of the fast-jump address adder.
+const FAST_JUMP_LUTS: u32 = 400;
+/// LUTs of the ICC-hold interlock logic.
+const ICC_HOLD_LUTS: u32 = 50;
+/// LUTs of the fast-decode logic.
+const FAST_DECODE_LUTS: u32 = 150;
+/// LUTs of the data-cache fast-read path.
+const FAST_READ_LUTS: u32 = 110;
+/// LUTs of the data-cache fast-write path.
+const FAST_WRITE_LUTS: u32 = 110;
+/// LUT reduction when multiplier/divider structures are *not* inferred
+/// (instantiated macros pack slightly tighter).
+const NO_INFER_LUT_SAVING: u32 = 60;
+/// Fixed per-cache controller LUTs.
+const CACHE_BASE_LUTS: u32 = 200;
+/// LUTs per cache way (comparators, way muxing).
+const CACHE_WAY_LUTS: u32 = 120;
+/// LUTs per KB of cache way capacity (address decode fan-out).
+const CACHE_KB_LUTS: u32 = 2;
+/// Extra LUTs of the 8-word line-fill datapath compared to 4-word lines.
+const CACHE_LONG_LINE_LUTS: u32 = 150;
+
+/// BRAM blocks used by everything except the caches and the register file
+/// (debug support unit, scratch, peripherals).
+const FIXED_BRAM: u32 = 63;
+
+/// LUT cost of each hardware multiplier option.
+fn multiplier_luts(m: Multiplier) -> u32 {
+    match m {
+        Multiplier::None => 0,
+        Multiplier::Iterative => 250,
+        Multiplier::M16x16 => 1_200,
+        Multiplier::M16x16Pipelined => 1_310,
+        Multiplier::M32x8 => 1_330,
+        Multiplier::M32x16 => 1_450,
+        Multiplier::M32x32 => 1_600,
+    }
+}
+
+/// BRAM blocks of the tag array of one cache way of `way_kb` kilobytes.
+fn tag_blocks(way_kb: u32) -> u32 {
+    match way_kb {
+        0..=2 => 1,
+        4 => 1,
+        8 => 2,
+        16 => 4,
+        32 => 8,
+        _ => 12, // 64 KB
+    }
+}
+
+/// BRAM blocks of one cache (data + tag arrays).
+fn cache_bram(cache: &CacheConfig) -> u32 {
+    // data: a 4 Kbit Virtex-E block holds 512 bytes, so 2 blocks per KB
+    let data_per_way = 2 * cache.way_kb;
+    cache.ways as u32 * (data_per_way + tag_blocks(cache.way_kb))
+}
+
+/// BRAM blocks of the windowed register file.
+fn regfile_bram(windows: u8) -> u32 {
+    // windows * 16 registers * 32 bits, packed into 4 Kbit blocks
+    ((windows as u32 * 16 * 32) + 4095) / 4096
+}
+
+/// LUTs of one cache controller.
+fn cache_luts(cache: &CacheConfig) -> u32 {
+    let mut luts = CACHE_BASE_LUTS
+        + cache.ways as u32 * CACHE_WAY_LUTS
+        + cache.way_kb * CACHE_KB_LUTS;
+    if cache.line_words == 8 {
+        luts += CACHE_LONG_LINE_LUTS;
+    }
+    luts
+}
+
+/// The result of "synthesising" one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Absolute LUTs used.
+    pub luts: u32,
+    /// Absolute Block-RAM blocks used.
+    pub bram_blocks: u32,
+    /// LUT utilisation as a truncated percentage of the device capacity.
+    pub lut_percent: u32,
+    /// BRAM utilisation as a truncated percentage of the device capacity.
+    pub bram_percent: u32,
+    /// Whether the design fits the device.
+    pub fits: bool,
+}
+
+/// Analytical synthesis model for a given target device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct SynthesisModel {
+    device: Device,
+}
+
+impl Default for SynthesisModel {
+    fn default() -> Self {
+        SynthesisModel::new(Device::XCV2000E)
+    }
+}
+
+impl SynthesisModel {
+    /// Create a model targeting `device`.
+    pub fn new(device: Device) -> SynthesisModel {
+        SynthesisModel { device }
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Absolute LUT count of `config`.
+    pub fn luts(&self, config: &LeonConfig) -> u32 {
+        let mut luts = IU_BASE_LUTS;
+        luts += config.iu.reg_windows as u32 * LUTS_PER_WINDOW;
+        luts += multiplier_luts(config.iu.multiplier);
+        if config.iu.divider == Divider::Radix2 {
+            luts += DIVIDER_LUTS;
+        }
+        if config.iu.fast_jump {
+            luts += FAST_JUMP_LUTS;
+        }
+        if config.iu.icc_hold {
+            luts += ICC_HOLD_LUTS;
+        }
+        if config.iu.fast_decode {
+            luts += FAST_DECODE_LUTS;
+        }
+        if config.iu.load_delay == 2 {
+            // the longer load pipeline needs an extra forwarding stage
+            luts += 90;
+        }
+        if config.dcache_fast_read {
+            luts += FAST_READ_LUTS;
+        }
+        if config.dcache_fast_write {
+            luts += FAST_WRITE_LUTS;
+        }
+        if !config.synthesis.infer_mult_div {
+            luts = luts.saturating_sub(NO_INFER_LUT_SAVING);
+        }
+        luts += cache_luts(&config.icache);
+        luts += cache_luts(&config.dcache);
+        luts
+    }
+
+    /// Absolute Block-RAM block count of `config`.
+    pub fn bram_blocks(&self, config: &LeonConfig) -> u32 {
+        FIXED_BRAM
+            + regfile_bram(config.iu.reg_windows)
+            + cache_bram(&config.icache)
+            + cache_bram(&config.dcache)
+    }
+
+    /// "Build" the configuration and report utilisation.
+    pub fn synthesize(&self, config: &LeonConfig) -> SynthesisReport {
+        let luts = self.luts(config);
+        let bram = self.bram_blocks(config);
+        SynthesisReport {
+            luts,
+            bram_blocks: bram,
+            lut_percent: self.device.lut_percent(luts),
+            bram_percent: self.device.bram_percent(bram),
+            fits: luts <= self.device.luts && bram <= self.device.bram_blocks,
+        }
+    }
+
+    /// Remaining head-room (in percent of the device, truncated) after
+    /// synthesising `config` — the `L` and `B` constants of the paper's
+    /// resource constraints.
+    pub fn remaining_percent(&self, config: &LeonConfig) -> (f64, f64) {
+        let report = self.synthesize(config);
+        let lut_pct = report.luts as f64 * 100.0 / self.device.luts as f64;
+        let bram_pct = report.bram_blocks as f64 * 100.0 / self.device.bram_blocks as f64;
+        (100.0 - lut_pct, 100.0 - bram_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leon_sim::ReplacementPolicy;
+
+    fn base() -> LeonConfig {
+        LeonConfig::base()
+    }
+
+    #[test]
+    fn base_configuration_matches_paper_utilisation() {
+        let model = SynthesisModel::default();
+        let report = model.synthesize(&base());
+        assert_eq!(report.luts, 14_992, "base LUTs must match the paper exactly");
+        assert_eq!(report.bram_blocks, 82, "base BRAM must match the paper exactly");
+        assert_eq!(report.lut_percent, 39);
+        assert_eq!(report.bram_percent, 51);
+        assert!(report.fits);
+    }
+
+    /// The %BRAM column of the paper's Figure 2 (dcache ways × way-KB sweep,
+    /// everything else at the base configuration).
+    #[test]
+    fn figure2_bram_column_reproduced_exactly() {
+        let model = SynthesisModel::default();
+        let expected: &[(u8, u32, u32)] = &[
+            (1, 1, 47),
+            (1, 2, 48),
+            (1, 4, 51),
+            (1, 8, 56),
+            (1, 16, 68),
+            (1, 32, 90),
+            (2, 1, 49),
+            (2, 2, 51),
+            (2, 4, 56),
+            (2, 8, 68),
+            (2, 16, 90),
+            (3, 1, 51),
+            (3, 2, 55),
+            (3, 4, 62),
+            (3, 8, 79),
+            (4, 1, 53),
+            (4, 2, 58),
+            (4, 4, 68),
+            (4, 8, 90),
+        ];
+        for &(ways, way_kb, bram_pct) in expected {
+            let mut c = base();
+            c.dcache.ways = ways;
+            c.dcache.way_kb = way_kb;
+            if ways > 1 {
+                c.dcache.replacement = ReplacementPolicy::Lru;
+            }
+            let report = model.synthesize(&c);
+            assert_eq!(
+                report.bram_percent, bram_pct,
+                "dcache {ways}x{way_kb}KB: expected {bram_pct}% BRAM, got {}%",
+                report.bram_percent
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_lut_column_is_flat_as_in_the_paper() {
+        // Figure 2 reports 38-39% LUTs across the whole dcache sweep.
+        let model = SynthesisModel::default();
+        for ways in 1..=4u8 {
+            for way_kb in [1, 2, 4, 8, 16, 32] {
+                let mut c = base();
+                c.dcache.ways = ways;
+                c.dcache.way_kb = way_kb;
+                if ways > 1 {
+                    c.dcache.replacement = ReplacementPolicy::Lru;
+                }
+                let pct = model.synthesize(&c).lut_percent;
+                assert!((38..=40).contains(&pct), "dcache {ways}x{way_kb}: {pct}% LUTs");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_of_64kb_way_does_not_fit() {
+        // Figure 1: "64KB requires 213 BRAM (i.e.) 33% more than available".
+        let model = SynthesisModel::default();
+        let mut c = base();
+        c.icache.way_kb = 64;
+        let report = model.synthesize(&c);
+        assert!(!report.fits);
+        assert!(report.bram_blocks > 200 && report.bram_blocks < 230);
+        assert!(report.bram_blocks as f64 / 160.0 > 1.25);
+    }
+
+    #[test]
+    fn divider_removal_saves_about_two_percent_luts() {
+        // Figure 6: "nodivider" lowers LUTs from 39% to 37%.
+        let model = SynthesisModel::default();
+        let mut c = base();
+        c.iu.divider = Divider::None;
+        assert_eq!(model.synthesize(&c).lut_percent, 37);
+    }
+
+    #[test]
+    fn m32x32_multiplier_costs_about_one_percent_luts() {
+        // Figure 6: "multiplierm32x32" raises LUTs from 39% to 40%.
+        let model = SynthesisModel::default();
+        let mut c = base();
+        c.iu.multiplier = Multiplier::M32x32;
+        assert_eq!(model.synthesize(&c).lut_percent, 40);
+    }
+
+    #[test]
+    fn fast_jump_removal_saves_about_one_percent_luts() {
+        // Figure 6: "nofastjump" lowers LUTs from 39% to 38%.
+        let model = SynthesisModel::default();
+        let mut c = base();
+        c.iu.fast_jump = false;
+        assert_eq!(model.synthesize(&c).lut_percent, 38);
+    }
+
+    #[test]
+    fn iterative_multiplier_is_the_cheapest_hardware_multiplier() {
+        let model = SynthesisModel::default();
+        let luts_for = |m: Multiplier| {
+            let mut c = base();
+            c.iu.multiplier = m;
+            model.luts(&c)
+        };
+        assert!(luts_for(Multiplier::Iterative) < luts_for(Multiplier::M16x16));
+        assert!(luts_for(Multiplier::M16x16) < luts_for(Multiplier::M32x32));
+        assert!(luts_for(Multiplier::None) < luts_for(Multiplier::Iterative));
+    }
+
+    #[test]
+    fn bram_is_monotonic_in_cache_capacity() {
+        let model = SynthesisModel::default();
+        let mut last = 0;
+        for way_kb in [1, 2, 4, 8, 16, 32, 64] {
+            let mut c = base();
+            c.dcache.way_kb = way_kb;
+            let bram = model.bram_blocks(&c);
+            assert!(bram > last);
+            last = bram;
+        }
+    }
+
+    #[test]
+    fn bram_is_monotonic_in_ways_and_windows() {
+        let model = SynthesisModel::default();
+        let mut last = 0;
+        for ways in 1..=4u8 {
+            let mut c = base();
+            c.dcache.ways = ways;
+            if ways > 1 {
+                c.dcache.replacement = ReplacementPolicy::Lru;
+            }
+            let bram = model.bram_blocks(&c);
+            assert!(bram > last);
+            last = bram;
+        }
+        let mut c8 = base();
+        c8.iu.reg_windows = 8;
+        let mut c32 = base();
+        c32.iu.reg_windows = 32;
+        assert!(model.bram_blocks(&c32) > model.bram_blocks(&c8));
+    }
+
+    #[test]
+    fn remaining_headroom_matches_base() {
+        let model = SynthesisModel::default();
+        let (l, b) = model.remaining_percent(&base());
+        // base: 39.04% LUTs, 51.25% BRAM
+        assert!((l - (100.0 - 14_992.0 * 100.0 / 38_400.0)).abs() < 1e-9);
+        assert!((b - (100.0 - 82.0 * 100.0 / 160.0)).abs() < 1e-9);
+        assert!(l > 60.0 && l < 61.0);
+        assert!(b > 48.0 && b < 49.0);
+    }
+
+    #[test]
+    fn smaller_device_changes_feasibility_not_absolute_costs() {
+        let big = SynthesisModel::new(Device::XCV2000E);
+        let small = SynthesisModel::new(Device::XCV1000E);
+        let mut c = base();
+        c.dcache.way_kb = 32;
+        assert_eq!(big.luts(&c), small.luts(&c));
+        assert_eq!(big.bram_blocks(&c), small.bram_blocks(&c));
+        assert!(big.synthesize(&c).fits);
+        assert!(!small.synthesize(&c).fits);
+    }
+}

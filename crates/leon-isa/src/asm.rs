@@ -1,0 +1,647 @@
+//! Label-based program builder.
+//!
+//! [`Asm`] is the programmatic assembler used by the `workloads` crate to
+//! construct guest programs.  It supports forward references to code labels,
+//! a separate data segment with its own labels, and the usual SPARC-style
+//! pseudo-instructions (`set`, `mov`, `cmp`, `ret`, …).
+//!
+//! ```
+//! use leon_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new("count");
+//! a.set(Reg::L0, 10);
+//! a.label("loop");
+//! a.subcc(Reg::L0, Reg::L0, 1);
+//! a.bne("loop");
+//! a.halt();
+//! let program = a.assemble().unwrap();
+//! assert_eq!(program.name, "count");
+//! ```
+
+use crate::encode::encode;
+use crate::instr::{AluOp, Cond, DivOp, Instr, MagicOp, MemSize, MulOp, Operand2};
+use crate::program::{Program, DATA_BASE, DEFAULT_STACK_TOP, TEXT_BASE};
+use crate::regs::Reg;
+use std::collections::BTreeMap;
+
+/// Errors produced while assembling a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A code label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A code or data label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is too far away for the displacement field.
+    DisplacementOverflow { label: String, disp: i64 },
+    /// The program never terminates (no `halt` emitted).
+    MissingHalt,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::DisplacementOverflow { label, disp } => {
+                write!(f, "displacement to `{label}` ({disp}) out of range")
+            }
+            AsmError::MissingHalt => write!(f, "program has no halt instruction"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Clone, Debug)]
+enum Slot {
+    Ready(Instr),
+    BranchTo { cond: Cond, label: String },
+    CallTo { label: String },
+}
+
+/// Programmatic assembler with label support.
+#[derive(Clone, Debug)]
+pub struct Asm {
+    name: String,
+    slots: Vec<Slot>,
+    code_labels: BTreeMap<String, usize>,
+    data: Vec<u8>,
+    data_labels: BTreeMap<String, u32>,
+    data_base: u32,
+    stack_top: u32,
+    has_halt: bool,
+}
+
+impl Asm {
+    /// Create a new, empty assembler for a program called `name`.
+    pub fn new(name: impl Into<String>) -> Asm {
+        Asm {
+            name: name.into(),
+            slots: Vec::new(),
+            code_labels: BTreeMap::new(),
+            data: Vec::new(),
+            data_labels: BTreeMap::new(),
+            data_base: DATA_BASE,
+            stack_top: DEFAULT_STACK_TOP,
+            has_halt: false,
+        }
+    }
+
+    /// Override the base address of the data segment (rarely needed).
+    pub fn set_data_base(&mut self, base: u32) -> &mut Self {
+        assert_eq!(base % 4, 0, "data base must be word aligned");
+        self.data_base = base;
+        self
+    }
+
+    /// Override the initial stack pointer.
+    pub fn set_stack_top(&mut self, top: u32) -> &mut Self {
+        self.stack_top = top & !0xf;
+        self
+    }
+
+    /// Current instruction index (useful for size accounting in tests).
+    pub fn here(&self) -> usize {
+        self.slots.len()
+    }
+
+    // ----------------------------------------------------------------- labels
+
+    /// Define a code label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let prev = self.code_labels.insert(name.clone(), self.slots.len());
+        assert!(prev.is_none(), "duplicate code label `{name}`");
+        self
+    }
+
+    // --------------------------------------------------------- raw emission
+
+    /// Emit an already-constructed instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        if matches!(instr, Instr::Magic { op: MagicOp::Halt, .. }) {
+            self.has_halt = true;
+        }
+        self.slots.push(Slot::Ready(instr));
+        self
+    }
+
+    // ------------------------------------------------------------------ ALU
+
+    /// Generic ALU operation.
+    pub fn alu(&mut self, op: AluOp, cc: bool, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Alu { op, cc, rd, rs1, op2: op2.into() })
+    }
+
+    // ------------------------------------------------------------ load/store
+
+    fn load(&mut self, size: MemSize, signed: bool, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Load { size, signed, rd, rs1, op2: op2.into() })
+    }
+
+    fn store(&mut self, size: MemSize, rs_data: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Store { size, rs_data, rs1, op2: op2.into() })
+    }
+
+    /// Load unsigned byte: `rd = zext(mem8[rs1 + op2])`.
+    pub fn ldub(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.load(MemSize::Byte, false, rd, rs1, op2)
+    }
+    /// Load signed byte.
+    pub fn ldsb(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.load(MemSize::Byte, true, rd, rs1, op2)
+    }
+    /// Load unsigned halfword.
+    pub fn lduh(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.load(MemSize::Half, false, rd, rs1, op2)
+    }
+    /// Load signed halfword.
+    pub fn ldsh(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.load(MemSize::Half, true, rd, rs1, op2)
+    }
+    /// Load word.
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.load(MemSize::Word, false, rd, rs1, op2)
+    }
+    /// Store byte.
+    pub fn stb(&mut self, rs_data: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.store(MemSize::Byte, rs_data, rs1, op2)
+    }
+    /// Store halfword.
+    pub fn sth(&mut self, rs_data: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.store(MemSize::Half, rs_data, rs1, op2)
+    }
+    /// Store word.
+    pub fn st(&mut self, rs_data: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.store(MemSize::Word, rs_data, rs1, op2)
+    }
+
+    // --------------------------------------------------------------- mul/div
+
+    /// Unsigned multiply.
+    pub fn umul(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Mul { op: MulOp::Umul, cc: false, rd, rs1, op2: op2.into() })
+    }
+    /// Signed multiply.
+    pub fn smul(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Mul { op: MulOp::Smul, cc: false, rd, rs1, op2: op2.into() })
+    }
+    /// Unsigned divide.
+    pub fn udiv(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Div { op: DivOp::Udiv, cc: false, rd, rs1, op2: op2.into() })
+    }
+    /// Signed divide.
+    pub fn sdiv(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Div { op: DivOp::Sdiv, cc: false, rd, rs1, op2: op2.into() })
+    }
+
+    // -------------------------------------------------------------- branches
+
+    /// Conditional branch to a code label.
+    pub fn branch(&mut self, cond: Cond, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::BranchTo { cond, label: label.into() });
+        self
+    }
+
+    /// Call a code label (return address in `%o7`).
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::CallTo { label: label.into() });
+        self
+    }
+
+    /// Indirect jump and link.
+    pub fn jmpl(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::JmpL { rd, rs1, op2: op2.into() })
+    }
+
+    // ------------------------------------------------------ register windows
+
+    /// Raw `save rd, rs1, op2`.
+    pub fn save(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Save { rd, rs1, op2: op2.into() })
+    }
+
+    /// Raw `restore rd, rs1, op2`.
+    pub fn restore(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.emit(Instr::Restore { rd, rs1, op2: op2.into() })
+    }
+
+    /// Open a new register window and allocate `frame_bytes` of stack
+    /// (`save %sp, -frame_bytes, %sp`).
+    pub fn save_frame(&mut self, frame_bytes: i32) -> &mut Self {
+        assert!(frame_bytes >= 0 && frame_bytes % 8 == 0, "frame must be non-negative and 8-byte aligned");
+        self.save(Reg::SP, Reg::SP, -frame_bytes)
+    }
+
+    /// Return from a windowed routine: `restore` then jump through the
+    /// caller's `%o7`.
+    pub fn ret_restore(&mut self) -> &mut Self {
+        self.restore(Reg::G0, Reg::G0, Reg::G0);
+        self.jmpl(Reg::G0, Reg::O7, 0)
+    }
+
+    /// Return from a leaf routine (no window): jump through `%o7`.
+    pub fn retl(&mut self) -> &mut Self {
+        self.jmpl(Reg::G0, Reg::O7, 0)
+    }
+
+    // --------------------------------------------------------------- pseudos
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+
+    /// `sethi rd, imm21` — rd = imm21 << 11.
+    pub fn sethi(&mut self, rd: Reg, imm21: u32) -> &mut Self {
+        self.emit(Instr::Sethi { rd, imm21 })
+    }
+
+    /// Load an arbitrary 32-bit constant (expands to one or two instructions).
+    pub fn set(&mut self, rd: Reg, value: u32) -> &mut Self {
+        if Operand2::fits_imm(value as i32) || (value as i32) >= -4096 && (value as i32) < 0 {
+            // fits the signed 13-bit immediate directly
+            if Operand2::fits_imm(value as i32) {
+                return self.alu(AluOp::Or, false, rd, Reg::G0, value as i32);
+            }
+        }
+        let hi = value >> 11;
+        let lo = value & 0x7ff;
+        self.sethi(rd, hi);
+        if lo != 0 {
+            self.alu(AluOp::Or, false, rd, rd, lo as i32);
+        }
+        self
+    }
+
+    /// Load the address of a previously defined data label.
+    pub fn set_data_addr(&mut self, rd: Reg, label: &str) -> &mut Self {
+        let addr = self
+            .data_addr(label)
+            .unwrap_or_else(|| panic!("data label `{label}` must be defined before use"));
+        self.set(rd, addr)
+    }
+
+    /// Copy a register or small immediate (`mov`).
+    pub fn mov(&mut self, rd: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.alu(AluOp::Or, false, rd, Reg::G0, op2)
+    }
+
+    /// Clear a register.
+    pub fn clr(&mut self, rd: Reg) -> &mut Self {
+        self.alu(AluOp::Or, false, rd, Reg::G0, 0)
+    }
+
+    /// Compare: `subcc %g0-discarded` (`cmp rs1, op2`).
+    pub fn cmp(&mut self, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.alu(AluOp::Sub, true, Reg::G0, rs1, op2)
+    }
+
+    /// Test bits: `andcc` discarding the result.
+    pub fn tst(&mut self, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+        self.alu(AluOp::And, true, Reg::G0, rs1, op2)
+    }
+
+    /// Increment a register by an immediate.
+    pub fn inc(&mut self, rd: Reg, amount: i32) -> &mut Self {
+        self.alu(AluOp::Add, false, rd, rd, amount)
+    }
+
+    /// Decrement a register by an immediate.
+    pub fn dec(&mut self, rd: Reg, amount: i32) -> &mut Self {
+        self.alu(AluOp::Sub, false, rd, rd, amount)
+    }
+
+    /// Halt the simulation with exit code taken from `rs1`.
+    pub fn halt_with(&mut self, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Magic { op: MagicOp::Halt, rs1, channel: 0 })
+    }
+
+    /// Halt the simulation with exit code 0.
+    pub fn halt(&mut self) -> &mut Self {
+        self.halt_with(Reg::G0)
+    }
+
+    /// Report the value of `rs1` on `channel` (recorded by the profiler).
+    pub fn report(&mut self, channel: u16, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Magic { op: MagicOp::Report, rs1, channel })
+    }
+
+    /// Emit the low byte of `rs1` to the console buffer.
+    pub fn putchar(&mut self, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Magic { op: MagicOp::PutChar, rs1, channel: 0 })
+    }
+
+    // --------------------------------------------------------- branch sugar
+
+    /// `ba label` — branch always.
+    pub fn ba(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Always, label)
+    }
+    /// `be label` — branch if equal.
+    pub fn be(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Eq, label)
+    }
+    /// `bne label` — branch if not equal.
+    pub fn bne(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Ne, label)
+    }
+    /// `bg label` — branch if signed greater.
+    pub fn bg(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Gt, label)
+    }
+    /// `ble label` — branch if signed less-or-equal.
+    pub fn ble(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Le, label)
+    }
+    /// `bge label` — branch if signed greater-or-equal.
+    pub fn bge(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Ge, label)
+    }
+    /// `bl label` — branch if signed less.
+    pub fn bl(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Lt, label)
+    }
+    /// `bgu label` — branch if unsigned greater.
+    pub fn bgu(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Gtu, label)
+    }
+    /// `bleu label` — branch if unsigned less-or-equal.
+    pub fn bleu(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::Leu, label)
+    }
+    /// `bcc label` — branch if carry clear (unsigned ≥).
+    pub fn bcc(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::CarryClear, label)
+    }
+    /// `bcs label` — branch if carry set (unsigned <).
+    pub fn bcs(&mut self, label: impl Into<String>) -> &mut Self {
+        self.branch(Cond::CarrySet, label)
+    }
+
+    // ------------------------------------------------------------------ data
+
+    fn align_data(&mut self, alignment: u32) {
+        while (self.data.len() as u32) % alignment != 0 {
+            self.data.push(0);
+        }
+    }
+
+    /// Define a word-aligned data label at the current data position and
+    /// return its absolute address.
+    pub fn data_label(&mut self, name: impl Into<String>) -> u32 {
+        self.align_data(4);
+        let name = name.into();
+        let addr = self.data_base + self.data.len() as u32;
+        let prev = self.data_labels.insert(name.clone(), addr);
+        assert!(prev.is_none(), "duplicate data label `{name}`");
+        addr
+    }
+
+    /// Append raw bytes to the data segment.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.data.extend_from_slice(bytes);
+        self
+    }
+
+    /// Append 16-bit halfwords (little-endian) to the data segment.
+    pub fn data_halfwords(&mut self, halfwords: &[u16]) -> &mut Self {
+        self.align_data(2);
+        for h in halfwords {
+            self.data.extend_from_slice(&h.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append 32-bit words (little-endian) to the data segment.
+    pub fn data_words(&mut self, words: &[u32]) -> &mut Self {
+        self.align_data(4);
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        self
+    }
+
+    /// Reserve `n` zero-initialised bytes.
+    pub fn data_zeros(&mut self, n: usize) -> &mut Self {
+        self.data.resize(self.data.len() + n, 0);
+        self
+    }
+
+    /// Address of a previously defined data label.
+    pub fn data_addr(&self, name: &str) -> Option<u32> {
+        self.data_labels.get(name).copied()
+    }
+
+    /// Current size of the data segment in bytes.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    // -------------------------------------------------------------- assemble
+
+    /// Resolve labels and produce the final [`Program`].
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if !self.has_halt {
+            return Err(AsmError::MissingHalt);
+        }
+        let mut text = Vec::with_capacity(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let instr = match slot {
+                Slot::Ready(i) => *i,
+                Slot::BranchTo { cond, label } => {
+                    let target = *self
+                        .code_labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    let disp = target as i64 - idx as i64;
+                    if !(-(1 << 21)..(1 << 21)).contains(&disp) {
+                        return Err(AsmError::DisplacementOverflow { label: label.clone(), disp });
+                    }
+                    Instr::Branch { cond: *cond, disp: disp as i32 }
+                }
+                Slot::CallTo { label } => {
+                    let target = *self
+                        .code_labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    let disp = target as i64 - idx as i64;
+                    if !(-(1 << 25)..(1 << 25)).contains(&disp) {
+                        return Err(AsmError::DisplacementOverflow { label: label.clone(), disp });
+                    }
+                    Instr::Call { disp: disp as i32 }
+                }
+            };
+            text.push(encode(&instr));
+        }
+
+        let mut symbols: BTreeMap<String, u32> = self
+            .code_labels
+            .iter()
+            .map(|(name, idx)| (name.clone(), TEXT_BASE + (*idx as u32) * 4))
+            .collect();
+        symbols.extend(self.data_labels.iter().map(|(n, a)| (n.clone(), *a)));
+
+        assert!(
+            TEXT_BASE + (text.len() as u32) * 4 <= self.data_base,
+            "text segment overlaps data segment"
+        );
+
+        Ok(Program {
+            name: self.name.clone(),
+            text,
+            data: self.data.clone(),
+            data_base: self.data_base,
+            entry: TEXT_BASE,
+            stack_top: self.stack_top,
+            symbols,
+        })
+    }
+}
+
+// Convenience ALU wrappers, generated to keep the call sites in the workload
+// crate compact and close to real SPARC assembly.
+macro_rules! alu_methods {
+    ($(($plain:ident, $cc:ident, $op:expr)),* $(,)?) => {
+        impl Asm {
+            $(
+                /// ALU operation (see [`AluOp`]); plain variant.
+                pub fn $plain(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+                    self.alu($op, false, rd, rs1, op2)
+                }
+                /// ALU operation (see [`AluOp`]); condition-code-setting variant.
+                pub fn $cc(&mut self, rd: Reg, rs1: Reg, op2: impl Into<Operand2>) -> &mut Self {
+                    self.alu($op, true, rd, rs1, op2)
+                }
+            )*
+        }
+    };
+}
+
+alu_methods!(
+    (add, addcc, AluOp::Add),
+    (sub, subcc, AluOp::Sub),
+    (and_, andcc, AluOp::And),
+    (or_, orcc, AluOp::Or),
+    (xor, xorcc, AluOp::Xor),
+    (andn, andncc, AluOp::Andn),
+    (orn, orncc, AluOp::Orn),
+    (xnor, xnorcc, AluOp::Xnor),
+    (sll, sllcc, AluOp::Sll),
+    (srl, srlcc, AluOp::Srl),
+    (sra, sracc, AluOp::Sra),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new("branches");
+        a.set(Reg::L0, 3);
+        a.label("top");
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("top");
+        a.ba("end");
+        a.nop();
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        // the `bne top` is at index 2, `top` at index 1 => disp -1
+        let bne = decode(p.text[2]).unwrap();
+        assert_eq!(bne, Instr::Branch { cond: Cond::Ne, disp: -1 });
+        // the `ba end` is at index 3, `end` at index 5 => disp +2
+        let ba = decode(p.text[3]).unwrap();
+        assert_eq!(ba, Instr::Branch { cond: Cond::Always, disp: 2 });
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new("bad");
+        a.ba("nowhere");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn missing_halt_is_an_error() {
+        let mut a = Asm::new("nohalt");
+        a.nop();
+        assert_eq!(a.assemble(), Err(AsmError::MissingHalt));
+    }
+
+    #[test]
+    fn set_expands_minimally() {
+        let mut a = Asm::new("set");
+        a.set(Reg::L0, 5); // 1 instruction
+        let small = a.here();
+        a.set(Reg::L1, 0x12345678); // 2 instructions
+        let big = a.here() - small;
+        a.set(Reg::L2, 0x0002_0000); // low bits zero => sethi only
+        let hi_only = a.here() - small - big;
+        a.halt();
+        assert_eq!(small, 1);
+        assert_eq!(big, 2);
+        assert_eq!(hi_only, 1);
+    }
+
+    #[test]
+    fn set_round_trips_value_semantics() {
+        // verify the sethi/or decomposition covers the full range
+        for &v in &[0u32, 1, 0x7ff, 0x800, 0x12345678, 0xffff_ffff, 0x0002_0000] {
+            let hi = v >> 11;
+            let lo = v & 0x7ff;
+            assert_eq!((hi << 11) | lo, v);
+        }
+    }
+
+    #[test]
+    fn data_labels_and_symbols() {
+        let mut a = Asm::new("data");
+        let tbl = a.data_label("table");
+        a.data_words(&[1, 2, 3]);
+        a.data_label("bytes");
+        a.data_bytes(&[9, 9]);
+        let aligned = a.data_label("after");
+        a.set_data_addr(Reg::L0, "table");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(tbl, DATA_BASE);
+        assert_eq!(p.symbol("table"), Some(DATA_BASE));
+        assert_eq!(p.symbol("bytes"), Some(DATA_BASE + 12));
+        assert_eq!(aligned % 4, 0);
+        assert!(p.data.len() >= 14);
+    }
+
+    #[test]
+    fn code_symbols_are_byte_addresses() {
+        let mut a = Asm::new("sym");
+        a.nop();
+        a.label("entry2");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.symbol("entry2"), Some(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_code_label_panics() {
+        let mut a = Asm::new("dup");
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn call_and_return_shape() {
+        let mut a = Asm::new("call");
+        a.call("fn");
+        a.halt();
+        a.label("fn");
+        a.retl();
+        let p = a.assemble().unwrap();
+        let call = decode(p.text[0]).unwrap();
+        assert_eq!(call, Instr::Call { disp: 2 });
+    }
+}

@@ -1,0 +1,157 @@
+//! Disassembler: formats instructions back into assembly text.
+
+use crate::instr::{Instr, MagicOp, MemSize, Operand2};
+
+fn op2_str(op2: &Operand2) -> String {
+    match op2 {
+        Operand2::Reg(r) => r.name(),
+        Operand2::Imm(i) => format!("{i}"),
+    }
+}
+
+fn mem_suffix(size: MemSize, signed: bool) -> &'static str {
+    match (size, signed) {
+        (MemSize::Byte, false) => "ub",
+        (MemSize::Byte, true) => "sb",
+        (MemSize::Half, false) => "uh",
+        (MemSize::Half, true) => "sh",
+        (MemSize::Word, _) => "",
+    }
+}
+
+/// Render a single instruction as assembly text.
+///
+/// Branch and call targets are shown as instruction-relative displacements
+/// (e.g. `bne .-3`), since the disassembler has no symbol table.
+pub fn disassemble(instr: &Instr) -> String {
+    match instr {
+        Instr::Nop => "nop".to_string(),
+        Instr::Alu { op, cc, rd, rs1, op2 } => format!(
+            "{}{} {}, {}, {}",
+            op.mnemonic(),
+            if *cc { "cc" } else { "" },
+            rs1.name(),
+            op2_str(op2),
+            rd.name()
+        ),
+        Instr::Sethi { rd, imm21 } => format!("sethi {:#x}, {}", imm21, rd.name()),
+        Instr::Mul { op, cc, rd, rs1, op2 } => format!(
+            "{}mul{} {}, {}, {}",
+            match op {
+                crate::instr::MulOp::Umul => "u",
+                crate::instr::MulOp::Smul => "s",
+            },
+            if *cc { "cc" } else { "" },
+            rs1.name(),
+            op2_str(op2),
+            rd.name()
+        ),
+        Instr::Div { op, cc, rd, rs1, op2 } => format!(
+            "{}div{} {}, {}, {}",
+            match op {
+                crate::instr::DivOp::Udiv => "u",
+                crate::instr::DivOp::Sdiv => "s",
+            },
+            if *cc { "cc" } else { "" },
+            rs1.name(),
+            op2_str(op2),
+            rd.name()
+        ),
+        Instr::Load { size, signed, rd, rs1, op2 } => format!(
+            "ld{} [{} + {}], {}",
+            mem_suffix(*size, *signed),
+            rs1.name(),
+            op2_str(op2),
+            rd.name()
+        ),
+        Instr::Store { size, rs_data, rs1, op2 } => format!(
+            "st{} {}, [{} + {}]",
+            match size {
+                MemSize::Byte => "b",
+                MemSize::Half => "h",
+                MemSize::Word => "",
+            },
+            rs_data.name(),
+            rs1.name(),
+            op2_str(op2)
+        ),
+        Instr::Branch { cond, disp } => {
+            if *disp >= 0 {
+                format!("{} .+{}", cond.mnemonic(), disp)
+            } else {
+                format!("{} .{}", cond.mnemonic(), disp)
+            }
+        }
+        Instr::Call { disp } => {
+            if *disp >= 0 {
+                format!("call .+{disp}")
+            } else {
+                format!("call .{disp}")
+            }
+        }
+        Instr::JmpL { rd, rs1, op2 } => {
+            format!("jmpl {} + {}, {}", rs1.name(), op2_str(op2), rd.name())
+        }
+        Instr::Save { rd, rs1, op2 } => {
+            format!("save {}, {}, {}", rs1.name(), op2_str(op2), rd.name())
+        }
+        Instr::Restore { rd, rs1, op2 } => {
+            format!("restore {}, {}, {}", rs1.name(), op2_str(op2), rd.name())
+        }
+        Instr::Magic { op, rs1, channel } => match op {
+            MagicOp::Halt => format!("halt {}", rs1.name()),
+            MagicOp::Report => format!("report {}, {}", channel, rs1.name()),
+            MagicOp::PutChar => format!("putchar {}", rs1.name()),
+        },
+    }
+}
+
+/// Disassemble an entire text segment into numbered lines.
+pub fn disassemble_text(text: &[u32]) -> Vec<String> {
+    text.iter()
+        .enumerate()
+        .map(|(i, word)| match crate::encode::decode(*word) {
+            Ok(instr) => format!("{:6}: {}", i * 4, disassemble(&instr)),
+            Err(e) => format!("{:6}: .word {:#010x} ; {}", i * 4, word, e),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Cond};
+    use crate::regs::Reg;
+
+    #[test]
+    fn formats_common_instructions() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            cc: true,
+            rd: Reg::L0,
+            rs1: Reg::L1,
+            op2: Operand2::Imm(4),
+        };
+        assert_eq!(disassemble(&i), "addcc %l1, 4, %l0");
+
+        let b = Instr::Branch { cond: Cond::Ne, disp: -3 };
+        assert_eq!(disassemble(&b), "bne .-3");
+
+        let ld = Instr::Load {
+            size: MemSize::Byte,
+            signed: false,
+            rd: Reg::O0,
+            rs1: Reg::O1,
+            op2: Operand2::Imm(2),
+        };
+        assert_eq!(disassemble(&ld), "ldub [%o1 + 2], %o0");
+    }
+
+    #[test]
+    fn disassemble_text_reports_bad_words() {
+        let lines = disassemble_text(&[crate::encode::encode(&Instr::Nop), 0xfc00_0000]);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("nop"));
+        assert!(lines[1].contains(".word"));
+    }
+}

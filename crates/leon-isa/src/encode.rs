@@ -1,0 +1,403 @@
+//! Binary instruction encoding.
+//!
+//! Every instruction occupies one 32-bit word.  The simulator fetches encoded
+//! words through the instruction cache, so instruction-side locality (and
+//! therefore the icache parameters under study) behave realistically.
+//!
+//! Layout (bit 31 is the most significant bit):
+//!
+//! ```text
+//! register/immediate format (ALU, MUL/DIV, LD/ST, JMPL, SAVE/RESTORE, MAGIC)
+//!   [31:26] opcode  [25:21] rd  [20:16] rs1  [15] cc  [14] i
+//!   i = 1: [12:0] signed 13-bit immediate      i = 0: [4:0] rs2
+//! SETHI   [31:26] opcode  [25:21] rd  [20:0] imm21
+//! BRANCH  [31:26] opcode  [25:22] cond  [21:0] signed instruction displacement
+//! CALL    [31:26] opcode  [25:0] signed instruction displacement
+//! ```
+
+use crate::instr::{AluOp, Cond, DivOp, Instr, MagicOp, MemSize, MulOp, Operand2};
+use crate::regs::Reg;
+
+/// Errors produced when decoding a 32-bit word that is not a valid encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    BadOpcode(u8),
+    /// The magic-operation selector is unknown.
+    BadMagicOp(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "invalid opcode {op:#x}"),
+            DecodeError::BadMagicOp(op) => write!(f, "invalid magic operation {op}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod opc {
+    pub const NOP: u8 = 0;
+    pub const ALU_BASE: u8 = 1; // 1..=11, AluOp::ALL order
+    pub const UMUL: u8 = 12;
+    pub const SMUL: u8 = 13;
+    pub const UDIV: u8 = 14;
+    pub const SDIV: u8 = 15;
+    pub const LDUB: u8 = 16;
+    pub const LDSB: u8 = 17;
+    pub const LDUH: u8 = 18;
+    pub const LDSH: u8 = 19;
+    pub const LD: u8 = 20;
+    pub const STB: u8 = 21;
+    pub const STH: u8 = 22;
+    pub const ST: u8 = 23;
+    pub const JMPL: u8 = 24;
+    pub const SAVE: u8 = 25;
+    pub const RESTORE: u8 = 26;
+    pub const SETHI: u8 = 27;
+    pub const BRANCH: u8 = 28;
+    pub const CALL: u8 = 29;
+    pub const MAGIC: u8 = 30;
+}
+
+#[inline]
+fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1u32 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn encode_ri(opcode: u8, rd: Reg, rs1: Reg, cc: bool, op2: Operand2) -> u32 {
+    let mut w = (opcode as u32) << 26;
+    w |= (rd.0 as u32) << 21;
+    w |= (rs1.0 as u32) << 16;
+    if cc {
+        w |= 1 << 15;
+    }
+    match op2 {
+        Operand2::Reg(r) => w |= r.0 as u32,
+        Operand2::Imm(imm) => {
+            w |= 1 << 14;
+            w |= (imm as i32 as u32) & 0x1fff;
+        }
+    }
+    w
+}
+
+fn decode_ri(word: u32) -> (Reg, Reg, bool, Operand2) {
+    let rd = Reg((field(word, 25, 21)) as u8);
+    let rs1 = Reg((field(word, 20, 16)) as u8);
+    let cc = field(word, 15, 15) == 1;
+    let op2 = if field(word, 14, 14) == 1 {
+        Operand2::Imm(sign_extend(field(word, 12, 0), 13) as i16)
+    } else {
+        Operand2::Reg(Reg(field(word, 4, 0) as u8))
+    };
+    (rd, rs1, cc, op2)
+}
+
+/// Encode an instruction to its 32-bit representation.
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::Nop => (opc::NOP as u32) << 26,
+        Instr::Alu { op, cc, rd, rs1, op2 } => {
+            let idx = AluOp::ALL.iter().position(|o| *o == op).unwrap() as u8;
+            encode_ri(opc::ALU_BASE + idx, rd, rs1, cc, op2)
+        }
+        Instr::Mul { op, cc, rd, rs1, op2 } => {
+            let opcode = match op {
+                MulOp::Umul => opc::UMUL,
+                MulOp::Smul => opc::SMUL,
+            };
+            encode_ri(opcode, rd, rs1, cc, op2)
+        }
+        Instr::Div { op, cc, rd, rs1, op2 } => {
+            let opcode = match op {
+                DivOp::Udiv => opc::UDIV,
+                DivOp::Sdiv => opc::SDIV,
+            };
+            encode_ri(opcode, rd, rs1, cc, op2)
+        }
+        Instr::Load { size, signed, rd, rs1, op2 } => {
+            let opcode = match (size, signed) {
+                (MemSize::Byte, false) => opc::LDUB,
+                (MemSize::Byte, true) => opc::LDSB,
+                (MemSize::Half, false) => opc::LDUH,
+                (MemSize::Half, true) => opc::LDSH,
+                (MemSize::Word, _) => opc::LD,
+            };
+            encode_ri(opcode, rd, rs1, false, op2)
+        }
+        Instr::Store { size, rs_data, rs1, op2 } => {
+            let opcode = match size {
+                MemSize::Byte => opc::STB,
+                MemSize::Half => opc::STH,
+                MemSize::Word => opc::ST,
+            };
+            encode_ri(opcode, rs_data, rs1, false, op2)
+        }
+        Instr::JmpL { rd, rs1, op2 } => encode_ri(opc::JMPL, rd, rs1, false, op2),
+        Instr::Save { rd, rs1, op2 } => encode_ri(opc::SAVE, rd, rs1, false, op2),
+        Instr::Restore { rd, rs1, op2 } => encode_ri(opc::RESTORE, rd, rs1, false, op2),
+        Instr::Sethi { rd, imm21 } => {
+            assert!(imm21 < (1 << 21), "sethi immediate out of range");
+            ((opc::SETHI as u32) << 26) | ((rd.0 as u32) << 21) | imm21
+        }
+        Instr::Branch { cond, disp } => {
+            let idx = Cond::ALL.iter().position(|c| *c == cond).unwrap() as u32;
+            assert!(
+                (-(1 << 21)..(1 << 21)).contains(&disp),
+                "branch displacement {disp} out of range"
+            );
+            ((opc::BRANCH as u32) << 26) | (idx << 22) | ((disp as u32) & 0x3f_ffff)
+        }
+        Instr::Call { disp } => {
+            assert!(
+                (-(1 << 25)..(1 << 25)).contains(&disp),
+                "call displacement {disp} out of range"
+            );
+            ((opc::CALL as u32) << 26) | ((disp as u32) & 0x3ff_ffff)
+        }
+        Instr::Magic { op, rs1, channel } => {
+            let sel = match op {
+                MagicOp::Halt => 0u8,
+                MagicOp::Report => 1,
+                MagicOp::PutChar => 2,
+            };
+            assert!(channel < (1 << 13), "magic channel out of range");
+            let mut w = (opc::MAGIC as u32) << 26;
+            w |= (sel as u32) << 21;
+            w |= (rs1.0 as u32) << 16;
+            w |= 1 << 14;
+            w |= channel as u32;
+            w
+        }
+    }
+}
+
+/// Decode a 32-bit word back into an instruction.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = field(word, 31, 26) as u8;
+    let instr = match opcode {
+        opc::NOP => Instr::Nop,
+        o if (opc::ALU_BASE..opc::ALU_BASE + 11).contains(&o) => {
+            let (rd, rs1, cc, op2) = decode_ri(word);
+            Instr::Alu {
+                op: AluOp::ALL[(o - opc::ALU_BASE) as usize],
+                cc,
+                rd,
+                rs1,
+                op2,
+            }
+        }
+        opc::UMUL | opc::SMUL => {
+            let (rd, rs1, cc, op2) = decode_ri(word);
+            Instr::Mul {
+                op: if opcode == opc::UMUL { MulOp::Umul } else { MulOp::Smul },
+                cc,
+                rd,
+                rs1,
+                op2,
+            }
+        }
+        opc::UDIV | opc::SDIV => {
+            let (rd, rs1, cc, op2) = decode_ri(word);
+            Instr::Div {
+                op: if opcode == opc::UDIV { DivOp::Udiv } else { DivOp::Sdiv },
+                cc,
+                rd,
+                rs1,
+                op2,
+            }
+        }
+        opc::LDUB | opc::LDSB | opc::LDUH | opc::LDSH | opc::LD => {
+            let (rd, rs1, _, op2) = decode_ri(word);
+            let (size, signed) = match opcode {
+                opc::LDUB => (MemSize::Byte, false),
+                opc::LDSB => (MemSize::Byte, true),
+                opc::LDUH => (MemSize::Half, false),
+                opc::LDSH => (MemSize::Half, true),
+                _ => (MemSize::Word, false),
+            };
+            Instr::Load { size, signed, rd, rs1, op2 }
+        }
+        opc::STB | opc::STH | opc::ST => {
+            let (rs_data, rs1, _, op2) = decode_ri(word);
+            let size = match opcode {
+                opc::STB => MemSize::Byte,
+                opc::STH => MemSize::Half,
+                _ => MemSize::Word,
+            };
+            Instr::Store { size, rs_data, rs1, op2 }
+        }
+        opc::JMPL => {
+            let (rd, rs1, _, op2) = decode_ri(word);
+            Instr::JmpL { rd, rs1, op2 }
+        }
+        opc::SAVE => {
+            let (rd, rs1, _, op2) = decode_ri(word);
+            Instr::Save { rd, rs1, op2 }
+        }
+        opc::RESTORE => {
+            let (rd, rs1, _, op2) = decode_ri(word);
+            Instr::Restore { rd, rs1, op2 }
+        }
+        opc::SETHI => Instr::Sethi {
+            rd: Reg(field(word, 25, 21) as u8),
+            imm21: field(word, 20, 0),
+        },
+        opc::BRANCH => Instr::Branch {
+            cond: Cond::ALL[field(word, 25, 22) as usize],
+            disp: sign_extend(field(word, 21, 0), 22),
+        },
+        opc::CALL => Instr::Call {
+            disp: sign_extend(field(word, 25, 0), 26),
+        },
+        opc::MAGIC => {
+            let sel = field(word, 25, 21) as u8;
+            let rs1 = Reg(field(word, 20, 16) as u8);
+            let channel = field(word, 12, 0) as u16;
+            let op = match sel {
+                0 => MagicOp::Halt,
+                1 => MagicOp::Report,
+                2 => MagicOp::PutChar,
+                other => return Err(DecodeError::BadMagicOp(other)),
+            };
+            Instr::Magic { op, rs1, channel }
+        }
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        vec![
+            Nop,
+            Alu { op: AluOp::Add, cc: false, rd: Reg::L0, rs1: Reg::L1, op2: Operand2::Imm(-7) },
+            Alu { op: AluOp::Sub, cc: true, rd: Reg::G0, rs1: Reg::O3, op2: Operand2::Reg(Reg::I2) },
+            Alu { op: AluOp::Sll, cc: false, rd: Reg::O1, rs1: Reg::O1, op2: Operand2::Imm(31) },
+            Sethi { rd: Reg::G1, imm21: 0x1f_ffff },
+            Mul { op: MulOp::Smul, cc: false, rd: Reg::O0, rs1: Reg::O1, op2: Operand2::Reg(Reg::O2) },
+            Div { op: DivOp::Udiv, cc: true, rd: Reg::L5, rs1: Reg::L6, op2: Operand2::Imm(3) },
+            Load { size: MemSize::Byte, signed: true, rd: Reg::L2, rs1: Reg::I0, op2: Operand2::Imm(4095) },
+            Load { size: MemSize::Word, signed: false, rd: Reg::L3, rs1: Reg::I1, op2: Operand2::Reg(Reg::G2) },
+            Store { size: MemSize::Half, rs_data: Reg::O4, rs1: Reg::SP, op2: Operand2::Imm(-4096) },
+            Branch { cond: Cond::Ne, disp: -12345 },
+            Branch { cond: Cond::Always, disp: 200_000 },
+            Call { disp: -9_999_999 },
+            JmpL { rd: Reg::G0, rs1: Reg::O7, op2: Operand2::Imm(0) },
+            Save { rd: Reg::SP, rs1: Reg::SP, op2: Operand2::Imm(-96) },
+            Restore { rd: Reg::G0, rs1: Reg::G0, op2: Operand2::Reg(Reg::G0) },
+            Magic { op: MagicOp::Halt, rs1: Reg::G0, channel: 0 },
+            Magic { op: MagicOp::Report, rs1: Reg::O0, channel: 7 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_samples() {
+        for instr in sample_instrs() {
+            let word = encode(&instr);
+            let back = decode(word).expect("decode");
+            assert_eq!(instr, back, "round trip for {instr:?} (word {word:#010x})");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let word = 63u32 << 26;
+        assert_eq!(decode(word), Err(DecodeError::BadOpcode(63)));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let word = (30u32 << 26) | (9 << 21);
+        assert_eq!(decode(word), Err(DecodeError::BadMagicOp(9)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn branch_displacement_range_checked() {
+        let _ = encode(&Instr::Branch { cond: Cond::Eq, disp: 1 << 22 });
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg)
+    }
+
+    fn arb_op2() -> impl Strategy<Value = Operand2> {
+        prop_oneof![
+            arb_reg().prop_map(Operand2::Reg),
+            (-4096i32..=4095).prop_map(|v| Operand2::Imm(v as i16)),
+        ]
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        let alu = (0usize..11, any::<bool>(), arb_reg(), arb_reg(), arb_op2()).prop_map(
+            |(op, cc, rd, rs1, op2)| Instr::Alu { op: AluOp::ALL[op], cc, rd, rs1, op2 },
+        );
+        let mem = (any::<bool>(), 0usize..3, any::<bool>(), arb_reg(), arb_reg(), arb_op2())
+            .prop_map(|(is_load, sz, signed, a, b, op2)| {
+                let size = [MemSize::Byte, MemSize::Half, MemSize::Word][sz];
+                // word loads have no signedness distinction in the encoding
+                let signed = signed && size != MemSize::Word;
+                if is_load {
+                    Instr::Load { size, signed, rd: a, rs1: b, op2 }
+                } else {
+                    Instr::Store { size, rs_data: a, rs1: b, op2 }
+                }
+            });
+        let ctl = prop_oneof![
+            (0usize..16, -(1i32 << 21)..(1 << 21))
+                .prop_map(|(c, d)| Instr::Branch { cond: Cond::ALL[c], disp: d }),
+            (-(1i32 << 25)..(1 << 25)).prop_map(|d| Instr::Call { disp: d }),
+            (arb_reg(), arb_reg(), arb_op2()).prop_map(|(rd, rs1, op2)| Instr::JmpL { rd, rs1, op2 }),
+        ];
+        let misc = prop_oneof![
+            Just(Instr::Nop),
+            (arb_reg(), 0u32..(1 << 21)).prop_map(|(rd, imm21)| Instr::Sethi { rd, imm21 }),
+            (arb_reg(), arb_reg(), arb_op2()).prop_map(|(rd, rs1, op2)| Instr::Save { rd, rs1, op2 }),
+            (arb_reg(), arb_reg(), arb_op2())
+                .prop_map(|(rd, rs1, op2)| Instr::Restore { rd, rs1, op2 }),
+            (any::<bool>(), any::<bool>(), arb_reg(), arb_reg(), arb_op2()).prop_map(
+                |(signed, cc, rd, rs1, op2)| Instr::Mul {
+                    op: if signed { MulOp::Smul } else { MulOp::Umul },
+                    cc,
+                    rd,
+                    rs1,
+                    op2
+                }
+            ),
+            (any::<bool>(), any::<bool>(), arb_reg(), arb_reg(), arb_op2()).prop_map(
+                |(signed, cc, rd, rs1, op2)| Instr::Div {
+                    op: if signed { DivOp::Sdiv } else { DivOp::Udiv },
+                    cc,
+                    rd,
+                    rs1,
+                    op2
+                }
+            ),
+        ];
+        prop_oneof![alu, mem, ctl, misc]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(instr in arb_instr()) {
+            let word = encode(&instr);
+            let back = decode(word).unwrap();
+            prop_assert_eq!(instr, back);
+        }
+    }
+}

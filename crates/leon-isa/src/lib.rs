@@ -1,0 +1,37 @@
+//! # leon-isa
+//!
+//! Guest instruction-set substrate for the `liquid-autoreconf` reproduction of
+//! *"Automatic Application-Specific Microarchitecture Reconfiguration"*
+//! (IPDPS 2006).
+//!
+//! The paper runs its benchmarks directly on a LEON2 soft-core processor — an
+//! open-source SPARC V8 implementation.  This crate provides the equivalent
+//! substrate for the simulator in `leon-sim`: a compact SPARC-V8-flavoured
+//! 32-bit ISA with register windows, integer condition codes and hardware
+//! multiply/divide, plus the tooling needed to author guest programs:
+//!
+//! * [`Instr`] / [`encode`] / [`decode`] — the instruction set and its binary
+//!   encoding (instructions are fetched through the simulated icache as
+//!   encoded 32-bit words);
+//! * [`Asm`] — a label-based programmatic assembler used by the `workloads`
+//!   crate to build the BLASTN / DRR / FRAG / Arith guest programs;
+//! * [`assemble_text`] — a small text assembler for examples and tests;
+//! * [`Program`] — the loadable image handed to the simulator.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod program;
+pub mod regs;
+pub mod text;
+
+pub use asm::{Asm, AsmError};
+pub use disasm::{disassemble, disassemble_text};
+pub use encode::{decode, encode, DecodeError};
+pub use instr::{AluOp, Cond, DivOp, Icc, Instr, MagicOp, MemSize, MulOp, Operand2};
+pub use program::{Program, DATA_BASE, DEFAULT_MEMORY_SIZE, DEFAULT_STACK_TOP, TEXT_BASE};
+pub use regs::Reg;
+pub use text::{assemble_text, ParseError};

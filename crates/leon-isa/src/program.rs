@@ -1,0 +1,129 @@
+//! Executable program images.
+//!
+//! A [`Program`] is what the assembler produces and what the simulator loads:
+//! an encoded text segment, an initialised data segment, an entry point and a
+//! symbol table.  The default memory map mirrors a small bare-metal LEON
+//! system:
+//!
+//! ```text
+//! 0x0000_0000  text (encoded instructions)
+//! 0x0002_0000  data (initialised + zero-initialised)
+//! stack_top    grows downwards from just below the end of memory
+//! ```
+
+use crate::encode::{decode, DecodeError};
+use crate::instr::Instr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Base byte address of the text segment.
+pub const TEXT_BASE: u32 = 0x0000_0000;
+/// Default base byte address of the data segment.
+pub const DATA_BASE: u32 = 0x0002_0000;
+/// Default top-of-stack byte address (16-byte aligned, just below 1 MiB).
+pub const DEFAULT_STACK_TOP: u32 = 0x000F_FFF0;
+/// Default simulated memory size in bytes (1 MiB).
+pub const DEFAULT_MEMORY_SIZE: u32 = 0x0010_0000;
+
+/// An assembled, loadable program image.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable name of the program (used in reports).
+    pub name: String,
+    /// Encoded instructions, loaded starting at [`TEXT_BASE`].
+    pub text: Vec<u32>,
+    /// Initialised data image, loaded starting at `data_base`.
+    pub data: Vec<u8>,
+    /// Base byte address of the data segment.
+    pub data_base: u32,
+    /// Entry point (byte address, must lie inside the text segment).
+    pub entry: u32,
+    /// Initial stack pointer handed to the program in `%sp`.
+    pub stack_top: u32,
+    /// Code and data symbols (label → byte address).
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Size of the text segment in bytes.
+    pub fn text_bytes(&self) -> u32 {
+        (self.text.len() as u32) * 4
+    }
+
+    /// End address (exclusive) of the initialised data segment.
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+
+    /// Minimum memory size required to hold text, data and stack.
+    pub fn required_memory(&self) -> u32 {
+        self.data_end().max(self.stack_top + 16).max(self.text_bytes())
+    }
+
+    /// Decode the instruction stored at byte address `addr`, if the address
+    /// lies inside the text segment.
+    pub fn instr_at(&self, addr: u32) -> Option<Result<Instr, DecodeError>> {
+        if addr % 4 != 0 {
+            return None;
+        }
+        let idx = ((addr - TEXT_BASE) / 4) as usize;
+        self.text.get(idx).map(|w| decode(*w))
+    }
+
+    /// Address of a symbol, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Number of (static) instructions in the program.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::instr::{Instr, MagicOp};
+    use crate::regs::Reg;
+
+    fn tiny() -> Program {
+        Program {
+            name: "tiny".into(),
+            text: vec![
+                encode(&Instr::Nop),
+                encode(&Instr::Magic { op: MagicOp::Halt, rs1: Reg::G0, channel: 0 }),
+            ],
+            data: vec![1, 2, 3, 4],
+            data_base: DATA_BASE,
+            entry: TEXT_BASE,
+            stack_top: DEFAULT_STACK_TOP,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn sizes() {
+        let p = tiny();
+        assert_eq!(p.text_bytes(), 8);
+        assert_eq!(p.data_end(), DATA_BASE + 4);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(p.required_memory() >= DEFAULT_STACK_TOP);
+    }
+
+    #[test]
+    fn instr_at_decodes() {
+        let p = tiny();
+        assert_eq!(p.instr_at(0), Some(Ok(Instr::Nop)));
+        assert!(matches!(p.instr_at(4), Some(Ok(Instr::Magic { .. }))));
+        assert_eq!(p.instr_at(8), None);
+        assert_eq!(p.instr_at(2), None);
+    }
+}

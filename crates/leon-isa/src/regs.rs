@@ -1,0 +1,161 @@
+//! Architectural register names.
+//!
+//! The guest ISA follows the SPARC V8 convention: at any moment 32 integer
+//! registers are visible — 8 *globals* (`%g0`–`%g7`, with `%g0` hard-wired to
+//! zero) and 24 *windowed* registers split into *out* (`%o0`–`%o7`), *local*
+//! (`%l0`–`%l7`) and *in* (`%i0`–`%i7`) octets.  `SAVE`/`RESTORE` rotate the
+//! window so that a caller's *out* registers become the callee's *in*
+//! registers.
+
+use serde::{Deserialize, Serialize};
+
+/// An architectural (window-relative) register name.
+///
+/// The wrapped index is in `0..32`:
+/// `0..8` = globals, `8..16` = outs, `16..24` = locals, `24..32` = ins.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(
+    /// Window-relative register index in `0..32`.
+    pub u8,
+);
+
+macro_rules! define_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("Architectural register with index ", stringify!($idx), ".")]
+            pub const $name: Reg = Reg($idx);
+        )*
+    };
+}
+
+impl Reg {
+    define_regs! {
+        G0 = 0, G1 = 1, G2 = 2, G3 = 3, G4 = 4, G5 = 5, G6 = 6, G7 = 7,
+        O0 = 8, O1 = 9, O2 = 10, O3 = 11, O4 = 12, O5 = 13, O6 = 14, O7 = 15,
+        L0 = 16, L1 = 17, L2 = 18, L3 = 19, L4 = 20, L5 = 21, L6 = 22, L7 = 23,
+        I0 = 24, I1 = 25, I2 = 26, I3 = 27, I4 = 28, I5 = 29, I6 = 30, I7 = 31,
+    }
+
+    /// The stack pointer alias (`%sp` = `%o6`).
+    pub const SP: Reg = Reg::O6;
+    /// The frame pointer alias (`%fp` = `%i6`).
+    pub const FP: Reg = Reg::I6;
+
+    /// Construct a register from a raw index, panicking when out of range.
+    #[inline]
+    pub fn new(idx: u8) -> Reg {
+        assert!(idx < 32, "register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// Raw window-relative index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for `%g0`, which always reads zero and ignores writes.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for the global registers `%g0`–`%g7` (not part of any window).
+    #[inline]
+    pub fn is_global(self) -> bool {
+        self.0 < 8
+    }
+
+    /// Canonical assembly name, e.g. `%o3`.
+    pub fn name(self) -> String {
+        let group = ["g", "o", "l", "i"][(self.0 / 8) as usize];
+        format!("%{}{}", group, self.0 % 8)
+    }
+
+    /// Parse a register name such as `%l2`, `%sp` or `%fp`.
+    pub fn parse(s: &str) -> Option<Reg> {
+        let s = s.trim();
+        let body = s.strip_prefix('%').unwrap_or(s);
+        match body {
+            "sp" => return Some(Reg::SP),
+            "fp" => return Some(Reg::FP),
+            _ => {}
+        }
+        if body.len() < 2 {
+            return None;
+        }
+        let (group, num) = body.split_at(1);
+        let n: u8 = num.parse().ok()?;
+        if n >= 8 {
+            return None;
+        }
+        let base = match group {
+            "g" => 0,
+            "o" => 8,
+            "l" => 16,
+            "i" => 24,
+            "r" => return if n < 8 { Some(Reg(n)) } else { None },
+            _ => return None,
+        };
+        Some(Reg(base + n))
+    }
+
+    /// All 32 architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32u8).map(Reg)
+    }
+}
+
+impl std::fmt::Debug for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for r in Reg::all() {
+            let name = r.name();
+            assert_eq!(Reg::parse(&name), Some(r), "round trip for {name}");
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!(Reg::parse("%sp"), Some(Reg::O6));
+        assert_eq!(Reg::parse("%fp"), Some(Reg::I6));
+        assert_eq!(Reg::parse("sp"), Some(Reg::O6));
+    }
+
+    #[test]
+    fn group_predicates() {
+        assert!(Reg::G0.is_zero());
+        assert!(!Reg::O0.is_zero());
+        assert!(Reg::G5.is_global());
+        assert!(!Reg::L3.is_global());
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(Reg::parse("%x3"), None);
+        assert_eq!(Reg::parse("%g9"), None);
+        assert_eq!(Reg::parse("%"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,419 @@
+//! Minimal text assembler.
+//!
+//! Parses a compact, line-oriented assembly syntax into an [`Asm`] builder.
+//! This is a convenience front-end used by the quickstart example and tests;
+//! the benchmark workloads use the builder API directly.
+//!
+//! Supported syntax:
+//!
+//! ```text
+//! ; comment (also `!` and `#`)
+//! label:
+//!     set     1000, %l0
+//!     add     %l0, 4, %l1          ; rd is last, SPARC style
+//!     subcc   %l0, 1, %l0
+//!     bne     label
+//!     ld      [%l1 + 8], %o0
+//!     st      %o0, [%l1 + 12]
+//!     call    func
+//!     halt
+//! ```
+
+use crate::asm::{Asm, AsmError};
+use crate::instr::{AluOp, Cond, Operand2};
+use crate::regs::Reg;
+
+/// Errors produced by the text assembler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line could not be parsed.
+    Syntax { line: usize, message: String },
+    /// Assembly (label resolution) failed after parsing.
+    Assembly(AsmError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Assembly(e) => write!(f, "assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax { line, message: message.into() }
+}
+
+fn parse_operand2(tok: &str, line: usize) -> Result<Operand2, ParseError> {
+    if let Some(r) = Reg::parse(tok) {
+        return Ok(Operand2::Reg(r));
+    }
+    let value = parse_int(tok).ok_or_else(|| syntax(line, format!("bad operand `{tok}`")))?;
+    if !Operand2::fits_imm(value) {
+        return Err(syntax(line, format!("immediate `{tok}` does not fit in 13 bits")));
+    }
+    Ok(Operand2::Imm(value as i16))
+}
+
+fn parse_int(tok: &str) -> Option<i32> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    let value = if neg { -value } else { value };
+    i32::try_from(value).ok()
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    Reg::parse(tok).ok_or_else(|| syntax(line, format!("bad register `{tok}`")))
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    // split on commas that are not inside [...] brackets
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in rest.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Parse `[%reg + off]` or `[%reg]` into (base, offset operand).
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, Operand2), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| syntax(line, format!("expected memory operand, got `{tok}`")))?;
+    let parts: Vec<&str> = inner.split('+').map(|s| s.trim()).collect();
+    match parts.as_slice() {
+        [base] => Ok((parse_reg(base, line)?, Operand2::Imm(0))),
+        [base, off] => Ok((parse_reg(base, line)?, parse_operand2(off, line)?)),
+        _ => Err(syntax(line, format!("bad memory operand `{tok}`"))),
+    }
+}
+
+const BRANCHES: &[(&str, Cond)] = &[
+    ("ba", Cond::Always),
+    ("bn", Cond::Never),
+    ("be", Cond::Eq),
+    ("bz", Cond::Eq),
+    ("bne", Cond::Ne),
+    ("bnz", Cond::Ne),
+    ("bg", Cond::Gt),
+    ("ble", Cond::Le),
+    ("bge", Cond::Ge),
+    ("bl", Cond::Lt),
+    ("bgu", Cond::Gtu),
+    ("bleu", Cond::Leu),
+    ("bcc", Cond::CarryClear),
+    ("bcs", Cond::CarrySet),
+    ("bpos", Cond::Pos),
+    ("bneg", Cond::Neg),
+    ("bvc", Cond::OverflowClear),
+    ("bvs", Cond::OverflowSet),
+];
+
+const ALU_OPS: &[(&str, AluOp)] = &[
+    ("add", AluOp::Add),
+    ("sub", AluOp::Sub),
+    ("and", AluOp::And),
+    ("or", AluOp::Or),
+    ("xor", AluOp::Xor),
+    ("andn", AluOp::Andn),
+    ("orn", AluOp::Orn),
+    ("xnor", AluOp::Xnor),
+    ("sll", AluOp::Sll),
+    ("srl", AluOp::Srl),
+    ("sra", AluOp::Sra),
+];
+
+/// Assemble a text program into a [`crate::Program`].
+pub fn assemble_text(name: &str, source: &str) -> Result<crate::Program, ParseError> {
+    let mut asm = Asm::new(name);
+    for (lineno, raw) in source.lines().enumerate() {
+        let line_num = lineno + 1;
+        let mut line = raw;
+        for marker in [';', '!', '#'] {
+            if let Some(pos) = line.find(marker) {
+                line = &line[..pos];
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // labels may share a line with an instruction: `foo: add ...`
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            if label.contains(char::is_whitespace) {
+                break;
+            }
+            asm.label(label.trim());
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, operand_str) = match rest.find(char::is_whitespace) {
+            Some(pos) => (&rest[..pos], rest[pos..].trim()),
+            None => (rest, ""),
+        };
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        let ops = split_operands(operand_str);
+        parse_instruction(&mut asm, &mnemonic, &ops, line_num)?;
+    }
+    asm.assemble().map_err(ParseError::Assembly)
+}
+
+fn parse_instruction(
+    asm: &mut Asm,
+    mnemonic: &str,
+    ops: &[String],
+    line: usize,
+) -> Result<(), ParseError> {
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(syntax(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    // branches
+    if let Some((_, cond)) = BRANCHES.iter().find(|(m, _)| *m == mnemonic) {
+        need(1)?;
+        asm.branch(*cond, ops[0].clone());
+        return Ok(());
+    }
+    // alu, with optional cc suffix
+    let (base, cc) = match mnemonic.strip_suffix("cc") {
+        Some(b) if ALU_OPS.iter().any(|(m, _)| *m == b) => (b, true),
+        _ => (mnemonic, false),
+    };
+    if let Some((_, op)) = ALU_OPS.iter().find(|(m, _)| *m == base) {
+        need(3)?;
+        let rs1 = parse_reg(&ops[0], line)?;
+        let op2 = parse_operand2(&ops[1], line)?;
+        let rd = parse_reg(&ops[2], line)?;
+        asm.alu(*op, cc, rd, rs1, op2);
+        return Ok(());
+    }
+
+    match mnemonic {
+        "nop" => {
+            need(0)?;
+            asm.nop();
+        }
+        "halt" => {
+            if ops.is_empty() {
+                asm.halt();
+            } else {
+                need(1)?;
+                asm.halt_with(parse_reg(&ops[0], line)?);
+            }
+        }
+        "report" => {
+            need(2)?;
+            let chan = parse_int(&ops[0])
+                .ok_or_else(|| syntax(line, "bad report channel"))? as u16;
+            asm.report(chan, parse_reg(&ops[1], line)?);
+        }
+        "set" => {
+            need(2)?;
+            let value = parse_int(&ops[0]).ok_or_else(|| syntax(line, "bad constant"))?;
+            asm.set(parse_reg(&ops[1], line)?, value as u32);
+        }
+        "mov" => {
+            need(2)?;
+            let op2 = parse_operand2(&ops[0], line)?;
+            asm.mov(parse_reg(&ops[1], line)?, op2);
+        }
+        "cmp" => {
+            need(2)?;
+            let rs1 = parse_reg(&ops[0], line)?;
+            asm.cmp(rs1, parse_operand2(&ops[1], line)?);
+        }
+        "clr" => {
+            need(1)?;
+            asm.clr(parse_reg(&ops[0], line)?);
+        }
+        "sethi" => {
+            need(2)?;
+            let imm = parse_int(&ops[0]).ok_or_else(|| syntax(line, "bad constant"))?;
+            asm.sethi(parse_reg(&ops[1], line)?, imm as u32);
+        }
+        "umul" | "smul" | "udiv" | "sdiv" => {
+            need(3)?;
+            let rs1 = parse_reg(&ops[0], line)?;
+            let op2 = parse_operand2(&ops[1], line)?;
+            let rd = parse_reg(&ops[2], line)?;
+            match mnemonic {
+                "umul" => asm.umul(rd, rs1, op2),
+                "smul" => asm.smul(rd, rs1, op2),
+                "udiv" => asm.udiv(rd, rs1, op2),
+                _ => asm.sdiv(rd, rs1, op2),
+            };
+        }
+        "ld" | "ldub" | "ldsb" | "lduh" | "ldsh" => {
+            need(2)?;
+            let (base_reg, off) = parse_mem(&ops[0], line)?;
+            let rd = parse_reg(&ops[1], line)?;
+            match mnemonic {
+                "ld" => asm.ld(rd, base_reg, off),
+                "ldub" => asm.ldub(rd, base_reg, off),
+                "ldsb" => asm.ldsb(rd, base_reg, off),
+                "lduh" => asm.lduh(rd, base_reg, off),
+                _ => asm.ldsh(rd, base_reg, off),
+            };
+        }
+        "st" | "stb" | "sth" => {
+            need(2)?;
+            let rs_data = parse_reg(&ops[0], line)?;
+            let (base_reg, off) = parse_mem(&ops[1], line)?;
+            match mnemonic {
+                "st" => asm.st(rs_data, base_reg, off),
+                "stb" => asm.stb(rs_data, base_reg, off),
+                _ => asm.sth(rs_data, base_reg, off),
+            };
+        }
+        "call" => {
+            need(1)?;
+            asm.call(ops[0].clone());
+        }
+        "retl" => {
+            need(0)?;
+            asm.retl();
+        }
+        "ret" => {
+            need(0)?;
+            asm.ret_restore();
+        }
+        "save" => {
+            need(3)?;
+            let rs1 = parse_reg(&ops[0], line)?;
+            let op2 = parse_operand2(&ops[1], line)?;
+            let rd = parse_reg(&ops[2], line)?;
+            asm.save(rd, rs1, op2);
+        }
+        "restore" => {
+            if ops.is_empty() {
+                asm.restore(Reg::G0, Reg::G0, Reg::G0);
+            } else {
+                need(3)?;
+                let rs1 = parse_reg(&ops[0], line)?;
+                let op2 = parse_operand2(&ops[1], line)?;
+                let rd = parse_reg(&ops[2], line)?;
+                asm.restore(rd, rs1, op2);
+            }
+        }
+        other => return Err(syntax(line, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_count_loop() {
+        let src = r#"
+            ; count down from 10
+            set     10, %l0
+        loop:
+            subcc   %l0, 1, %l0
+            bne     loop
+            report  1, %l0
+            halt
+        "#;
+        let p = assemble_text("count", src).unwrap();
+        assert_eq!(p.name, "count");
+        assert!(p.len() >= 5);
+        assert!(p.symbol("loop").is_some());
+    }
+
+    #[test]
+    fn memory_and_call_syntax() {
+        let src = r#"
+            set     0x20000, %l0
+            ld      [%l0 + 4], %o0
+            st      %o0, [%l0 + 8]
+            call    f
+            halt
+        f:
+            retl
+        "#;
+        let p = assemble_text("mem", src).unwrap();
+        assert!(p.symbol("f").is_some());
+    }
+
+    #[test]
+    fn save_restore_and_cc_ops() {
+        let src = r#"
+            save    %sp, -96, %sp
+            addcc   %i0, %i1, %i2
+            ret
+            halt
+        "#;
+        assert!(assemble_text("frames", src).is_ok());
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let src = "   frobnicate %l0, %l1, %l2\n halt";
+        let err = assemble_text("bad", src).unwrap_err();
+        match err {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_operand_count_errors() {
+        let err = assemble_text("bad", "add %l0, %l1\n halt").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn undefined_branch_target_is_assembly_error() {
+        let err = assemble_text("bad", "ba nowhere\n halt").unwrap_err();
+        assert!(matches!(err, ParseError::Assembly(AsmError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn parse_int_handles_hex_and_negative() {
+        assert_eq!(parse_int("0x10"), Some(16));
+        assert_eq!(parse_int("-0x10"), Some(-16));
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("-7"), Some(-7));
+        assert_eq!(parse_int("zzz"), None);
+    }
+}

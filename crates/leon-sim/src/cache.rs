@@ -1,0 +1,358 @@
+//! Set-associative cache model.
+//!
+//! The cache tracks tags only (the data lives in [`crate::memory::Memory`]);
+//! its job is to decide hit/miss for every access so the timing model can
+//! charge the right number of cycles.  It implements the three LEON2
+//! replacement policies — pseudo-random, LRR (least recently *replaced*,
+//! i.e. per-set FIFO) and LRU — and the write-through / no-write-allocate
+//! write policy of the LEON2 data cache.
+
+use crate::config::{CacheConfig, ReplacementPolicy};
+
+/// Result of a cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent.  For reads the line is filled; writes do not
+    /// allocate.
+    Miss,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    valid: bool,
+    tag: u32,
+    /// Monotonic timestamp of the last access (LRU) .
+    last_used: u64,
+    /// Monotonic timestamp of the fill (LRR).
+    filled_at: u64,
+}
+
+/// Per-cache hit/miss statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Read (or fetch) accesses that hit.
+    pub read_hits: u64,
+    /// Read (or fetch) accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed (no allocation performed).
+    pub write_misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss rate over all accesses (0 when there were no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, write-through, no-write-allocate cache.
+#[derive(Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>, // [way * sets + index]
+    sets: u32,
+    line_shift: u32,
+    clock: u64,
+    lfsr: u32,
+    /// Per-set round-robin pointer for LRR replacement.
+    lrr_next: Vec<u8>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache from its configuration.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.lines_per_way();
+        let line_shift = config.line_bytes().trailing_zeros();
+        Cache {
+            config,
+            lines: vec![Line::default(); (sets * config.ways as u32) as usize],
+            sets,
+            line_shift,
+            clock: 0,
+            lfsr: 0xace1_u32,
+            lrr_next: vec![0; sets as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    #[inline]
+    fn index_and_tag(&self, addr: u32) -> (u32, u32) {
+        let line_addr = addr >> self.line_shift;
+        let index = line_addr % self.sets;
+        let tag = line_addr / self.sets;
+        (index, tag)
+    }
+
+    #[inline]
+    fn line(&self, way: u32, index: u32) -> &Line {
+        &self.lines[(way * self.sets + index) as usize]
+    }
+
+    #[inline]
+    fn line_mut(&mut self, way: u32, index: u32) -> &mut Line {
+        &mut self.lines[(way * self.sets + index) as usize]
+    }
+
+    fn lookup(&mut self, addr: u32) -> Option<u32> {
+        let (index, tag) = self.index_and_tag(addr);
+        for way in 0..self.config.ways as u32 {
+            let line = self.line(way, index);
+            if line.valid && line.tag == tag {
+                return Some(way);
+            }
+        }
+        None
+    }
+
+    fn next_random(&mut self) -> u32 {
+        // 16-bit Galois LFSR — deterministic pseudo-random replacement.
+        let lsb = self.lfsr & 1;
+        self.lfsr >>= 1;
+        if lsb == 1 {
+            self.lfsr ^= 0xb400;
+        }
+        self.lfsr
+    }
+
+    fn victim_way(&mut self, index: u32) -> u32 {
+        let ways = self.config.ways as u32;
+        // Prefer an invalid line.
+        for way in 0..ways {
+            if !self.line(way, index).valid {
+                return way;
+            }
+        }
+        match self.config.replacement {
+            ReplacementPolicy::Random => self.next_random() % ways,
+            ReplacementPolicy::Lrr => {
+                let way = self.lrr_next[index as usize] as u32 % ways;
+                self.lrr_next[index as usize] = ((way + 1) % ways) as u8;
+                way
+            }
+            ReplacementPolicy::Lru => (0..ways)
+                .min_by_key(|w| self.line(*w, index).last_used)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Perform a read (or instruction fetch) access.  Misses fill the line.
+    pub fn read(&mut self, addr: u32) -> Access {
+        self.clock += 1;
+        let clock = self.clock;
+        let (index, tag) = self.index_and_tag(addr);
+        if let Some(way) = self.lookup(addr) {
+            self.line_mut(way, index).last_used = clock;
+            self.stats.read_hits += 1;
+            return Access::Hit;
+        }
+        let victim = self.victim_way(index);
+        let line = self.line_mut(victim, index);
+        line.valid = true;
+        line.tag = tag;
+        line.last_used = clock;
+        line.filled_at = clock;
+        self.stats.read_misses += 1;
+        Access::Miss
+    }
+
+    /// Perform a write access.  The cache is write-through and does not
+    /// allocate on a write miss; a write hit updates the line's LRU state.
+    pub fn write(&mut self, addr: u32) -> Access {
+        self.clock += 1;
+        let clock = self.clock;
+        let (index, _) = self.index_and_tag(addr);
+        if let Some(way) = self.lookup(addr) {
+            self.line_mut(way, index).last_used = clock;
+            self.stats.write_hits += 1;
+            Access::Hit
+        } else {
+            self.stats.write_misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Invalidate the whole cache (used between runs on a shared simulator).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+        self.lrr_next.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ways: u8, way_kb: u32, line_words: u8, replacement: ReplacementPolicy) -> CacheConfig {
+        CacheConfig { ways, way_kb, line_words, replacement }
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        // 1 KB direct mapped, 32-byte lines => 32 sets.  Two addresses 1 KB
+        // apart map to the same set and evict each other.
+        let mut c = Cache::new(cfg(1, 1, 8, ReplacementPolicy::Random));
+        assert_eq!(c.read(0), Access::Miss);
+        assert_eq!(c.read(0), Access::Hit);
+        assert_eq!(c.read(1024), Access::Miss);
+        assert_eq!(c.read(0), Access::Miss); // evicted
+        let stats = c.stats();
+        assert_eq!(stats.read_hits, 1);
+        assert_eq!(stats.read_misses, 3);
+    }
+
+    #[test]
+    fn two_way_lru_keeps_both() {
+        let mut c = Cache::new(cfg(2, 1, 8, ReplacementPolicy::Lru));
+        assert_eq!(c.read(0), Access::Miss);
+        assert_eq!(c.read(1024), Access::Miss);
+        // Both fit (different ways) — repeated accesses hit.
+        assert_eq!(c.read(0), Access::Hit);
+        assert_eq!(c.read(1024), Access::Hit);
+        // A third conflicting line evicts the least recently used (addr 0).
+        assert_eq!(c.read(2048), Access::Miss);
+        assert_eq!(c.read(1024), Access::Hit);
+        assert_eq!(c.read(0), Access::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = Cache::new(cfg(2, 1, 8, ReplacementPolicy::Lru));
+        c.read(0);
+        c.read(1024);
+        c.read(0); // 0 is now most recent
+        c.read(2048); // must evict 1024
+        assert_eq!(c.read(0), Access::Hit);
+        assert_eq!(c.read(1024), Access::Miss);
+    }
+
+    #[test]
+    fn lrr_replaces_in_fill_order() {
+        let mut c = Cache::new(cfg(2, 1, 8, ReplacementPolicy::Lrr));
+        c.read(0); // way 0
+        c.read(1024); // way 1
+        c.read(0); // touch 0 (does not matter for LRR)
+        c.read(2048); // LRR: replaces the way filled first = way 0 (addr 0)
+        assert_eq!(c.read(1024), Access::Hit);
+        assert_eq!(c.read(0), Access::Miss);
+    }
+
+    #[test]
+    fn writes_do_not_allocate() {
+        let mut c = Cache::new(cfg(1, 4, 8, ReplacementPolicy::Random));
+        assert_eq!(c.write(64), Access::Miss);
+        assert_eq!(c.write(64), Access::Miss); // still not cached
+        assert_eq!(c.read(64), Access::Miss);
+        assert_eq!(c.write(64), Access::Hit); // read filled the line
+        assert_eq!(c.stats().write_hits, 1);
+        assert_eq!(c.stats().write_misses, 2);
+    }
+
+    #[test]
+    fn capacity_behaviour_sequential_fits() {
+        // Sequential working set smaller than capacity: after the first pass
+        // everything hits.
+        let mut c = Cache::new(cfg(1, 4, 8, ReplacementPolicy::Random));
+        for addr in (0..4096).step_by(4) {
+            c.read(addr);
+        }
+        let misses_first_pass = c.stats().read_misses;
+        for addr in (0..4096).step_by(4) {
+            assert_eq!(c.read(addr), Access::Hit);
+        }
+        assert_eq!(c.stats().read_misses, misses_first_pass);
+        // one miss per line
+        assert_eq!(misses_first_pass, 4096 / 32);
+    }
+
+    #[test]
+    fn larger_cache_has_no_more_misses_on_scan() {
+        let trace: Vec<u32> = (0..16 * 1024).step_by(4).chain((0..16 * 1024).step_by(4)).collect();
+        let mut small = Cache::new(cfg(1, 4, 8, ReplacementPolicy::Random));
+        let mut large = Cache::new(cfg(1, 32, 8, ReplacementPolicy::Random));
+        for &a in &trace {
+            small.read(a);
+            large.read(a);
+        }
+        assert!(large.stats().read_misses <= small.stats().read_misses);
+        // the large cache holds the 16 KB working set across both passes
+        assert_eq!(large.stats().read_misses, 16 * 1024 / 32);
+    }
+
+    #[test]
+    fn line_size_changes_miss_count_on_streaming() {
+        let mut short_lines = Cache::new(cfg(1, 4, 4, ReplacementPolicy::Random));
+        let mut long_lines = Cache::new(cfg(1, 4, 8, ReplacementPolicy::Random));
+        for addr in (0..8192u32).step_by(4) {
+            short_lines.read(addr);
+            long_lines.read(addr);
+        }
+        // streaming: one miss per line => 8-word lines miss half as often
+        assert_eq!(short_lines.stats().read_misses, 8192 / 16);
+        assert_eq!(long_lines.stats().read_misses, 8192 / 32);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = Cache::new(cfg(2, 1, 4, ReplacementPolicy::Lru));
+        c.read(0);
+        c.read(64);
+        c.flush();
+        assert_eq!(c.read(0), Access::Miss);
+        assert_eq!(c.read(64), Access::Miss);
+    }
+
+    #[test]
+    fn miss_rate_helper() {
+        let mut c = Cache::new(cfg(1, 1, 4, ReplacementPolicy::Random));
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.read(0);
+        c.read(0);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_across_clones() {
+        let build_trace = || {
+            let mut c = Cache::new(cfg(4, 1, 4, ReplacementPolicy::Random));
+            let mut outcomes = Vec::new();
+            for i in 0..2000u32 {
+                let addr = (i * 37) % (16 * 1024);
+                outcomes.push(c.read(addr & !3));
+            }
+            outcomes
+        };
+        assert_eq!(build_trace(), build_trace());
+    }
+}

@@ -1,0 +1,450 @@
+//! Microarchitecture configuration.
+//!
+//! [`LeonConfig`] mirrors Figure 1 of the paper: every reconfigurable LEON2
+//! parameter that affects application runtime or chip resources.  The default
+//! value of each field is the paper's *base configuration* (the out-of-the-box
+//! LEON distribution).
+
+use serde::{Deserialize, Serialize};
+
+/// Cache replacement policies supported by LEON2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Pseudo-random replacement (LFSR driven).
+    Random,
+    /// Least Recently Replaced — a per-set FIFO / round-robin scheme.
+    /// LEON only supports LRR with exactly 2 ways.
+    Lrr,
+    /// Least Recently Used.  LEON only supports LRU with multi-way caches.
+    Lru,
+}
+
+impl ReplacementPolicy {
+    /// Short name used in reports (`rnd`, `LRR`, `LRU`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Random => "rnd",
+            ReplacementPolicy::Lrr => "LRR",
+            ReplacementPolicy::Lru => "LRU",
+        }
+    }
+}
+
+/// Hardware multiplier options of the LEON2 integer unit.
+///
+/// Smaller multipliers take more cycles per 32×32 multiply but use fewer
+/// LUTs; `None` falls back to a software (trap) routine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Multiplier {
+    /// No hardware multiplier — software emulation.
+    None,
+    /// Iterative (bit-serial) multiplier.
+    Iterative,
+    /// 16×16 multiplier, multi-cycle for 32-bit operands (the base default).
+    M16x16,
+    /// 16×16 multiplier with pipeline registers.
+    M16x16Pipelined,
+    /// 32×8 multiplier.
+    M32x8,
+    /// 32×16 multiplier.
+    M32x16,
+    /// Full single-cycle 32×32 multiplier.
+    M32x32,
+}
+
+impl Multiplier {
+    /// All options in the order used by the paper's Figure 1.
+    pub const ALL: [Multiplier; 7] = [
+        Multiplier::None,
+        Multiplier::Iterative,
+        Multiplier::M16x16,
+        Multiplier::M16x16Pipelined,
+        Multiplier::M32x8,
+        Multiplier::M32x16,
+        Multiplier::M32x32,
+    ];
+
+    /// Latency in cycles of a 32×32→32 multiply.
+    pub fn latency(self) -> u32 {
+        match self {
+            Multiplier::None => 48,
+            Multiplier::Iterative => 35,
+            Multiplier::M16x16 => 4,
+            Multiplier::M16x16Pipelined => 3,
+            Multiplier::M32x8 => 4,
+            Multiplier::M32x16 => 2,
+            Multiplier::M32x32 => 1,
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Multiplier::None => "none",
+            Multiplier::Iterative => "iter",
+            Multiplier::M16x16 => "m16x16",
+            Multiplier::M16x16Pipelined => "m16x16p",
+            Multiplier::M32x8 => "m32x8",
+            Multiplier::M32x16 => "m32x16",
+            Multiplier::M32x32 => "m32x32",
+        }
+    }
+}
+
+/// Hardware divider options of the LEON2 integer unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Divider {
+    /// Radix-2 iterative divider (the base default).
+    Radix2,
+    /// No hardware divider — software emulation.
+    None,
+}
+
+impl Divider {
+    /// Latency in cycles of a 32÷32 divide.
+    pub fn latency(self) -> u32 {
+        match self {
+            Divider::Radix2 => 35,
+            Divider::None => 70,
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Divider::Radix2 => "radix2",
+            Divider::None => "none",
+        }
+    }
+}
+
+/// Geometry and policy of one cache (instruction or data).
+///
+/// LEON2 terminology (kept here for fidelity with the paper): *sets* is the
+/// number of ways (associativity, 1–4) and *set size* is the capacity of one
+/// way in kilobytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Associativity (LEON "number of sets"), 1–4.
+    pub ways: u8,
+    /// Capacity of each way in KB (LEON "set size"): 1, 2, 4, 8, 16, 32 or 64.
+    pub way_kb: u32,
+    /// Line size in 32-bit words: 4 or 8.
+    pub line_words: u8,
+    /// Replacement policy (only meaningful for multi-way caches).
+    pub replacement: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Valid way capacities in KB.
+    pub const VALID_WAY_KB: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_words as u32 * 4
+    }
+
+    /// Total cache capacity in bytes.
+    pub fn total_bytes(&self) -> u32 {
+        self.ways as u32 * self.way_kb * 1024
+    }
+
+    /// Total cache capacity in KB.
+    pub fn total_kb(&self) -> u32 {
+        self.ways as u32 * self.way_kb
+    }
+
+    /// Number of lines in one way.
+    pub fn lines_per_way(&self) -> u32 {
+        self.way_kb * 1024 / self.line_bytes()
+    }
+
+    /// Check structural validity (LEON constraints).
+    pub fn validate(&self, which: &str) -> Result<(), ConfigError> {
+        if !(1..=4).contains(&self.ways) {
+            return Err(ConfigError::new(format!("{which}: ways must be 1..=4, got {}", self.ways)));
+        }
+        if !Self::VALID_WAY_KB.contains(&self.way_kb) {
+            return Err(ConfigError::new(format!(
+                "{which}: way size must be one of {:?} KB, got {}",
+                Self::VALID_WAY_KB,
+                self.way_kb
+            )));
+        }
+        if self.line_words != 4 && self.line_words != 8 {
+            return Err(ConfigError::new(format!(
+                "{which}: line size must be 4 or 8 words, got {}",
+                self.line_words
+            )));
+        }
+        match self.replacement {
+            ReplacementPolicy::Lrr if self.ways != 2 => Err(ConfigError::new(format!(
+                "{which}: LRR replacement requires exactly 2 ways (got {})",
+                self.ways
+            ))),
+            ReplacementPolicy::Lru if self.ways < 2 => Err(ConfigError::new(format!(
+                "{which}: LRU replacement requires a multi-way cache (got {} way)",
+                self.ways
+            ))),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Integer-unit configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IuConfig {
+    /// Fast jump address generation (affects CALL/JMPL latency).
+    pub fast_jump: bool,
+    /// Hold the pipeline on a branch that immediately follows an
+    /// icc-setting instruction (disable to use result forwarding).
+    pub icc_hold: bool,
+    /// Fast instruction decode for the complex instruction formats.
+    pub fast_decode: bool,
+    /// Load delay in clock cycles: 1 or 2.
+    pub load_delay: u8,
+    /// Number of register windows: 2–32 (base: 8).
+    pub reg_windows: u8,
+    /// Hardware divider option.
+    pub divider: Divider,
+    /// Hardware multiplier option.
+    pub multiplier: Multiplier,
+}
+
+/// Synthesis options (affect resources only, not timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SynthesisConfig {
+    /// Let the synthesis tool infer multiplier/divider structures
+    /// (otherwise instantiate technology-specific macros).
+    pub infer_mult_div: bool,
+}
+
+/// Memory-controller timing (PROM/SRAM access), in processor cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryTiming {
+    /// Latency of the first word of a burst read.
+    pub read_first: u32,
+    /// Latency of each subsequent word in a burst read (cache line fill).
+    pub read_burst: u32,
+    /// Latency of a single word write (store that misses / writes through).
+    pub write: u32,
+}
+
+impl Default for MemoryTiming {
+    fn default() -> Self {
+        MemoryTiming { read_first: 6, read_burst: 2, write: 4 }
+    }
+}
+
+/// Full microarchitecture configuration (the paper's Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LeonConfig {
+    /// Instruction cache geometry and policy.
+    pub icache: CacheConfig,
+    /// Data cache geometry and policy.
+    pub dcache: CacheConfig,
+    /// Data cache fast-read option (single-cycle load hits).
+    pub dcache_fast_read: bool,
+    /// Data cache fast-write option (single-cycle store hits).
+    pub dcache_fast_write: bool,
+    /// Integer-unit options.
+    pub iu: IuConfig,
+    /// Synthesis options.
+    pub synthesis: SynthesisConfig,
+    /// External memory timing.
+    pub memory: MemoryTiming,
+    /// Nominal processor clock in MHz (used only to convert cycles to
+    /// seconds for reporting; the paper's system runs at 25 MHz).
+    pub clock_mhz: u32,
+}
+
+/// A configuration validation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Default for LeonConfig {
+    fn default() -> Self {
+        LeonConfig::base()
+    }
+}
+
+impl LeonConfig {
+    /// The paper's *base configuration*: the default, out-of-the-box LEON2.
+    ///
+    /// Instruction cache 1×4 KB, 8-word lines, random replacement; data cache
+    /// 1×4 KB, 8-word lines, random replacement, fast read/write disabled;
+    /// fast jump, ICC hold and fast decode enabled; load delay 1; 8 register
+    /// windows; radix-2 divider; 16×16 multiplier; inferred multiplier.
+    pub fn base() -> LeonConfig {
+        LeonConfig {
+            icache: CacheConfig {
+                ways: 1,
+                way_kb: 4,
+                line_words: 8,
+                replacement: ReplacementPolicy::Random,
+            },
+            dcache: CacheConfig {
+                ways: 1,
+                way_kb: 4,
+                line_words: 8,
+                replacement: ReplacementPolicy::Random,
+            },
+            dcache_fast_read: false,
+            dcache_fast_write: false,
+            iu: IuConfig {
+                fast_jump: true,
+                icc_hold: true,
+                fast_decode: true,
+                load_delay: 1,
+                reg_windows: 8,
+                divider: Divider::Radix2,
+                multiplier: Multiplier::M16x16,
+            },
+            synthesis: SynthesisConfig { infer_mult_div: true },
+            memory: MemoryTiming::default(),
+            clock_mhz: 25,
+        }
+    }
+
+    /// Validate all structural constraints.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.icache.validate("icache")?;
+        self.dcache.validate("dcache")?;
+        if self.iu.load_delay != 1 && self.iu.load_delay != 2 {
+            return Err(ConfigError::new(format!(
+                "load delay must be 1 or 2 cycles, got {}",
+                self.iu.load_delay
+            )));
+        }
+        if !(2..=32).contains(&self.iu.reg_windows) {
+            return Err(ConfigError::new(format!(
+                "register windows must be 2..=32, got {}",
+                self.iu.reg_windows
+            )));
+        }
+        if self.clock_mhz == 0 {
+            return Err(ConfigError::new("clock frequency must be nonzero"));
+        }
+        Ok(())
+    }
+
+    /// Convert a cycle count into seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz as f64 * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_configuration_matches_paper_defaults() {
+        let c = LeonConfig::base();
+        assert_eq!(c.icache.ways, 1);
+        assert_eq!(c.icache.way_kb, 4);
+        assert_eq!(c.icache.line_words, 8);
+        assert_eq!(c.icache.replacement, ReplacementPolicy::Random);
+        assert_eq!(c.dcache.ways, 1);
+        assert_eq!(c.dcache.way_kb, 4);
+        assert!(!c.dcache_fast_read);
+        assert!(!c.dcache_fast_write);
+        assert!(c.iu.fast_jump);
+        assert!(c.iu.icc_hold);
+        assert!(c.iu.fast_decode);
+        assert_eq!(c.iu.load_delay, 1);
+        assert_eq!(c.iu.reg_windows, 8);
+        assert_eq!(c.iu.divider, Divider::Radix2);
+        assert_eq!(c.iu.multiplier, Multiplier::M16x16);
+        assert!(c.synthesis.infer_mult_div);
+        assert_eq!(c.clock_mhz, 25);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_geometry_helpers() {
+        let c = CacheConfig { ways: 2, way_kb: 16, line_words: 8, replacement: ReplacementPolicy::Lru };
+        assert_eq!(c.total_bytes(), 32 * 1024);
+        assert_eq!(c.total_kb(), 32);
+        assert_eq!(c.line_bytes(), 32);
+        assert_eq!(c.lines_per_way(), 512);
+    }
+
+    #[test]
+    fn lrr_requires_two_ways() {
+        let mut c = LeonConfig::base();
+        c.dcache.replacement = ReplacementPolicy::Lrr;
+        assert!(c.validate().is_err());
+        c.dcache.ways = 2;
+        assert!(c.validate().is_ok());
+        c.dcache.ways = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn lru_requires_multiway() {
+        let mut c = LeonConfig::base();
+        c.icache.replacement = ReplacementPolicy::Lru;
+        assert!(c.validate().is_err());
+        c.icache.ways = 4;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut c = LeonConfig::base();
+        c.dcache.way_kb = 3;
+        assert!(c.validate().is_err());
+        c = LeonConfig::base();
+        c.dcache.line_words = 16;
+        assert!(c.validate().is_err());
+        c = LeonConfig::base();
+        c.dcache.ways = 5;
+        assert!(c.validate().is_err());
+        c = LeonConfig::base();
+        c.iu.load_delay = 3;
+        assert!(c.validate().is_err());
+        c = LeonConfig::base();
+        c.iu.reg_windows = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn multiplier_latency_strictly_improves_with_size() {
+        use Multiplier::*;
+        assert!(None.latency() > Iterative.latency());
+        assert!(Iterative.latency() > M16x16.latency());
+        assert!(M16x16.latency() >= M32x8.latency());
+        assert!(M32x8.latency() > M32x16.latency());
+        assert!(M32x16.latency() > M32x32.latency());
+        assert_eq!(M32x32.latency(), 1);
+    }
+
+    #[test]
+    fn divider_latency_hardware_beats_software() {
+        assert!(Divider::Radix2.latency() < Divider::None.latency());
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let c = LeonConfig::base();
+        let secs = c.cycles_to_seconds(25_000_000);
+        assert!((secs - 1.0).abs() < 1e-9);
+    }
+}

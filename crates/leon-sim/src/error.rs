@@ -1,0 +1,77 @@
+//! Simulation errors.
+
+use leon_isa::DecodeError;
+
+/// Errors raised while executing a guest program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A memory access fell outside the simulated memory.
+    MemoryOutOfBounds {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A multi-byte access was not naturally aligned.
+    MisalignedAccess {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// The program counter left the text segment.
+    PcOutOfRange {
+        /// Faulting program counter.
+        pc: u32,
+    },
+    /// An instruction word could not be decoded.
+    Decode {
+        /// Program counter of the bad word.
+        pc: u32,
+        /// Underlying decode error.
+        error: DecodeError,
+    },
+    /// Integer division by zero (SPARC would trap; the workloads never do
+    /// this, so it is surfaced as an error to catch bugs).
+    DivisionByZero {
+        /// Program counter of the divide.
+        pc: u32,
+    },
+    /// `restore` executed with no corresponding `save`.
+    WindowUnderflowAtBase {
+        /// Program counter of the restore.
+        pc: u32,
+    },
+    /// The cycle limit was exceeded (guards against run-away programs).
+    CycleLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The configuration failed validation before simulation started.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MemoryOutOfBounds { addr, size } => {
+                write!(f, "memory access out of bounds: {size} bytes at {addr:#010x}")
+            }
+            SimError::MisalignedAccess { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010x}")
+            }
+            SimError::PcOutOfRange { pc } => write!(f, "program counter out of range: {pc:#010x}"),
+            SimError::Decode { pc, error } => write!(f, "decode error at {pc:#010x}: {error}"),
+            SimError::DivisionByZero { pc } => write!(f, "division by zero at {pc:#010x}"),
+            SimError::WindowUnderflowAtBase { pc } => {
+                write!(f, "restore without matching save at {pc:#010x}")
+            }
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "cycle limit of {limit} exceeded")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

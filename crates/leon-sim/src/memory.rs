@@ -1,0 +1,155 @@
+//! Flat guest memory.
+//!
+//! A simple byte-addressable SRAM image.  All multi-byte accesses are
+//! little-endian and must be naturally aligned (the integer unit raises a
+//! simulation error otherwise, mirroring the SPARC alignment trap).
+
+use leon_isa::Program;
+
+use crate::error::SimError;
+
+/// Byte-addressable guest memory.
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Create a zeroed memory of `size` bytes (rounded up to a multiple of 4).
+    pub fn new(size: u32) -> Memory {
+        let size = (size + 3) & !3;
+        Memory { bytes: vec![0; size as usize] }
+    }
+
+    /// Create a memory image large enough for `program` and load it.
+    pub fn load_program(program: &Program) -> Memory {
+        let needed = program
+            .required_memory()
+            .max(leon_isa::DEFAULT_MEMORY_SIZE);
+        let mut mem = Memory::new(needed);
+        for (i, word) in program.text.iter().enumerate() {
+            let addr = leon_isa::TEXT_BASE + (i as u32) * 4;
+            mem.bytes[addr as usize..addr as usize + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        let base = program.data_base as usize;
+        mem.bytes[base..base + program.data.len()].copy_from_slice(&program.data);
+        mem
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, addr: u32, bytes: u32) -> Result<usize, SimError> {
+        let end = addr as u64 + bytes as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(SimError::MemoryOutOfBounds { addr, size: bytes });
+        }
+        if addr % bytes != 0 {
+            return Err(SimError::MisalignedAccess { addr, size: bytes });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Read an unsigned byte.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, SimError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Read an unsigned halfword (16 bits, little-endian).
+    pub fn read_u16(&self, addr: u32) -> Result<u16, SimError> {
+        let i = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Read a word (32 bits, little-endian).
+    pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Write a byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), SimError> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Write a halfword (little-endian).
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
+        let i = self.check(addr, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Write a word (little-endian).
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let i = self.check(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Borrow a byte range (used by tests and by result extraction).
+    pub fn slice(&self, addr: u32, len: u32) -> Result<&[u8], SimError> {
+        let end = addr as u64 + len as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(SimError::MemoryOutOfBounds { addr, size: len });
+        }
+        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leon_isa::{Asm, Reg};
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new(64);
+        m.write_u32(0, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(0).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_u16(0).unwrap(), 0xbeef);
+        assert_eq!(m.read_u8(3).unwrap(), 0xde);
+        m.write_u16(8, 0x1234).unwrap();
+        m.write_u8(10, 0x56).unwrap();
+        assert_eq!(m.read_u16(8).unwrap(), 0x1234);
+        assert_eq!(m.read_u8(10).unwrap(), 0x56);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut m = Memory::new(64);
+        assert!(matches!(m.read_u32(2), Err(SimError::MisalignedAccess { .. })));
+        assert!(matches!(m.read_u16(1), Err(SimError::MisalignedAccess { .. })));
+        assert!(matches!(m.write_u32(6, 1), Err(SimError::MisalignedAccess { .. })));
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let m = Memory::new(16);
+        assert!(matches!(m.read_u32(16), Err(SimError::MemoryOutOfBounds { .. })));
+        assert!(matches!(m.read_u8(1 << 30), Err(SimError::MemoryOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn loads_program_image() {
+        let mut a = Asm::new("img");
+        a.data_label("blob");
+        a.data_words(&[0xcafebabe]);
+        a.set(Reg::L0, 1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let m = Memory::load_program(&p);
+        assert_eq!(m.read_u32(p.data_base).unwrap(), 0xcafebabe);
+        assert_eq!(m.read_u32(0).unwrap(), p.text[0]);
+        assert!(m.size() >= leon_isa::DEFAULT_MEMORY_SIZE);
+    }
+}

@@ -1,0 +1,103 @@
+//! Non-intrusive profiler.
+//!
+//! The Liquid Architecture platform used in the paper provides a
+//! hardware-based, cycle-accurate, non-intrusive profiler ("statistics
+//! module") that counts the clock cycles an application takes when executed
+//! directly on the soft core.  [`Stats`] is the simulator's equivalent: it is
+//! filled in by the CPU as a side effect of execution and never perturbs the
+//! simulated program.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+
+/// Execution statistics collected by the simulator.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Total clock cycles, including all stalls and penalties.
+    pub cycles: u64,
+    /// Dynamically executed instructions.
+    pub instructions: u64,
+    /// Instruction-cache statistics (fetches).
+    pub icache: CacheStats,
+    /// Data-cache statistics (loads and stores).
+    pub dcache: CacheStats,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+    /// Executed conditional branches.
+    pub branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+    /// Executed calls and indirect jumps.
+    pub calls: u64,
+    /// Executed hardware multiplies.
+    pub mul_ops: u64,
+    /// Executed hardware divides.
+    pub div_ops: u64,
+    /// Register-window overflow traps.
+    pub window_overflows: u64,
+    /// Register-window underflow traps.
+    pub window_underflows: u64,
+    /// Stall cycles charged to the ICC-hold interlock.
+    pub icc_hold_stalls: u64,
+    /// Stall cycles charged to load-use interlocks.
+    pub load_use_stalls: u64,
+}
+
+impl Stats {
+    /// Cycles per instruction (0 when nothing executed).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The outcome of a completed simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Profiler counters.
+    pub stats: Stats,
+    /// Exit code passed to the `halt` instruction.
+    pub exit_code: u32,
+    /// Values reported by the guest per channel (in program order).
+    pub reports: BTreeMap<u16, Vec<u32>>,
+    /// Characters emitted by the guest's `putchar`.
+    pub console: String,
+    /// Runtime in seconds at the configured nominal clock.
+    pub seconds: f64,
+}
+
+impl RunResult {
+    /// Last value reported on `channel`, if any.
+    pub fn report(&self, channel: u16) -> Option<u32> {
+        self.reports.get(&channel).and_then(|v| v.last()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_handles_zero() {
+        let s = Stats::default();
+        assert_eq!(s.cpi(), 0.0);
+        let s = Stats { cycles: 30, instructions: 10, ..Stats::default() };
+        assert!((s.cpi() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_returns_latest() {
+        let mut r = RunResult::default();
+        r.reports.insert(1, vec![10, 20, 30]);
+        assert_eq!(r.report(1), Some(30));
+        assert_eq!(r.report(2), None);
+    }
+}

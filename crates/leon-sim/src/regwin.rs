@@ -1,0 +1,251 @@
+//! SPARC-style register windows.
+//!
+//! The register file is modelled as a conceptually unbounded stack of
+//! windows with the standard SPARC overlap (the *out* registers of a caller
+//! are the *in* registers of its callee).  Architectural values are therefore
+//! always preserved regardless of the configured number of windows; the
+//! *number of hardware windows* only determines when window overflow and
+//! underflow traps occur, which the CPU turns into spill/fill memory traffic
+//! and trap cycles — exactly the effect the `register windows` parameter of
+//! the paper has on runtime.
+
+use leon_isa::Reg;
+
+/// Result of a `save` or `restore` with respect to window traps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowEvent {
+    /// The window rotation completed without a trap.
+    None,
+    /// A window had to be spilled to memory (16 registers stored).
+    Overflow,
+    /// A window had to be filled from memory (16 registers loaded).
+    Underflow,
+}
+
+/// The windowed integer register file.
+#[derive(Clone, Debug)]
+pub struct RegisterWindows {
+    nwindows: u32,
+    /// Current call depth (number of `save`s minus `restore`s).
+    depth: usize,
+    /// Number of windows currently resident in the hardware register file.
+    resident: u32,
+    /// 8 globals followed by the windowed registers of all depths.
+    regs: Vec<u32>,
+    /// Count of overflow traps taken.
+    pub overflows: u64,
+    /// Count of underflow traps taken.
+    pub underflows: u64,
+}
+
+impl RegisterWindows {
+    /// Create a register file with `nwindows` hardware windows (2–32).
+    pub fn new(nwindows: u32) -> RegisterWindows {
+        assert!((2..=32).contains(&nwindows), "nwindows must be 2..=32");
+        RegisterWindows {
+            nwindows,
+            depth: 0,
+            resident: 1,
+            regs: vec![0; 8 + 16 + 24],
+            overflows: 0,
+            underflows: 0,
+        }
+    }
+
+    /// Current call depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    #[inline]
+    fn phys(&self, r: Reg) -> usize {
+        let idx = r.index();
+        // Window-relative offsets are laid out so that the *out* registers of
+        // call depth `d` alias the *in* registers of depth `d + 1`:
+        //   ins    -> offset 0..8
+        //   locals -> offset 8..16
+        //   outs   -> offset 16..24  (== ins of the next depth)
+        let offset = match idx {
+            0..=7 => return idx,
+            8..=15 => idx + 8,   // outs
+            16..=23 => idx - 8,  // locals
+            _ => idx - 24,       // ins
+        };
+        8 + self.depth * 16 + offset
+    }
+
+    fn ensure_capacity(&mut self) {
+        let needed = 8 + self.depth * 16 + 24;
+        if self.regs.len() < needed {
+            self.regs.resize(needed, 0);
+        }
+    }
+
+    /// Read an architectural register in the current window.
+    #[inline]
+    pub fn read(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[self.phys(r)]
+        }
+    }
+
+    /// Write an architectural register in the current window (writes to
+    /// `%g0` are discarded).
+    #[inline]
+    pub fn write(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            let idx = self.phys(r);
+            self.regs[idx] = value;
+        }
+    }
+
+    /// Rotate to a new window (`save`).  Returns [`WindowEvent::Overflow`]
+    /// when the hardware register file was full and a window had to be
+    /// spilled.
+    pub fn save(&mut self) -> WindowEvent {
+        self.depth += 1;
+        self.ensure_capacity();
+        // One window is architecturally reserved (the SPARC WIM invalid
+        // window), so at most nwindows-1 windows hold program state.
+        if self.resident >= self.nwindows - 1 {
+            self.overflows += 1;
+            WindowEvent::Overflow
+        } else {
+            self.resident += 1;
+            WindowEvent::None
+        }
+    }
+
+    /// Rotate back to the previous window (`restore`).  Returns
+    /// [`WindowEvent::Underflow`] when the target window was not resident and
+    /// had to be filled from memory, or `Err(())` when there is no window to
+    /// restore to (restore without save).
+    pub fn restore(&mut self) -> Result<WindowEvent, ()> {
+        if self.depth == 0 {
+            return Err(());
+        }
+        self.depth -= 1;
+        if self.resident <= 1 {
+            self.underflows += 1;
+            Ok(WindowEvent::Underflow)
+        } else {
+            self.resident -= 1;
+            Ok(WindowEvent::None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g0_reads_zero_and_ignores_writes() {
+        let mut w = RegisterWindows::new(8);
+        w.write(Reg::G0, 123);
+        assert_eq!(w.read(Reg::G0), 0);
+    }
+
+    #[test]
+    fn globals_shared_across_windows() {
+        let mut w = RegisterWindows::new(8);
+        w.write(Reg::G3, 77);
+        w.save();
+        assert_eq!(w.read(Reg::G3), 77);
+        w.write(Reg::G3, 88);
+        w.restore().unwrap();
+        assert_eq!(w.read(Reg::G3), 88);
+    }
+
+    #[test]
+    fn outs_become_ins_after_save() {
+        let mut w = RegisterWindows::new(8);
+        w.write(Reg::O0, 41);
+        w.write(Reg::O7, 99);
+        w.save();
+        assert_eq!(w.read(Reg::I0), 41);
+        assert_eq!(w.read(Reg::I7), 99);
+        // callee's locals and outs are fresh
+        assert_eq!(w.read(Reg::L0), 0);
+        assert_eq!(w.read(Reg::O0), 0);
+        // return value convention: callee writes %i0, caller sees %o0
+        w.write(Reg::I0, 1234);
+        w.restore().unwrap();
+        assert_eq!(w.read(Reg::O0), 1234);
+    }
+
+    #[test]
+    fn locals_are_private_per_window() {
+        let mut w = RegisterWindows::new(8);
+        w.write(Reg::L5, 5);
+        w.save();
+        w.write(Reg::L5, 6);
+        w.restore().unwrap();
+        assert_eq!(w.read(Reg::L5), 5);
+    }
+
+    #[test]
+    fn overflow_after_nwindows_minus_one_saves() {
+        let mut w = RegisterWindows::new(8);
+        let mut overflow_at = None;
+        for i in 1..=10 {
+            if w.save() == WindowEvent::Overflow {
+                overflow_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(overflow_at, Some(7), "8 windows => overflow on the 7th save");
+    }
+
+    #[test]
+    fn more_windows_means_fewer_overflows() {
+        let run = |nwin: u32| {
+            let mut w = RegisterWindows::new(nwin);
+            let mut overflows = 0;
+            for _ in 0..20 {
+                if w.save() == WindowEvent::Overflow {
+                    overflows += 1;
+                }
+            }
+            overflows
+        };
+        assert!(run(8) > run(16));
+        assert!(run(16) > run(31));
+    }
+
+    #[test]
+    fn underflow_only_after_overflow() {
+        let mut w = RegisterWindows::new(4);
+        // depth 1..=2 resident, 3rd save overflows (4 windows => 3 usable)
+        assert_eq!(w.save(), WindowEvent::None);
+        assert_eq!(w.save(), WindowEvent::None);
+        assert_eq!(w.save(), WindowEvent::Overflow);
+        // coming back: the first two restores are resident, the last
+        // needs a fill
+        assert_eq!(w.restore().unwrap(), WindowEvent::None);
+        assert_eq!(w.restore().unwrap(), WindowEvent::None);
+        assert_eq!(w.restore().unwrap(), WindowEvent::Underflow);
+        assert_eq!(w.depth(), 0);
+    }
+
+    #[test]
+    fn restore_without_save_is_error() {
+        let mut w = RegisterWindows::new(8);
+        assert!(w.restore().is_err());
+    }
+
+    #[test]
+    fn deep_recursion_preserves_values() {
+        let mut w = RegisterWindows::new(4);
+        for d in 0..50u32 {
+            w.write(Reg::L0, d);
+            w.save();
+        }
+        for d in (0..50u32).rev() {
+            w.restore().unwrap();
+            assert_eq!(w.read(Reg::L0), d);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! End-to-end execution tests: instruction semantics, timing sensitivity to
+//! the microarchitecture parameters, and determinism.
+
+use leon_isa::{Asm, Program, Reg};
+use leon_sim::{simulate, Divider, LeonConfig, Multiplier, ReplacementPolicy, SimError};
+
+const MAX: u64 = 50_000_000;
+
+fn run(config: &LeonConfig, program: &Program) -> leon_sim::RunResult {
+    simulate(config, program, MAX).expect("simulation should succeed")
+}
+
+fn base() -> LeonConfig {
+    LeonConfig::base()
+}
+
+/// A program that reports a single value on channel 1 and halts.
+fn report_prog(build: impl FnOnce(&mut Asm)) -> Program {
+    let mut a = Asm::new("test");
+    build(&mut a);
+    a.report(1, Reg::O0);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+#[test]
+fn arithmetic_and_logic_semantics() {
+    let p = report_prog(|a| {
+        a.set(Reg::L0, 1000);
+        a.set(Reg::L1, 58);
+        a.add(Reg::L2, Reg::L0, Reg::L1); // 1058
+        a.sub(Reg::L2, Reg::L2, 58); // 1000
+        a.sll(Reg::L2, Reg::L2, 3); // 8000
+        a.srl(Reg::L2, Reg::L2, 1); // 4000
+        a.xor(Reg::L2, Reg::L2, 0xff); // 4000 ^ 255 = 4175
+        a.and_(Reg::L2, Reg::L2, 0xfff); // 4175 & 4095 = 79... compute below
+        a.mov(Reg::O0, Reg::L2);
+    });
+    let expected = ((((1000u32 + 58 - 58) << 3) >> 1) ^ 0xff) & 0xfff;
+    assert_eq!(run(&base(), &p).report(1), Some(expected));
+}
+
+#[test]
+fn signed_arithmetic_shift_and_negative_numbers() {
+    let p = report_prog(|a| {
+        a.set(Reg::L0, (-64i32) as u32);
+        a.sra(Reg::O0, Reg::L0, 4); // -4
+    });
+    assert_eq!(run(&base(), &p).report(1), Some((-4i32) as u32));
+}
+
+#[test]
+fn multiply_and_divide_semantics() {
+    let p = report_prog(|a| {
+        a.set(Reg::L0, 1234);
+        a.set(Reg::L1, 567);
+        a.smul(Reg::L2, Reg::L0, Reg::L1);
+        a.udiv(Reg::L3, Reg::L2, 89);
+        a.mov(Reg::O0, Reg::L3);
+    });
+    assert_eq!(run(&base(), &p).report(1), Some(1234 * 567 / 89));
+}
+
+#[test]
+fn division_by_zero_is_an_error() {
+    let mut a = Asm::new("divzero");
+    a.clr(Reg::L0);
+    a.udiv(Reg::L1, Reg::L0, Reg::L0);
+    a.halt();
+    let p = a.assemble().unwrap();
+    let err = simulate(&base(), &p, MAX).unwrap_err();
+    assert!(matches!(err, SimError::DivisionByZero { .. }));
+}
+
+#[test]
+fn loads_and_stores_all_widths() {
+    let p = report_prog(|a| {
+        a.data_label("buf");
+        a.data_words(&[0, 0, 0, 0]);
+        a.set_data_addr(Reg::L0, "buf");
+        a.set(Reg::L1, 0x8765_4321);
+        a.st(Reg::L1, Reg::L0, 0);
+        a.lduh(Reg::L2, Reg::L0, 0); // 0x4321
+        a.ldub(Reg::L3, Reg::L0, 3); // 0x87
+        a.ldsb(Reg::L4, Reg::L0, 3); // sign-extended 0x87 = -121
+        a.sth(Reg::L2, Reg::L0, 4);
+        a.stb(Reg::L3, Reg::L0, 8);
+        a.ld(Reg::L5, Reg::L0, 4); // 0x4321
+        a.ld(Reg::L6, Reg::L0, 8); // 0x87
+        // o0 = l2 + l3 + (l4 & 0xffff) + l5 + l6
+        a.add(Reg::O0, Reg::L2, Reg::L3);
+        a.set(Reg::L7, 0xffff);
+        a.and_(Reg::L4, Reg::L4, Reg::L7);
+        a.add(Reg::O0, Reg::O0, Reg::L4);
+        a.add(Reg::O0, Reg::O0, Reg::L5);
+        a.add(Reg::O0, Reg::O0, Reg::L6);
+    });
+    let l2 = 0x4321u32;
+    let l3 = 0x87u32;
+    let l4 = (-121i32 as u32) & 0xffff;
+    let expected = l2 + l3 + l4 + 0x4321 + 0x87;
+    assert_eq!(run(&base(), &p).report(1), Some(expected));
+}
+
+#[test]
+fn conditional_branches_signed_and_unsigned() {
+    // count how many of a few comparisons are "true"
+    let p = report_prog(|a| {
+        a.clr(Reg::O0);
+        // signed: -5 < 3
+        a.set(Reg::L0, (-5i32) as u32);
+        a.cmp(Reg::L0, 3);
+        a.bl("t1");
+        a.ba("n1");
+        a.label("t1");
+        a.inc(Reg::O0, 1);
+        a.label("n1");
+        // unsigned: 0xfffffffb > 3
+        a.cmp(Reg::L0, 3);
+        a.bgu("t2");
+        a.ba("n2");
+        a.label("t2");
+        a.inc(Reg::O0, 1);
+        a.label("n2");
+        // equality
+        a.set(Reg::L1, 42);
+        a.cmp(Reg::L1, 42);
+        a.be("t3");
+        a.ba("n3");
+        a.label("t3");
+        a.inc(Reg::O0, 1);
+        a.label("n3");
+        // not taken: 1 > 2 signed
+        a.set(Reg::L2, 1);
+        a.cmp(Reg::L2, 2);
+        a.bg("t4");
+        a.ba("n4");
+        a.label("t4");
+        a.inc(Reg::O0, 100);
+        a.label("n4");
+    });
+    assert_eq!(run(&base(), &p).report(1), Some(3));
+}
+
+#[test]
+fn call_and_leaf_return() {
+    let p = {
+        let mut a = Asm::new("call");
+        a.set(Reg::O0, 5);
+        a.call("double");
+        a.report(1, Reg::O0);
+        a.halt();
+        a.label("double");
+        a.add(Reg::O0, Reg::O0, Reg::O0);
+        a.retl();
+        a.assemble().unwrap()
+    };
+    assert_eq!(run(&base(), &p).report(1), Some(10));
+}
+
+#[test]
+fn windowed_call_convention() {
+    // A function that uses save/restore; argument in %o0, result in %o0.
+    let p = {
+        let mut a = Asm::new("windows");
+        a.set(Reg::O0, 7);
+        a.call("square_plus_one");
+        a.report(1, Reg::O0);
+        a.halt();
+        a.label("square_plus_one");
+        a.save_frame(96);
+        a.smul(Reg::L0, Reg::I0, Reg::I0);
+        a.add(Reg::I0, Reg::L0, 1);
+        a.ret_restore();
+        a.assemble().unwrap()
+    };
+    assert_eq!(run(&base(), &p).report(1), Some(50));
+}
+
+#[test]
+fn recursion_with_window_traps_is_correct() {
+    // fib(n) computed recursively — exceeds 8 windows for n big enough and
+    // still returns the right answer with any window count.
+    let build = || {
+        let mut a = Asm::new("fib");
+        a.set(Reg::O0, 12);
+        a.call("fib");
+        a.report(1, Reg::O0);
+        a.halt();
+        a.label("fib");
+        a.save_frame(96);
+        a.cmp(Reg::I0, 2);
+        a.bl("base_case");
+        a.sub(Reg::O0, Reg::I0, 1);
+        a.call("fib");
+        a.mov(Reg::L0, Reg::O0);
+        a.sub(Reg::O0, Reg::I0, 2);
+        a.call("fib");
+        a.add(Reg::I0, Reg::L0, Reg::O0);
+        a.ret_restore();
+        a.label("base_case");
+        a.mov(Reg::I0, Reg::I0);
+        a.ret_restore();
+        a.assemble().unwrap()
+    };
+    let p = build();
+    let mut small = base();
+    small.iu.reg_windows = 4;
+    let mut large = base();
+    large.iu.reg_windows = 32;
+    let r_small = run(&small, &p);
+    let r_large = run(&large, &p);
+    // fib(12) = 144
+    assert_eq!(r_small.report(1), Some(144));
+    assert_eq!(r_large.report(1), Some(144));
+    // fewer windows => more traps => more cycles
+    assert!(r_small.stats.window_overflows > r_large.stats.window_overflows);
+    assert!(r_small.stats.cycles > r_large.stats.cycles);
+}
+
+/// A memory-scanning kernel whose working set is `kb` kilobytes, touched
+/// `passes` times.
+fn scan_workload(kb: u32, passes: u32) -> Program {
+    let mut a = Asm::new("scan");
+    a.data_label("buf");
+    a.data_zeros((kb * 1024) as usize);
+    a.clr(Reg::O0);
+    a.set(Reg::L5, passes);
+    a.label("pass");
+    a.set_data_addr(Reg::L0, "buf");
+    a.set(Reg::L1, kb * 1024);
+    a.label("loop");
+    a.ld(Reg::L2, Reg::L0, 0);
+    a.add(Reg::O0, Reg::O0, Reg::L2);
+    a.inc(Reg::L0, 4);
+    a.subcc(Reg::L1, Reg::L1, 4);
+    a.bne("loop");
+    a.subcc(Reg::L5, Reg::L5, 1);
+    a.bne("pass");
+    a.report(1, Reg::O0);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+#[test]
+fn larger_dcache_reduces_cycles_for_large_working_set() {
+    let p = scan_workload(16, 4);
+    let mut small = base();
+    small.dcache.way_kb = 4;
+    let mut large = base();
+    large.dcache.way_kb = 32;
+    let r_small = run(&small, &p);
+    let r_large = run(&large, &p);
+    assert!(r_large.stats.dcache.read_misses < r_small.stats.dcache.read_misses);
+    assert!(r_large.stats.cycles < r_small.stats.cycles);
+    // same instructions, same answer
+    assert_eq!(r_small.stats.instructions, r_large.stats.instructions);
+    assert_eq!(r_small.report(1), r_large.report(1));
+}
+
+#[test]
+fn dcache_has_no_effect_on_register_only_code() {
+    let p = report_prog(|a| {
+        a.set(Reg::L0, 20_000);
+        a.clr(Reg::O0);
+        a.label("loop");
+        a.add(Reg::O0, Reg::O0, Reg::L0);
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+    });
+    let mut small = base();
+    small.dcache.way_kb = 1;
+    let mut large = base();
+    large.dcache.way_kb = 32;
+    assert_eq!(run(&small, &p).stats.cycles, run(&large, &p).stats.cycles);
+}
+
+#[test]
+fn fast_read_and_load_delay_affect_load_heavy_code() {
+    let p = scan_workload(2, 4);
+    let mut fast = base();
+    fast.dcache_fast_read = true;
+    let mut slow = base();
+    slow.iu.load_delay = 2;
+    let r_base = run(&base(), &p);
+    let r_fast = run(&fast, &p);
+    let r_slow = run(&slow, &p);
+    assert!(r_fast.stats.cycles < r_base.stats.cycles, "fast read should help");
+    assert!(r_slow.stats.cycles > r_base.stats.cycles, "extra load delay should hurt");
+}
+
+#[test]
+fn icc_hold_interlock_costs_cycles_on_compare_branch_sequences() {
+    let p = report_prog(|a| {
+        a.set(Reg::L0, 50_000);
+        a.label("loop");
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+        a.clr(Reg::O0);
+    });
+    let with_hold = base();
+    let mut without_hold = base();
+    without_hold.iu.icc_hold = false;
+    let r_hold = run(&with_hold, &p);
+    let r_fwd = run(&without_hold, &p);
+    assert!(r_hold.stats.icc_hold_stalls > 0);
+    assert_eq!(r_fwd.stats.icc_hold_stalls, 0);
+    assert!(r_hold.stats.cycles > r_fwd.stats.cycles);
+}
+
+#[test]
+fn multiplier_options_order_runtime_correctly() {
+    let p = report_prog(|a| {
+        a.set(Reg::L0, 10_000);
+        a.set(Reg::L1, 3);
+        a.clr(Reg::O0);
+        a.label("loop");
+        a.smul(Reg::L2, Reg::L0, Reg::L1);
+        a.add(Reg::O0, Reg::O0, Reg::L2);
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+    });
+    let cycles_for = |m: Multiplier| {
+        let mut c = base();
+        c.iu.multiplier = m;
+        run(&c, &p).stats.cycles
+    };
+    let none = cycles_for(Multiplier::None);
+    let iter = cycles_for(Multiplier::Iterative);
+    let m16 = cycles_for(Multiplier::M16x16);
+    let m32 = cycles_for(Multiplier::M32x32);
+    assert!(none > iter);
+    assert!(iter > m16);
+    assert!(m16 > m32);
+}
+
+#[test]
+fn divider_option_matters_only_for_division_code() {
+    let div_prog = report_prog(|a| {
+        a.set(Reg::L0, 5_000);
+        a.set(Reg::O0, 1_000_000);
+        a.label("loop");
+        a.udiv(Reg::O0, Reg::O0, 3);
+        a.add(Reg::O0, Reg::O0, 100);
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+    });
+    let no_div_prog = report_prog(|a| {
+        a.set(Reg::L0, 5_000);
+        a.clr(Reg::O0);
+        a.label("loop");
+        a.add(Reg::O0, Reg::O0, 7);
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+    });
+    let mut no_hw_div = base();
+    no_hw_div.iu.divider = Divider::None;
+    assert!(run(&no_hw_div, &div_prog).stats.cycles > run(&base(), &div_prog).stats.cycles);
+    assert_eq!(
+        run(&no_hw_div, &no_div_prog).stats.cycles,
+        run(&base(), &no_div_prog).stats.cycles
+    );
+}
+
+#[test]
+fn replacement_policy_changes_are_valid_and_comparable() {
+    let p = scan_workload(8, 3);
+    let mut lru = base();
+    lru.dcache.ways = 2;
+    lru.dcache.way_kb = 2;
+    lru.dcache.replacement = ReplacementPolicy::Lru;
+    let mut lrr = lru;
+    lrr.dcache.replacement = ReplacementPolicy::Lrr;
+    let mut rnd = lru;
+    rnd.dcache.replacement = ReplacementPolicy::Random;
+    let r_lru = run(&lru, &p);
+    let r_lrr = run(&lrr, &p);
+    let r_rnd = run(&rnd, &p);
+    // all policies produce the same result and instruction count
+    assert_eq!(r_lru.report(1), r_lrr.report(1));
+    assert_eq!(r_lru.report(1), r_rnd.report(1));
+    assert_eq!(r_lru.stats.instructions, r_rnd.stats.instructions);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let p = scan_workload(4, 2);
+    let a = run(&base(), &p);
+    let b = run(&base(), &p);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.reports, b.reports);
+}
+
+#[test]
+fn seconds_reporting_uses_nominal_clock() {
+    let p = scan_workload(1, 1);
+    let r = run(&base(), &p);
+    let expected = r.stats.cycles as f64 / 25e6;
+    assert!((r.seconds - expected).abs() < 1e-12);
+}
+
+#[test]
+fn cycle_limit_is_enforced() {
+    let mut a = Asm::new("forever");
+    a.label("loop");
+    a.ba("loop");
+    a.halt();
+    let p = a.assemble().unwrap();
+    let err = simulate(&base(), &p, 10_000).unwrap_err();
+    assert!(matches!(err, SimError::CycleLimitExceeded { .. }));
+}
+
+#[test]
+fn invalid_config_is_rejected_before_running() {
+    let p = scan_workload(1, 1);
+    let mut c = base();
+    c.dcache.way_kb = 5;
+    let err = simulate(&c, &p, MAX).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)));
+}
+
+#[test]
+fn cpi_is_reasonable_for_simple_code() {
+    let p = report_prog(|a| {
+        a.set(Reg::L0, 10_000);
+        a.label("loop");
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+        a.clr(Reg::O0);
+    });
+    let r = run(&base(), &p);
+    let cpi = r.stats.cpi();
+    assert!(cpi > 1.0 && cpi < 5.0, "cpi {cpi} out of expected range");
+}

@@ -1,0 +1,155 @@
+//! Benchmark IV — BYTE `Arith`.
+//!
+//! "Arith does simple arithmetics of addition, multiplication and division in
+//! a loop.  It has been used to test processor speed for arithmetic.  Arith is
+//! not memory intensive."  (paper, Section 2.5)
+//!
+//! The guest program keeps everything in registers: per iteration it performs
+//! an addition, a multiplication and a division, exactly the mix the BYTE
+//! benchmark exercises.  Because it never touches memory in its hot loop, the
+//! data-cache parameters have no effect on it — the property the paper relies
+//! on in Figure 4 ("No effect, as application is not data intensive").
+
+use leon_isa::{Asm, Program, Reg};
+use serde::{Deserialize, Serialize};
+
+use crate::workload::{Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC};
+
+/// The BYTE Arith benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arith {
+    /// Number of loop iterations.
+    pub iterations: u32,
+}
+
+impl Arith {
+    /// Construct with an explicit iteration count.
+    pub fn new(iterations: u32) -> Arith {
+        assert!(iterations > 0);
+        Arith { iterations }
+    }
+
+    /// Construct for a problem-size preset.
+    pub fn scaled(scale: Scale) -> Arith {
+        match scale {
+            Scale::Tiny => Arith::new(500),
+            Scale::Small => Arith::new(60_000),
+            Scale::Large => Arith::new(600_000),
+        }
+    }
+
+    /// Host-side reference implementation (mirrors the guest arithmetic
+    /// exactly, including wrap-around).
+    fn reference(&self) -> (u32, u32) {
+        let mut acc_add: u32 = 0;
+        let mut acc_mul: u32 = 1;
+        let mut acc_div: u32 = 0;
+        for i in 1..=self.iterations {
+            acc_add = acc_add.wrapping_add(i);
+            acc_mul = acc_mul.wrapping_mul(i).wrapping_add(7);
+            let q = acc_add / 7;
+            acc_div = acc_div.wrapping_add(q);
+        }
+        let checksum = acc_add ^ acc_mul ^ acc_div;
+        (checksum, self.iterations)
+    }
+}
+
+impl Workload for Arith {
+    fn name(&self) -> &str {
+        "Arith"
+    }
+
+    fn description(&self) -> &str {
+        "BYTE arithmetic loop: addition, multiplication and division on registers; not memory intensive"
+    }
+
+    fn build(&self) -> Program {
+        let mut a = Asm::new("arith");
+        // l0 = iteration bound, l1 = i, o0 = acc_add, l2 = acc_mul,
+        // l3 = acc_div, l5 = scratch quotient
+        a.set(Reg::L0, self.iterations);
+        a.set(Reg::L1, 1);
+        a.clr(Reg::O0);
+        a.set(Reg::L2, 1);
+        a.clr(Reg::L3);
+        a.label("loop");
+        a.add(Reg::O0, Reg::O0, Reg::L1); // acc_add += i
+        a.smul(Reg::L2, Reg::L2, Reg::L1); // acc_mul *= i
+        a.add(Reg::L2, Reg::L2, 7); // acc_mul += 7
+        a.udiv(Reg::L5, Reg::O0, 7); // q = acc_add / 7
+        a.add(Reg::L3, Reg::L3, Reg::L5); // acc_div += q
+        a.add(Reg::L1, Reg::L1, 1); // i += 1
+        a.cmp(Reg::L1, Reg::L0);
+        a.bleu("loop"); // while i <= n
+        // checksum = acc_add ^ acc_mul ^ acc_div
+        a.xor(Reg::O0, Reg::O0, Reg::L2);
+        a.xor(Reg::O0, Reg::O0, Reg::L3);
+        a.report(CHAN_CHECKSUM, Reg::O0);
+        a.mov(Reg::O1, Reg::L0);
+        a.report(CHAN_METRIC, Reg::O1);
+        a.halt();
+        a.assemble().expect("arith assembles")
+    }
+
+    fn expected_reports(&self) -> Vec<(u16, u32)> {
+        let (checksum, iterations) = self.reference();
+        vec![(CHAN_CHECKSUM, checksum), (CHAN_METRIC, iterations)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_verified;
+    use leon_sim::{Divider, LeonConfig, Multiplier};
+
+    #[test]
+    fn guest_matches_reference() {
+        let w = Arith::scaled(Scale::Tiny);
+        let r = run_verified(&w, &LeonConfig::base(), 10_000_000).unwrap();
+        assert_eq!(r.report(CHAN_METRIC), Some(500));
+    }
+
+    #[test]
+    fn not_memory_intensive() {
+        let w = Arith::scaled(Scale::Tiny);
+        let r = run_verified(&w, &LeonConfig::base(), 10_000_000).unwrap();
+        // the hot loop performs no loads or stores
+        assert!(r.stats.loads < 10);
+        assert!(r.stats.stores < 10);
+        assert!(r.stats.dcache.accesses() < 10);
+    }
+
+    #[test]
+    fn dcache_size_has_no_effect() {
+        let w = Arith::scaled(Scale::Tiny);
+        let mut small = LeonConfig::base();
+        small.dcache.way_kb = 1;
+        let mut large = LeonConfig::base();
+        large.dcache.way_kb = 32;
+        let a = run_verified(&w, &small, 10_000_000).unwrap();
+        let b = run_verified(&w, &large, 10_000_000).unwrap();
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+    }
+
+    #[test]
+    fn multiplier_and_divider_matter() {
+        let w = Arith::scaled(Scale::Tiny);
+        let base = run_verified(&w, &LeonConfig::base(), 10_000_000).unwrap();
+        let mut fast_mul = LeonConfig::base();
+        fast_mul.iu.multiplier = Multiplier::M32x32;
+        let fm = run_verified(&w, &fast_mul, 10_000_000).unwrap();
+        assert!(fm.stats.cycles < base.stats.cycles);
+        let mut no_div = LeonConfig::base();
+        no_div.iu.divider = Divider::None;
+        let nd = run_verified(&w, &no_div, 10_000_000).unwrap();
+        assert!(nd.stats.cycles > base.stats.cycles);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Arith::scaled(Scale::Tiny).iterations < Arith::scaled(Scale::Small).iterations);
+        assert!(Arith::scaled(Scale::Small).iterations < Arith::scaled(Scale::Large).iterations);
+    }
+}

@@ -1,0 +1,331 @@
+//! Benchmark I — BLASTN.
+//!
+//! "BLASTN is a variant of BLAST used to compare DNA sequences.  BLASTN is
+//! computation and memory-access intensive."  (paper, Section 2.5)
+//!
+//! The guest program is a seed-and-extend nucleotide search in the style of
+//! BLASTN: the query is split into seed words; for every seed batch the
+//! database is scanned with a running 4-base signature, candidate positions
+//! whose signature matches a seed are verified base-by-base and extended, and
+//! the longest extension plus a hit count are reported.  A multiplicative
+//! scan checksum (one multiply per database base, standing in for BLAST's
+//! composition statistics) gives the benchmark the multiplier sensitivity the
+//! paper observes, and the repeated passes over a multi-kilobyte database give
+//! it the data-cache sensitivity of Figure 2.
+
+use leon_isa::{Asm, Program, Reg};
+use serde::{Deserialize, Serialize};
+
+use crate::inputs::{dna_sequence, plant_matches};
+use crate::workload::{Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC};
+
+/// Report channel carrying the best extension length found.
+pub const CHAN_BEST: u16 = 3;
+
+/// Seed word length that must match before a hit is counted.
+const SEED_LEN: u32 = 11;
+/// Maximum extension length per candidate.
+const MAX_EXT: u32 = 32;
+/// Query length in bases.
+const QUERY_LEN: usize = 64;
+/// Seeds examined per database pass.
+const SEEDS_PER_BATCH: usize = 4;
+
+/// The BLASTN benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blastn {
+    /// Database length in bases (bytes).
+    pub db_len: usize,
+    /// Number of seed batches (each batch is one full database pass).
+    pub batches: usize,
+    /// Number of query copies planted in the database.
+    pub planted: usize,
+    /// RNG seed for the input generator.
+    pub seed: u64,
+}
+
+impl Blastn {
+    /// Construct with explicit parameters.
+    pub fn new(db_len: usize, batches: usize, planted: usize, seed: u64) -> Blastn {
+        assert!(db_len >= 256, "database too small");
+        assert!(batches >= 1, "at least one seed batch is required");
+        Blastn { db_len, batches, planted, seed }
+    }
+
+    /// Construct for a problem-size preset.
+    pub fn scaled(scale: Scale) -> Blastn {
+        match scale {
+            Scale::Tiny => Blastn::new(2048, 2, 4, 11),
+            Scale::Small => Blastn::new(24 * 1024, 4, 12, 11),
+            Scale::Large => Blastn::new(28 * 1024, 12, 24, 11),
+        }
+    }
+
+    fn query(&self) -> Vec<u8> {
+        dna_sequence(self.seed ^ 0xb10c_ba5e, QUERY_LEN)
+    }
+
+    fn database(&self) -> Vec<u8> {
+        let mut db = dna_sequence(self.seed, self.db_len);
+        let query = self.query();
+        plant_matches(&mut db, &query, self.planted, self.seed.wrapping_add(1));
+        db
+    }
+
+    /// Query offsets of all seeds (batch-major).
+    fn seed_offsets(&self) -> Vec<u32> {
+        (0..self.batches * SEEDS_PER_BATCH)
+            .map(|k| ((k * 2) % (QUERY_LEN - MAX_EXT as usize)) as u32)
+            .collect()
+    }
+
+    /// 4-base signature of the query starting at `off`.
+    fn signature(query: &[u8], off: u32) -> u32 {
+        let o = off as usize;
+        ((query[o] as u32) << 6)
+            | ((query[o + 1] as u32) << 4)
+            | ((query[o + 2] as u32) << 2)
+            | (query[o + 3] as u32)
+    }
+
+    /// Host-side reference implementation (mirrors the guest exactly).
+    fn reference(&self) -> (u32, u32, u32) {
+        let db = self.database();
+        let query = self.query();
+        let offsets = self.seed_offsets();
+        let positions = self.db_len - QUERY_LEN;
+        let mut checksum: u32 = 0;
+        let mut hits: u32 = 0;
+        let mut best: u32 = 0;
+        for batch in 0..self.batches {
+            let sigs: Vec<u32> = (0..SEEDS_PER_BATCH)
+                .map(|k| Self::signature(&query, offsets[batch * SEEDS_PER_BATCH + k]))
+                .collect();
+            let mut sig: u32 = 0;
+            // prime the signature with the first 3 bases (no hit checks)
+            for &b in &db[0..3] {
+                sig = ((sig << 2) | b as u32) & 0xff;
+                checksum = checksum.wrapping_mul(31).wrapping_add(b as u32);
+            }
+            for i in 3..positions {
+                let b = db[i] as u32;
+                sig = ((sig << 2) | b) & 0xff;
+                checksum = checksum.wrapping_mul(31).wrapping_add(b);
+                for (k, &s) in sigs.iter().enumerate() {
+                    if sig == s {
+                        let q_off = offsets[batch * SEEDS_PER_BATCH + k] as usize;
+                        let start = i - 3;
+                        let mut len = 0u32;
+                        while len < MAX_EXT
+                            && db[start + len as usize] == query[q_off + len as usize]
+                        {
+                            len += 1;
+                        }
+                        if len >= SEED_LEN {
+                            hits = hits.wrapping_add(1);
+                            checksum ^= start as u32;
+                            if len > best {
+                                best = len;
+                            }
+                        }
+                        break; // the guest verifies only the first matching seed
+                    }
+                }
+            }
+        }
+        (checksum, hits, best)
+    }
+}
+
+impl Workload for Blastn {
+    fn name(&self) -> &str {
+        "BLASTN"
+    }
+
+    fn description(&self) -> &str {
+        "seed-and-extend DNA search over a synthetic nucleotide database; computation and memory-access intensive"
+    }
+
+    fn build(&self) -> Program {
+        let db = self.database();
+        let query = self.query();
+        let offsets = self.seed_offsets();
+        let sigs: Vec<u32> = offsets.iter().map(|&o| Self::signature(&query, o)).collect();
+        let positions = (self.db_len - QUERY_LEN) as u32;
+
+        let mut a = Asm::new("blastn");
+        a.data_label("db");
+        a.data_bytes(&db);
+        a.data_label("query");
+        a.data_bytes(&query);
+        a.data_label("seed_sig");
+        a.data_words(&sigs);
+        a.data_label("seed_off");
+        a.data_words(&offsets);
+
+        // g1 = db, g6 = query, o0 = checksum, o1 = hits, o2 = best, l7 = batch
+        a.set_data_addr(Reg::G1, "db");
+        a.set_data_addr(Reg::G6, "query");
+        a.clr(Reg::O0);
+        a.clr(Reg::O1);
+        a.clr(Reg::O2);
+        a.clr(Reg::L7);
+
+        a.label("batch_loop");
+        // load the 4 seed signatures of this batch into %g2..%g5
+        a.set_data_addr(Reg::L6, "seed_sig");
+        a.sll(Reg::G7, Reg::L7, 4); // batch * 16 bytes
+        a.add(Reg::L6, Reg::L6, Reg::G7);
+        a.ld(Reg::G2, Reg::L6, 0);
+        a.ld(Reg::G3, Reg::L6, 4);
+        a.ld(Reg::G4, Reg::L6, 8);
+        a.ld(Reg::G5, Reg::L6, 12);
+        // prime the running signature with the first 3 bases
+        a.mov(Reg::L0, Reg::G1); // db pointer
+        a.clr(Reg::L2); // running signature
+        for j in 0..3 {
+            a.ldub(Reg::L3, Reg::L0, j);
+            a.sll(Reg::L2, Reg::L2, 2);
+            a.or_(Reg::L2, Reg::L2, Reg::L3);
+            a.and_(Reg::L2, Reg::L2, 0xff);
+            a.smul(Reg::O0, Reg::O0, 31);
+            a.add(Reg::O0, Reg::O0, Reg::L3);
+        }
+        a.add(Reg::L0, Reg::L0, 3);
+        a.set(Reg::L4, positions - 3); // remaining positions
+
+        a.label("scan");
+        a.ldub(Reg::L3, Reg::L0, 0);
+        a.sll(Reg::L2, Reg::L2, 2);
+        a.or_(Reg::L2, Reg::L2, Reg::L3);
+        a.and_(Reg::L2, Reg::L2, 0xff);
+        a.smul(Reg::O0, Reg::O0, 31);
+        a.add(Reg::O0, Reg::O0, Reg::L3);
+        a.cmp(Reg::L2, Reg::G2);
+        a.be("hit0");
+        a.cmp(Reg::L2, Reg::G3);
+        a.be("hit1");
+        a.cmp(Reg::L2, Reg::G4);
+        a.be("hit2");
+        a.cmp(Reg::L2, Reg::G5);
+        a.be("hit3");
+        a.label("next");
+        a.add(Reg::L0, Reg::L0, 1);
+        a.subcc(Reg::L4, Reg::L4, 1);
+        a.bne("scan");
+        // batch done
+        a.add(Reg::L7, Reg::L7, 1);
+        a.cmp(Reg::L7, self.batches as i32);
+        a.bl("batch_loop");
+        a.report(CHAN_CHECKSUM, Reg::O0);
+        a.report(CHAN_METRIC, Reg::O1);
+        a.report(CHAN_BEST, Reg::O2);
+        a.halt();
+
+        a.label("hit0");
+        a.clr(Reg::L5);
+        a.ba("verify");
+        a.label("hit1");
+        a.mov(Reg::L5, 1);
+        a.ba("verify");
+        a.label("hit2");
+        a.mov(Reg::L5, 2);
+        a.ba("verify");
+        a.label("hit3");
+        a.mov(Reg::L5, 3);
+
+        a.label("verify");
+        // q_off = seed_off[batch*4 + k]
+        a.sll(Reg::G7, Reg::L7, 2);
+        a.add(Reg::G7, Reg::G7, Reg::L5);
+        a.sll(Reg::G7, Reg::G7, 2);
+        a.set_data_addr(Reg::O3, "seed_off");
+        a.add(Reg::O3, Reg::O3, Reg::G7);
+        a.ld(Reg::O3, Reg::O3, 0);
+        a.add(Reg::O5, Reg::G6, Reg::O3); // query pointer
+        a.sub(Reg::O4, Reg::L0, 3); // database start pointer
+        a.clr(Reg::O3); // match length
+        a.label("extend");
+        a.ldub(Reg::G7, Reg::O4, 0);
+        a.ldub(Reg::L6, Reg::O5, 0);
+        a.cmp(Reg::G7, Reg::L6);
+        a.bne("extend_done");
+        a.add(Reg::O3, Reg::O3, 1);
+        a.add(Reg::O4, Reg::O4, 1);
+        a.add(Reg::O5, Reg::O5, 1);
+        a.cmp(Reg::O3, MAX_EXT as i32);
+        a.bl("extend");
+        a.label("extend_done");
+        a.cmp(Reg::O3, SEED_LEN as i32);
+        a.bl("next"); // collision, not a real hit
+        a.add(Reg::O1, Reg::O1, 1); // hits++
+        a.sub(Reg::G7, Reg::L0, 3);
+        a.sub(Reg::G7, Reg::G7, Reg::G1); // hit position
+        a.xor(Reg::O0, Reg::O0, Reg::G7);
+        a.cmp(Reg::O3, Reg::O2);
+        a.ble("next");
+        a.mov(Reg::O2, Reg::O3); // best = match length
+        a.ba("next");
+
+        a.assemble().expect("blastn assembles")
+    }
+
+    fn expected_reports(&self) -> Vec<(u16, u32)> {
+        let (checksum, hits, best) = self.reference();
+        vec![(CHAN_CHECKSUM, checksum), (CHAN_METRIC, hits), (CHAN_BEST, best)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_verified;
+    use leon_sim::{LeonConfig, Multiplier};
+
+    #[test]
+    fn guest_matches_reference_and_finds_planted_hits() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let r = run_verified(&w, &LeonConfig::base(), 50_000_000).unwrap();
+        let hits = r.report(CHAN_METRIC).unwrap();
+        assert!(hits >= w.planted as u32, "planted alignments must be found (hits = {hits})");
+        assert_eq!(r.report(CHAN_BEST), Some(MAX_EXT));
+    }
+
+    #[test]
+    fn memory_access_intensive() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let r = run_verified(&w, &LeonConfig::base(), 50_000_000).unwrap();
+        // roughly one database load per scanned position
+        assert!(r.stats.loads as usize > w.db_len);
+    }
+
+    #[test]
+    fn bigger_dcache_helps() {
+        let w = Blastn::scaled(Scale::Small);
+        let mut small = LeonConfig::base();
+        small.dcache.way_kb = 4;
+        let mut big = LeonConfig::base();
+        big.dcache.way_kb = 32;
+        let rs = run_verified(&w, &small, 200_000_000).unwrap();
+        let rb = run_verified(&w, &big, 200_000_000).unwrap();
+        assert!(rb.stats.cycles < rs.stats.cycles);
+        assert!(rb.stats.dcache.read_misses < rs.stats.dcache.read_misses);
+    }
+
+    #[test]
+    fn faster_multiplier_helps() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let base = run_verified(&w, &LeonConfig::base(), 50_000_000).unwrap();
+        let mut fast = LeonConfig::base();
+        fast.iu.multiplier = Multiplier::M32x32;
+        let f = run_verified(&w, &fast, 50_000_000).unwrap();
+        assert!(f.stats.cycles < base.stats.cycles);
+    }
+
+    #[test]
+    fn no_hardware_divide_needed() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let r = run_verified(&w, &LeonConfig::base(), 50_000_000).unwrap();
+        assert_eq!(r.stats.div_ops, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Benchmark III — CommBench FRAG.
+//!
+//! "Frag is an IP packet fragmentation application.  IP packets are split
+//! into multiple fragments for which some header fields have to be adjusted
+//! and a header checksum computed, before being forwarded.  Frag is
+//! computation intensive."  (paper, Section 2.5)
+//!
+//! The guest program walks a packet trace once; every packet whose payload
+//! exceeds the fragment size is split, and for every emitted fragment the
+//! 20-byte IP header is copied into an output buffer, the length and
+//! fragment-offset fields are patched, and the 16-bit one's-complement IP
+//! header checksum is computed over the ten header halfwords.  Because the
+//! trace is traversed only once the workload has little data-cache
+//! sensitivity (matching Figure 4 of the paper), while the per-fragment
+//! header checksum keeps it computation bound.
+
+use leon_isa::{Asm, Program, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::inputs::packet_trace;
+use crate::workload::{Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC};
+
+/// IP header size in bytes (no options).
+const HEADER_BYTES: u32 = 20;
+/// Maximum payload carried by one fragment, in bytes (multiple of 8 as IP
+/// requires).
+const FRAG_PAYLOAD: u32 = 248;
+
+/// The CommBench FRAG benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frag {
+    /// Number of packets in the input trace.
+    pub packets: u32,
+    /// RNG seed for the input generator.
+    pub seed: u64,
+}
+
+impl Frag {
+    /// Construct with an explicit trace length.
+    pub fn new(packets: u32, seed: u64) -> Frag {
+        assert!(packets > 0);
+        Frag { packets, seed }
+    }
+
+    /// Construct for a problem-size preset.
+    pub fn scaled(scale: Scale) -> Frag {
+        match scale {
+            Scale::Tiny => Frag::new(200, 37),
+            Scale::Small => Frag::new(3_500, 37),
+            Scale::Large => Frag::new(20_000, 37),
+        }
+    }
+
+    /// The packet trace: 6 words per packet (total length + 5 header words).
+    fn trace(&self) -> Vec<u32> {
+        let lengths = packet_trace(self.seed, self.packets as usize, 64);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x4ead_e4b1);
+        let mut words = Vec::with_capacity(self.packets as usize * 6);
+        for p in &lengths {
+            // ensure length covers at least the header
+            words.push(p.length.max(HEADER_BYTES + 8));
+            for _ in 0..5 {
+                words.push(rng.gen());
+            }
+        }
+        words
+    }
+
+    /// One's-complement IP checksum over ten halfwords.
+    fn ip_checksum(words: &[u32; 5]) -> u32 {
+        let mut sum: u32 = 0;
+        for w in words {
+            sum = sum.wrapping_add(w & 0xffff).wrapping_add(w >> 16);
+        }
+        sum = (sum & 0xffff) + (sum >> 16);
+        sum = (sum & 0xffff) + (sum >> 16);
+        !sum & 0xffff
+    }
+
+    /// Host-side reference implementation.
+    fn reference(&self) -> (u32, u32) {
+        let trace = self.trace();
+        let mut acc: u32 = 0;
+        let mut frags: u32 = 0;
+        for p in 0..self.packets as usize {
+            let rec = &trace[p * 6..p * 6 + 6];
+            let total = rec[0];
+            let header = [rec[1], rec[2], rec[3], rec[4], rec[5]];
+            let payload = total - HEADER_BYTES;
+            let mut remaining = payload;
+            let mut offset: u32 = 0;
+            loop {
+                let this = remaining.min(FRAG_PAYLOAD);
+                let mut hw = header;
+                hw[0] = this + HEADER_BYTES;
+                hw[1] = offset;
+                let cks = Self::ip_checksum(&hw);
+                acc = acc.wrapping_mul(31).wrapping_add(cks);
+                frags = frags.wrapping_add(1);
+                remaining -= this;
+                offset = offset.wrapping_add(this);
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        (acc, frags)
+    }
+}
+
+impl Workload for Frag {
+    fn name(&self) -> &str {
+        "FRAG"
+    }
+
+    fn description(&self) -> &str {
+        "IP packet fragmentation with per-fragment header rewrite and ones-complement checksum; computation intensive"
+    }
+
+    fn build(&self) -> Program {
+        let trace = self.trace();
+        let mut a = Asm::new("frag");
+        a.data_label("trace");
+        a.data_words(&trace);
+        a.data_label("outbuf");
+        a.data_zeros(64);
+
+        // g1 = trace, g2 = outbuf, g3 = packet count, g4 = 0xffff
+        a.set_data_addr(Reg::G1, "trace");
+        a.set_data_addr(Reg::G2, "outbuf");
+        a.set(Reg::G3, self.packets);
+        a.set(Reg::G4, 0xffff);
+        // o0 = checksum accumulator, o1 = fragments, l0 = packet index
+        a.clr(Reg::O0);
+        a.clr(Reg::O1);
+        a.clr(Reg::L0);
+
+        a.label("packet_loop");
+        // l1 = &trace[packet * 6 words]
+        a.smul(Reg::L1, Reg::L0, 24);
+        a.add(Reg::L1, Reg::L1, Reg::G1);
+        a.ld(Reg::L2, Reg::L1, 0); // total length
+        a.sub(Reg::L2, Reg::L2, HEADER_BYTES as i32); // remaining payload
+        a.clr(Reg::L3); // fragment offset
+
+        a.label("frag_loop");
+        // l4 = min(remaining, FRAG_PAYLOAD)
+        a.mov(Reg::L4, Reg::L2);
+        a.cmp(Reg::L4, FRAG_PAYLOAD as i32);
+        a.bleu("size_ok");
+        a.set(Reg::L4, FRAG_PAYLOAD);
+        a.label("size_ok");
+        // copy the 5 header words into the output buffer
+        for w in 0..5i32 {
+            a.ld(Reg::L6, Reg::L1, 4 + w * 4);
+            a.st(Reg::L6, Reg::G2, w * 4);
+        }
+        // patch length and fragment-offset fields
+        a.add(Reg::L6, Reg::L4, HEADER_BYTES as i32);
+        a.st(Reg::L6, Reg::G2, 0);
+        a.st(Reg::L3, Reg::G2, 4);
+        // IP checksum over the ten header halfwords
+        a.clr(Reg::L5); // sum
+        a.clr(Reg::L7); // halfword index
+        a.label("cks_loop");
+        a.sll(Reg::O3, Reg::L7, 1);
+        a.add(Reg::O3, Reg::O3, Reg::G2);
+        a.lduh(Reg::O4, Reg::O3, 0);
+        a.add(Reg::L5, Reg::L5, Reg::O4);
+        a.add(Reg::L7, Reg::L7, 1);
+        a.cmp(Reg::L7, 10);
+        a.bl("cks_loop");
+        // fold carries twice and complement
+        a.srl(Reg::O3, Reg::L5, 16);
+        a.and_(Reg::L5, Reg::L5, Reg::G4);
+        a.add(Reg::L5, Reg::L5, Reg::O3);
+        a.srl(Reg::O3, Reg::L5, 16);
+        a.and_(Reg::L5, Reg::L5, Reg::G4);
+        a.add(Reg::L5, Reg::L5, Reg::O3);
+        a.xnor(Reg::L5, Reg::L5, Reg::G0);
+        a.and_(Reg::L5, Reg::L5, Reg::G4);
+        // accumulate and advance
+        a.smul(Reg::O0, Reg::O0, 31);
+        a.add(Reg::O0, Reg::O0, Reg::L5);
+        a.add(Reg::O1, Reg::O1, 1);
+        a.sub(Reg::L2, Reg::L2, Reg::L4);
+        a.add(Reg::L3, Reg::L3, Reg::L4);
+        a.cmp(Reg::L2, 0);
+        a.bne("frag_loop");
+        // next packet
+        a.add(Reg::L0, Reg::L0, 1);
+        a.cmp(Reg::L0, Reg::G3);
+        a.bcs("packet_loop"); // unsigned less-than: more packets to process
+        a.report(CHAN_CHECKSUM, Reg::O0);
+        a.report(CHAN_METRIC, Reg::O1);
+        a.halt();
+
+        a.assemble().expect("frag assembles")
+    }
+
+    fn expected_reports(&self) -> Vec<(u16, u32)> {
+        let (acc, frags) = self.reference();
+        vec![(CHAN_CHECKSUM, acc), (CHAN_METRIC, frags)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::run_verified;
+    use leon_sim::LeonConfig;
+
+    #[test]
+    fn guest_matches_reference() {
+        let w = Frag::scaled(Scale::Tiny);
+        let r = run_verified(&w, &LeonConfig::base(), 100_000_000).unwrap();
+        let frags = r.report(CHAN_METRIC).unwrap();
+        // large packets produce multiple fragments
+        assert!(frags > w.packets, "expected fragmentation, got {frags} fragments");
+    }
+
+    #[test]
+    fn checksum_helper_matches_known_vector() {
+        // classic example header checksum property: checksum of a header whose
+        // checksum field is the computed value sums to 0xffff
+        let hdr = [0x4500_0073u32, 0x0000_4000, 0x4011_0000, 0xc0a8_0001, 0xc0a8_00c7];
+        let cks = Frag::ip_checksum(&hdr);
+        let mut patched = hdr;
+        patched[2] |= cks;
+        let mut sum: u32 = 0;
+        for w in patched {
+            sum += (w & 0xffff) + (w >> 16);
+        }
+        sum = (sum & 0xffff) + (sum >> 16);
+        sum = (sum & 0xffff) + (sum >> 16);
+        assert_eq!(sum, 0xffff);
+    }
+
+    #[test]
+    fn dcache_size_barely_matters() {
+        // FRAG streams its trace once, so enlarging the dcache must not
+        // change the cycle count by more than a couple of percent
+        let w = Frag::scaled(Scale::Tiny);
+        let mut small = LeonConfig::base();
+        small.dcache.way_kb = 1;
+        let mut big = LeonConfig::base();
+        big.dcache.way_kb = 32;
+        let rs = run_verified(&w, &small, 200_000_000).unwrap();
+        let rb = run_verified(&w, &big, 200_000_000).unwrap();
+        let gain = 1.0 - rb.stats.cycles as f64 / rs.stats.cycles as f64;
+        assert!(gain.abs() < 0.03, "FRAG should be nearly cache-insensitive, gain {gain:.4}");
+    }
+
+    #[test]
+    fn computation_dominates_memory() {
+        let w = Frag::scaled(Scale::Tiny);
+        let r = run_verified(&w, &LeonConfig::base(), 200_000_000).unwrap();
+        // far more instructions than memory accesses
+        assert!(r.stats.instructions > 3 * (r.stats.loads + r.stats.stores));
+    }
+}

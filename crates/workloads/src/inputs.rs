@@ -1,0 +1,96 @@
+//! Deterministic input generators.
+//!
+//! All benchmark inputs are generated from seeded PRNGs so that every run —
+//! on every candidate configuration — processes exactly the same data, as the
+//! paper's fixed benchmark inputs do.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a DNA sequence of `len` bases, each encoded as one byte in
+/// `0..4` (A, C, G, T).
+pub fn dna_sequence(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0u8..4)).collect()
+}
+
+/// Plant exact copies of `query` fragments into `database` at deterministic
+/// positions so that a seed-and-extend search has real alignments to find.
+pub fn plant_matches(database: &mut [u8], query: &[u8], copies: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut positions = Vec::with_capacity(copies);
+    if database.len() <= query.len() {
+        return positions;
+    }
+    for _ in 0..copies {
+        let pos = rng.gen_range(0..database.len() - query.len());
+        database[pos..pos + query.len()].copy_from_slice(query);
+        positions.push(pos);
+    }
+    positions
+}
+
+/// A synthetic packet descriptor used by the network workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Flow (queue) the packet belongs to.
+    pub flow: u32,
+    /// Total length in bytes (header + payload).
+    pub length: u32,
+}
+
+/// Generate a packet trace of `count` packets over `flows` flows with
+/// lengths in `64..=1500` (an internet-mix-like distribution: mostly small
+/// and large packets).
+pub fn packet_trace(seed: u64, count: usize, flows: u32) -> Vec<Packet> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5bd1_e995);
+    (0..count)
+        .map(|_| {
+            let length = match rng.gen_range(0u32..10) {
+                0..=4 => rng.gen_range(64u32..=128),      // small (ACK-sized)
+                5..=6 => rng.gen_range(129u32..=512),     // medium
+                _ => rng.gen_range(513u32..=1500),        // large / MTU-sized
+            };
+            Packet { flow: rng.gen_range(0..flows), length: length & !3 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_is_deterministic_and_in_range() {
+        let a = dna_sequence(42, 1000);
+        let b = dna_sequence(42, 1000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&b| b < 4));
+        let c = dna_sequence(43, 1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn planted_matches_are_present() {
+        let mut db = dna_sequence(1, 4096);
+        let query = dna_sequence(2, 32);
+        let positions = plant_matches(&mut db, &query, 5, 3);
+        assert_eq!(positions.len(), 5);
+        for &p in &positions {
+            assert_eq!(&db[p..p + query.len()], &query[..]);
+        }
+    }
+
+    #[test]
+    fn packet_trace_is_deterministic_and_word_aligned() {
+        let a = packet_trace(7, 500, 8);
+        let b = packet_trace(7, 500, 8);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| p.length % 4 == 0));
+        assert!(a.iter().all(|p| (64..=1500).contains(&p.length)));
+        assert!(a.iter().all(|p| p.flow < 8));
+        // both small and large packets occur
+        assert!(a.iter().any(|p| p.length <= 128));
+        assert!(a.iter().any(|p| p.length >= 512));
+    }
+}

@@ -1,0 +1,76 @@
+//! # workloads
+//!
+//! The four benchmark applications of the `liquid-autoreconf` reproduction of
+//! *"Automatic Application-Specific Microarchitecture Reconfiguration"*
+//! (IPDPS 2006), re-implemented as guest programs for the LEON2-like
+//! simulator:
+//!
+//! * [`Blastn`] — seed-and-extend DNA search (computation and memory-access
+//!   intensive);
+//! * [`Drr`] — CommBench deficit-round-robin fair scheduler (computation
+//!   intensive, ~tens-of-kilobytes working set);
+//! * [`Frag`] — CommBench IP packet fragmentation (computation intensive,
+//!   streaming);
+//! * [`Arith`] — the BYTE arithmetic loop (register-only, not memory
+//!   intensive).
+//!
+//! Every workload generates its inputs deterministically from a seed, embeds
+//! them in the program image, and reports checksums that a host-side
+//! reference implementation predicts, so functional correctness is asserted
+//! on every candidate configuration the optimiser evaluates.
+//!
+//! ```
+//! use workloads::{Arith, Scale, Workload};
+//! use leon_sim::LeonConfig;
+//!
+//! let workload = Arith::scaled(Scale::Tiny);
+//! let result = workloads::run_verified(&workload, &LeonConfig::base(), 10_000_000).unwrap();
+//! assert!(result.stats.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod blastn;
+pub mod drr;
+pub mod frag;
+pub mod inputs;
+pub mod workload;
+
+pub use arith::Arith;
+pub use blastn::Blastn;
+pub use drr::Drr;
+pub use frag::Frag;
+pub use workload::{run_verified, Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC};
+
+/// The paper's benchmark suite at a given problem scale, in the order used
+/// throughout the paper's tables (BLASTN, DRR, FRAG, Arith).
+pub fn benchmark_suite(scale: Scale) -> Vec<Box<dyn Workload + Send + Sync>> {
+    vec![
+        Box::new(Blastn::scaled(scale)),
+        Box::new(Drr::scaled(scale)),
+        Box::new(Frag::scaled(scale)),
+        Box::new(Arith::scaled(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_four_benchmarks() {
+        let suite = benchmark_suite(Scale::Tiny);
+        let names: Vec<_> = suite.iter().map(|w| w.name().to_string()).collect();
+        assert_eq!(names, vec!["BLASTN", "DRR", "FRAG", "Arith"]);
+    }
+
+    #[test]
+    fn all_programs_assemble_and_fit_memory() {
+        for w in benchmark_suite(Scale::Small) {
+            let p = w.build();
+            assert!(!p.is_empty(), "{} produced an empty program", w.name());
+            assert!(p.required_memory() <= 1 << 20, "{} image too large", w.name());
+        }
+    }
+}

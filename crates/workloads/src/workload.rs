@@ -1,0 +1,80 @@
+//! The [`Workload`] trait and common helpers.
+
+use leon_isa::Program;
+use leon_sim::{LeonConfig, RunResult, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Report channel that carries the workload's primary checksum.
+pub const CHAN_CHECKSUM: u16 = 1;
+/// Report channel that carries a secondary result metric (hits, packets, …).
+pub const CHAN_METRIC: u16 = 2;
+
+/// Problem-size presets for the benchmark suite.
+///
+/// The paper's benchmarks run for 10 seconds to 9 minutes on a 25 MHz LEON2;
+/// simulating that many cycles for hundreds of candidate configurations would
+/// make the experiments needlessly slow, so each workload supports scaled
+/// problem sizes with identical code paths and memory-behaviour *shape*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// A few tens of thousands of cycles; used by unit tests.
+    Tiny,
+    /// A few million cycles; the default for the reproduction experiments.
+    #[default]
+    Small,
+    /// Tens of millions of cycles; closest to the paper's runtimes
+    /// (still far below the paper's wall-clock figures).
+    Large,
+}
+
+/// A guest benchmark application.
+pub trait Workload {
+    /// Short name used in reports (e.g. `BLASTN`).
+    fn name(&self) -> &str;
+
+    /// One-line description of what the application does.
+    fn description(&self) -> &str;
+
+    /// Build the guest program image (code + input data).
+    fn build(&self) -> Program;
+
+    /// The reports the guest is expected to produce, computed by a host-side
+    /// reference implementation.  Used to verify that the guest program is
+    /// functionally correct on every configuration.
+    fn expected_reports(&self) -> Vec<(u16, u32)>;
+
+    /// Verify a run result against the reference implementation.
+    fn verify(&self, result: &RunResult) -> Result<(), String> {
+        for (channel, expected) in self.expected_reports() {
+            match result.report(channel) {
+                Some(actual) if actual == expected => {}
+                Some(actual) => {
+                    return Err(format!(
+                        "{}: channel {channel}: expected {expected:#x}, got {actual:#x}",
+                        self.name()
+                    ))
+                }
+                None => {
+                    return Err(format!("{}: channel {channel}: no report produced", self.name()))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run a workload on a configuration and verify its output.
+pub fn run_verified(
+    workload: &dyn Workload,
+    config: &LeonConfig,
+    max_cycles: u64,
+) -> Result<RunResult, SimError> {
+    let program = workload.build();
+    let result = leon_sim::simulate(config, &program, max_cycles)?;
+    if let Err(msg) = workload.verify(&result) {
+        // A functional mismatch means the workload or simulator is broken —
+        // surface it loudly rather than producing bogus experiment data.
+        panic!("workload verification failed: {msg}");
+    }
+    Ok(result)
+}

@@ -1,0 +1,79 @@
+//! Genomics scenario: tune the soft-core processor for BLASTN, the paper's
+//! flagship workload (Section 2.5, Figures 2/3/5/6).
+//!
+//! Runs the full 52-variable optimisation twice — once weighted for runtime
+//! (the paper's `w1=100, w2=1`) and once weighted for chip resources
+//! (`w1=1, w2=100`) — and prints the recommended configuration and the
+//! measured consequences of each, so an application developer can see the
+//! performance/area trade-off for their genomics appliance.
+//!
+//! ```text
+//! cargo run --release --example blastn_genomics_tuning
+//! ```
+
+use liquid_autoreconf::prelude::*;
+
+fn describe(outcome: &liquid_autoreconf::tuner::Outcome) {
+    let cfg = &outcome.recommended;
+    println!("  selected perturbations ({}):", outcome.selected.len());
+    for change in &outcome.changes {
+        println!("    - {change}");
+    }
+    println!(
+        "  recommended core: icache {}x{}KB/{}w, dcache {}x{}KB/{}w {}, mul {}, div {}, windows {}",
+        cfg.icache.ways,
+        cfg.icache.way_kb,
+        cfg.icache.line_words,
+        cfg.dcache.ways,
+        cfg.dcache.way_kb,
+        cfg.dcache.line_words,
+        cfg.dcache.replacement.short_name(),
+        cfg.iu.multiplier.short_name(),
+        cfg.iu.divider.short_name(),
+        cfg.iu.reg_windows,
+    );
+    println!(
+        "  predicted: runtime {:.4}s, {:.1}% LUTs, {:.1}% BRAM",
+        outcome.prediction.runtime_seconds,
+        outcome.prediction.lut_pct_linear,
+        outcome.prediction.bram_pct_nonlinear
+    );
+    println!(
+        "  measured : runtime {:.4}s ({:+.2}% vs base), {}% LUTs, {}% BRAM, fits: {}",
+        outcome.validation.seconds,
+        outcome.validation.runtime_delta_pct,
+        outcome.validation.lut_pct,
+        outcome.validation.bram_pct,
+        outcome.validation.fits
+    );
+}
+
+fn main() {
+    let scale = Scale::Small;
+    let workload = Blastn::scaled(scale);
+    println!(
+        "Tuning the soft core for BLASTN ({} KB database, {} seed batches)\n",
+        workload.db_len / 1024,
+        workload.batches
+    );
+
+    println!("== application runtime optimisation (w1=100, w2=1) ==");
+    let runtime_tool = AutoReconfigurator::new().with_weights(Weights::runtime_optimized());
+    let runtime_outcome = runtime_tool.optimize(&workload).expect("runtime optimisation succeeds");
+    describe(&runtime_outcome);
+    println!(
+        "  => BLASTN runs {:.2}% faster than on the out-of-the-box LEON\n",
+        runtime_outcome.runtime_gain_pct()
+    );
+
+    println!("== chip resource optimisation (w1=1, w2=100) ==");
+    let resource_tool = AutoReconfigurator::new().with_weights(Weights::resource_optimized());
+    let resource_outcome = resource_tool.optimize(&workload).expect("resource optimisation succeeds");
+    describe(&resource_outcome);
+    println!(
+        "  => saves {} LUT points and {} BRAM points at a {:.2}% runtime cost",
+        39i64 - resource_outcome.validation.lut_pct as i64,
+        51i64 - resource_outcome.validation.bram_pct as i64,
+        -resource_outcome.runtime_gain_pct()
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: assemble a tiny guest program, run it on the base LEON
+//! configuration, inspect the profiler output, and then let the automatic
+//! reconfigurator tune the data cache for the paper's benchmark suite.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use liquid_autoreconf::prelude::*;
+use liquid_autoreconf::tuner::ParameterSpace;
+
+/// A small guest program written in the text assembly syntax: it sums a
+/// 4 KB table in memory twenty times and reports the total.
+const SOURCE: &str = r#"
+        set     0x20000, %g1        ; table base (the data segment)
+        set     20, %l5             ; passes
+        clr     %o0                 ; accumulator
+pass:
+        mov     %g1, %l0
+        set     4096, %l1
+loop:
+        ld      [%l0], %l2
+        add     %o0, %l2, %o0
+        add     %l0, 4, %l0
+        subcc   %l1, 4, %l1
+        bne     loop
+        subcc   %l5, 1, %l5
+        bne     pass
+        report  1, %o0
+        halt
+"#;
+
+fn main() {
+    // ---- 1. assemble ------------------------------------------------------
+    let mut program = liquid_autoreconf::isa::assemble_text("table-sum", SOURCE)
+        .expect("the quickstart program assembles");
+    // give the table some contents (the text assembler leaves data empty)
+    program.data = (0..1024u32).flat_map(|i| (i * 3).to_le_bytes()).collect();
+
+    // ---- 2. run on the base configuration ---------------------------------
+    let base = LeonConfig::base();
+    let result = simulate(&base, &program, 100_000_000).expect("simulation succeeds");
+    println!("== base configuration ==");
+    println!("cycles            : {}", result.stats.cycles);
+    println!("instructions      : {}", result.stats.instructions);
+    println!("CPI               : {:.2}", result.stats.cpi());
+    println!("dcache miss rate  : {:.2}%", result.stats.dcache.miss_rate() * 100.0);
+    println!("checksum (chan 1) : {:?}", result.report(1));
+
+    // ---- 3. what does the processor cost on the FPGA? ---------------------
+    let model = SynthesisModel::default();
+    let report = model.synthesize(&base);
+    println!(
+        "base LEON uses {} LUTs ({}%) and {} BRAM blocks ({}%) of the {}",
+        report.luts,
+        report.lut_percent,
+        report.bram_blocks,
+        report.bram_percent,
+        model.device().name
+    );
+
+    // ---- 4. tune the four paper benchmarks' data cache --------------------
+    // (the quickstart uses the dcache-only sub-space so it finishes in a few
+    // seconds; see the other examples for full-space tuning)
+    println!("\n== dcache tuning of the paper's benchmark suite ==");
+    let tool = AutoReconfigurator::new()
+        .with_space(ParameterSpace::dcache_geometry())
+        .with_weights(Weights::runtime_only());
+    for workload in liquid_autoreconf::apps::benchmark_suite(Scale::Tiny) {
+        let outcome = tool.optimize(workload.as_ref()).expect("optimisation succeeds");
+        println!(
+            "{:<8} -> dcache {} set(s) x {:>2} KB   runtime {:>8} cycles (gain {:+.2}%)   changes: {:?}",
+            outcome.workload,
+            outcome.recommended.dcache.ways,
+            outcome.recommended.dcache.way_kb,
+            outcome.validation.cycles,
+            outcome.runtime_gain_pct(),
+            outcome.changes,
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # liquid-autoreconf
+//!
+//! A Rust reproduction of *"Automatic Application-Specific Microarchitecture
+//! Reconfiguration"* (Padmanabhan, Cytron, Chamberlain, Lockwood;
+//! IPDPS 2006): per-application tuning of a LEON2-like soft-core processor by
+//! measuring one-at-a-time parameter perturbations and solving a constrained
+//! Binary Integer Nonlinear Program.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`isa`] (`leon-isa`) — the guest ISA, assembler and program images;
+//! * [`sim`] (`leon-sim`) — the cycle-level, fully parameterised simulator;
+//! * [`fpga`] (`fpga-model`) — the analytical LUT/BRAM synthesis model;
+//! * [`solver`] (`binlp`) — the constrained BINLP solver;
+//! * [`apps`] (`workloads`) — the BLASTN / DRR / FRAG / Arith benchmarks;
+//! * [`tuner`] (`autoreconf`) — the automatic reconfiguration pipeline and
+//!   the experiment drivers that regenerate the paper's figures.
+//!
+//! ```no_run
+//! use liquid_autoreconf::prelude::*;
+//!
+//! let tool = AutoReconfigurator::new().with_weights(Weights::runtime_optimized());
+//! let outcome = tool.optimize(&Blastn::scaled(Scale::Small)).unwrap();
+//! println!("{}: {:.2}% faster", outcome.workload, outcome.runtime_gain_pct());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use autoreconf as tuner;
+pub use binlp as solver;
+pub use fpga_model as fpga;
+pub use leon_isa as isa;
+pub use leon_sim as sim;
+pub use workloads as apps;
+
+/// Convenient re-exports of the types most programs need.
+pub mod prelude {
+    pub use autoreconf::{
+        AutoReconfigurator, ConstraintForm, FormulationOptions, MeasurementOptions, Outcome,
+        ParameterSpace, Weights,
+    };
+    pub use fpga_model::{Device, SynthesisModel};
+    pub use leon_isa::{Asm, Program, Reg};
+    pub use leon_sim::{simulate, LeonConfig, Multiplier, ReplacementPolicy};
+    pub use workloads::{run_verified, Arith, Blastn, Drr, Frag, Scale, Workload};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        use crate::prelude::*;
+        let _ = AutoReconfigurator::new();
+        let _ = LeonConfig::base();
+        let _ = SynthesisModel::default();
+        let _ = Arith::scaled(Scale::Tiny);
+    }
+}
