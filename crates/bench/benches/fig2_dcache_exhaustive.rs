@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use autoreconf::{best_runtime_row, dcache_exhaustive};
+use autoreconf::{best_runtime_row, dcache_exhaustive, dcache_exhaustive_full};
 use bench::{bench_scale, MAX_CYCLES};
 use fpga_model::SynthesisModel;
 use leon_sim::LeonConfig;
@@ -25,6 +25,12 @@ fn fig2_exhaustive_sweep(c: &mut Criterion) {
     group.bench_function("blastn_full_sweep_28_configs", |b| {
         b.iter(|| {
             let rows = dcache_exhaustive(&workload, &base, &model, MAX_CYCLES).unwrap();
+            *best_runtime_row(&rows).unwrap()
+        })
+    });
+    group.bench_function("blastn_full_sweep_28_configs_no_replay", |b| {
+        b.iter(|| {
+            let rows = dcache_exhaustive_full(&workload, &base, &model, MAX_CYCLES).unwrap();
             *best_runtime_row(&rows).unwrap()
         })
     });

@@ -50,11 +50,81 @@ pub fn dcache_combinations() -> Vec<(u8, u32)> {
     combos
 }
 
+fn sweep_config(base: &LeonConfig, ways: u8, way_kb: u32) -> LeonConfig {
+    let mut config = *base;
+    config.dcache.ways = ways;
+    config.dcache.way_kb = way_kb;
+    if ways > 1 {
+        // multi-way sweeps in the paper keep the default policy where
+        // valid; random replacement is valid for any associativity
+        config.dcache.replacement = ReplacementPolicy::Random;
+    }
+    config
+}
+
 /// Exhaustively evaluate every dcache geometry for `workload`.
 ///
-/// Configurations that do not fit the device are reported with `fits =
-/// false` and are not simulated (the paper simply omits them).
+/// The workload executes in full exactly once, on `base`, capturing its
+/// execution trace; every feasible geometry is then retimed by trace replay
+/// (dcache geometry cannot change the memory-access stream, so replay is
+/// bit-identical to full simulation — the paper's Figure 2 numbers are
+/// unchanged, only cheaper).  Configurations that do not fit the device are
+/// reported with `fits = false` and are not timed (the paper simply omits
+/// them).
 pub fn dcache_exhaustive(
+    workload: &dyn Workload,
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    max_cycles: u64,
+) -> Result<Vec<DcacheRow>, SimError> {
+    let (_, trace) = workloads::capture_verified(workload, base, max_cycles)?;
+    dcache_exhaustive_traced(&trace, base, model, max_cycles)
+}
+
+/// The sweep kernel given an already-captured trace: retime all 28
+/// geometries without executing the workload at all.  A measurement session
+/// captures each workload's trace once (e.g. for the cost table) and every
+/// subsequent study over that workload replays it.
+pub fn dcache_exhaustive_traced(
+    trace: &leon_sim::Trace,
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    max_cycles: u64,
+) -> Result<Vec<DcacheRow>, SimError> {
+    let mut rows = Vec::new();
+    for (ways, way_kb) in dcache_combinations() {
+        let config = sweep_config(base, ways, way_kb);
+        let report = model.synthesize(&config);
+        if !report.fits {
+            rows.push(DcacheRow {
+                ways,
+                way_kb,
+                cycles: 0,
+                seconds: 0.0,
+                lut_pct: report.lut_percent,
+                bram_pct: report.bram_percent,
+                fits: false,
+            });
+            continue;
+        }
+        let stats = leon_sim::replay(trace, &config, max_cycles)?;
+        rows.push(DcacheRow {
+            ways,
+            way_kb,
+            cycles: stats.cycles,
+            seconds: config.cycles_to_seconds(stats.cycles),
+            lut_pct: report.lut_percent,
+            bram_pct: report.bram_percent,
+            fits: true,
+        });
+    }
+    Ok(rows)
+}
+
+/// The pre-trace-engine sweep: one full cycle-accurate simulation per
+/// feasible geometry.  Kept as the baseline the `replay_micro` benchmark
+/// measures the trace-driven speedup against.
+pub fn dcache_exhaustive_full(
     workload: &dyn Workload,
     base: &LeonConfig,
     model: &SynthesisModel,
@@ -62,14 +132,7 @@ pub fn dcache_exhaustive(
 ) -> Result<Vec<DcacheRow>, SimError> {
     let mut rows = Vec::new();
     for (ways, way_kb) in dcache_combinations() {
-        let mut config = *base;
-        config.dcache.ways = ways;
-        config.dcache.way_kb = way_kb;
-        if ways > 1 {
-            // multi-way sweeps in the paper keep the default policy where
-            // valid; random replacement is valid for any associativity
-            config.dcache.replacement = ReplacementPolicy::Random;
-        }
+        let config = sweep_config(base, ways, way_kb);
         let report = model.synthesize(&config);
         if !report.fits {
             rows.push(DcacheRow {
@@ -141,6 +204,22 @@ mod tests {
         let smallest = rows.iter().find(|r| r.ways == 1 && r.way_kb == 1).unwrap();
         let largest = rows.iter().find(|r| r.ways == 1 && r.way_kb == 32).unwrap();
         assert!(largest.cycles <= smallest.cycles);
+    }
+
+    #[test]
+    fn replay_sweep_is_bit_identical_to_full_simulation() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let fast =
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 200_000_000)
+                .unwrap();
+        let slow = dcache_exhaustive_full(
+            &w,
+            &LeonConfig::base(),
+            &SynthesisModel::default(),
+            200_000_000,
+        )
+        .unwrap();
+        assert_eq!(fast, slow, "trace replay must reproduce Figure 2 exactly");
     }
 
     #[test]

@@ -40,7 +40,7 @@ impl ExperimentOptions {
     }
 
     fn measurement(&self) -> MeasurementOptions {
-        MeasurementOptions { max_cycles: self.max_cycles, threads: self.threads }
+        MeasurementOptions { max_cycles: self.max_cycles, threads: self.threads, use_replay: true }
     }
 }
 

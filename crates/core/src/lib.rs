@@ -41,7 +41,10 @@ pub mod measure;
 pub mod optimizer;
 pub mod params;
 
-pub use dcache_study::{best_runtime_row, dcache_exhaustive, DcacheRow};
+pub use dcache_study::{
+    best_runtime_row, dcache_exhaustive, dcache_exhaustive_full, dcache_exhaustive_traced,
+    DcacheRow,
+};
 pub use formulation::{formulate, predict, ConstraintForm, FormulationOptions, Prediction, Weights};
 pub use measure::{measure_base, measure_cost_table, BaseCosts, CostTable, MeasurementOptions, VariableCost};
 pub use optimizer::{AutoReconfigurator, OptimizeError, Outcome, Validation};

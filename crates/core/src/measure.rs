@@ -8,12 +8,25 @@
 //! build plus a timed run); here synthesis is analytical and runs are
 //! simulated, and the independent measurements are spread across worker
 //! threads.
+//!
+//! The hot path is trace-driven: the application executes in full exactly
+//! once (capturing an execution trace, see [`leon_sim::trace`]), and every
+//! perturbation is retimed by [`leon_sim::replay`] over that trace instead
+//! of re-running the cycle-accurate interpreter.  All 52 Figure 1 variables
+//! are trace-invariant today — register-window changes included, because the
+//! trace records every `save`/`restore` rotation and replay re-derives the
+//! traps — but the classification ([`Variable::is_trace_invariant`]) stays
+//! explicit so a future stream-changing parameter falls back to full
+//! simulation rather than silently mis-measuring.  Enabler reference
+//! measurements and synthesis reports are additionally memoised per
+//! configuration, so shared work is done once.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fpga_model::SynthesisModel;
-use leon_sim::{LeonConfig, SimError};
+use fpga_model::{SynthesisModel, SynthesisReport};
+use leon_sim::{LeonConfig, SimError, Trace};
 use serde::{Deserialize, Serialize};
 use workloads::Workload;
 
@@ -26,11 +39,19 @@ pub struct MeasurementOptions {
     pub max_cycles: u64,
     /// Number of worker threads (0 = one per available CPU).
     pub threads: usize,
+    /// Measure trace-invariant perturbations by trace replay (the default).
+    /// Disable to force full simulation everywhere — only useful for
+    /// benchmarking the replay speedup and for equivalence testing.
+    pub use_replay: bool,
 }
 
 impl Default for MeasurementOptions {
     fn default() -> Self {
-        MeasurementOptions { max_cycles: leon_sim::DEFAULT_MAX_CYCLES, threads: 0 }
+        MeasurementOptions {
+            max_cycles: leon_sim::DEFAULT_MAX_CYCLES,
+            threads: 0,
+            use_replay: true,
+        }
     }
 }
 
@@ -93,8 +114,23 @@ pub struct CostTable {
 
 impl CostTable {
     /// Look up the cost entry of a paper variable index.
+    ///
+    /// O(1) for the common case of a contiguously indexed table (both
+    /// `ParameterSpace::paper()` and the dcache sub-space are contiguous);
+    /// falls back to a binary search over the index-sorted `costs` otherwise.
     pub fn by_index(&self, index: usize) -> Option<&VariableCost> {
-        self.costs.iter().find(|c| c.index == index)
+        let first = self.costs.first()?.index;
+        if let Some(slot) = index.checked_sub(first) {
+            if let Some(cost) = self.costs.get(slot) {
+                if cost.index == index {
+                    return Some(cost);
+                }
+            }
+        }
+        self.costs
+            .binary_search_by_key(&index, |c| c.index)
+            .ok()
+            .map(|i| &self.costs[i])
     }
 
     /// Number of measured configurations (excluding the base).
@@ -116,6 +152,132 @@ fn exact_bram_pct(model: &SynthesisModel, blocks: u32) -> f64 {
     blocks as f64 * 100.0 / model.device().bram_blocks as f64
 }
 
+/// A per-configuration memo of synthesis reports.  The analytical model is
+/// cheap, but the measurement phase asks for the same reference
+/// configurations over and over (base + enabler for every variable of a
+/// one-hot group), so results are computed once and shared across workers.
+struct SynthCache<'a> {
+    model: &'a SynthesisModel,
+    reports: Mutex<HashMap<LeonConfig, SynthesisReport>>,
+}
+
+impl<'a> SynthCache<'a> {
+    fn new(model: &'a SynthesisModel) -> SynthCache<'a> {
+        SynthCache { model, reports: Mutex::new(HashMap::new()) }
+    }
+
+    fn synthesize(&self, config: &LeonConfig) -> SynthesisReport {
+        if let Some(report) = self.reports.lock().unwrap().get(config) {
+            return *report;
+        }
+        let report = self.model.synthesize(config);
+        self.reports.lock().unwrap().insert(*config, report);
+        report
+    }
+}
+
+/// Reference-point measurements (cycles, exact %LUT, exact %BRAM) memoised
+/// per enabler configuration; shared by every variable of a one-hot group.
+type RefCache = Mutex<HashMap<LeonConfig, (u64, f64, f64)>>;
+
+/// Shared context of one cost-table measurement.
+struct MeasureCtx<'a> {
+    workload: &'a (dyn Workload + Sync),
+    base: &'a LeonConfig,
+    base_costs: &'a BaseCosts,
+    options: &'a MeasurementOptions,
+    /// Execution trace of the base configuration (when replay is enabled).
+    trace: Option<&'a Trace>,
+    synth: &'a SynthCache<'a>,
+    references: &'a RefCache,
+}
+
+impl MeasureCtx<'_> {
+    /// Runtime of `config` in (cycles, seconds): by trace replay when the
+    /// perturbation permits it, by full verified simulation otherwise.
+    fn timed_run(&self, config: &LeonConfig, replayable: bool) -> Result<(u64, f64), SimError> {
+        if replayable {
+            if let Some(trace) = self.trace {
+                let stats = leon_sim::replay(trace, config, self.options.max_cycles)?;
+                return Ok((stats.cycles, config.cycles_to_seconds(stats.cycles)));
+            }
+        }
+        let run = workloads::run_verified(self.workload, config, self.options.max_cycles)?;
+        Ok((run.stats.cycles, run.seconds))
+    }
+
+    /// Reference point of a variable: the base configuration plus its
+    /// enabler (if any), so that the additive model `cost(enabler) +
+    /// cost(change)` approximates the cost of the combined configuration.
+    fn reference_costs(
+        &self,
+        reference: &LeonConfig,
+        replayable: bool,
+    ) -> Result<(u64, f64, f64), SimError> {
+        if let Some(costs) = self.references.lock().unwrap().get(reference) {
+            return Ok(*costs);
+        }
+        let report = self.synth.synthesize(reference);
+        let (cycles, _) = self.timed_run(reference, replayable)?;
+        let costs = (
+            cycles,
+            exact_lut_pct(self.synth.model, report.luts),
+            exact_bram_pct(self.synth.model, report.bram_blocks),
+        );
+        self.references.lock().unwrap().insert(*reference, costs);
+        Ok(costs)
+    }
+
+    fn measure_variable(&self, var: &Variable) -> Result<VariableCost, SimError> {
+        let replayable = self.options.use_replay && var.is_trace_invariant();
+
+        let mut reference = *self.base;
+        if let Some(enabler) = &var.enabler {
+            enabler.apply(&mut reference);
+        }
+        let mut perturbed = reference;
+        var.change.apply(&mut perturbed);
+
+        let (ref_cycles, ref_lut_pct, ref_bram_pct) = if var.enabler.is_some() {
+            self.reference_costs(&reference, replayable)?
+        } else {
+            (self.base_costs.cycles, self.base_costs.lut_pct, self.base_costs.bram_pct)
+        };
+
+        let report = self.synth.synthesize(&perturbed);
+        let (cycles, seconds) = self.timed_run(&perturbed, replayable)?;
+        let lut_pct = exact_lut_pct(self.synth.model, report.luts);
+        let bram_pct = exact_bram_pct(self.synth.model, report.bram_blocks);
+
+        Ok(VariableCost {
+            index: var.index,
+            name: var.name.clone(),
+            cycles,
+            seconds,
+            rho: (cycles as f64 - ref_cycles as f64) * 100.0 / self.base_costs.cycles as f64,
+            lambda: lut_pct - ref_lut_pct,
+            beta: bram_pct - ref_bram_pct,
+            lut_pct,
+            bram_pct,
+        })
+    }
+}
+
+fn base_costs_from(model: &SynthesisModel, report: SynthesisReport, cycles: u64, seconds: f64) -> BaseCosts {
+    let lut_pct = exact_lut_pct(model, report.luts);
+    let bram_pct = exact_bram_pct(model, report.bram_blocks);
+    BaseCosts {
+        cycles,
+        seconds,
+        luts: report.luts,
+        bram_blocks: report.bram_blocks,
+        lut_pct,
+        bram_pct,
+        headroom_lut_pct: 100.0 - lut_pct,
+        headroom_bram_pct: 100.0 - bram_pct,
+    }
+}
+
 /// Measure the base configuration: one synthesis plus one verified run.
 pub fn measure_base(
     workload: &dyn Workload,
@@ -125,70 +287,42 @@ pub fn measure_base(
 ) -> Result<BaseCosts, SimError> {
     let report = model.synthesize(base);
     let run = workloads::run_verified(workload, base, options.max_cycles)?;
-    let lut_pct = exact_lut_pct(model, report.luts);
-    let bram_pct = exact_bram_pct(model, report.bram_blocks);
-    Ok(BaseCosts {
-        cycles: run.stats.cycles,
-        seconds: run.seconds,
-        luts: report.luts,
-        bram_blocks: report.bram_blocks,
-        lut_pct,
-        bram_pct,
-        headroom_lut_pct: 100.0 - lut_pct,
-        headroom_bram_pct: 100.0 - bram_pct,
-    })
+    Ok(base_costs_from(model, report, run.stats.cycles, run.seconds))
 }
 
-fn measure_variable(
+/// Measure one variable in isolation with full simulation (no shared trace
+/// or memoisation).  `measure_cost_table` is the fast path; this entry point
+/// exists for spot measurements and tests.
+pub fn measure_variable(
     var: &Variable,
-    workload: &dyn Workload,
+    workload: &(dyn Workload + Sync),
     base: &LeonConfig,
     base_costs: &BaseCosts,
     model: &SynthesisModel,
     options: &MeasurementOptions,
 ) -> Result<VariableCost, SimError> {
-    // Reference point: the base configuration plus the enabler (if any), so
-    // that the additive model `cost(enabler) + cost(change)` approximates the
-    // cost of the combined configuration.
-    let mut reference = *base;
-    if let Some(enabler) = &var.enabler {
-        enabler.apply(&mut reference);
-    }
-    let mut perturbed = reference;
-    var.change.apply(&mut perturbed);
-
-    let (ref_cycles, ref_lut_pct, ref_bram_pct) = if var.enabler.is_some() {
-        let ref_report = model.synthesize(&reference);
-        let ref_run = workloads::run_verified(workload, &reference, options.max_cycles)?;
-        (
-            ref_run.stats.cycles,
-            exact_lut_pct(model, ref_report.luts),
-            exact_bram_pct(model, ref_report.bram_blocks),
-        )
-    } else {
-        (base_costs.cycles, base_costs.lut_pct, base_costs.bram_pct)
+    let synth = SynthCache::new(model);
+    let references = RefCache::default();
+    let ctx = MeasureCtx {
+        workload,
+        base,
+        base_costs,
+        options,
+        trace: None,
+        synth: &synth,
+        references: &references,
     };
-
-    let report = model.synthesize(&perturbed);
-    let run = workloads::run_verified(workload, &perturbed, options.max_cycles)?;
-    let lut_pct = exact_lut_pct(model, report.luts);
-    let bram_pct = exact_bram_pct(model, report.bram_blocks);
-
-    Ok(VariableCost {
-        index: var.index,
-        name: var.name.clone(),
-        cycles: run.stats.cycles,
-        seconds: run.seconds,
-        rho: (run.stats.cycles as f64 - ref_cycles as f64) * 100.0 / base_costs.cycles as f64,
-        lambda: lut_pct - ref_lut_pct,
-        beta: bram_pct - ref_bram_pct,
-        lut_pct,
-        bram_pct,
-    })
+    ctx.measure_variable(var)
 }
 
-/// Measure the full one-at-a-time cost table for `workload`, spreading the
-/// independent builds/runs across worker threads.
+/// Measure the full one-at-a-time cost table for `workload`.
+///
+/// The application is fully simulated once (capturing its execution trace);
+/// trace-invariant perturbations are then retimed by replay, the rest by
+/// full simulation, with the independent measurements spread across worker
+/// threads.  Results land in per-variable slots, so both the table order and
+/// error propagation (first failing variable by index) are deterministic
+/// regardless of worker scheduling.
 pub fn measure_cost_table(
     space: &ParameterSpace,
     workload: &(dyn Workload + Sync),
@@ -196,10 +330,30 @@ pub fn measure_cost_table(
     model: &SynthesisModel,
     options: &MeasurementOptions,
 ) -> Result<CostTable, SimError> {
-    let base_costs = measure_base(workload, base, model, options)?;
+    let (base_costs, trace) = if options.use_replay {
+        let base_report = model.synthesize(base);
+        let (run, trace) = workloads::capture_verified(workload, base, options.max_cycles)?;
+        (base_costs_from(model, base_report, run.stats.cycles, run.seconds), Some(trace))
+    } else {
+        (measure_base(workload, base, model, options)?, None)
+    };
+
     let variables = space.variables();
+    let synth = SynthCache::new(model);
+    let references = RefCache::default();
+    let ctx = MeasureCtx {
+        workload,
+        base,
+        base_costs: &base_costs,
+        options,
+        trace: trace.as_ref(),
+        synth: &synth,
+        references: &references,
+    };
+
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Result<VariableCost, SimError>>> = Mutex::new(Vec::with_capacity(variables.len()));
+    let slots: Vec<Mutex<Option<Result<VariableCost, SimError>>>> =
+        variables.iter().map(|_| Mutex::new(None)).collect();
 
     let threads = if options.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -208,35 +362,39 @@ pub fn measure_cost_table(
     }
     .min(variables.len().max(1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= variables.len() {
                     break;
                 }
-                let cost = measure_variable(&variables[i], workload, base, &base_costs, model, options);
-                results.lock().unwrap().push(cost);
+                let cost = ctx.measure_variable(&variables[i]);
+                *slots[i].lock().unwrap() = Some(cost);
             });
         }
-    })
-    .expect("measurement workers must not panic");
+    });
 
+    // Collect in variable order: the table needs no post-hoc sort, and the
+    // first error is always the lowest-indexed failing variable.
     let mut costs = Vec::with_capacity(variables.len());
-    for r in results.into_inner().unwrap() {
-        costs.push(r?);
+    for slot in slots {
+        costs.push(slot.into_inner().unwrap().expect("every slot is written exactly once")?);
     }
-    costs.sort_by_key(|c| c.index);
     Ok(CostTable { workload: workload.name().to_string(), base: base_costs, costs })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::{Arith, Scale};
+    use workloads::{Arith, Blastn, Scale};
 
     fn options() -> MeasurementOptions {
-        MeasurementOptions { max_cycles: 100_000_000, threads: 2 }
+        MeasurementOptions { max_cycles: 100_000_000, threads: 2, use_replay: true }
+    }
+
+    fn no_replay() -> MeasurementOptions {
+        MeasurementOptions { use_replay: false, ..options() }
     }
 
     #[test]
@@ -270,6 +428,33 @@ mod tests {
         let larger = t1.by_index(19).unwrap(); // dcache 32 KB way
         assert!(smaller.beta < 0.0);
         assert!(larger.beta > 0.0);
+    }
+
+    #[test]
+    fn replay_and_full_simulation_produce_identical_cost_tables() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let model = SynthesisModel::default();
+        let base = LeonConfig::base();
+        let space = ParameterSpace::paper();
+        let fast = measure_cost_table(&space, &w, &base, &model, &options()).unwrap();
+        let slow = measure_cost_table(&space, &w, &base, &model, &no_replay()).unwrap();
+        assert_eq!(fast.base, slow.base);
+        assert_eq!(fast.costs, slow.costs, "replay must be bit-identical to full simulation");
+    }
+
+    #[test]
+    fn by_index_is_direct_and_complete() {
+        let w = Arith::scaled(Scale::Tiny);
+        let model = SynthesisModel::default();
+        let base = LeonConfig::base();
+        let space = ParameterSpace::dcache_geometry();
+        let t = measure_cost_table(&space, &w, &base, &model, &options()).unwrap();
+        for v in space.variables() {
+            assert_eq!(t.by_index(v.index).unwrap().index, v.index);
+        }
+        assert!(t.by_index(11).is_none());
+        assert!(t.by_index(20).is_none());
+        assert!(t.by_index(0).is_none());
     }
 
     #[test]

@@ -31,11 +31,13 @@ use crate::error::SimError;
 use crate::memory::Memory;
 use crate::profiler::{RunResult, Stats};
 use crate::regwin::{RegisterWindows, WindowEvent};
+use crate::trace::{flags, TraceOp};
 
 /// Pipeline flush + trap entry overhead of a register-window trap, in cycles.
-const WINDOW_TRAP_OVERHEAD: u64 = 6;
+/// Shared with [`crate::trace::replay`], which must charge identical costs.
+pub(crate) const WINDOW_TRAP_OVERHEAD: u64 = 6;
 /// Registers spilled or filled by a window trap.
-const WINDOW_TRAP_REGS: u32 = 16;
+pub(crate) const WINDOW_TRAP_REGS: u32 = 16;
 
 /// A LEON2-like processor executing a single program.
 pub struct Cpu {
@@ -57,6 +59,8 @@ pub struct Cpu {
     /// Whether the immediately preceding instruction set the condition codes
     /// (for the ICC-hold interlock).
     prev_set_icc: bool,
+    /// Execution-trace buffer, populated when tracing is enabled.
+    trace: Option<Vec<TraceOp>>,
 }
 
 impl Cpu {
@@ -92,7 +96,22 @@ impl Cpu {
             halted: None,
             last_load_dest: None,
             prev_set_icc: false,
+            trace: None,
         })
+    }
+
+    /// Record an execution trace during the run (see [`crate::trace`]).
+    /// Tracing never perturbs timing or architectural behaviour.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded raw record stream, leaving tracing disabled.
+    /// [`crate::trace::capture`] assembles it into a full [`crate::Trace`].
+    pub fn take_trace(&mut self) -> Option<Vec<TraceOp>> {
+        self.trace.take()
     }
 
     /// The configuration this CPU was built with.
@@ -205,6 +224,12 @@ impl Cpu {
         }
 
         // ---- fetch -------------------------------------------------------
+        // The trace record mirrors every timing-relevant *event*; whether an
+        // event costs cycles (and how many) stays a property of the config,
+        // so the same record can be retimed under any trace-invariant
+        // perturbation (see `crate::trace`).
+        let mut ev_flags: u16 = 0;
+        let mut ev_aux: u32 = 0;
         let mut cycles: u64 = 1;
         if self.icache.read(self.pc) == Access::Miss {
             cycles += self.icache_fill_penalty();
@@ -212,18 +237,21 @@ impl Cpu {
         let instr = self.decoded[(self.pc / 4) as usize];
 
         // ---- decode ------------------------------------------------------
-        if !self.config.iu.fast_decode
-            && matches!(
-                instr,
-                Instr::Sethi { .. } | Instr::Save { .. } | Instr::Restore { .. } | Instr::JmpL { .. }
-            )
-        {
-            cycles += 1;
+        let slow_format = matches!(
+            instr,
+            Instr::Sethi { .. } | Instr::Save { .. } | Instr::Restore { .. } | Instr::JmpL { .. }
+        );
+        if slow_format {
+            ev_flags |= flags::SLOW_DECODE;
+            if !self.config.iu.fast_decode {
+                cycles += 1;
+            }
         }
 
         // load-use interlock
         if let Some(dest) = self.last_load_dest {
             if instr.sources().contains(&dest) {
+                ev_flags |= flags::LOAD_USE;
                 let stall = self.config.iu.load_delay as u64;
                 cycles += stall;
                 self.stats.load_use_stalls += stall;
@@ -232,9 +260,12 @@ impl Cpu {
         self.last_load_dest = None;
 
         // ICC-hold interlock: branch immediately after an icc-setting op
-        if self.prev_set_icc && self.config.iu.icc_hold && matches!(instr, Instr::Branch { .. }) {
-            cycles += 1;
-            self.stats.icc_hold_stalls += 1;
+        if self.prev_set_icc && matches!(instr, Instr::Branch { .. }) {
+            ev_flags |= flags::ICC_BRANCH;
+            if self.config.iu.icc_hold {
+                cycles += 1;
+                self.stats.icc_hold_stalls += 1;
+            }
         }
         self.prev_set_icc = instr.sets_icc();
 
@@ -264,6 +295,7 @@ impl Cpu {
                 }
                 self.windows.write(rd, r);
                 self.stats.mul_ops += 1;
+                ev_flags |= flags::MUL;
                 cycles += (self.config.iu.multiplier.latency() - 1) as u64;
             }
             Instr::Div { op, cc, rd, rs1, op2 } => {
@@ -281,6 +313,7 @@ impl Cpu {
                 }
                 self.windows.write(rd, r);
                 self.stats.div_ops += 1;
+                ev_flags |= flags::DIV;
                 cycles += (self.config.iu.divider.latency() - 1) as u64;
             }
             Instr::Load { size, signed, rd, rs1, op2 } => {
@@ -295,6 +328,8 @@ impl Cpu {
                 cycles += self.dcache_read_cycles(addr);
                 self.windows.write(rd, value);
                 self.stats.loads += 1;
+                ev_flags |= flags::LOAD;
+                ev_aux = addr;
                 self.last_load_dest = Some(rd);
             }
             Instr::Store { size, rs_data, rs1, op2 } => {
@@ -307,11 +342,15 @@ impl Cpu {
                 }
                 cycles += self.dcache_write_cycles(addr);
                 self.stats.stores += 1;
+                ev_flags |= flags::STORE;
+                ev_aux = addr;
             }
             Instr::Branch { cond, disp } => {
                 self.stats.branches += 1;
+                ev_flags |= flags::BRANCH;
                 if cond.eval(self.icc) {
                     self.stats.taken_branches += 1;
+                    ev_flags |= flags::TAKEN;
                     next_pc = self.pc.wrapping_add((disp * 4) as u32);
                     // taken branches refill the fetch stage
                     cycles += 1;
@@ -321,6 +360,7 @@ impl Cpu {
                 self.windows.write(Reg::O7, self.pc.wrapping_add(4));
                 next_pc = self.pc.wrapping_add((disp * 4) as u32);
                 self.stats.calls += 1;
+                ev_flags |= flags::CALL;
                 cycles += if self.config.iu.fast_jump { 1 } else { 2 };
             }
             Instr::JmpL { rd, rs1, op2 } => {
@@ -328,6 +368,7 @@ impl Cpu {
                 self.windows.write(rd, self.pc.wrapping_add(4));
                 next_pc = target;
                 self.stats.calls += 1;
+                ev_flags |= flags::CALL;
                 cycles += if self.config.iu.fast_jump { 1 } else { 2 };
             }
             Instr::Save { rd, rs1, op2 } => {
@@ -335,8 +376,14 @@ impl Cpu {
                 let b = self.operand2(op2);
                 let event = self.windows.save();
                 self.windows.write(rd, a.wrapping_add(b));
+                // The post-save stack pointer is architectural and therefore
+                // identical under every configuration; recording it on every
+                // rotation lets replay re-derive the traps of any window count.
+                let sp = self.windows.read(Reg::SP) & !0x3;
+                ev_flags |= flags::SAVE;
+                ev_aux = sp;
                 if event == WindowEvent::Overflow {
-                    cycles += self.window_trap_cycles(true);
+                    cycles += self.window_trap_cycles(sp, true);
                     self.stats.window_overflows += 1;
                 }
             }
@@ -348,8 +395,11 @@ impl Cpu {
                     .restore()
                     .map_err(|_| SimError::WindowUnderflowAtBase { pc: self.pc })?;
                 self.windows.write(rd, a.wrapping_add(b));
+                let sp = self.windows.read(Reg::SP) & !0x3;
+                ev_flags |= flags::RESTORE;
+                ev_aux = sp;
                 if event == WindowEvent::Underflow {
-                    cycles += self.window_trap_cycles(false);
+                    cycles += self.window_trap_cycles(sp, false);
                     self.stats.window_underflows += 1;
                 }
             }
@@ -370,6 +420,28 @@ impl Cpu {
             }
         }
 
+        if let Some(trace) = &mut self.trace {
+            let mut merged = false;
+            if ev_flags == 0 {
+                // Run-length compress event-free sequential fetches within one
+                // 16-byte block (the minimum line size, so "same cache line"
+                // holds under every valid geometry the trace may be replayed
+                // against).
+                if let Some(last) = trace.last_mut() {
+                    if last.flags == 0
+                        && self.pc == last.pc.wrapping_add(4 * last.aux)
+                        && self.pc >> 4 == last.pc >> 4
+                    {
+                        last.aux += 1;
+                        merged = true;
+                    }
+                }
+            }
+            if !merged {
+                let aux = if ev_flags == 0 { 1 } else { ev_aux };
+                trace.push(TraceOp { pc: self.pc, flags: ev_flags, aux });
+            }
+        }
         self.stats.cycles += cycles;
         self.stats.instructions += 1;
         self.pc = next_pc;
@@ -377,10 +449,10 @@ impl Cpu {
     }
 
     /// Cycles charged for a window overflow (spill) or underflow (fill) trap:
-    /// trap entry/exit plus 16 register transfers through the data cache.
-    fn window_trap_cycles(&mut self, spill: bool) -> u64 {
+    /// trap entry/exit plus 16 register transfers through the data cache at
+    /// the (word-aligned) stack pointer `sp`.
+    fn window_trap_cycles(&mut self, sp: u32, spill: bool) -> u64 {
         let mut cycles = WINDOW_TRAP_OVERHEAD;
-        let sp = self.windows.read(Reg::SP) & !0x3;
         for i in 0..WINDOW_TRAP_REGS {
             let addr = sp.wrapping_sub(4 + i * 4);
             cycles += 1;

@@ -36,6 +36,7 @@ pub mod error;
 pub mod memory;
 pub mod profiler;
 pub mod regwin;
+pub mod trace;
 
 pub use cache::{Access, Cache, CacheStats};
 pub use config::{
@@ -47,6 +48,7 @@ pub use error::SimError;
 pub use memory::Memory;
 pub use profiler::{RunResult, Stats};
 pub use regwin::{RegisterWindows, WindowEvent};
+pub use trace::{capture, replay, Trace, TraceOp};
 
 /// Default per-run cycle budget used by the higher-level crates.
 pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;

@@ -1,0 +1,597 @@
+//! Trace capture and replay retiming.
+//!
+//! The measurement phase of the paper (Section 3) evaluates ~52 one-at-a-time
+//! perturbations per application, and the Figure 2 study exhaustively sweeps
+//! the d-cache geometry.  In an in-order, blocking LEON2 model, cache and
+//! timing perturbations cannot change the instruction or memory-address
+//! stream — only how many cycles each event costs.  So the stream only has to
+//! be produced once: the first functional run records a compact execution
+//! trace, and every perturbation is retimed by [`replay`] — no decode, no
+//! ALU, no architectural state.
+//!
+//! # What the trace stores
+//!
+//! * [`Trace::ops`] — one [`TraceOp`] per eventful instruction (loads,
+//!   stores, branches, multiplies, window rotations, …), with runs of
+//!   event-free sequential fetches inside one 16-byte block (the minimum
+//!   line size, so "same cache line" holds under every valid geometry)
+//!   run-length compressed into a single record;
+//! * [`Trace::mem`] — just the data-cache-relevant stream: load/store
+//!   effective addresses and `save`/`restore` rotations with their
+//!   (architecturally configuration-independent) stack pointers;
+//! * [`Trace::summary`] — configuration-independent event *counts*;
+//! * the capturing configuration and its cache statistics.
+//!
+//! # How replay retimes a configuration
+//!
+//! Total cycles decompose into `Σ events × cost(event, config)`, and only
+//! cache hit/miss behaviour needs stateful re-simulation:
+//!
+//! 1. **i-cache**: if the replayed i-cache geometry equals the capturing
+//!    one, its statistics are reused verbatim; otherwise the fetch stream in
+//!    `ops` is re-walked through a fresh [`Cache`].
+//! 2. **d-cache + window traps**: if both the d-cache geometry and the
+//!    register-window count match, the captured statistics are reused;
+//!    otherwise `mem` is re-walked — a resident-window automaton re-derives
+//!    overflow/underflow traps for the window count under evaluation and
+//!    expands each trap into its 16 spill/fill accesses.
+//! 3. **everything else** (latency options, decode/jump/interlock, fast
+//!    read/write, multiplier/divider, memory timing) is closed-form
+//!    arithmetic over [`TraceSummary`] — O(1).
+//!
+//! A cost-table measurement of the paper's 52-variable space therefore runs
+//! the full simulator once and replays 52 times, where 14 IU-only replays
+//! are O(1), 28 walk only the memory stream, and 11 walk only the fetch
+//! stream.
+//!
+//! Replay is bit-identical to full simulation — same final `cycles` and
+//! cache statistics — which `tests/replay_equivalence.rs` asserts across the
+//! benchmark suite × a grid of perturbations.  One caveat: the `max_cycles`
+//! budget is enforced on the run *total*, not per instruction, so a budget
+//! first exceeded by the final instruction errors here where full simulation
+//! would have just finished.
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::{CacheConfig, LeonConfig};
+use crate::error::SimError;
+use crate::profiler::Stats;
+
+/// Flag bits of one [`TraceOp`].  A bit records that the *event occurred* in
+/// the instruction stream; whether and how many cycles it costs is decided at
+/// replay time from the configuration under evaluation.  A record with no
+/// flag bits is a compressed run of `aux` event-free sequential fetches.
+pub mod flags {
+    /// The instruction uses a slow-decode format (`sethi`/`save`/`restore`/
+    /// `jmpl`); costs one extra cycle unless fast decode is enabled.
+    pub const SLOW_DECODE: u16 = 1 << 0;
+    /// The instruction consumes the destination of the immediately preceding
+    /// load (load-use interlock); costs `load_delay` cycles.
+    pub const LOAD_USE: u16 = 1 << 1;
+    /// A conditional branch immediately following an icc-setting instruction;
+    /// costs one cycle when the ICC-hold interlock is configured.
+    pub const ICC_BRANCH: u16 = 1 << 2;
+    /// Hardware multiply.
+    pub const MUL: u16 = 1 << 3;
+    /// Hardware divide.
+    pub const DIV: u16 = 1 << 4;
+    /// Memory load; `aux` holds the effective address.
+    pub const LOAD: u16 = 1 << 5;
+    /// Memory store; `aux` holds the effective address.
+    pub const STORE: u16 = 1 << 6;
+    /// Conditional branch.
+    pub const BRANCH: u16 = 1 << 7;
+    /// The branch was taken (fetch refill cycle).
+    pub const TAKEN: u16 = 1 << 8;
+    /// Call or indirect jump (`call`/`jmpl` address-generation cycles).
+    pub const CALL: u16 = 1 << 9;
+    /// Register-window rotation forward (`save`); `aux` holds the
+    /// (architectural, configuration-independent) post-save stack pointer a
+    /// spill would write through.
+    pub const SAVE: u16 = 1 << 10;
+    /// Register-window rotation backward (`restore`); `aux` holds the
+    /// post-restore stack pointer a fill would read through.
+    pub const RESTORE: u16 = 1 << 11;
+}
+
+/// One trace record: a single eventful instruction, or a compressed run of
+/// event-free sequential fetches when `flags == 0`.
+///
+/// 12 bytes per record: the fetch address (for the i-cache), an event
+/// bitmask, and one auxiliary word (load/store effective address, save/
+/// restore stack pointer, or the run length of a compressed fetch run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Program counter of the (first) fetch.
+    pub pc: u32,
+    /// Event bits from [`flags`]; `0` marks a compressed fetch run.
+    pub flags: u16,
+    /// Effective address (loads/stores), trap stack pointer (save/restore),
+    /// or run length in instructions (compressed fetch runs).
+    pub aux: u32,
+}
+
+impl TraceOp {
+    /// A single event-free fetch (a run of length 1).
+    pub fn fetch(pc: u32) -> TraceOp {
+        TraceOp { pc, flags: 0, aux: 1 }
+    }
+
+    /// Dynamic instructions this record retires.
+    pub fn instructions(&self) -> u64 {
+        if self.flags == 0 {
+            self.aux as u64
+        } else {
+            1
+        }
+    }
+}
+
+/// The data-cache-relevant events, extracted into their own dense stream so
+/// that d-cache and register-window perturbations replay without touching
+/// the (much longer) fetch stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// Data-cache read at this effective address.
+    Load(u32),
+    /// Data-cache write at this effective address.
+    Store(u32),
+    /// Window rotation forward; spills write through this stack pointer when
+    /// the replayed window file overflows.
+    Save(u32),
+    /// Window rotation backward; fills read through this stack pointer when
+    /// the replayed window file underflows.
+    Restore(u32),
+}
+
+/// Configuration-independent event counts of a captured run: everything the
+/// cycle model charges for, minus the cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Dynamic instructions.
+    pub instructions: u64,
+    /// Instructions with a slow-decode format.
+    pub slow_decode: u64,
+    /// Load-use interlock occurrences.
+    pub load_use: u64,
+    /// Branches immediately following an icc-setting instruction.
+    pub icc_branch: u64,
+    /// Hardware multiplies.
+    pub mul_ops: u64,
+    /// Hardware divides.
+    pub div_ops: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+    /// Calls and indirect jumps.
+    pub calls: u64,
+    /// `save` rotations.
+    pub saves: u64,
+    /// `restore` rotations.
+    pub restores: u64,
+}
+
+/// A captured execution trace: the full timing-relevant event stream of one
+/// program run, independent of every Figure 1 parameter (including the
+/// register-window count — window traps are re-derived at replay time).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Per-instruction records with fetch-run compression, in execution order.
+    pub ops: Vec<TraceOp>,
+    /// The data-cache/window event stream (see [`MemOp`]), in execution order.
+    pub mem: Vec<MemOp>,
+    /// Configuration-independent event counts.
+    pub summary: TraceSummary,
+    /// The configuration the trace was captured on.
+    pub captured: LeonConfig,
+    /// I-cache statistics of the capturing run (reused verbatim when the
+    /// replayed i-cache geometry matches).
+    pub base_icache: CacheStats,
+    /// D-cache statistics of the capturing run (include window-trap traffic).
+    pub base_dcache: CacheStats,
+    /// Window overflow traps of the capturing run.
+    pub base_overflows: u64,
+    /// Window underflow traps of the capturing run.
+    pub base_underflows: u64,
+}
+
+impl Trace {
+    /// Number of records (compressed runs count once).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Dynamic instruction count of the captured run.
+    pub fn instructions(&self) -> u64 {
+        self.summary.instructions
+    }
+
+    /// Approximate in-memory footprint of the trace buffers, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.ops.len() * std::mem::size_of::<TraceOp>()
+            + self.mem.len() * std::mem::size_of::<MemOp>()
+    }
+
+    /// Build the derived streams (`mem`, `summary`) from a raw record stream
+    /// and the capturing run's results.
+    fn assemble(ops: Vec<TraceOp>, captured: &LeonConfig, stats: &Stats) -> Trace {
+        let mut summary = TraceSummary::default();
+        let mut mem = Vec::new();
+        for op in &ops {
+            let f = op.flags;
+            if f == 0 {
+                summary.instructions += op.aux as u64;
+                continue;
+            }
+            summary.instructions += 1;
+            summary.slow_decode += (f & flags::SLOW_DECODE != 0) as u64;
+            summary.load_use += (f & flags::LOAD_USE != 0) as u64;
+            summary.icc_branch += (f & flags::ICC_BRANCH != 0) as u64;
+            summary.mul_ops += (f & flags::MUL != 0) as u64;
+            summary.div_ops += (f & flags::DIV != 0) as u64;
+            summary.branches += (f & flags::BRANCH != 0) as u64;
+            summary.taken_branches += (f & flags::TAKEN != 0) as u64;
+            summary.calls += (f & flags::CALL != 0) as u64;
+            if f & flags::LOAD != 0 {
+                summary.loads += 1;
+                mem.push(MemOp::Load(op.aux));
+            }
+            if f & flags::STORE != 0 {
+                summary.stores += 1;
+                mem.push(MemOp::Store(op.aux));
+            }
+            if f & flags::SAVE != 0 {
+                summary.saves += 1;
+                mem.push(MemOp::Save(op.aux));
+            }
+            if f & flags::RESTORE != 0 {
+                summary.restores += 1;
+                mem.push(MemOp::Restore(op.aux));
+            }
+        }
+        debug_assert_eq!(summary.instructions, stats.instructions);
+        debug_assert_eq!(summary.loads, stats.loads);
+        debug_assert_eq!(summary.stores, stats.stores);
+        debug_assert_eq!(summary.branches, stats.branches);
+        Trace {
+            ops,
+            mem,
+            summary,
+            captured: *captured,
+            base_icache: stats.icache,
+            base_dcache: stats.dcache,
+            base_overflows: stats.window_overflows,
+            base_underflows: stats.window_underflows,
+        }
+    }
+}
+
+/// Re-walk the memory stream for a d-cache and/or window-count perturbation:
+/// re-derives window traps with the resident-window automaton (mirroring
+/// [`crate::regwin::RegisterWindows`]) and expands each trap into its 16
+/// spill/fill accesses.  Returns the d-cache statistics plus trap counts.
+fn walk_mem(trace: &Trace, config: &LeonConfig) -> (CacheStats, u64, u64) {
+    let mut dcache = Cache::new(config.dcache);
+    let nwindows = config.iu.reg_windows as u32;
+    let mut resident: u32 = 1;
+    let mut overflows: u64 = 0;
+    let mut underflows: u64 = 0;
+    for op in &trace.mem {
+        match *op {
+            MemOp::Load(addr) => {
+                dcache.read(addr);
+            }
+            MemOp::Store(addr) => {
+                dcache.write(addr);
+            }
+            MemOp::Save(sp) => {
+                if resident >= nwindows - 1 {
+                    overflows += 1;
+                    for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                        dcache.write(sp.wrapping_sub(4 + i * 4));
+                    }
+                } else {
+                    resident += 1;
+                }
+            }
+            MemOp::Restore(sp) => {
+                if resident <= 1 {
+                    underflows += 1;
+                    for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                        dcache.read(sp.wrapping_sub(4 + i * 4));
+                    }
+                } else {
+                    resident -= 1;
+                }
+            }
+        }
+    }
+    (dcache.stats(), overflows, underflows)
+}
+
+/// Re-walk the fetch stream for an i-cache perturbation.
+fn walk_fetches(trace: &Trace, icache_config: CacheConfig) -> CacheStats {
+    let mut icache = Cache::new(icache_config);
+    for op in &trace.ops {
+        if op.flags == 0 {
+            icache.read_run(op.pc, op.aux as u64 - 1);
+        } else {
+            icache.read(op.pc);
+        }
+    }
+    icache.stats()
+}
+
+/// Retime a captured trace under `config`, producing the exact [`Stats`] a
+/// full simulation of the same program on `config` would produce — in a
+/// fraction of the time, because only the caches (and only the *changed*
+/// caches) are re-simulated while every other cost is closed-form.
+pub fn replay(trace: &Trace, config: &LeonConfig, max_cycles: u64) -> Result<Stats, SimError> {
+    config
+        .validate()
+        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+
+    let s = &trace.summary;
+    let m = &config.memory;
+    let icache_fill = (m.read_first + (config.icache.line_words as u32 - 1) * m.read_burst) as u64;
+    let dcache_fill = (m.read_first + (config.dcache.line_words as u32 - 1) * m.read_burst) as u64;
+    let dread_hit: u64 = if config.dcache_fast_read { 0 } else { 1 };
+    let dwrite_hit: u64 = if config.dcache_fast_write { 0 } else { 1 };
+
+    // 1. i-cache behaviour (identical geometry => identical statistics)
+    let icache = if config.icache == trace.captured.icache {
+        trace.base_icache
+    } else {
+        walk_fetches(trace, config.icache)
+    };
+
+    // 2. d-cache + window-trap behaviour
+    let same_mem_behaviour = config.dcache == trace.captured.dcache
+        && config.iu.reg_windows == trace.captured.iu.reg_windows;
+    let (dcache, window_overflows, window_underflows) = if same_mem_behaviour {
+        (trace.base_dcache, trace.base_overflows, trace.base_underflows)
+    } else {
+        walk_mem(trace, config)
+    };
+
+    // 3. closed-form cycle reconstruction (mirrors `Cpu::step`'s charges)
+    let load_use_stalls = s.load_use * config.iu.load_delay as u64;
+    let icc_hold_stalls = if config.iu.icc_hold { s.icc_branch } else { 0 };
+    let traps = window_overflows + window_underflows;
+    let cycles = s.instructions
+        + icache.read_misses * icache_fill
+        + if config.iu.fast_decode { 0 } else { s.slow_decode }
+        + load_use_stalls
+        + icc_hold_stalls
+        + s.mul_ops * (config.iu.multiplier.latency() - 1) as u64
+        + s.div_ops * (config.iu.divider.latency() - 1) as u64
+        + s.taken_branches
+        + s.calls * if config.iu.fast_jump { 1 } else { 2 }
+        + dcache.read_hits * dread_hit
+        + dcache.read_misses * (dread_hit + dcache_fill)
+        + dcache.write_hits * dwrite_hit
+        + dcache.write_misses * (dwrite_hit + 1)
+        + traps * (crate::cpu::WINDOW_TRAP_OVERHEAD + crate::cpu::WINDOW_TRAP_REGS as u64);
+
+    if cycles > max_cycles {
+        return Err(SimError::CycleLimitExceeded { limit: max_cycles });
+    }
+
+    Ok(Stats {
+        cycles,
+        instructions: s.instructions,
+        icache,
+        dcache,
+        loads: s.loads,
+        stores: s.stores,
+        branches: s.branches,
+        taken_branches: s.taken_branches,
+        calls: s.calls,
+        mul_ops: s.mul_ops,
+        div_ops: s.div_ops,
+        window_overflows,
+        window_underflows,
+        icc_hold_stalls,
+        load_use_stalls,
+    })
+}
+
+/// Run `program` on `config` once, capturing both the full [`crate::RunResult`]
+/// and the execution trace for later replays.
+pub fn capture(
+    config: &LeonConfig,
+    program: &leon_isa::Program,
+    max_cycles: u64,
+) -> Result<(crate::RunResult, Trace), SimError> {
+    let mut cpu = crate::Cpu::new(*config, program)?;
+    cpu.enable_trace();
+    let result = cpu.run(max_cycles)?;
+    let ops = cpu.take_trace().expect("trace was enabled before the run");
+    let trace = Trace::assemble(ops, config, &result.stats);
+    Ok((result, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Multiplier, ReplacementPolicy};
+    use leon_isa::{Asm, Reg};
+
+    fn demo_program() -> leon_isa::Program {
+        let mut a = Asm::new("trace-demo");
+        a.set(Reg::L0, 64);
+        a.set(Reg::L1, 0);
+        a.set(Reg::L2, leon_isa::DEFAULT_MEMORY_SIZE / 2);
+        a.label("loop");
+        a.st(Reg::L1, Reg::L2, 0);
+        a.ld(Reg::L3, Reg::L2, 0);
+        a.add(Reg::L1, Reg::L3, 1);
+        a.smul(Reg::L4, Reg::L1, 3);
+        a.add(Reg::L2, Reg::L2, 4);
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    /// A recursive program that overflows and underflows the window file.
+    fn recursing_program() -> leon_isa::Program {
+        let mut a = Asm::new("recurse");
+        a.set(Reg::O0, 12);
+        a.call("func");
+        a.halt();
+        a.label("func");
+        a.save(Reg::SP, Reg::SP, -96);
+        a.cmp(Reg::I0, 0);
+        a.be("leaf");
+        a.add(Reg::O0, Reg::I0, -1_i32);
+        a.call("func");
+        a.label("leaf");
+        a.ret_restore();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn capture_matches_plain_simulation() {
+        let config = LeonConfig::base();
+        for program in [demo_program(), recursing_program()] {
+            let plain = crate::simulate(&config, &program, 1_000_000).unwrap();
+            let (run, trace) = capture(&config, &program, 1_000_000).unwrap();
+            assert_eq!(run.stats, plain.stats, "tracing must not perturb the run");
+            assert_eq!(trace.instructions(), plain.stats.instructions);
+            assert!(
+                trace.len() as u64 <= plain.stats.instructions,
+                "fetch runs must compress, not expand"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_capture_config_exactly() {
+        let config = LeonConfig::base();
+        for program in [demo_program(), recursing_program()] {
+            let (run, trace) = capture(&config, &program, 1_000_000).unwrap();
+            let stats = replay(&trace, &config, 1_000_000).unwrap();
+            assert_eq!(stats, run.stats);
+        }
+    }
+
+    #[test]
+    fn replay_retimes_cache_and_latency_perturbations_exactly() {
+        let base = LeonConfig::base();
+        let program = demo_program();
+        let (_, trace) = capture(&base, &program, 1_000_000).unwrap();
+
+        let mut perturbations = Vec::new();
+        let mut c = base;
+        c.dcache.way_kb = 1;
+        perturbations.push(c);
+        let mut c = base;
+        c.dcache.ways = 2;
+        c.dcache.replacement = ReplacementPolicy::Lru;
+        perturbations.push(c);
+        let mut c = base;
+        c.icache.line_words = 4;
+        perturbations.push(c);
+        let mut c = base;
+        c.icache.way_kb = 1;
+        c.icache.ways = 2;
+        c.icache.replacement = ReplacementPolicy::Lrr;
+        perturbations.push(c);
+        let mut c = base;
+        c.iu.multiplier = Multiplier::M32x32;
+        perturbations.push(c);
+        let mut c = base;
+        c.dcache_fast_read = true;
+        c.dcache_fast_write = true;
+        perturbations.push(c);
+        let mut c = base;
+        c.iu.load_delay = 2;
+        c.iu.fast_decode = false;
+        c.iu.fast_jump = false;
+        c.iu.icc_hold = false;
+        perturbations.push(c);
+
+        for config in perturbations {
+            let full = crate::simulate(&config, &program, 1_000_000).unwrap();
+            let replayed = replay(&trace, &config, 1_000_000).unwrap();
+            assert_eq!(replayed, full.stats, "replay must be bit-identical for {config:?}");
+        }
+    }
+
+    #[test]
+    fn replay_retimes_register_window_changes_exactly() {
+        // the recursion depth (12) straddles every window count here, so the
+        // trap pattern genuinely differs between configurations
+        let base = LeonConfig::base();
+        let program = recursing_program();
+        let (_, trace) = capture(&base, &program, 1_000_000).unwrap();
+        for windows in [2u8, 4, 8, 16, 32] {
+            let mut config = base;
+            config.iu.reg_windows = windows;
+            let full = crate::simulate(&config, &program, 1_000_000).unwrap();
+            let replayed = replay(&trace, &config, 1_000_000).unwrap();
+            assert_eq!(
+                replayed, full.stats,
+                "replay must re-derive window traps for {windows} windows"
+            );
+            if windows == 2 {
+                assert!(replayed.window_overflows > 0, "2 windows must trap on recursion");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_respects_the_cycle_budget() {
+        let base = LeonConfig::base();
+        let program = demo_program();
+        let (run, trace) = capture(&base, &program, 1_000_000).unwrap();
+        let limit = run.stats.cycles / 2;
+        let full = crate::simulate(&base, &program, limit).unwrap_err();
+        let replayed = replay(&trace, &base, limit).unwrap_err();
+        assert_eq!(full, replayed);
+        assert!(matches!(replayed, SimError::CycleLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn compressed_runs_never_cross_a_16_byte_block() {
+        let base = LeonConfig::base();
+        let program = demo_program();
+        let (_, trace) = capture(&base, &program, 1_000_000).unwrap();
+        for op in &trace.ops {
+            if op.flags == 0 {
+                assert!(op.aux >= 1 && op.aux <= 4);
+                let last_pc = op.pc + 4 * (op.aux - 1);
+                assert_eq!(op.pc >> 4, last_pc >> 4, "run crosses a minimum-size line");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_and_mem_stream_are_consistent() {
+        let base = LeonConfig::base();
+        let program = recursing_program();
+        let (run, trace) = capture(&base, &program, 1_000_000).unwrap();
+        let s = &trace.summary;
+        assert_eq!(s.instructions, run.stats.instructions);
+        assert_eq!(s.loads, run.stats.loads);
+        assert_eq!(s.stores, run.stats.stores);
+        assert_eq!(s.branches, run.stats.branches);
+        assert_eq!(s.taken_branches, run.stats.taken_branches);
+        assert_eq!(s.calls, run.stats.calls);
+        let mem_loads = trace.mem.iter().filter(|m| matches!(m, MemOp::Load(_))).count() as u64;
+        let saves = trace.mem.iter().filter(|m| matches!(m, MemOp::Save(_))).count() as u64;
+        assert_eq!(mem_loads, s.loads);
+        assert_eq!(saves, s.saves);
+        assert!(s.saves > 0 && s.restores > 0, "recursion must rotate windows");
+    }
+}

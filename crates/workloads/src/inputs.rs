@@ -23,7 +23,18 @@ pub fn plant_matches(database: &mut [u8], query: &[u8], copies: usize, seed: u64
         return positions;
     }
     for _ in 0..copies {
-        let pos = rng.gen_range(0..database.len() - query.len());
+        // Re-draw on overlap so a later plant cannot clobber an earlier one;
+        // bounded attempts keep this total even for crowded databases.
+        let mut pos = rng.gen_range(0..database.len() - query.len());
+        for _ in 0..64 {
+            let overlaps = positions
+                .iter()
+                .any(|&p: &usize| pos < p + query.len() && p < pos + query.len());
+            if !overlaps {
+                break;
+            }
+            pos = rng.gen_range(0..database.len() - query.len());
+        }
         database[pos..pos + query.len()].copy_from_slice(query);
         positions.push(pos);
     }

@@ -41,7 +41,7 @@ pub use arith::Arith;
 pub use blastn::Blastn;
 pub use drr::Drr;
 pub use frag::Frag;
-pub use workload::{run_verified, Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC};
+pub use workload::{capture_verified, run_verified, Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC};
 
 /// The paper's benchmark suite at a given problem scale, in the order used
 /// throughout the paper's tables (BLASTN, DRR, FRAG, Arith).

@@ -1,7 +1,7 @@
 //! The [`Workload`] trait and common helpers.
 
 use leon_isa::Program;
-use leon_sim::{LeonConfig, RunResult, SimError};
+use leon_sim::{LeonConfig, RunResult, SimError, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Report channel that carries the workload's primary checksum.
@@ -77,4 +77,23 @@ pub fn run_verified(
         panic!("workload verification failed: {msg}");
     }
     Ok(result)
+}
+
+/// Run a workload once with trace capture enabled, verifying its output.
+///
+/// The returned [`Trace`] retimes any trace-invariant configuration change
+/// through [`leon_sim::replay`] without re-executing the program — the
+/// functional results (and therefore the verified checksums) are identical on
+/// every such configuration by construction.
+pub fn capture_verified(
+    workload: &dyn Workload,
+    config: &LeonConfig,
+    max_cycles: u64,
+) -> Result<(RunResult, Trace), SimError> {
+    let program = workload.build();
+    let (result, trace) = leon_sim::capture(config, &program, max_cycles)?;
+    if let Err(msg) = workload.verify(&result) {
+        panic!("workload verification failed: {msg}");
+    }
+    Ok((result, trace))
 }

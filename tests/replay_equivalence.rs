@@ -1,0 +1,155 @@
+//! Replay-equivalence contract: for every trace-invariant perturbation, the
+//! trace-driven replay engine must reproduce the full cycle-accurate
+//! simulator's `cycles` and cache statistics *bit-identically* — on every
+//! workload of the paper's suite.  This is the property the fast measurement
+//! path in `autoreconf::measure` and the Figure 2 sweep rely on.
+
+use liquid_autoreconf::apps::{benchmark_suite, Scale};
+use liquid_autoreconf::sim::{
+    self, LeonConfig, Multiplier, ReplacementPolicy, SimError,
+};
+
+const MAX_CYCLES: u64 = 400_000_000;
+
+/// A grid of trace-invariant configurations: cache geometries × replacement
+/// policies × latency/decode options, all derived from the base config.
+fn trace_invariant_grid() -> Vec<LeonConfig> {
+    let base = LeonConfig::base();
+    let mut grid = Vec::new();
+
+    // d-cache and i-cache geometry sweep (the Figure 2 axes)
+    for (ways, replacement) in [
+        (1u8, ReplacementPolicy::Random),
+        (2, ReplacementPolicy::Random),
+        (2, ReplacementPolicy::Lrr),
+        (2, ReplacementPolicy::Lru),
+        (4, ReplacementPolicy::Lru),
+    ] {
+        for way_kb in [1u32, 4, 16] {
+            for line_words in [4u8, 8] {
+                let mut c = base;
+                c.dcache.ways = ways;
+                c.dcache.way_kb = way_kb;
+                c.dcache.line_words = line_words;
+                c.dcache.replacement = replacement;
+                grid.push(c);
+
+                let mut c = base;
+                c.icache.ways = ways;
+                c.icache.way_kb = way_kb;
+                c.icache.line_words = line_words;
+                c.icache.replacement = replacement;
+                grid.push(c);
+            }
+        }
+    }
+
+    // integer-unit timing options
+    for multiplier in [
+        Multiplier::None,
+        Multiplier::Iterative,
+        Multiplier::M16x16Pipelined,
+        Multiplier::M32x32,
+    ] {
+        let mut c = base;
+        c.iu.multiplier = multiplier;
+        grid.push(c);
+    }
+    let mut c = base;
+    c.iu.divider = sim::Divider::None;
+    grid.push(c);
+    let mut c = base;
+    c.iu.load_delay = 2;
+    grid.push(c);
+    let mut c = base;
+    c.iu.fast_jump = false;
+    c.iu.fast_decode = false;
+    c.iu.icc_hold = false;
+    grid.push(c);
+    let mut c = base;
+    c.dcache_fast_read = true;
+    c.dcache_fast_write = true;
+    grid.push(c);
+
+    // register windows: parametric save/restore events in the trace make
+    // these replayable too (the paper's x30–x46 group)
+    for windows in [2u8, 4, 16, 24, 32] {
+        let mut c = base;
+        c.iu.reg_windows = windows;
+        grid.push(c);
+    }
+
+    grid.retain(|c| c.validate().is_ok());
+    grid
+}
+
+#[test]
+fn replay_matches_full_simulation_for_every_workload_and_perturbation() {
+    let base = LeonConfig::base();
+    for workload in benchmark_suite(Scale::Tiny) {
+        let program = workload.build();
+        let (_, trace) = sim::capture(&base, &program, MAX_CYCLES).unwrap();
+        let mut checked = 0;
+        for config in trace_invariant_grid() {
+            let full = sim::simulate(&config, &program, MAX_CYCLES).unwrap();
+            let replayed = sim::replay(&trace, &config, MAX_CYCLES).unwrap();
+            assert_eq!(
+                replayed.cycles,
+                full.stats.cycles,
+                "{}: cycle mismatch on {config:?}",
+                workload.name()
+            );
+            assert_eq!(
+                replayed.icache,
+                full.stats.icache,
+                "{}: icache stats mismatch on {config:?}",
+                workload.name()
+            );
+            assert_eq!(
+                replayed.dcache,
+                full.stats.dcache,
+                "{}: dcache stats mismatch on {config:?}",
+                workload.name()
+            );
+            // the whole Stats block must agree, not just the headline numbers
+            assert_eq!(replayed, full.stats, "{}: stats mismatch", workload.name());
+            checked += 1;
+        }
+        assert!(checked > 60, "expected a meaningful grid, checked only {checked}");
+    }
+}
+
+#[test]
+fn replay_rejects_invalid_configurations_like_the_simulator() {
+    let base = LeonConfig::base();
+    let suite = benchmark_suite(Scale::Tiny);
+    let program = suite[3].build(); // Arith: smallest program
+    let (_, trace) = sim::capture(&base, &program, MAX_CYCLES).unwrap();
+    let mut c = base;
+    c.dcache.way_kb = 3; // structurally invalid
+    assert!(matches!(sim::replay(&trace, &c, MAX_CYCLES), Err(SimError::InvalidConfig(_))));
+}
+
+#[test]
+fn trace_is_compact() {
+    let base = LeonConfig::base();
+    for workload in benchmark_suite(Scale::Tiny) {
+        let program = workload.build();
+        let (run, trace) = sim::capture(&base, &program, MAX_CYCLES).unwrap();
+        // run compression must account for every dynamic instruction exactly
+        assert_eq!(trace.instructions(), run.stats.instructions, "{}", workload.name());
+        assert!(
+            (trace.len() as u64) < run.stats.instructions,
+            "{}: fetch runs should compress the record stream",
+            workload.name()
+        );
+        // 12-byte packed records plus the compact memory stream
+        let mem_op_bytes = std::mem::size_of::<liquid_autoreconf::sim::trace::MemOp>();
+        assert_eq!(
+            trace.memory_bytes(),
+            trace.len() * 12 + trace.mem.len() * mem_op_bytes,
+            "{}",
+            workload.name()
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Minimal in-tree `criterion` replacement.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of the Criterion API the bench targets use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`) with a simple wall-clock sampler.
+//!
+//! On [`BenchmarkGroup::finish`] every group writes its results to
+//! `BENCH_<group>.json` (group-name slashes become underscores) in
+//! `$BENCH_JSON_DIR` (default: the current directory), so speedups are
+//! tracked as machine-readable artifacts across runs.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_JSON_DIR` — output directory for the JSON artifacts;
+//! * `BENCH_SMOKE=1` — one measured sample per benchmark (CI smoke runs).
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as in real criterion.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            results: Vec::new(),
+            pending_throughput: None,
+        }
+    }
+
+    /// Single free-standing benchmark (rarely used; mirrors criterion).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("bench", f);
+        group.finish();
+        self
+    }
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter, e.g. `BenchmarkId::from_parameter(way_kb)`.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Accepted by `bench_function`: a plain string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Throughput annotation (recorded in the JSON artifact).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+struct BenchResult {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+    pending_throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Target number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on the measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        // applies to the next registered benchmark, criterion-style
+        self.pending_throughput = Some(t);
+        self
+    }
+
+    /// Run and record one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into_id();
+        let samples = self.run(&mut f);
+        self.record(name, samples);
+        self
+    }
+
+    /// Run and record one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into_id();
+        let samples = self.run(&mut |b: &mut Bencher| f(b, input));
+        self.record(name, samples);
+        self
+    }
+
+    fn run(&self, f: &mut dyn FnMut(&mut Bencher)) -> Vec<f64> {
+        let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+        let target_samples = if smoke { 1 } else { self.sample_size };
+        let budget = if smoke { Duration::from_secs(1) } else { self.measurement_time };
+
+        // one untimed warmup iteration
+        let mut warmup = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut warmup);
+
+        let mut samples = Vec::with_capacity(target_samples);
+        let started = Instant::now();
+        while samples.len() < target_samples {
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+            }
+            if started.elapsed() > budget && !samples.is_empty() {
+                break;
+            }
+        }
+        samples
+    }
+
+    fn record(&mut self, name: String, samples: Vec<f64>) {
+        let count = samples.len().max(1);
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let min = if min.is_finite() { min } else { 0.0 };
+        eprintln!("  {name:<60} mean {:>12.1} ns  min {:>12.1} ns  ({count} samples)", mean, min);
+        self.results.push(BenchResult {
+            name,
+            mean_ns: mean,
+            min_ns: min,
+            samples: samples.len(),
+            throughput: self.pending_throughput.take(),
+        });
+    }
+
+    /// Write the group's `BENCH_<group>.json` artifact.
+    pub fn finish(self) {
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+        let safe: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = format!("{dir}/BENCH_{safe}.json");
+        let mut body = String::new();
+        let _ = writeln!(body, "{{");
+        let _ = writeln!(body, "  \"group\": \"{}\",", self.name.replace('"', "'"));
+        let _ = writeln!(body, "  \"benchmarks\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let throughput = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(", \"elements\": {n}"),
+                Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                body,
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}{}}}{comma}",
+                r.name.replace('"', "'"),
+                r.mean_ns,
+                r.min_ns,
+                r.samples,
+                throughput
+            );
+        }
+        let _ = writeln!(body, "  ]");
+        let _ = writeln!(body, "}}");
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (accumulates into the sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        black_box(out);
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

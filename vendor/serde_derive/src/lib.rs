@@ -1,0 +1,366 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree minimal
+//! serde.
+//!
+//! The build environment has no crates.io access, so this macro parses the
+//! derive input token stream by hand (no `syn`/`quote`).  It supports the
+//! shapes the workspace actually uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtype structs serialize transparently);
+//! * unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics are not supported — no type in the workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    is_enum: bool,
+    /// For structs: one entry named "". For enums: one entry per variant.
+    variants: Vec<(String, Fields)>,
+}
+
+/// Split a token list into chunks separated by top-level commas, dropping
+/// leading attributes (`#[...]`, including doc comments) from each chunk.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    // Angle brackets are bare puncts, not token groups, so `<`/`>` depth must
+    // be tracked by hand or commas inside `BTreeMap<K, V>` would split fields.
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tt.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                current.push(tt.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(tt.clone()),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Remove leading attributes and visibility qualifiers from a token chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // attribute: `#` followed by a bracketed group
+                i += 1;
+                if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            other => {
+                out.push(other.clone());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parse the fields of a brace-delimited body (named fields).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let clean = strip_attrs_and_vis(chunk);
+            match clean.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parse the fields of a parenthesised body (tuple fields): count the
+/// non-empty comma chunks.
+fn parse_tuple_fields(tokens: &[TokenTree]) -> usize {
+    split_commas(tokens)
+        .iter()
+        .filter(|chunk| !strip_attrs_and_vis(chunk).is_empty())
+        .count()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let clean = strip_attrs_and_vis(&tokens);
+    let mut iter = clean.into_iter().peekable();
+
+    let mut is_enum = false;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+
+    // Reject generics outright: nothing in the workspace derives on a
+    // generic type, and silently mis-compiling one would be worse.
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the in-tree serde stub");
+    }
+
+    let body = iter.find_map(|tt| match tt {
+        TokenTree::Group(g) if g.delimiter() != Delimiter::Bracket => Some(g),
+        _ => None,
+    });
+
+    if is_enum {
+        let body = body.expect("serde_derive: enum body");
+        let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        for chunk in split_commas(&body_tokens) {
+            let clean = strip_attrs_and_vis(&chunk);
+            let mut it = clean.into_iter();
+            let vname = match it.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => continue,
+            };
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&toks))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(parse_tuple_fields(&toks))
+                }
+                _ => Fields::Unit,
+            };
+            variants.push((vname, fields));
+        }
+        Input { name, is_enum: true, variants }
+    } else {
+        let fields = match body {
+            Some(g) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_fields(&toks))
+            }
+            Some(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(parse_tuple_fields(&toks))
+            }
+            _ => Fields::Unit,
+        };
+        Input { name, is_enum: false, variants: vec![(String::new(), fields)] }
+    }
+}
+
+fn ser_named(fields: &[String], path: &str, access: &str) -> String {
+    // `access` is a prefix such as `self.` (structs) or `` (bound variant
+    // fields); `path` is unused for structs.
+    let _ = path;
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&{access}{f})),"
+        ));
+    }
+    format!("::serde::Value::Object(::std::vec![{entries}])")
+}
+
+fn de_named(ty_and_variant: &str, fields: &[String], obj: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::field({obj}, \"{f}\")?)?,"
+        ));
+    }
+    format!("{ty_and_variant} {{ {inits} }}")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = if !input.is_enum {
+        match &input.variants[0].1 {
+            Fields::Named(fields) => ser_named(fields, "", "self."),
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+            }
+            Fields::Unit => format!("::serde::Value::String(::std::string::String::from(\"{name}\"))"),
+        }
+    } else {
+        let mut arms = String::new();
+        for (vname, fields) in &input.variants {
+            match fields {
+                Fields::Unit => arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                )),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(__f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                        binds.join(",")
+                    ));
+                }
+                Fields::Named(fnames) => {
+                    let binds = fnames.join(",");
+                    let inner = ser_named(fnames, "", "*");
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),"
+                    ));
+                }
+            }
+        }
+        format!("match self {{ {arms} }}")
+    };
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = if !input.is_enum {
+        match &input.variants[0].1 {
+            Fields::Named(fields) => {
+                let ctor = de_named(name, fields, "__obj");
+                format!(
+                    "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                     ::std::result::Result::Ok({ctor})"
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __value.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                     if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array\", \"{name}\")); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(",")
+                )
+            }
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        }
+    } else {
+        let mut unit_arms = String::new();
+        let mut data_arms = String::new();
+        for (vname, fields) in &input.variants {
+            match fields {
+                Fields::Unit => unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                )),
+                Fields::Tuple(n) => {
+                    let ctor = if *n == 1 {
+                        format!("{name}::{vname}(::serde::Deserialize::from_value(__inner)?)")
+                    } else {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{{ let __items = __inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                               if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array\", \"{name}::{vname}\")); }}\n\
+                               {name}::{vname}({}) }}",
+                            items.join(",")
+                        )
+                    };
+                    data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({ctor}),"
+                    ));
+                }
+                Fields::Named(fnames) => {
+                    let ctor = de_named(&format!("{name}::{vname}"), fnames, "__vobj");
+                    data_arms.push_str(&format!(
+                        "\"{vname}\" => {{ let __vobj = __inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\"))?; ::std::result::Result::Ok({ctor}) }},"
+                    ));
+                }
+            }
+        }
+        format!(
+            "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                         {data_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\"variant string or single-key object\", \"{name}\")),\n\
+             }}"
+        )
+    };
+
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
