@@ -24,7 +24,7 @@ fn fig2_exhaustive_sweep(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(10));
     group.bench_function("blastn_full_sweep_28_configs", |b| {
         b.iter(|| {
-            let rows = dcache_exhaustive(&workload, &base, &model, MAX_CYCLES).unwrap();
+            let rows = dcache_exhaustive(&workload, &base, &model, MAX_CYCLES, 1).unwrap();
             *best_runtime_row(&rows).unwrap()
         })
     });
@@ -41,7 +41,7 @@ fn fig2_exhaustive_sweep(c: &mut Criterion) {
 
     // Regenerate and print the table once so `cargo bench` output contains
     // the reproduced figure.
-    let rows = dcache_exhaustive(&workload, &base, &model, MAX_CYCLES).unwrap();
+    let rows = dcache_exhaustive(&workload, &base, &model, MAX_CYCLES, 1).unwrap();
     let best = best_runtime_row(&rows).unwrap();
     println!("\n[fig2] BLASTN dcache sweep ({} feasible rows):", rows.iter().filter(|r| r.fits).count());
     for r in rows.iter().filter(|r| r.fits) {

@@ -71,13 +71,16 @@ fn fig2_sweep_speedup(c: &mut Criterion) {
 
     let (_, trace) = workloads::capture_verified(&workload, &base, MAX_CYCLES).unwrap();
 
+    // single worker on both sides: this artifact isolates the replay-engine
+    // speedup over full simulation; thread-level scaling is tracked
+    // separately in BENCH_campaign.json
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10).measurement_time(Duration::from_secs(20));
     group.bench_function("replay_sweep_28_configs_incl_capture", |b| {
-        b.iter(|| dcache_exhaustive(&workload, &base, &model, MAX_CYCLES).unwrap().len())
+        b.iter(|| dcache_exhaustive(&workload, &base, &model, MAX_CYCLES, 1).unwrap().len())
     });
     group.bench_function("replay_sweep_28_configs_given_trace", |b| {
-        b.iter(|| dcache_exhaustive_traced(&trace, &base, &model, MAX_CYCLES).unwrap().len())
+        b.iter(|| dcache_exhaustive_traced(&trace, &base, &model, MAX_CYCLES, 1).unwrap().len())
     });
     group.bench_function("full_sim_sweep_28_configs", |b| {
         b.iter(|| dcache_exhaustive_full(&workload, &base, &model, MAX_CYCLES).unwrap().len())

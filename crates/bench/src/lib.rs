@@ -13,13 +13,26 @@ use workloads::Scale;
 ///
 /// `Tiny` keeps a full `cargo bench` run in the minutes range while
 /// preserving every code path; set the environment variable
-/// `BENCH_SCALE=small` (or `large`) to use the experiment-sized inputs.
+/// `BENCH_SCALE=small` (or `medium`, `large`) to use the experiment-sized
+/// inputs.
 pub fn bench_scale() -> Scale {
-    match std::env::var("BENCH_SCALE").as_deref() {
-        Ok("small") => Scale::Small,
-        Ok("large") => Scale::Large,
-        _ => Scale::Tiny,
-    }
+    std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|v| Scale::parse(&v))
+        .unwrap_or(Scale::Tiny)
+}
+
+/// Scale used by the campaign benchmark (`BENCH_SCALE` still wins).
+///
+/// Parallel speedups only show when per-job work dominates worker-pool
+/// overhead: at `Tiny` a single replay retiming is tens of microseconds, of
+/// the same order as waking a worker, so the campaign group defaults to
+/// `Small` (millions of cycles per trace) instead of `Tiny`.
+pub fn campaign_scale() -> Scale {
+    std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|v| Scale::parse(&v))
+        .unwrap_or(Scale::Small)
 }
 
 /// Cycle budget large enough for every benchmark at any supported scale.

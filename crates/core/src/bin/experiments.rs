@@ -3,7 +3,8 @@
 //! Regenerates the paper's tables and figures:
 //!
 //! ```text
-//! experiments fig1|fig2|fig3|fig4|fig5|fig6|fig7|space|all [--scale tiny|small|large] [--json DIR]
+//! experiments fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all \
+//!     [--scale tiny|small|medium|large] [--json DIR]
 //! ```
 
 use std::io::Write;
@@ -20,15 +21,10 @@ fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>) {
         match arg.as_str() {
             "--scale" => {
                 let value = args.next().unwrap_or_default();
-                options.scale = match value.as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "large" => Scale::Large,
-                    other => {
-                        eprintln!("unknown scale `{other}`, using `small`");
-                        Scale::Small
-                    }
-                };
+                options.scale = Scale::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{value}`, using `small`");
+                    Scale::Small
+                });
             }
             "--threads" => {
                 options.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
@@ -38,8 +34,8 @@ fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>) {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|space|all]... \
-                     [--scale tiny|small|large] [--threads N] [--json DIR]"
+                    "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all]... \
+                     [--scale tiny|small|medium|large] [--threads N] [--json DIR]"
                 );
                 std::process::exit(0);
             }
@@ -107,6 +103,11 @@ fn main() {
         let r = experiments::fig7(&options).expect("figure 7");
         println!("{}", r.render("Figure 7: Chip resource optimization"));
         write_json(&json_dir, "fig7", &r);
+    }
+    if wants("campaign") {
+        let r = experiments::campaign(&options).expect("campaign");
+        println!("{}", r.render());
+        write_json(&json_dir, "campaign", &r);
     }
 
     eprintln!("total experiment time: {:.1}s", started.elapsed().as_secs_f64());

@@ -1,0 +1,649 @@
+//! The parallel batch-replay campaign engine.
+//!
+//! The paper optimises one microarchitecture per application.  A production
+//! deployment serves a *mixed* application set from one bitstream, which
+//! needs three things the per-figure drivers did not have:
+//!
+//! 1. **A shared [`TraceSet`]** — every workload of the suite is fully
+//!    simulated exactly once (in parallel), and every subsequent study —
+//!    cost tables, the Figure 2 exhaustive sweep, per-application
+//!    optimisation, co-optimization — retimes those traces by
+//!    [`leon_sim::replay`] instead of re-executing anything.
+//! 2. **A scoped worker pool everywhere** — [`run_indexed`] generalises the
+//!    per-index-slot pattern `measure_cost_table` introduced: jobs land in
+//!    deterministic slots, so `threads = 1` and `threads = N` produce
+//!    byte-identical results (asserted by `tests/campaign_engine.rs`), and
+//!    the first error a caller sees is always the lowest-indexed one.
+//! 3. **Multi-workload co-optimization** — a runtime-weighted objective over
+//!    all workloads' retimed cycles under a *single* candidate
+//!    configuration, assembled by [`crate::formulation::blend_cost_tables`]
+//!    and solved through the existing BINLP path.  A degenerate mix (weight
+//!    1.0 on one workload) reproduces that workload's per-application
+//!    optimum exactly — the correctness anchor tying the engine back to the
+//!    paper's Figures 5 and 7.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use binlp::SolveStats;
+use fpga_model::SynthesisModel;
+use leon_sim::{LeonConfig, SimError, Trace};
+use serde::{Deserialize, Serialize};
+use workloads::Workload;
+
+use crate::dcache_study::{best_runtime_row, dcache_exhaustive_traced, DcacheRow};
+use crate::formulation::{formulate_mixed, FormulationOptions, Weights};
+use crate::measure::{measure_cost_table_traced, CostTable, MeasurementOptions};
+use crate::optimizer::{AutoReconfigurator, OptimizeError, Outcome};
+use crate::params::ParameterSpace;
+
+/// Resolve a requested worker count.  `0` means one worker per available
+/// CPU, overridable via the `AUTORECONF_THREADS` environment variable —
+/// the CI matrix runs the whole test suite at 1 and at 4 workers through
+/// it without touching any call site.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("AUTORECONF_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Fan `count` independent jobs out over a scoped worker pool and collect
+/// their results in index order.
+///
+/// This is the per-index-slot pattern every campaign study shares: workers
+/// pull the next job index from a shared counter and write the result into
+/// that job's dedicated slot, so the output vector — and, when the item type
+/// is a `Result`, which error a caller propagates first — is deterministic
+/// under any worker interleaving.  `threads = 1` short-circuits to a plain
+/// loop (no pool, no locks), which the determinism tests compare against.
+pub fn run_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads).min(count.max(1));
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = job(i);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot is written exactly once"))
+        .collect()
+}
+
+/// Collect per-index `Result`s, propagating the lowest-indexed error.
+fn collect_indexed<T, E>(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// One workload's captured trace plus its base-configuration run costs.
+#[derive(Clone, Debug)]
+pub struct TracedWorkload {
+    /// Workload name (`BLASTN`, `DRR`, …).
+    pub name: String,
+    /// The execution trace captured on the shared base configuration.
+    pub trace: Trace,
+    /// Base-configuration runtime in cycles.
+    pub base_cycles: u64,
+    /// Base-configuration runtime in seconds.
+    pub base_seconds: f64,
+}
+
+/// One execution trace per workload of a benchmark suite, captured on a
+/// shared base configuration.
+///
+/// Capturing is the only phase of a campaign that executes guest code; every
+/// study afterwards (cost tables, sweeps, co-optimization, validation of
+/// trace-invariant candidates) replays these traces.  [`Trace`] is plain
+/// `Send + Sync` data, so one `TraceSet` is shared read-only by every worker
+/// of every study.
+#[derive(Clone, Debug)]
+pub struct TraceSet {
+    /// The configuration all traces were captured on.
+    pub base: LeonConfig,
+    /// Per-workload traces, in suite order.
+    pub entries: Vec<TracedWorkload>,
+}
+
+impl TraceSet {
+    /// Capture one verified trace per workload, in parallel.
+    pub fn capture(
+        suite: &[Box<dyn Workload + Send + Sync>],
+        base: &LeonConfig,
+        max_cycles: u64,
+        threads: usize,
+    ) -> Result<TraceSet, SimError> {
+        let results = run_indexed(suite.len(), threads, |i| {
+            let workload = suite[i].as_ref();
+            let (run, trace) = workloads::capture_verified(workload, base, max_cycles)?;
+            Ok(TracedWorkload {
+                name: workload.name().to_string(),
+                trace,
+                base_cycles: run.stats.cycles,
+                base_seconds: run.seconds,
+            })
+        });
+        Ok(TraceSet { base: *base, entries: collect_indexed(results)? })
+    }
+
+    /// Number of captured workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no workload was captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Workload names, in suite order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Total in-memory footprint of all trace buffers, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.trace.memory_bytes()).sum()
+    }
+}
+
+/// A workload's share of the co-optimization objective.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadShare {
+    /// Workload name.
+    pub name: String,
+    /// Normalised share (all shares sum to 1).
+    pub weight: f64,
+}
+
+/// Per-workload validation of the co-optimized configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoWorkloadRun {
+    /// Workload name.
+    pub name: String,
+    /// Normalised objective share of this workload.
+    pub weight: f64,
+    /// Base-configuration runtime in cycles.
+    pub base_cycles: u64,
+    /// Runtime under the co-optimized configuration, in cycles.
+    pub cycles: u64,
+    /// Runtime improvement over the base configuration in percent
+    /// (positive = faster).
+    pub runtime_gain_pct: f64,
+}
+
+/// Result of a multi-workload co-optimization: one configuration serving
+/// the whole mix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoOutcome {
+    /// The normalised workload mix the objective was weighted with.
+    pub mix: Vec<WorkloadShare>,
+    /// The runtime/resource objective weights (the paper's w₁/w₂).
+    pub weights: Weights,
+    /// Selected decision variables (paper indices, ascending).
+    pub selected: Vec<usize>,
+    /// Human-readable descriptions of the selected changes.
+    pub changes: Vec<String>,
+    /// The recommended shared configuration.
+    pub recommended: LeonConfig,
+    /// Per-workload runtimes of the recommendation (replay-validated).
+    pub per_workload: Vec<CoWorkloadRun>,
+    /// Mix-weighted relative runtime of the recommendation
+    /// (`Σ ωᵥ·cycles_w/base_w`; 1.0 = the base configuration, lower is
+    /// better).
+    pub weighted_relative_runtime: f64,
+    /// Synthesised LUT utilisation (percent of device, truncated).
+    pub lut_pct: u32,
+    /// Synthesised BRAM utilisation (percent of device, truncated).
+    pub bram_pct: u32,
+    /// Whether the recommendation fits the device.
+    pub fits: bool,
+    /// Solver statistics.
+    pub solver: SolveStats,
+}
+
+impl CoOutcome {
+    /// Mix-weighted runtime improvement over the base configuration in
+    /// percent (positive = faster).
+    pub fn weighted_gain_pct(&self) -> f64 {
+        (1.0 - self.weighted_relative_runtime) * 100.0
+    }
+}
+
+/// Everything one campaign run produces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Workload names, in suite order.
+    pub workloads: Vec<String>,
+    /// Per-workload one-at-a-time cost tables (replayed from the trace set).
+    pub tables: Vec<CostTable>,
+    /// Per-workload Figure 2 exhaustive d-cache sweeps.
+    pub sweeps: Vec<Vec<DcacheRow>>,
+    /// Per-application optima (the paper's per-workload pipeline).
+    pub per_app: Vec<Outcome>,
+    /// The multi-workload co-optimization result.
+    pub co: CoOutcome,
+}
+
+impl CampaignResult {
+    /// Render a campaign summary table: per-application optima next to the
+    /// single co-optimized configuration.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Campaign: {} workloads, co-optimization mix {}\n",
+            self.workloads.len(),
+            self.co
+                .mix
+                .iter()
+                .map(|s| format!("{}={:.2}", s.name, s.weight))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>14} {:>16} {:>16} {:>12}\n",
+            "workload", "base(cycles)", "per-app(cycles)", "co-opt(cycles)", "sweep best"
+        ));
+        for (i, name) in self.workloads.iter().enumerate() {
+            let per_app = &self.per_app[i].validation;
+            let co = &self.co.per_workload[i];
+            let sweep_best = best_runtime_row(&self.sweeps[i])
+                .map(|r| format!("{}x{}KB", r.ways, r.way_kb))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{:<10} {:>14} {:>16} {:>16} {:>12}\n",
+                name, co.base_cycles, per_app.cycles, co.cycles, sweep_best
+            ));
+        }
+        out.push_str(&format!(
+            "co-optimized configuration: {:?} -> weighted gain {:.2}% (LUT {}%, BRAM {}%)\n",
+            self.co.changes,
+            self.co.weighted_gain_pct(),
+            self.co.lut_pct,
+            self.co.bram_pct
+        ));
+        out
+    }
+}
+
+/// The multi-workload campaign engine.
+///
+/// Mirrors [`AutoReconfigurator`]'s builder surface but operates on a whole
+/// benchmark suite at once over a shared [`TraceSet`].
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    space: ParameterSpace,
+    base: LeonConfig,
+    model: SynthesisModel,
+    weights: Weights,
+    formulation: FormulationOptions,
+    measurement: MeasurementOptions,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+impl Campaign {
+    /// A campaign over the paper's full 52-variable space with the paper's
+    /// runtime-optimisation weights.
+    pub fn new() -> Campaign {
+        Campaign {
+            space: ParameterSpace::paper(),
+            base: LeonConfig::base(),
+            model: SynthesisModel::default(),
+            weights: Weights::runtime_optimized(),
+            formulation: FormulationOptions::default(),
+            measurement: MeasurementOptions::default(),
+        }
+    }
+
+    /// Restrict the search to a different parameter space.
+    pub fn with_space(mut self, space: ParameterSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Change the base configuration traces are captured on.
+    pub fn with_base(mut self, base: LeonConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Change the synthesis model / target device.
+    pub fn with_model(mut self, model: SynthesisModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Change the objective weights.
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Change the constraint-form options.
+    pub fn with_formulation(mut self, options: FormulationOptions) -> Self {
+        self.formulation = options;
+        self
+    }
+
+    /// Change the measurement options (cycle budget, worker threads).
+    pub fn with_measurement(mut self, options: MeasurementOptions) -> Self {
+        self.measurement = options;
+        self
+    }
+
+    /// The parameter space being explored.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// The base configuration.
+    pub fn base(&self) -> &LeonConfig {
+        &self.base
+    }
+
+    /// An equal-share workload mix for `n` workloads.
+    pub fn equal_mix(n: usize) -> Vec<f64> {
+        vec![1.0; n]
+    }
+
+    /// Capture the suite's trace set (one full verified simulation per
+    /// workload, fanned out over the worker pool).
+    pub fn capture(
+        &self,
+        suite: &[Box<dyn Workload + Send + Sync>],
+    ) -> Result<TraceSet, SimError> {
+        TraceSet::capture(suite, &self.base, self.measurement.max_cycles, self.measurement.threads)
+    }
+
+    /// Measure every workload's one-at-a-time cost table by replaying the
+    /// shared trace set.  The per-variable fan-out inside each table already
+    /// saturates the pool, so workloads are processed in order.
+    pub fn cost_tables(
+        &self,
+        suite: &[Box<dyn Workload + Send + Sync>],
+        traces: &TraceSet,
+    ) -> Result<Vec<CostTable>, SimError> {
+        assert_eq!(suite.len(), traces.len(), "suite and trace set must align");
+        suite
+            .iter()
+            .zip(&traces.entries)
+            .map(|(w, t)| {
+                measure_cost_table_traced(
+                    &self.space,
+                    w.as_ref(),
+                    &traces.base,
+                    &self.model,
+                    &self.measurement,
+                    &t.trace,
+                )
+            })
+            .collect()
+    }
+
+    /// Run the Figure 2 exhaustive d-cache sweep for every workload of the
+    /// trace set (each sweep fans its 28 geometries out over the pool).
+    pub fn sweeps(&self, traces: &TraceSet) -> Result<Vec<Vec<DcacheRow>>, SimError> {
+        traces
+            .entries
+            .iter()
+            .map(|e| {
+                dcache_exhaustive_traced(
+                    &e.trace,
+                    &traces.base,
+                    &self.model,
+                    self.measurement.max_cycles,
+                    self.measurement.threads,
+                )
+            })
+            .collect()
+    }
+
+    /// Solve each workload's per-application problem from its measured cost
+    /// table, fanned out over the pool (solving and validation are
+    /// independent across workloads).  With replay enabled (the default),
+    /// each recommendation is validated by retiming the shared trace —
+    /// bit-identical to full simulation — so the whole per-application
+    /// stage executes no guest code at all.
+    pub fn optimize_each(
+        &self,
+        suite: &[Box<dyn Workload + Send + Sync>],
+        traces: &TraceSet,
+        tables: &[CostTable],
+    ) -> Result<Vec<Outcome>, OptimizeError> {
+        assert_eq!(suite.len(), tables.len(), "suite and tables must align");
+        assert_eq!(suite.len(), traces.len(), "suite and trace set must align");
+        let tool = AutoReconfigurator::new()
+            .with_space(self.space.clone())
+            .with_base(self.base)
+            .with_model(self.model.clone())
+            .with_weights(self.weights)
+            .with_formulation(self.formulation)
+            // the outer fan-out owns the pool; keep the inner stages serial
+            .with_measurement(MeasurementOptions { threads: 1, ..self.measurement });
+        let results = run_indexed(suite.len(), self.measurement.threads, |i| {
+            if self.measurement.use_replay {
+                tool.optimize_with_table_traced(
+                    &traces.entries[i].name,
+                    tables[i].clone(),
+                    &traces.entries[i].trace,
+                )
+            } else {
+                tool.optimize_with_table(suite[i].as_ref(), tables[i].clone())
+            }
+        });
+        collect_indexed(results)
+    }
+
+    /// Multi-workload co-optimization: find the single configuration that
+    /// minimises the mix-weighted runtime objective across every workload of
+    /// the trace set, subject to the paper's validity and resource
+    /// constraints.
+    ///
+    /// `mix` gives each workload's (not necessarily normalised) share of the
+    /// runtime objective, in suite order; the recommendation is validated by
+    /// replaying every trace under it.
+    pub fn co_optimize(
+        &self,
+        traces: &TraceSet,
+        tables: &[CostTable],
+        mix: &[f64],
+    ) -> Result<CoOutcome, OptimizeError> {
+        assert_eq!(tables.len(), traces.len(), "tables and trace set must align");
+        assert_eq!(mix.len(), tables.len(), "one mix weight per workload required");
+        let total: f64 = mix.iter().sum();
+        assert!(total > 0.0, "mix weights must sum to a positive value");
+        let shares: Vec<f64> = mix.iter().map(|w| w / total).collect();
+
+        let weighted: Vec<(f64, &CostTable)> =
+            shares.iter().copied().zip(tables.iter()).collect();
+        let (formulation, _blended) =
+            formulate_mixed(&self.space, &weighted, self.weights, self.formulation);
+        let solution =
+            binlp::solve(&formulation.problem).map_err(|_| OptimizeError::Infeasible)?;
+        let mut selected = formulation.selected_indices(&solution.assignment);
+        selected.sort_unstable();
+
+        let recommended = self.space.apply(&self.base, &selected);
+        let report = self.model.synthesize(&recommended);
+
+        // validate on every workload by replaying its trace under the shared
+        // candidate — bit-identical to fully simulating the recommendation,
+        // since every Figure 1 variable is trace-invariant
+        let runs = run_indexed(traces.len(), self.measurement.threads, |i| {
+            leon_sim::replay(&traces.entries[i].trace, &recommended, self.measurement.max_cycles)
+                .map(|stats| stats.cycles)
+        });
+        let cycles = collect_indexed(runs)?;
+
+        let mut per_workload = Vec::with_capacity(traces.len());
+        let mut weighted_relative = 0.0;
+        for (i, entry) in traces.entries.iter().enumerate() {
+            weighted_relative += shares[i] * cycles[i] as f64 / entry.base_cycles as f64;
+            per_workload.push(CoWorkloadRun {
+                name: entry.name.clone(),
+                weight: shares[i],
+                base_cycles: entry.base_cycles,
+                cycles: cycles[i],
+                runtime_gain_pct: (entry.base_cycles as f64 - cycles[i] as f64) * 100.0
+                    / entry.base_cycles as f64,
+            });
+        }
+
+        let changes = selected
+            .iter()
+            .filter_map(|i| self.space.by_index(*i).map(|v| v.name.clone()))
+            .collect();
+
+        Ok(CoOutcome {
+            mix: traces
+                .entries
+                .iter()
+                .zip(&shares)
+                .map(|(e, &weight)| WorkloadShare { name: e.name.clone(), weight })
+                .collect(),
+            weights: self.weights,
+            selected,
+            changes,
+            recommended,
+            per_workload,
+            weighted_relative_runtime: weighted_relative,
+            lut_pct: report.lut_percent,
+            bram_pct: report.bram_percent,
+            fits: report.fits,
+            solver: solution.stats,
+        })
+    }
+
+    /// Run the whole campaign: capture the trace set, measure every cost
+    /// table, sweep every workload's d-cache space, solve every
+    /// per-application problem, and co-optimize the mix.
+    pub fn run(
+        &self,
+        suite: &[Box<dyn Workload + Send + Sync>],
+        mix: &[f64],
+    ) -> Result<CampaignResult, OptimizeError> {
+        let traces = self.capture(suite)?;
+        let tables = self.cost_tables(suite, &traces)?;
+        let sweeps = self.sweeps(&traces)?;
+        let per_app = self.optimize_each(suite, &traces, &tables)?;
+        let co = self.co_optimize(&traces, &tables, mix)?;
+        Ok(CampaignResult { workloads: traces.names(), tables, sweeps, per_app, co })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{benchmark_suite, Scale};
+
+    fn campaign(threads: usize) -> Campaign {
+        Campaign::new()
+            .with_space(ParameterSpace::dcache_geometry())
+            .with_weights(Weights::runtime_only())
+            .with_measurement(MeasurementOptions {
+                max_cycles: 400_000_000,
+                threads,
+                use_replay: true,
+            })
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_and_runs_every_job() {
+        for threads in [1, 2, 7] {
+            let out = run_indexed(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn effective_threads_prefers_explicit_requests() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn trace_set_captures_every_workload_once() {
+        let suite = benchmark_suite(Scale::Tiny);
+        let traces =
+            TraceSet::capture(&suite, &LeonConfig::base(), 400_000_000, 2).unwrap();
+        assert_eq!(traces.names(), vec!["BLASTN", "DRR", "FRAG", "Arith"]);
+        assert!(traces.memory_bytes() > 0);
+        for e in &traces.entries {
+            assert!(e.base_cycles > 0);
+            assert!(e.base_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn campaign_runs_end_to_end_and_co_optimum_is_shared() {
+        let suite = benchmark_suite(Scale::Tiny);
+        let c = campaign(2);
+        let result = c.run(&suite, &Campaign::equal_mix(suite.len())).unwrap();
+        assert_eq!(result.workloads.len(), 4);
+        assert_eq!(result.tables.len(), 4);
+        assert_eq!(result.sweeps.len(), 4);
+        assert!(result.sweeps.iter().all(|s| s.len() == 28));
+        assert_eq!(result.per_app.len(), 4);
+        assert_eq!(result.co.per_workload.len(), 4);
+        assert!(result.co.fits, "the shared configuration must fit the device");
+        assert!(result.co.recommended.validate().is_ok());
+        // the runtime-weighted co-optimum must not be worse than the base
+        // for the mix as a whole
+        assert!(result.co.weighted_relative_runtime <= 1.0 + 1e-12);
+        assert!(result.render().contains("co-optimized configuration"));
+    }
+
+    #[test]
+    fn co_optimum_is_bounded_by_the_exhaustive_sweep_optimum() {
+        // over the d-cache geometry space every co-recommended configuration
+        // lies inside the exhaustive Figure 2 grid, so no workload can run
+        // faster under the shared configuration than under its own
+        // exhaustive optimum
+        let suite = benchmark_suite(Scale::Tiny);
+        let c = campaign(2);
+        let result = c.run(&suite, &Campaign::equal_mix(suite.len())).unwrap();
+        for (sweep, co) in result.sweeps.iter().zip(&result.co.per_workload) {
+            let best = best_runtime_row(sweep).unwrap();
+            assert!(
+                co.cycles >= best.cycles,
+                "{}: shared config ({} cycles) cannot beat the exhaustive optimum ({} cycles)",
+                co.name,
+                co.cycles,
+                best.cycles
+            );
+        }
+    }
+}

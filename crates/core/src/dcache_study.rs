@@ -70,33 +70,40 @@ fn sweep_config(base: &LeonConfig, ways: u8, way_kb: u32) -> LeonConfig {
 /// bit-identical to full simulation — the paper's Figure 2 numbers are
 /// unchanged, only cheaper).  Configurations that do not fit the device are
 /// reported with `fits = false` and are not timed (the paper simply omits
-/// them).
+/// them).  `threads` fans the 28 retimings out over the campaign worker
+/// pool (0 = one per available CPU).
 pub fn dcache_exhaustive(
     workload: &dyn Workload,
     base: &LeonConfig,
     model: &SynthesisModel,
     max_cycles: u64,
+    threads: usize,
 ) -> Result<Vec<DcacheRow>, SimError> {
     let (_, trace) = workloads::capture_verified(workload, base, max_cycles)?;
-    dcache_exhaustive_traced(&trace, base, model, max_cycles)
+    dcache_exhaustive_traced(&trace, base, model, max_cycles, threads)
 }
 
 /// The sweep kernel given an already-captured trace: retime all 28
 /// geometries without executing the workload at all.  A measurement session
-/// captures each workload's trace once (e.g. for the cost table) and every
-/// subsequent study over that workload replays it.
+/// captures each workload's trace once (e.g. in a campaign
+/// [`crate::campaign::TraceSet`]) and every subsequent study over that
+/// workload replays it.  The geometries are independent, so they run on the
+/// per-index-slot worker pool: row order is the combination order and the
+/// first error propagated is the lowest-indexed one, for any thread count.
 pub fn dcache_exhaustive_traced(
     trace: &leon_sim::Trace,
     base: &LeonConfig,
     model: &SynthesisModel,
     max_cycles: u64,
+    threads: usize,
 ) -> Result<Vec<DcacheRow>, SimError> {
-    let mut rows = Vec::new();
-    for (ways, way_kb) in dcache_combinations() {
+    let combos = dcache_combinations();
+    let results = crate::campaign::run_indexed(combos.len(), threads, |i| {
+        let (ways, way_kb) = combos[i];
         let config = sweep_config(base, ways, way_kb);
         let report = model.synthesize(&config);
         if !report.fits {
-            rows.push(DcacheRow {
+            return Ok(DcacheRow {
                 ways,
                 way_kb,
                 cycles: 0,
@@ -105,10 +112,9 @@ pub fn dcache_exhaustive_traced(
                 bram_pct: report.bram_percent,
                 fits: false,
             });
-            continue;
         }
         let stats = leon_sim::replay(trace, &config, max_cycles)?;
-        rows.push(DcacheRow {
+        Ok(DcacheRow {
             ways,
             way_kb,
             cycles: stats.cycles,
@@ -116,7 +122,11 @@ pub fn dcache_exhaustive_traced(
             lut_pct: report.lut_percent,
             bram_pct: report.bram_percent,
             fits: true,
-        });
+        })
+    });
+    let mut rows = Vec::with_capacity(combos.len());
+    for result in results {
+        rows.push(result?);
     }
     Ok(rows)
 }
@@ -181,7 +191,7 @@ mod tests {
     fn sweep_covers_28_combinations_and_excludes_oversized_ones() {
         let w = Arith::scaled(Scale::Tiny);
         let rows =
-            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 100_000_000)
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 100_000_000, 2)
                 .unwrap();
         assert_eq!(rows.len(), 28);
         let feasible = rows.iter().filter(|r| r.fits).count();
@@ -194,7 +204,7 @@ mod tests {
     fn blastn_prefers_the_largest_feasible_cache() {
         let w = Blastn::scaled(Scale::Tiny);
         let rows =
-            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 200_000_000)
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 200_000_000, 2)
                 .unwrap();
         let best = best_runtime_row(&rows).unwrap();
         // the best runtime is no worse than the base configuration's
@@ -210,7 +220,7 @@ mod tests {
     fn replay_sweep_is_bit_identical_to_full_simulation() {
         let w = Blastn::scaled(Scale::Tiny);
         let fast =
-            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 200_000_000)
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 200_000_000, 2)
                 .unwrap();
         let slow = dcache_exhaustive_full(
             &w,
@@ -226,7 +236,7 @@ mod tests {
     fn arith_runtime_is_flat_across_the_sweep() {
         let w = Arith::scaled(Scale::Tiny);
         let rows =
-            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 100_000_000)
+            dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 100_000_000, 2)
                 .unwrap();
         let feasible: Vec<_> = rows.iter().filter(|r| r.fits).collect();
         let first = feasible[0].cycles;

@@ -10,6 +10,7 @@ use leon_sim::LeonConfig;
 use serde::{Deserialize, Serialize};
 use workloads::{Arith, Blastn, Drr, Frag, Scale, Workload};
 
+use crate::campaign::{run_indexed, Campaign, CampaignResult};
 use crate::dcache_study::{best_runtime_row, dcache_exhaustive, DcacheRow};
 use crate::formulation::Weights;
 use crate::measure::MeasurementOptions;
@@ -141,7 +142,7 @@ pub fn fig2(options: &ExperimentOptions) -> Result<Fig2Result, OptimizeError> {
     let w = blastn(options.scale);
     let base = LeonConfig::base();
     let model = SynthesisModel::default();
-    let rows = dcache_exhaustive(&w, &base, &model, options.max_cycles)?;
+    let rows = dcache_exhaustive(&w, &base, &model, options.max_cycles, options.threads)?;
     let base_row = rows
         .iter()
         .find(|r| r.ways == base.dcache.ways && r.way_kb == base.dcache.way_kb)
@@ -232,7 +233,7 @@ fn dcache_comparison(
 ) -> Result<DcacheComparison, OptimizeError> {
     let base = LeonConfig::base();
     let model = SynthesisModel::default();
-    let rows = dcache_exhaustive(workload, &base, &model, options.max_cycles)?;
+    let rows = dcache_exhaustive(workload, &base, &model, options.max_cycles, options.threads)?;
     let exhaustive_best = *best_runtime_row(&rows).expect("feasible rows exist");
     let base_row = rows.iter().find(|r| r.ways == 1 && r.way_kb == 4).copied().unwrap();
 
@@ -331,16 +332,24 @@ impl Fig4Result {
     }
 }
 
-/// Run the Figure 4 experiment: dcache optimisation for DRR, FRAG and Arith.
+/// Run the Figure 4 experiment: dcache optimisation for DRR, FRAG and Arith,
+/// fanned out over the worker pool (one comparison pipeline per workload,
+/// with the thread budget split between the workload fan-out and each
+/// pipeline's inner stages).
 pub fn fig4(options: &ExperimentOptions) -> Result<Fig4Result, OptimizeError> {
     let workloads: Vec<Box<dyn Workload + Send + Sync>> = vec![
         Box::new(Drr::scaled(options.scale)),
         Box::new(Frag::scaled(options.scale)),
         Box::new(Arith::scaled(options.scale)),
     ];
-    let mut comparisons = Vec::new();
-    for w in &workloads {
-        comparisons.push(dcache_comparison(w.as_ref(), options)?);
+    let inner =
+        ExperimentOptions { threads: inner_threads(options.threads, workloads.len()), ..*options };
+    let results = run_indexed(workloads.len(), options.threads, |i| {
+        dcache_comparison(workloads[i].as_ref(), &inner)
+    });
+    let mut comparisons = Vec::with_capacity(results.len());
+    for r in results {
+        comparisons.push(r?);
     }
     Ok(Fig4Result { comparisons })
 }
@@ -442,14 +451,31 @@ impl FullSpaceResult {
 }
 
 fn full_space(options: &ExperimentOptions, weights: Weights) -> Result<FullSpaceResult, OptimizeError> {
+    // One measure→formulate→solve→validate pipeline per benchmark, fanned
+    // out over the worker pool; the thread budget is split between the
+    // benchmark fan-out and each pipeline's per-variable fan-out, so hosts
+    // with more cores than benchmarks stay saturated without
+    // oversubscribing.  Outcomes land in per-benchmark slots, so the result
+    // (and first error) is deterministic.
+    let suite = suite(options.scale);
+    let inner = inner_threads(options.threads, suite.len());
     let tool = AutoReconfigurator::new()
         .with_weights(weights)
-        .with_measurement(options.measurement());
-    let mut outcomes = Vec::new();
-    for w in suite(options.scale) {
-        outcomes.push(tool.optimize(w.as_ref())?);
+        .with_measurement(MeasurementOptions { threads: inner, ..options.measurement() });
+    let results =
+        run_indexed(suite.len(), options.threads, |i| tool.optimize(suite[i].as_ref()));
+    let mut outcomes = Vec::with_capacity(results.len());
+    for r in results {
+        outcomes.push(r?);
     }
     Ok(FullSpaceResult { weights, outcomes })
+}
+
+/// Split a thread budget between an outer fan-out of `jobs` pipelines and
+/// each pipeline's inner fan-out: `total / jobs` workers per pipeline, at
+/// least one.
+fn inner_threads(requested: usize, jobs: usize) -> usize {
+    (crate::campaign::effective_threads(requested) / jobs.max(1)).max(1)
 }
 
 /// Run the Figure 5 experiment: application runtime optimisation
@@ -551,6 +577,23 @@ pub fn fig6(options: &ExperimentOptions) -> Result<Fig6Result, OptimizeError> {
     let outcome = tool.optimize(&blastn(options.scale))?;
     let result = FullSpaceResult { weights: Weights::runtime_optimized(), outcomes: vec![outcome] };
     Ok(fig6_from(&result))
+}
+
+// ---------------------------------------------------------------------------
+// Campaign — multi-workload co-optimization (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// Run the full campaign over the paper's benchmark suite with an
+/// equal-share runtime mix: capture one trace per workload, measure every
+/// cost table and Figure 2 sweep from the shared [`crate::campaign::TraceSet`],
+/// solve every per-application problem, and co-optimize a single
+/// configuration for the whole mix.
+pub fn campaign(options: &ExperimentOptions) -> Result<CampaignResult, OptimizeError> {
+    let suite = suite(options.scale);
+    let engine = Campaign::new()
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(options.measurement());
+    engine.run(&suite, &Campaign::equal_mix(suite.len()))
 }
 
 // ---------------------------------------------------------------------------

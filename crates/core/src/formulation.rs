@@ -153,6 +153,90 @@ fn resource_expr(
     }
 }
 
+/// Blend per-workload cost tables into one table for multi-workload
+/// co-optimization (campaign engine).
+///
+/// `mix` pairs each workload's cost table with its (already normalised)
+/// share of the objective.  The blended runtime cost of a variable is the
+/// share-weighted sum of the per-workload ρᵢ — i.e. the objective `Σ_w ω_w ·
+/// C_w(x)/C_w(base)` linearised exactly like the paper's single-application
+/// objective — while the resource costs λᵢ/βᵢ are workload-independent
+/// (synthesis depends only on the configuration) and blend to themselves.
+/// Formulating the blended table through [`formulate`] therefore reuses the
+/// whole BINLP path unchanged, and a degenerate mix (weight 1.0 on one
+/// workload) reproduces that workload's per-application formulation — and
+/// hence its optimum — bit-for-bit.
+///
+/// All tables must cover the same variable space; panics otherwise (that is
+/// a caller bug, not a data condition).
+pub fn blend_cost_tables(mix: &[(f64, &CostTable)]) -> CostTable {
+    assert!(!mix.is_empty(), "cannot blend an empty set of cost tables");
+    let (_, first) = mix[0];
+    for (_, t) in mix {
+        assert_eq!(t.len(), first.len(), "cost tables cover different spaces");
+    }
+
+    let blend = |f: &dyn Fn(&CostTable) -> f64| -> f64 {
+        mix.iter().map(|(w, t)| w * f(t)).sum()
+    };
+
+    let base = crate::measure::BaseCosts {
+        cycles: blend(&|t| t.base.cycles as f64).round() as u64,
+        seconds: blend(&|t| t.base.seconds),
+        // resource figures depend only on the (shared) base configuration
+        luts: first.base.luts,
+        bram_blocks: first.base.bram_blocks,
+        lut_pct: first.base.lut_pct,
+        bram_pct: first.base.bram_pct,
+        headroom_lut_pct: first.base.headroom_lut_pct,
+        headroom_bram_pct: first.base.headroom_bram_pct,
+    };
+
+    let costs = (0..first.len())
+        .map(|slot| {
+            let proto = &first.costs[slot];
+            for (_, t) in mix {
+                assert_eq!(t.costs[slot].index, proto.index, "cost tables disagree on variable order");
+            }
+            let at = |f: &dyn Fn(&crate::measure::VariableCost) -> f64| -> f64 {
+                mix.iter().map(|(w, t)| w * f(&t.costs[slot])).sum()
+            };
+            crate::measure::VariableCost {
+                index: proto.index,
+                name: proto.name.clone(),
+                cycles: at(&|c| c.cycles as f64).round() as u64,
+                seconds: at(&|c| c.seconds),
+                rho: at(&|c| c.rho),
+                lambda: at(&|c| c.lambda),
+                beta: at(&|c| c.beta),
+                lut_pct: at(&|c| c.lut_pct),
+                bram_pct: at(&|c| c.bram_pct),
+            }
+        })
+        .collect();
+
+    let workload = mix
+        .iter()
+        .map(|(w, t)| format!("{}:{w:.3}", t.workload))
+        .collect::<Vec<_>>()
+        .join("+");
+    CostTable { workload, base, costs }
+}
+
+/// Formulate the multi-workload co-optimization problem: blend the
+/// per-workload tables with their mix shares and run the standard
+/// single-application formulation over the blended costs.
+pub fn formulate_mixed(
+    space: &ParameterSpace,
+    mix: &[(f64, &CostTable)],
+    weights: Weights,
+    options: FormulationOptions,
+) -> (Formulation, CostTable) {
+    let blended = blend_cost_tables(mix);
+    let formulation = formulate(space, &blended, weights, options);
+    (formulation, blended)
+}
+
 /// Formulate the customisation problem for a measured cost table.
 pub fn formulate(
     space: &ParameterSpace,

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod dcache_study;
 pub mod experiments;
 pub mod formulation;
@@ -41,11 +42,21 @@ pub mod measure;
 pub mod optimizer;
 pub mod params;
 
+pub use campaign::{
+    effective_threads, run_indexed, Campaign, CampaignResult, CoOutcome, CoWorkloadRun, TraceSet,
+    TracedWorkload, WorkloadShare,
+};
 pub use dcache_study::{
     best_runtime_row, dcache_exhaustive, dcache_exhaustive_full, dcache_exhaustive_traced,
     DcacheRow,
 };
-pub use formulation::{formulate, predict, ConstraintForm, FormulationOptions, Prediction, Weights};
-pub use measure::{measure_base, measure_cost_table, BaseCosts, CostTable, MeasurementOptions, VariableCost};
+pub use formulation::{
+    blend_cost_tables, formulate, formulate_mixed, predict, ConstraintForm, FormulationOptions,
+    Prediction, Weights,
+};
+pub use measure::{
+    measure_base, measure_cost_table, measure_cost_table_traced, BaseCosts, CostTable,
+    MeasurementOptions, VariableCost,
+};
 pub use optimizer::{AutoReconfigurator, OptimizeError, Outcome, Validation};
 pub use params::{ParamChange, ParameterSpace, Variable};

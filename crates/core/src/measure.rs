@@ -22,7 +22,6 @@
 //! configuration, so shared work is done once.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use fpga_model::{SynthesisModel, SynthesisReport};
@@ -315,14 +314,50 @@ pub fn measure_variable(
     ctx.measure_variable(var)
 }
 
+/// The shared measurement kernel: retime (or simulate) every variable of the
+/// space, fanned out over the campaign worker pool.  Results land in
+/// per-variable slots, so both the table order and error propagation (first
+/// failing variable by index) are deterministic regardless of worker
+/// scheduling — `threads = 1` and `threads = N` produce byte-identical
+/// tables.
+fn measure_all(
+    space: &ParameterSpace,
+    workload: &(dyn Workload + Sync),
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    options: &MeasurementOptions,
+    trace: Option<&Trace>,
+    base_costs: BaseCosts,
+) -> Result<CostTable, SimError> {
+    let variables = space.variables();
+    let synth = SynthCache::new(model);
+    let references = RefCache::default();
+    let ctx = MeasureCtx {
+        workload,
+        base,
+        base_costs: &base_costs,
+        options,
+        trace,
+        synth: &synth,
+        references: &references,
+    };
+
+    let results = crate::campaign::run_indexed(variables.len(), options.threads, |i| {
+        ctx.measure_variable(&variables[i])
+    });
+    let mut costs = Vec::with_capacity(variables.len());
+    for result in results {
+        costs.push(result?);
+    }
+    Ok(CostTable { workload: workload.name().to_string(), base: base_costs, costs })
+}
+
 /// Measure the full one-at-a-time cost table for `workload`.
 ///
 /// The application is fully simulated once (capturing its execution trace);
 /// trace-invariant perturbations are then retimed by replay, the rest by
 /// full simulation, with the independent measurements spread across worker
-/// threads.  Results land in per-variable slots, so both the table order and
-/// error propagation (first failing variable by index) are deterministic
-/// regardless of worker scheduling.
+/// threads.
 pub fn measure_cost_table(
     space: &ParameterSpace,
     workload: &(dyn Workload + Sync),
@@ -337,51 +372,33 @@ pub fn measure_cost_table(
     } else {
         (measure_base(workload, base, model, options)?, None)
     };
+    measure_all(space, workload, base, model, options, trace.as_ref(), base_costs)
+}
 
-    let variables = space.variables();
-    let synth = SynthCache::new(model);
-    let references = RefCache::default();
-    let ctx = MeasureCtx {
-        workload,
-        base,
-        base_costs: &base_costs,
-        options,
-        trace: trace.as_ref(),
-        synth: &synth,
-        references: &references,
-    };
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<VariableCost, SimError>>>> =
-        variables.iter().map(|_| Mutex::new(None)).collect();
-
-    let threads = if options.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        options.threads
-    }
-    .min(variables.len().max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= variables.len() {
-                    break;
-                }
-                let cost = ctx.measure_variable(&variables[i]);
-                *slots[i].lock().unwrap() = Some(cost);
-            });
-        }
-    });
-
-    // Collect in variable order: the table needs no post-hoc sort, and the
-    // first error is always the lowest-indexed failing variable.
-    let mut costs = Vec::with_capacity(variables.len());
-    for slot in slots {
-        costs.push(slot.into_inner().unwrap().expect("every slot is written exactly once")?);
-    }
-    Ok(CostTable { workload: workload.name().to_string(), base: base_costs, costs })
+/// Measure the cost table from an already-captured trace (the campaign-engine
+/// entry point: one [`crate::campaign::TraceSet`] capture serves every study
+/// of a session, so the workload is never re-executed here).
+///
+/// The trace must have been captured on `base`; base costs are reconstructed
+/// by replaying the trace on its own capture configuration, which is
+/// bit-identical to the capturing run.
+pub fn measure_cost_table_traced(
+    space: &ParameterSpace,
+    workload: &(dyn Workload + Sync),
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    options: &MeasurementOptions,
+    trace: &Trace,
+) -> Result<CostTable, SimError> {
+    let base_report = model.synthesize(base);
+    let base_stats = leon_sim::replay(trace, base, options.max_cycles)?;
+    let base_costs = base_costs_from(
+        model,
+        base_report,
+        base_stats.cycles,
+        base.cycles_to_seconds(base_stats.cycles),
+    );
+    measure_all(space, workload, base, model, options, Some(trace), base_costs)
 }
 
 #[cfg(test)]
@@ -440,6 +457,20 @@ mod tests {
         let slow = measure_cost_table(&space, &w, &base, &model, &no_replay()).unwrap();
         assert_eq!(fast.base, slow.base);
         assert_eq!(fast.costs, slow.costs, "replay must be bit-identical to full simulation");
+    }
+
+    #[test]
+    fn traced_cost_table_is_identical_to_the_capture_path() {
+        let w = Blastn::scaled(Scale::Tiny);
+        let model = SynthesisModel::default();
+        let base = LeonConfig::base();
+        let space = ParameterSpace::dcache_geometry();
+        let (_, trace) = workloads::capture_verified(&w, &base, options().max_cycles).unwrap();
+        let traced =
+            measure_cost_table_traced(&space, &w, &base, &model, &options(), &trace).unwrap();
+        let direct = measure_cost_table(&space, &w, &base, &model, &options()).unwrap();
+        assert_eq!(traced.base, direct.base);
+        assert_eq!(traced.costs, direct.costs, "shared-trace measurement must be bit-identical");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use binlp::SolveStats;
 use fpga_model::SynthesisModel;
-use leon_sim::{LeonConfig, SimError};
+use leon_sim::{LeonConfig, SimError, Trace};
 use serde::{Deserialize, Serialize};
 use workloads::Workload;
 
@@ -189,11 +189,44 @@ impl AutoReconfigurator {
 
     /// Run formulate → solve → validate on a previously measured cost table
     /// (used by the experiment drivers to reuse measurements across weight
-    /// settings, as the paper does).
+    /// settings, as the paper does).  Validation builds and fully runs the
+    /// recommendation.
     pub fn optimize_with_table(
         &self,
         workload: &(dyn Workload + Sync),
         table: CostTable,
+    ) -> Result<Outcome, OptimizeError> {
+        self.solve_and_validate(workload.name(), table, &|recommended| {
+            let run = workloads::run_verified(workload, recommended, self.measurement.max_cycles)?;
+            Ok(run.stats.cycles)
+        })
+    }
+
+    /// Like [`AutoReconfigurator::optimize_with_table`], but validate the
+    /// recommendation by replaying an already-captured trace of the base
+    /// configuration instead of re-executing the workload — bit-identical
+    /// for the (entirely trace-invariant) Figure 1 space, and the campaign
+    /// engine's fast path: with a shared
+    /// [`crate::campaign::TraceSet`], a whole per-application pipeline runs
+    /// without executing a single guest instruction.
+    pub fn optimize_with_table_traced(
+        &self,
+        workload_name: &str,
+        table: CostTable,
+        trace: &Trace,
+    ) -> Result<Outcome, OptimizeError> {
+        self.solve_and_validate(workload_name, table, &|recommended| {
+            Ok(leon_sim::replay(trace, recommended, self.measurement.max_cycles)?.cycles)
+        })
+    }
+
+    /// The shared formulate → solve → decode → validate tail; `timed_run`
+    /// supplies the validation cycles (full simulation or trace replay).
+    fn solve_and_validate(
+        &self,
+        workload_name: &str,
+        table: CostTable,
+        timed_run: &dyn Fn(&LeonConfig) -> Result<u64, SimError>,
     ) -> Result<Outcome, OptimizeError> {
         let formulation = formulate(&self.space, &table, self.weights, self.formulation);
         let solution = binlp::solve(&formulation.problem).map_err(|_| OptimizeError::Infeasible)?;
@@ -203,13 +236,13 @@ impl AutoReconfigurator {
         let recommended = self.space.apply(&self.base, &selected);
         let prediction = predict(&self.space, &table, &selected);
 
-        // validation: actually build and run the recommendation
+        // validation: build the recommendation and time it
         let report = self.model.synthesize(&recommended);
-        let run = workloads::run_verified(workload, &recommended, self.measurement.max_cycles)?;
+        let cycles = timed_run(&recommended)?;
         let validation = Validation {
-            cycles: run.stats.cycles,
-            seconds: run.seconds,
-            runtime_delta_pct: (run.stats.cycles as f64 - table.base.cycles as f64) * 100.0
+            cycles,
+            seconds: recommended.cycles_to_seconds(cycles),
+            runtime_delta_pct: (cycles as f64 - table.base.cycles as f64) * 100.0
                 / table.base.cycles as f64,
             lut_pct: report.lut_percent,
             bram_pct: report.bram_percent,
@@ -222,7 +255,7 @@ impl AutoReconfigurator {
             .collect();
 
         Ok(Outcome {
-            workload: workload.name().to_string(),
+            workload: workload_name.to_string(),
             weights: self.weights,
             cost_table: table,
             selected,
@@ -286,6 +319,32 @@ mod tests {
             outcome.predicted_gain_pct().abs() < 1e-9,
             "no runtime gain should be predicted for Arith from dcache changes"
         );
+    }
+
+    #[test]
+    fn traced_validation_is_bit_identical_to_full_simulation() {
+        let tool = AutoReconfigurator::new()
+            .with_space(ParameterSpace::dcache_geometry())
+            .with_weights(Weights::runtime_only())
+            .with_measurement(fast_measurement());
+        let w = Blastn::scaled(Scale::Tiny);
+        let (_, trace) =
+            workloads::capture_verified(&w, tool.base(), fast_measurement().max_cycles).unwrap();
+        let table = crate::measure::measure_cost_table_traced(
+            tool.space(),
+            &w,
+            tool.base(),
+            &SynthesisModel::default(),
+            &fast_measurement(),
+            &trace,
+        )
+        .unwrap();
+        let traced =
+            tool.optimize_with_table_traced(w.name(), table.clone(), &trace).unwrap();
+        let full = tool.optimize_with_table(&w, table).unwrap();
+        assert_eq!(traced.selected, full.selected);
+        assert_eq!(traced.recommended, full.recommended);
+        assert_eq!(traced.validation, full.validation, "replay validation must be bit-identical");
     }
 
     #[test]

@@ -466,12 +466,21 @@ impl Cpu {
     }
 
     /// Run until the program halts or `max_cycles` is exceeded.
+    ///
+    /// The budget bounds the run *total*: a run whose final instruction
+    /// pushes the cycle count past `max_cycles` fails exactly like one cut
+    /// off mid-run.  This keeps full simulation and trace replay — which can
+    /// only check the reconstructed total — bit-identical at the budget
+    /// boundary (DESIGN.md §3 "Exactness").
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
         while self.halted.is_none() {
             if self.stats.cycles > max_cycles {
                 return Err(SimError::CycleLimitExceeded { limit: max_cycles });
             }
             self.step()?;
+        }
+        if self.stats.cycles > max_cycles {
+            return Err(SimError::CycleLimitExceeded { limit: max_cycles });
         }
         let mut stats = self.stats.clone();
         stats.icache = self.icache.stats();

@@ -46,10 +46,13 @@
 //!
 //! Replay is bit-identical to full simulation — same final `cycles` and
 //! cache statistics — which `tests/replay_equivalence.rs` asserts across the
-//! benchmark suite × a grid of perturbations.  One caveat: the `max_cycles`
-//! budget is enforced on the run *total*, not per instruction, so a budget
-//! first exceeded by the final instruction errors here where full simulation
-//! would have just finished.
+//! benchmark suite × a grid of perturbations.  The `max_cycles` budget is a
+//! bound on the run *total* in both engines: a run first pushed past the
+//! budget by its very last instruction errors identically here and in
+//! [`crate::Cpu::run`] (see `budget_boundary_is_identical_to_simulation`).
+//!
+//! Traces are plain data (`Send + Sync`): one captured trace is shared
+//! read-only by every replay worker of a measurement campaign.
 
 use crate::cache::{Cache, CacheStats};
 use crate::config::{CacheConfig, LeonConfig};
@@ -560,6 +563,41 @@ mod tests {
         let replayed = replay(&trace, &base, limit).unwrap_err();
         assert_eq!(full, replayed);
         assert!(matches!(replayed, SimError::CycleLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn budget_boundary_is_identical_to_simulation() {
+        // Regression test for the one semantic divergence the first trace
+        // engine shipped with: a budget first exceeded by the *final*
+        // instruction used to finish under full simulation but error under
+        // replay.  Both must now treat the budget as a bound on the total.
+        let base = LeonConfig::base();
+        for program in [demo_program(), recursing_program()] {
+            let (run, trace) = capture(&base, &program, 1_000_000).unwrap();
+            let total = run.stats.cycles;
+
+            // budget == total: both engines finish, bit-identically
+            let full = crate::simulate(&base, &program, total).unwrap();
+            let replayed = replay(&trace, &base, total).unwrap();
+            assert_eq!(replayed, full.stats);
+
+            // budget == total - 1 (exhausted on the final instruction):
+            // both engines must fail with the same error
+            let full = crate::simulate(&base, &program, total - 1).unwrap_err();
+            let replayed = replay(&trace, &base, total - 1).unwrap_err();
+            assert_eq!(full, SimError::CycleLimitExceeded { limit: total - 1 });
+            assert_eq!(replayed, full);
+        }
+    }
+
+    #[test]
+    fn traces_are_shared_across_measurement_workers() {
+        // the campaign engine fans replays of one trace out over a worker
+        // pool; the trace type must stay plain shareable data
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Trace>();
+        assert_send_sync::<TraceOp>();
+        assert_send_sync::<MemOp>();
     }
 
     #[test]

@@ -34,6 +34,7 @@ impl Arith {
         match scale {
             Scale::Tiny => Arith::new(500),
             Scale::Small => Arith::new(60_000),
+            Scale::Medium => Arith::new(200_000),
             Scale::Large => Arith::new(600_000),
         }
     }
@@ -149,7 +150,13 @@ mod tests {
 
     #[test]
     fn scales_are_ordered() {
-        assert!(Arith::scaled(Scale::Tiny).iterations < Arith::scaled(Scale::Small).iterations);
-        assert!(Arith::scaled(Scale::Small).iterations < Arith::scaled(Scale::Large).iterations);
+        for pair in Scale::ALL.windows(2) {
+            assert!(
+                Arith::scaled(pair[0]).iterations < Arith::scaled(pair[1]).iterations,
+                "{:?} must be smaller than {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
     }
 }

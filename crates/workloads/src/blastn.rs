@@ -57,6 +57,7 @@ impl Blastn {
         match scale {
             Scale::Tiny => Blastn::new(2048, 2, 4, 11),
             Scale::Small => Blastn::new(24 * 1024, 4, 12, 11),
+            Scale::Medium => Blastn::new(28 * 1024, 7, 16, 11),
             Scale::Large => Blastn::new(28 * 1024, 12, 24, 11),
         }
     }

@@ -58,6 +58,7 @@ impl Drr {
         match scale {
             Scale::Tiny => Drr::new(64, 512, 2_000, 23),
             Scale::Small => Drr::new(256, 2048, 30_000, 23),
+            Scale::Medium => Drr::new(256, 2048, 100_000, 23),
             Scale::Large => Drr::new(256, 2048, 300_000, 23),
         }
     }

@@ -49,6 +49,7 @@ impl Frag {
         match scale {
             Scale::Tiny => Frag::new(200, 37),
             Scale::Small => Frag::new(3_500, 37),
+            Scale::Medium => Frag::new(9_000, 37),
             Scale::Large => Frag::new(20_000, 37),
         }
     }

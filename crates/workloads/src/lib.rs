@@ -67,10 +67,21 @@ mod tests {
 
     #[test]
     fn all_programs_assemble_and_fit_memory() {
-        for w in benchmark_suite(Scale::Small) {
-            let p = w.build();
-            assert!(!p.is_empty(), "{} produced an empty program", w.name());
-            assert!(p.required_memory() <= 1 << 20, "{} image too large", w.name());
+        for scale in Scale::ALL {
+            for w in benchmark_suite(scale) {
+                let p = w.build();
+                assert!(!p.is_empty(), "{} produced an empty program", w.name());
+                assert!(p.required_memory() <= 1 << 20, "{} image too large", w.name());
+            }
         }
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in Scale::ALL {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::parse("huge"), None);
+        assert!(Scale::Tiny < Scale::Small && Scale::Small < Scale::Medium && Scale::Medium < Scale::Large);
     }
 }

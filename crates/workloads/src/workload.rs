@@ -15,16 +15,47 @@ pub const CHAN_METRIC: u16 = 2;
 /// simulating that many cycles for hundreds of candidate configurations would
 /// make the experiments needlessly slow, so each workload supports scaled
 /// problem sizes with identical code paths and memory-behaviour *shape*.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Scale {
     /// A few tens of thousands of cycles; used by unit tests.
     Tiny,
     /// A few million cycles; the default for the reproduction experiments.
     #[default]
     Small,
+    /// Around ten million cycles; between `Small` and `Large`, sized for
+    /// multi-workload campaign studies on multi-core hardware (opt in via
+    /// `BENCH_SCALE=medium` / `--scale medium`; the campaign bench defaults
+    /// to `Small`).
+    Medium,
     /// Tens of millions of cycles; closest to the paper's runtimes
     /// (still far below the paper's wall-clock figures).
     Large,
+}
+
+impl Scale {
+    /// Every preset, smallest problem first.
+    pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large];
+
+    /// Parse a preset name as used by the CLI / environment knobs.
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// Lower-case preset name (the `parse` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
 }
 
 /// A guest benchmark application.

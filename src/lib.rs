@@ -36,8 +36,8 @@ pub use workloads as apps;
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
     pub use autoreconf::{
-        AutoReconfigurator, ConstraintForm, FormulationOptions, MeasurementOptions, Outcome,
-        ParameterSpace, Weights,
+        AutoReconfigurator, Campaign, CampaignResult, CoOutcome, ConstraintForm,
+        FormulationOptions, MeasurementOptions, Outcome, ParameterSpace, TraceSet, Weights,
     };
     pub use fpga_model::{Device, SynthesisModel};
     pub use leon_isa::{Asm, Program, Reg};

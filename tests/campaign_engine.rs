@@ -1,0 +1,123 @@
+//! Campaign-engine contracts:
+//!
+//! * **determinism** — every campaign/table/sweep result is *byte-identical*
+//!   (compared as `serde_json` strings) for `threads = 1` vs `threads = N`,
+//!   covering the parallel sweep, the parallel cost table, and the full
+//!   multi-workload co-optimization pipeline;
+//! * **degenerate weights** — co-optimization with the whole mix weight on a
+//!   single workload reproduces that workload's per-application optimum
+//!   exactly, anchoring the multi-workload objective to the paper's
+//!   Figures 5/7 pipeline.
+
+use liquid_autoreconf::apps::{benchmark_suite, Scale};
+use liquid_autoreconf::sim::LeonConfig;
+use liquid_autoreconf::tuner::{
+    dcache_exhaustive_traced, measure_cost_table, AutoReconfigurator, Campaign,
+    MeasurementOptions, ParameterSpace, Weights,
+};
+use liquid_autoreconf::fpga::SynthesisModel;
+
+const MAX_CYCLES: u64 = 400_000_000;
+
+fn measurement(threads: usize) -> MeasurementOptions {
+    MeasurementOptions { max_cycles: MAX_CYCLES, threads, use_replay: true }
+}
+
+fn campaign(threads: usize, space: ParameterSpace) -> Campaign {
+    Campaign::new()
+        .with_space(space)
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(measurement(threads))
+}
+
+#[test]
+fn sweep_is_byte_identical_across_thread_counts() {
+    let suite = benchmark_suite(Scale::Tiny);
+    let base = LeonConfig::base();
+    let model = SynthesisModel::default();
+    for w in &suite {
+        let (_, trace) =
+            liquid_autoreconf::apps::capture_verified(w.as_ref(), &base, MAX_CYCLES).unwrap();
+        let serial = dcache_exhaustive_traced(&trace, &base, &model, MAX_CYCLES, 1).unwrap();
+        let parallel = dcache_exhaustive_traced(&trace, &base, &model, MAX_CYCLES, 4).unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "{}: parallel sweep must serialise byte-identically",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn cost_table_is_byte_identical_across_thread_counts() {
+    let suite = benchmark_suite(Scale::Tiny);
+    let base = LeonConfig::base();
+    let model = SynthesisModel::default();
+    let space = ParameterSpace::paper();
+    let w = suite[0].as_ref(); // BLASTN exercises every cost component
+    let serial = measure_cost_table(&space, w, &base, &model, &measurement(1)).unwrap();
+    let parallel = measure_cost_table(&space, w, &base, &model, &measurement(4)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "parallel cost table must serialise byte-identically"
+    );
+}
+
+#[test]
+fn whole_campaign_is_byte_identical_across_thread_counts() {
+    let suite = benchmark_suite(Scale::Tiny);
+    let mix = Campaign::equal_mix(suite.len());
+    let serial = campaign(1, ParameterSpace::dcache_geometry()).run(&suite, &mix).unwrap();
+    let parallel = campaign(4, ParameterSpace::dcache_geometry()).run(&suite, &mix).unwrap();
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "the campaign result (tables + sweeps + per-app + co-optimization) \
+         must serialise byte-identically for threads=1 vs threads=N"
+    );
+}
+
+#[test]
+fn degenerate_mix_reproduces_each_per_application_optimum() {
+    let suite = benchmark_suite(Scale::Tiny);
+    let space = ParameterSpace::paper();
+    let engine = campaign(2, space.clone());
+    let traces = engine.capture(&suite).unwrap();
+    let tables = engine.cost_tables(&suite, &traces).unwrap();
+
+    let tool = AutoReconfigurator::new()
+        .with_space(space)
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(measurement(2));
+
+    for (k, w) in suite.iter().enumerate() {
+        // all of the mix weight on workload k
+        let mut mix = vec![0.0; suite.len()];
+        mix[k] = 1.0;
+        let co = engine.co_optimize(&traces, &tables, &mix).unwrap();
+        let per_app = tool.optimize_with_table(w.as_ref(), tables[k].clone()).unwrap();
+
+        assert_eq!(
+            co.selected, per_app.selected,
+            "{}: degenerate mix must select the per-application optimum",
+            w.name()
+        );
+        assert_eq!(
+            co.recommended, per_app.recommended,
+            "{}: degenerate mix must decode to the same configuration",
+            w.name()
+        );
+        // replay-based co validation must agree bit-for-bit with the
+        // per-application pipeline's full-simulation validation
+        assert_eq!(
+            co.per_workload[k].cycles,
+            per_app.validation.cycles,
+            "{}: replay validation must equal full-simulation validation",
+            w.name()
+        );
+        assert_eq!(co.per_workload[k].weight, 1.0);
+        assert!(co.per_workload.iter().enumerate().all(|(i, r)| i == k || r.weight == 0.0));
+    }
+}

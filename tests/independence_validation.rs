@@ -80,7 +80,7 @@ fn exhaustive_sweep_and_optimizer_agree_on_total_capacity_for_drr() {
     // 2x16 from the optimiser).  At any scale both methods should land on the
     // same *total* capacity even if the geometry differs.
     let w = Drr::scaled(Scale::Tiny);
-    let rows = dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 400_000_000)
+    let rows = dcache_exhaustive(&w, &LeonConfig::base(), &SynthesisModel::default(), 400_000_000, 0)
         .unwrap();
     let best = best_runtime_row(&rows).unwrap();
     let comparison = fig4(&options()).unwrap();

@@ -4,10 +4,14 @@
 //! workload of the paper's suite.  This is the property the fast measurement
 //! path in `autoreconf::measure` and the Figure 2 sweep rely on.
 
+use std::sync::OnceLock;
+
 use liquid_autoreconf::apps::{benchmark_suite, Scale};
+use liquid_autoreconf::isa::Program;
 use liquid_autoreconf::sim::{
-    self, LeonConfig, Multiplier, ReplacementPolicy, SimError,
+    self, CacheConfig, Divider, LeonConfig, Multiplier, ReplacementPolicy, SimError, Trace,
 };
+use proptest::prelude::*;
 
 const MAX_CYCLES: u64 = 400_000_000;
 
@@ -128,6 +132,89 @@ fn replay_rejects_invalid_configurations_like_the_simulator() {
     let mut c = base;
     c.dcache.way_kb = 3; // structurally invalid
     assert!(matches!(sim::replay(&trace, &c, MAX_CYCLES), Err(SimError::InvalidConfig(_))));
+}
+
+/// One captured (program, trace) per suite workload, shared by every
+/// property-test case (capture is the expensive part and is config-free).
+fn captured_suite() -> &'static Vec<(String, Program, Trace)> {
+    static SUITE: OnceLock<Vec<(String, Program, Trace)>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        benchmark_suite(Scale::Tiny)
+            .iter()
+            .map(|w| {
+                let program = w.build();
+                let (_, trace) = sim::capture(&LeonConfig::base(), &program, MAX_CYCLES).unwrap();
+                (w.name().to_string(), program, trace)
+            })
+            .collect()
+    })
+}
+
+/// Decode a seed into a *structurally valid* configuration covering the
+/// whole Figure 1 space: random cache geometries (ways × way size × line
+/// size × a replacement policy valid for that associativity) for both
+/// caches, plus every IU option.  Validity holds by construction, so the
+/// property test explores the full space with zero rejected cases.
+fn config_from_seed(seed: u64) -> LeonConfig {
+    let mut state = seed;
+    let mut pick = move |n: u64| -> u64 {
+        // splitmix64 step: decorrelates the successive field draws
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) % n
+    };
+
+    let mut cache = |c: &mut CacheConfig| {
+        c.ways = 1 + pick(4) as u8;
+        c.way_kb = CacheConfig::VALID_WAY_KB[pick(7) as usize];
+        c.line_words = if pick(2) == 0 { 4 } else { 8 };
+        c.replacement = match c.ways {
+            1 => ReplacementPolicy::Random,
+            2 => [ReplacementPolicy::Random, ReplacementPolicy::Lrr, ReplacementPolicy::Lru]
+                [pick(3) as usize],
+            _ => [ReplacementPolicy::Random, ReplacementPolicy::Lru][pick(2) as usize],
+        };
+    };
+
+    let mut config = LeonConfig::base();
+    cache(&mut config.icache);
+    cache(&mut config.dcache);
+    config.dcache_fast_read = pick(2) == 1;
+    config.dcache_fast_write = pick(2) == 1;
+    config.iu.fast_jump = pick(2) == 1;
+    config.iu.icc_hold = pick(2) == 1;
+    config.iu.fast_decode = pick(2) == 1;
+    config.iu.load_delay = 1 + pick(2) as u8;
+    config.iu.reg_windows = (2 + pick(31)) as u8; // 2..=32
+    config.iu.divider = [Divider::Radix2, Divider::None][pick(2) as usize];
+    config.iu.multiplier = Multiplier::ALL[pick(7) as usize];
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generalisation of the fixed grid above: on *any* valid configuration
+    /// geometry, replay of the shared base trace must be bit-identical to a
+    /// full cycle-accurate simulation — for every workload of the suite.
+    #[test]
+    fn replay_matches_full_simulation_on_random_geometries(seed in any::<u64>()) {
+        let config = config_from_seed(seed);
+        prop_assert!(config.validate().is_ok(), "decoder must only produce valid configs");
+        for (name, program, trace) in captured_suite() {
+            let full = sim::simulate(&config, program, MAX_CYCLES).unwrap();
+            let replayed = sim::replay(trace, &config, MAX_CYCLES).unwrap();
+            prop_assert_eq!(
+                &replayed,
+                &full.stats,
+                "{}: replay diverged from full simulation on {:?}",
+                name,
+                config
+            );
+        }
+    }
 }
 
 #[test]
