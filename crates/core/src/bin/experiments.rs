@@ -4,18 +4,25 @@
 //!
 //! ```text
 //! experiments fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all \
-//!     [--scale tiny|small|medium|large] [--json DIR]
+//!     [--scale tiny|small|medium|large] [--json DIR] [--store DIR]
 //! ```
+//!
+//! `--store DIR` (or the `AUTORECONF_STORE` environment variable) roots the
+//! `campaign` target on the incremental artifact store: a second run over an
+//! unchanged suite serves every trace, cost table, sweep and per-app optimum
+//! from disk and re-runs only the (cheap) co-optimization.
 
 use std::io::Write;
 
 use autoreconf::experiments::{self, ExperimentOptions};
+use autoreconf::ArtifactStore;
 use workloads::Scale;
 
-fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>) {
+fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>, Option<String>) {
     let mut figures = Vec::new();
     let mut options = ExperimentOptions::default();
     let mut json_dir = None;
+    let mut store_dir = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,10 +39,13 @@ fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>) {
             "--json" => {
                 json_dir = args.next();
             }
+            "--store" => {
+                store_dir = args.next();
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all]... \
-                     [--scale tiny|small|medium|large] [--threads N] [--json DIR]"
+                     [--scale tiny|small|medium|large] [--threads N] [--json DIR] [--store DIR]"
                 );
                 std::process::exit(0);
             }
@@ -45,7 +55,7 @@ fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>) {
     if figures.is_empty() {
         figures.push("all".to_string());
     }
-    (figures, options, json_dir)
+    (figures, options, json_dir, store_dir)
 }
 
 fn write_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
@@ -60,7 +70,7 @@ fn write_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
 }
 
 fn main() {
-    let (figures, options, json_dir) = parse_args();
+    let (figures, options, json_dir, store_dir) = parse_args();
     let wants = |name: &str| figures.iter().any(|f| f == name || f == "all");
     let started = std::time::Instant::now();
 
@@ -105,7 +115,12 @@ fn main() {
         write_json(&json_dir, "fig7", &r);
     }
     if wants("campaign") {
-        let r = experiments::campaign(&options).expect("campaign");
+        // --store wins over AUTORECONF_STORE; without either, no store
+        let store = match &store_dir {
+            Some(dir) => Some(ArtifactStore::open(dir).expect("open artifact store")),
+            None => ArtifactStore::from_env(),
+        };
+        let r = experiments::campaign_with_store(&options, store).expect("campaign");
         println!("{}", r.render());
         write_json(&json_dir, "campaign", &r);
     }

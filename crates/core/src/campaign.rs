@@ -36,6 +36,7 @@ use crate::formulation::{formulate_mixed, FormulationOptions, Weights};
 use crate::measure::{measure_cost_table_traced, CostTable, MeasurementOptions};
 use crate::optimizer::{AutoReconfigurator, OptimizeError, Outcome};
 use crate::params::ParameterSpace;
+use crate::store::{ArtifactStore, Fingerprint, FingerprintBuilder, RESULTS_VERSION};
 
 /// Resolve a requested worker count.  `0` means one worker per available
 /// CPU, overridable via the `AUTORECONF_THREADS` environment variable —
@@ -305,6 +306,7 @@ pub struct Campaign {
     weights: Weights,
     formulation: FormulationOptions,
     measurement: MeasurementOptions,
+    store: Option<ArtifactStore>,
 }
 
 impl Default for Campaign {
@@ -324,6 +326,7 @@ impl Campaign {
             weights: Weights::runtime_optimized(),
             formulation: FormulationOptions::default(),
             measurement: MeasurementOptions::default(),
+            store: None,
         }
     }
 
@@ -361,6 +364,25 @@ impl Campaign {
     pub fn with_measurement(mut self, options: MeasurementOptions) -> Self {
         self.measurement = options;
         self
+    }
+
+    /// Attach an on-disk [`ArtifactStore`]: captures, cost tables, sweeps
+    /// and per-application optima are then served from the store when a
+    /// content-identical artifact exists and persisted when computed fresh.
+    /// Results are byte-identical with and without a store.
+    pub fn with_store(mut self, store: ArtifactStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Convenience: open (creating if needed) a store directory and attach it.
+    pub fn with_store_dir(self, dir: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(self.with_store(ArtifactStore::open(dir)?))
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
     }
 
     /// The parameter space being explored.
@@ -444,14 +466,7 @@ impl Campaign {
     ) -> Result<Vec<Outcome>, OptimizeError> {
         assert_eq!(suite.len(), tables.len(), "suite and tables must align");
         assert_eq!(suite.len(), traces.len(), "suite and trace set must align");
-        let tool = AutoReconfigurator::new()
-            .with_space(self.space.clone())
-            .with_base(self.base)
-            .with_model(self.model.clone())
-            .with_weights(self.weights)
-            .with_formulation(self.formulation)
-            // the outer fan-out owns the pool; keep the inner stages serial
-            .with_measurement(MeasurementOptions { threads: 1, ..self.measurement });
+        let tool = self.per_app_tool();
         let results = run_indexed(suite.len(), self.measurement.threads, |i| {
             if self.measurement.use_replay {
                 tool.optimize_with_table_traced(
@@ -549,17 +564,496 @@ impl Campaign {
     /// Run the whole campaign: capture the trace set, measure every cost
     /// table, sweep every workload's d-cache space, solve every
     /// per-application problem, and co-optimize the mix.
+    ///
+    /// With a store attached ([`Campaign::with_store`]) every per-workload
+    /// artifact is first looked up by content fingerprint; only what is
+    /// missing (or damaged) is recomputed, and a fully warm run executes
+    /// zero guest instructions.  The result is byte-identical either way.
     pub fn run(
         &self,
         suite: &[Box<dyn Workload + Send + Sync>],
         mix: &[f64],
     ) -> Result<CampaignResult, OptimizeError> {
-        let traces = self.capture(suite)?;
-        let tables = self.cost_tables(suite, &traces)?;
-        let sweeps = self.sweeps(&traces)?;
-        let per_app = self.optimize_each(suite, &traces, &tables)?;
-        let co = self.co_optimize(&traces, &tables, mix)?;
-        Ok(CampaignResult { workloads: traces.names(), tables, sweeps, per_app, co })
+        self.session(suite)?.into_result(mix)
+    }
+
+    // -- store keys ---------------------------------------------------------
+
+    /// Common prefix of every artifact key (workload-specific or not): the
+    /// results version, the cycle budget (a budget-exhausting run errors/
+    /// truncates, so artifacts measured under a different budget are not
+    /// interchangeable) and the base configuration every artifact derives
+    /// from.  `co_key` builds on this too — any field added here invalidates
+    /// all key families together.
+    fn engine_key(&self) -> FingerprintBuilder {
+        FingerprintBuilder::new()
+            .u64(RESULTS_VERSION as u64)
+            .u64(self.measurement.max_cycles)
+            .debug(&self.base)
+    }
+
+    /// Mix in the fields the solve-stage artifacts (`optimum`, `co`) depend
+    /// on beyond the engine key: space, model and objective.
+    fn objective_fields(&self, b: FingerprintBuilder) -> FingerprintBuilder {
+        b.debug(&self.space).debug(&self.model).debug(&self.weights).debug(&self.formulation)
+    }
+
+    fn key_base(&self, workload_fp: u64) -> FingerprintBuilder {
+        self.engine_key().u64(workload_fp)
+    }
+
+    fn trace_key(&self, workload_fp: u64) -> Fingerprint {
+        self.key_base(workload_fp)
+            .str("trace")
+            .u64(leon_sim::TRACE_FORMAT_VERSION as u64)
+            .finish()
+    }
+
+    fn table_key(&self, workload_fp: u64) -> Fingerprint {
+        self.key_base(workload_fp).str("table").debug(&self.space).debug(&self.model).finish()
+    }
+
+    fn sweep_key(&self, workload_fp: u64) -> Fingerprint {
+        self.key_base(workload_fp).str("sweep").debug(&self.model).finish()
+    }
+
+    fn optimum_key(&self, workload_fp: u64) -> Fingerprint {
+        self.objective_fields(self.key_base(workload_fp).str("optimum")).finish()
+    }
+
+    // -- store-aware per-workload derivation --------------------------------
+
+    /// Serve the workload's verified trace (plus its base-run costs) from
+    /// the store, or capture it by full simulation.  The boolean reports
+    /// whether a capture (guest execution) happened.
+    fn load_or_capture(
+        &self,
+        workload: &(dyn Workload + Send + Sync),
+        workload_fp: u64,
+    ) -> Result<(TracedWorkload, bool), SimError> {
+        if let Some(store) = &self.store {
+            if let Some(payload) = store.load("trace", self.trace_key(workload_fp)) {
+                if let Some(entry) = decode_stored_trace(&payload, workload.name(), &self.base) {
+                    return Ok((entry, false));
+                }
+                // envelope was intact but the payload didn't decode (format
+                // drift): fall through and recompute/overwrite
+                store.note_decode_failure();
+            }
+        }
+        let (run, trace) =
+            workloads::capture_verified(workload, &self.base, self.measurement.max_cycles)?;
+        let entry = TracedWorkload {
+            name: workload.name().to_string(),
+            trace,
+            base_cycles: run.stats.cycles,
+            base_seconds: run.seconds,
+        };
+        if let Some(store) = &self.store {
+            let payload = encode_stored_trace(&entry);
+            if let Err(e) = store.save("trace", self.trace_key(workload_fp), &payload) {
+                eprintln!("warning: could not persist trace for {}: {e}", entry.name);
+            }
+        }
+        Ok((entry, true))
+    }
+
+    /// Serve the workload's cost table from the store, or measure it by
+    /// replaying the trace.  The boolean reports whether a measurement ran.
+    fn load_or_measure_table(
+        &self,
+        workload: &(dyn Workload + Send + Sync),
+        workload_fp: u64,
+        entry: &TracedWorkload,
+    ) -> Result<(CostTable, bool), SimError> {
+        let key = self.table_key(workload_fp);
+        if let Some(store) = &self.store {
+            if let Some(table) = store.load_json::<CostTable>("table", key) {
+                return Ok((table, false));
+            }
+        }
+        let table = measure_cost_table_traced(
+            &self.space,
+            workload,
+            &self.base,
+            &self.model,
+            &self.measurement,
+            &entry.trace,
+        )?;
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save_json("table", key, &table) {
+                eprintln!("warning: could not persist cost table for {}: {e}", entry.name);
+            }
+        }
+        Ok((table, true))
+    }
+
+    /// Serve the workload's Figure 2 exhaustive sweep from the store, or
+    /// recompute it by replay.  The boolean reports whether replays ran.
+    fn load_or_sweep(
+        &self,
+        workload_fp: u64,
+        entry: &TracedWorkload,
+    ) -> Result<(Vec<DcacheRow>, bool), SimError> {
+        let key = self.sweep_key(workload_fp);
+        if let Some(store) = &self.store {
+            if let Some(sweep) = store.load_json::<Vec<DcacheRow>>("sweep", key) {
+                return Ok((sweep, false));
+            }
+        }
+        let sweep = dcache_exhaustive_traced(
+            &entry.trace,
+            &self.base,
+            &self.model,
+            self.measurement.max_cycles,
+            self.measurement.threads,
+        )?;
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save_json("sweep", key, &sweep) {
+                eprintln!("warning: could not persist sweep for {}: {e}", entry.name);
+            }
+        }
+        Ok((sweep, true))
+    }
+
+    /// Serve the workload's per-application optimum from the store, or
+    /// formulate + solve + replay-validate it.  The boolean reports whether
+    /// a solve ran.
+    fn load_or_optimize(
+        &self,
+        tool: &AutoReconfigurator,
+        workload: &(dyn Workload + Send + Sync),
+        workload_fp: u64,
+        entry: &TracedWorkload,
+        table: &CostTable,
+    ) -> Result<(Outcome, bool), OptimizeError> {
+        let key = self.optimum_key(workload_fp);
+        if let Some(store) = &self.store {
+            if let Some(outcome) = store.load_json::<Outcome>("optimum", key) {
+                return Ok((outcome, false));
+            }
+        }
+        let outcome = if self.measurement.use_replay {
+            tool.optimize_with_table_traced(&entry.name, table.clone(), &entry.trace)?
+        } else {
+            tool.optimize_with_table(workload, table.clone())?
+        };
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save_json("optimum", key, &outcome) {
+                eprintln!("warning: could not persist optimum for {}: {e}", entry.name);
+            }
+        }
+        Ok((outcome, true))
+    }
+}
+
+/// Binary payload of a stored trace entry: the base-run costs the campaign
+/// needs alongside the trace itself, so a warm load replays nothing.
+fn encode_stored_trace(entry: &TracedWorkload) -> Vec<u8> {
+    let trace = entry.trace.to_bytes();
+    let mut payload = Vec::with_capacity(16 + trace.len());
+    payload.extend_from_slice(&entry.base_cycles.to_le_bytes());
+    payload.extend_from_slice(&entry.base_seconds.to_bits().to_le_bytes());
+    payload.extend_from_slice(&trace);
+    payload
+}
+
+/// Decode a stored trace payload; `None` (→ recompute) on any mismatch.
+fn decode_stored_trace(
+    payload: &[u8],
+    name: &str,
+    expected_base: &LeonConfig,
+) -> Option<TracedWorkload> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let base_cycles = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let base_seconds = f64::from_bits(u64::from_le_bytes(payload[8..16].try_into().unwrap()));
+    let trace = Trace::from_bytes(&payload[16..]).ok()?;
+    if trace.captured != *expected_base {
+        return None; // keyed correctly but captured elsewhere — never trust it
+    }
+    Some(TracedWorkload { name: name.to_string(), trace, base_cycles, base_seconds })
+}
+
+/// What a [`CampaignSession`] actually did, per artifact kind: how many
+/// artifacts were recomputed and how many were served from the store.
+///
+/// These counters are per-session (not global), so tests can assert
+/// invalidation precision — e.g. that updating one workload of a four-way
+/// mix re-captures exactly one trace and re-measures exactly one cost table
+/// — without racing against other tests in the same process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Traces captured by full (guest-executing) simulation.
+    pub trace_captures: usize,
+    /// Traces served from the store.
+    pub trace_store_hits: usize,
+    /// Cost tables measured (by replay over the trace set).
+    pub table_measurements: usize,
+    /// Cost tables served from the store.
+    pub table_store_hits: usize,
+    /// Figure 2 sweeps recomputed by replay.
+    pub sweeps_computed: usize,
+    /// Figure 2 sweeps served from the store.
+    pub sweep_store_hits: usize,
+    /// Per-application problems formulated, solved and validated.
+    pub optimizations_solved: usize,
+    /// Per-application optima served from the store.
+    pub optimum_store_hits: usize,
+}
+
+/// Tick either the "recomputed" or the "served from store" counter.
+fn bump(computed_fresh: bool, computed: &mut usize, hit: &mut usize) {
+    if computed_fresh {
+        *computed += 1;
+    } else {
+        *hit += 1;
+    }
+}
+
+/// A materialised campaign over one benchmark suite: every per-workload
+/// artifact (trace, cost table, sweep, per-application optimum) derived
+/// once — from the artifact store where possible — and held in memory for
+/// repeated, cheap re-optimization.
+///
+/// This is the incremental-re-optimization surface ROADMAP PR-2 called for:
+///
+/// * [`CampaignSession::result`] assembles a full [`CampaignResult`] for any
+///   workload mix; only `blend_cost_tables` + the BINLP solve + the
+///   replay-validation of the one recommended configuration run per call.
+/// * [`CampaignSession::update_workload`] swaps one workload of the mix and
+///   re-derives *only* that workload's artifacts (a content-identical
+///   replacement is even served from the store); the other workloads'
+///   traces and tables are reused untouched.
+pub struct CampaignSession {
+    engine: Campaign,
+    fingerprints: Vec<u64>,
+    traces: TraceSet,
+    tables: Vec<CostTable>,
+    sweeps: Vec<Vec<DcacheRow>>,
+    per_app: Vec<Outcome>,
+    counters: SessionCounters,
+}
+
+impl Campaign {
+    /// Derive (or load) every per-workload artifact for `suite` and return
+    /// the session holding them.
+    ///
+    /// Stage structure matches the plain [`Campaign::run`] pipeline: traces
+    /// fan out per workload, table measurement fans out per variable inside
+    /// each workload, sweeps fan out per geometry, per-application solves
+    /// fan out per workload.  Every stage consults the store first when one
+    /// is attached.
+    pub fn session(
+        &self,
+        suite: &[Box<dyn Workload + Send + Sync>],
+    ) -> Result<CampaignSession, OptimizeError> {
+        let mut counters = SessionCounters::default();
+
+        // traces: one (load-or-capture) job per workload
+        let results = run_indexed(suite.len(), self.measurement.threads, |i| {
+            let fp = suite[i].fingerprint();
+            self.load_or_capture(suite[i].as_ref(), fp).map(|(entry, captured)| (fp, entry, captured))
+        });
+        let mut fingerprints = Vec::with_capacity(suite.len());
+        let mut entries = Vec::with_capacity(suite.len());
+        for r in results {
+            let (fp, entry, captured) = r?;
+            bump(captured, &mut counters.trace_captures, &mut counters.trace_store_hits);
+            fingerprints.push(fp);
+            entries.push(entry);
+        }
+        let traces = TraceSet { base: self.base, entries };
+
+        // cost tables: the per-variable fan-out inside each measurement
+        // saturates the pool, so workloads are processed in order
+        let mut tables = Vec::with_capacity(suite.len());
+        for (i, w) in suite.iter().enumerate() {
+            let (table, measured) =
+                self.load_or_measure_table(w.as_ref(), fingerprints[i], &traces.entries[i])?;
+            bump(measured, &mut counters.table_measurements, &mut counters.table_store_hits);
+            tables.push(table);
+        }
+
+        // Figure 2 sweeps: per-geometry fan-out inside each sweep
+        let mut sweeps = Vec::with_capacity(suite.len());
+        for (i, _) in suite.iter().enumerate() {
+            let (sweep, computed) = self.load_or_sweep(fingerprints[i], &traces.entries[i])?;
+            bump(computed, &mut counters.sweeps_computed, &mut counters.sweep_store_hits);
+            sweeps.push(sweep);
+        }
+
+        // per-application optima: one job per workload, inner stages serial
+        let tool = self.per_app_tool();
+        let results = run_indexed(suite.len(), self.measurement.threads, |i| {
+            self.load_or_optimize(
+                &tool,
+                suite[i].as_ref(),
+                fingerprints[i],
+                &traces.entries[i],
+                &tables[i],
+            )
+        });
+        let mut per_app = Vec::with_capacity(suite.len());
+        for r in results {
+            let (outcome, solved) = r?;
+            bump(solved, &mut counters.optimizations_solved, &mut counters.optimum_store_hits);
+            per_app.push(outcome);
+        }
+
+        Ok(CampaignSession {
+            engine: self.clone(),
+            fingerprints,
+            traces,
+            tables,
+            sweeps,
+            per_app,
+            counters,
+        })
+    }
+
+    /// The per-application pipeline configuration shared by
+    /// [`Campaign::session`] and [`Campaign::optimize_each`]: same space,
+    /// base, model, weights and options, with the inner stages kept serial
+    /// because the outer per-workload fan-out owns the pool.
+    fn per_app_tool(&self) -> AutoReconfigurator {
+        AutoReconfigurator::new()
+            .with_space(self.space.clone())
+            .with_base(self.base)
+            .with_model(self.model.clone())
+            .with_weights(self.weights)
+            .with_formulation(self.formulation)
+            .with_measurement(MeasurementOptions { threads: 1, ..self.measurement })
+    }
+}
+
+impl CampaignSession {
+    /// The campaign configuration this session was derived with.
+    pub fn engine(&self) -> &Campaign {
+        &self.engine
+    }
+
+    /// The shared trace set (one verified capture — or store load — per
+    /// workload).
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// Per-workload one-at-a-time cost tables, in suite order.
+    pub fn tables(&self) -> &[CostTable] {
+        &self.tables
+    }
+
+    /// Per-workload Figure 2 sweeps, in suite order.
+    pub fn sweeps(&self) -> &[Vec<DcacheRow>] {
+        &self.sweeps
+    }
+
+    /// Per-application optima, in suite order.
+    pub fn per_app(&self) -> &[Outcome] {
+        &self.per_app
+    }
+
+    /// What this session recomputed vs. served from the store so far.
+    pub fn counters(&self) -> SessionCounters {
+        self.counters
+    }
+
+    /// Content key of a co-optimization outcome: every workload fingerprint
+    /// (in mix order), the normalised shares, and the whole engine
+    /// configuration.  Any change to any of them is a different key.
+    fn co_key(&self, mix: &[f64]) -> Fingerprint {
+        let total: f64 = mix.iter().sum();
+        let mut b = self.engine.objective_fields(self.engine.engine_key().str("co"));
+        for (fp, weight) in self.fingerprints.iter().zip(mix) {
+            b = b.u64(*fp).u64((weight / total).to_bits());
+        }
+        b.finish()
+    }
+
+    /// Co-optimize the current artifact set for a workload mix (cheap: one
+    /// blend, one BINLP solve, one replay-validation per workload — and with
+    /// a store attached, an unchanged (mix, artifact-set) pair is served
+    /// from disk without even those replays).
+    pub fn co_optimize(&self, mix: &[f64]) -> Result<CoOutcome, OptimizeError> {
+        assert_eq!(mix.len(), self.traces.len(), "one mix weight per workload required");
+        let key = self.co_key(mix);
+        if let Some(store) = &self.engine.store {
+            if let Some(outcome) = store.load_json::<CoOutcome>("co", key) {
+                return Ok(outcome);
+            }
+        }
+        let outcome = self.engine.co_optimize(&self.traces, &self.tables, mix)?;
+        if let Some(store) = &self.engine.store {
+            if let Err(e) = store.save_json("co", key, &outcome) {
+                eprintln!("warning: could not persist co-optimization outcome: {e}");
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Assemble the full [`CampaignResult`] for a workload mix.  Everything
+    /// except the final co-optimization is served from the session.
+    pub fn result(&self, mix: &[f64]) -> Result<CampaignResult, OptimizeError> {
+        Ok(CampaignResult {
+            workloads: self.traces.names(),
+            tables: self.tables.clone(),
+            sweeps: self.sweeps.clone(),
+            per_app: self.per_app.clone(),
+            co: self.co_optimize(mix)?,
+        })
+    }
+
+    /// [`CampaignSession::result`] for one-shot use: consumes the session
+    /// and moves the artifacts into the result instead of cloning them.
+    pub fn into_result(self, mix: &[f64]) -> Result<CampaignResult, OptimizeError> {
+        let co = self.co_optimize(mix)?;
+        Ok(CampaignResult {
+            workloads: self.traces.names(),
+            tables: self.tables,
+            sweeps: self.sweeps,
+            per_app: self.per_app,
+            co,
+        })
+    }
+
+    /// Replace the workload at `index` and re-derive *only* its artifacts.
+    ///
+    /// The other workloads' traces, tables, sweeps and optima are left
+    /// untouched (and unqueried), so the cost of a mix update is one
+    /// capture + one table + one sweep + one solve in the worst case — and
+    /// zero guest execution when the replacement's artifacts are already in
+    /// the store.  Call [`CampaignSession::result`] afterwards to re-run the
+    /// (cheap) blend + BINLP co-optimization over the updated mix.
+    pub fn update_workload(
+        &mut self,
+        index: usize,
+        workload: &(dyn Workload + Send + Sync),
+    ) -> Result<(), OptimizeError> {
+        assert!(index < self.traces.len(), "workload index {index} out of range");
+        let fp = workload.fingerprint();
+
+        let (entry, captured) = self.engine.load_or_capture(workload, fp)?;
+        bump(captured, &mut self.counters.trace_captures, &mut self.counters.trace_store_hits);
+
+        let (table, measured) = self.engine.load_or_measure_table(workload, fp, &entry)?;
+        bump(measured, &mut self.counters.table_measurements, &mut self.counters.table_store_hits);
+
+        let (sweep, computed) = self.engine.load_or_sweep(fp, &entry)?;
+        bump(computed, &mut self.counters.sweeps_computed, &mut self.counters.sweep_store_hits);
+
+        let tool = self.engine.per_app_tool();
+        let (outcome, solved) =
+            self.engine.load_or_optimize(&tool, workload, fp, &entry, &table)?;
+        bump(solved, &mut self.counters.optimizations_solved, &mut self.counters.optimum_store_hits);
+
+        self.fingerprints[index] = fp;
+        self.traces.entries[index] = entry;
+        self.tables[index] = table;
+        self.sweeps[index] = sweep;
+        self.per_app[index] = outcome;
+        Ok(())
     }
 }
 

@@ -588,12 +588,41 @@ pub fn fig6(options: &ExperimentOptions) -> Result<Fig6Result, OptimizeError> {
 /// cost table and Figure 2 sweep from the shared [`crate::campaign::TraceSet`],
 /// solve every per-application problem, and co-optimize a single
 /// configuration for the whole mix.
+///
+/// When the `AUTORECONF_STORE` environment variable names a directory, the
+/// campaign runs on top of the incremental artifact store rooted there: a
+/// warm store serves every unchanged artifact from disk (executing zero
+/// guest instructions) and only the final co-optimization is recomputed.
 pub fn campaign(options: &ExperimentOptions) -> Result<CampaignResult, OptimizeError> {
+    campaign_with_store(options, crate::store::ArtifactStore::from_env())
+}
+
+/// [`campaign`] with an explicit (optional) artifact store — the `campaign`
+/// CLI target's `--store <dir>` entry point.
+pub fn campaign_with_store(
+    options: &ExperimentOptions,
+    store: Option<crate::store::ArtifactStore>,
+) -> Result<CampaignResult, OptimizeError> {
     let suite = suite(options.scale);
-    let engine = Campaign::new()
+    let mut engine = Campaign::new()
         .with_weights(Weights::runtime_optimized())
         .with_measurement(options.measurement());
-    engine.run(&suite, &Campaign::equal_mix(suite.len()))
+    if let Some(store) = store {
+        engine = engine.with_store(store);
+    }
+    let result = engine.run(&suite, &Campaign::equal_mix(suite.len()))?;
+    if let Some(store) = engine.store() {
+        let s = store.stats();
+        eprintln!(
+            "artifact store {}: {} hits, {} misses ({} corrupt), {} writes",
+            store.dir().display(),
+            s.hits,
+            s.misses,
+            s.corrupt,
+            s.writes
+        );
+    }
+    Ok(result)
 }
 
 // ---------------------------------------------------------------------------

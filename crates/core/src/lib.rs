@@ -41,11 +41,13 @@ pub mod formulation;
 pub mod measure;
 pub mod optimizer;
 pub mod params;
+pub mod store;
 
 pub use campaign::{
-    effective_threads, run_indexed, Campaign, CampaignResult, CoOutcome, CoWorkloadRun, TraceSet,
-    TracedWorkload, WorkloadShare,
+    effective_threads, run_indexed, Campaign, CampaignResult, CampaignSession, CoOutcome,
+    CoWorkloadRun, SessionCounters, TraceSet, TracedWorkload, WorkloadShare,
 };
+pub use store::{ArtifactStore, Fingerprint, FingerprintBuilder, StoreStats};
 pub use dcache_study::{
     best_runtime_row, dcache_exhaustive, dcache_exhaustive_full, dcache_exhaustive_traced,
     DcacheRow,

@@ -1,0 +1,459 @@
+//! On-disk, content-addressed artifact store for campaign measurements.
+//!
+//! The paper's flow — capture a trace, measure a per-variable cost table,
+//! solve the BINLP — is deterministic: every artifact is a pure function of
+//! the workload content, the base configuration, the parameter space, the
+//! synthesis model and the objective.  [`ArtifactStore`] exploits that by
+//! persisting the expensive artifacts keyed by a stable [`Fingerprint`] of
+//! exactly those inputs, so a campaign over a workload mix becomes
+//! *incrementally updatable*: change one workload and only its artifacts are
+//! recomputed; everything else is served from disk, byte-identical to a
+//! fresh computation (see `tests/incremental_store.rs`).
+//!
+//! # Safety model
+//!
+//! The store can only ever make a campaign *faster*, never *wrong*:
+//!
+//! * **Content addressing** — the fingerprint covers every input an artifact
+//!   depends on (workload program bytes, base geometry, space, model,
+//!   weights, format versions).  A changed input is a different key, i.e. a
+//!   miss, i.e. a recompute.  Nothing is ever invalidated in place.
+//! * **Corruption-safe loads** — every entry carries a magic, the store
+//!   format version, its kind, its own fingerprint and a 64-bit FNV-1a
+//!   checksum of the payload.  Truncation, bit rot, renamed files (across
+//!   keys *or* kinds), version skew or a half-written entry all fail
+//!   validation, count as a miss (recorded in [`StoreStats::corrupt`]), and
+//!   fall back to recompute.
+//! * **Atomic writes** — entries are written to a temporary file in the
+//!   store directory and `rename`d into place, so a crash mid-write leaves
+//!   either the old entry or no entry, never a torn one.  Concurrent writers
+//!   of the same key race benignly: both produce identical bytes.
+//!
+//! The store directory is wired up either explicitly
+//! ([`crate::campaign::Campaign::with_store`], the `campaign` CLI target's
+//! `--store <dir>` flag) or through the `AUTORECONF_STORE` environment
+//! variable ([`ArtifactStore::from_env`]).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Version of the store's entry envelope (header + checksum framing).
+///
+/// Bump on any change to the envelope layout; old entries then fail to load
+/// and are transparently recomputed.  Payload formats carry their own
+/// versions on top of this (e.g. [`leon_sim::TRACE_FORMAT_VERSION`]).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Version of the *measurement results* encoded into every fingerprint.
+///
+/// Bump whenever the semantics of measurement change — a cycle-model fix, a
+/// new cost-table field, a different sweep grid — so that every persisted
+/// artifact from before the change misses and is recomputed.
+pub const RESULTS_VERSION: u32 = 1;
+
+const ENTRY_MAGIC: [u8; 4] = *b"ARST";
+
+/// A stable 64-bit content fingerprint identifying one store entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a hasher used to build [`Fingerprint`]s.
+///
+/// FNV-1a is stable across platforms, Rust versions and process runs —
+/// unlike `std::hash` — which is what makes it suitable for on-disk keys.
+#[derive(Clone, Debug)]
+pub struct FingerprintBuilder {
+    hash: u64,
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        FingerprintBuilder::new()
+    }
+}
+
+impl FingerprintBuilder {
+    /// Start a fresh fingerprint.
+    pub fn new() -> FingerprintBuilder {
+        FingerprintBuilder { hash: leon_sim::FNV1A64_OFFSET }
+    }
+
+    /// Mix raw bytes into the fingerprint (with a terminator byte, so
+    /// adjacent fields cannot alias by concatenation).
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        self.hash = leon_sim::fnv1a64_extend(self.hash, bytes);
+        self.hash = leon_sim::fnv1a64_extend(self.hash, &[0xff]);
+        self
+    }
+
+    /// Mix a string field.
+    pub fn str(self, s: &str) -> Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Mix a `u64` field.
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Mix a value through its `Debug` rendering.
+    ///
+    /// `Debug` output is deterministic and changes whenever a field is
+    /// added, removed or altered — exactly the sensitivity a content key
+    /// wants: structural drift invalidates, identical values collide.
+    pub fn debug<T: std::fmt::Debug>(self, value: &T) -> Self {
+        self.bytes(format!("{value:?}").as_bytes())
+    }
+
+    /// Finish the fingerprint.
+    pub fn finish(self) -> Fingerprint {
+        Fingerprint(self.hash)
+    }
+}
+
+/// Hit/miss/corruption accounting of one store handle (shared by clones).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries served from disk.
+    pub hits: usize,
+    /// Lookups that found no entry.
+    pub misses: usize,
+    /// Lookups that found an entry but rejected it (bad magic/version/
+    /// fingerprint/length/checksum).  Counted *in addition to* a miss.
+    pub corrupt: usize,
+    /// Entries written.
+    pub writes: usize,
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    corrupt: AtomicUsize,
+    writes: AtomicUsize,
+    tmp_counter: AtomicU64,
+}
+
+/// The content-addressed artifact store (see the module docs).
+///
+/// Cloning is cheap and clones share statistics; the handle is `Sync`, so
+/// one store serves every worker of a campaign concurrently.
+#[derive(Clone, Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    stats: Arc<StatsCells>,
+}
+
+impl ArtifactStore {
+    /// Open (creating if necessary) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ArtifactStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore { dir, stats: Arc::new(StatsCells::default()) })
+    }
+
+    /// Open the store named by the `AUTORECONF_STORE` environment variable,
+    /// if it is set and usable.
+    pub fn from_env() -> Option<ArtifactStore> {
+        let dir = std::env::var("AUTORECONF_STORE").ok()?;
+        let dir = dir.trim();
+        if dir.is_empty() {
+            return None;
+        }
+        match ArtifactStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("warning: AUTORECONF_STORE={dir} is unusable ({e}); running without a store");
+                None
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the hit/miss/corruption counters of this handle (and all
+    /// of its clones).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            corrupt: self.stats.corrupt.load(Ordering::Relaxed),
+            writes: self.stats.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Paths of all entries currently in the store, optionally filtered by
+    /// kind (`"trace"`, `"table"`, …).  Sorted for determinism.
+    pub fn entries(&self, kind: Option<&str>) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.ends_with(".art")
+                    && match kind {
+                        Some(k) => name.starts_with(&format!("{k}-")),
+                        None => true,
+                    }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn entry_path(&self, kind: &str, key: Fingerprint) -> PathBuf {
+        debug_assert!(
+            kind.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "entry kinds are short alphanumeric tags"
+        );
+        self.dir.join(format!("{kind}-{key}.art"))
+    }
+
+    /// Store `payload` under `(kind, key)`, atomically.
+    pub fn save(&self, kind: &str, key: Fingerprint, payload: &[u8]) -> std::io::Result<()> {
+        let mut body = Vec::with_capacity(40 + payload.len());
+        body.extend_from_slice(&ENTRY_MAGIC);
+        body.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+        body.extend_from_slice(&leon_sim::fnv1a64(kind.as_bytes()).to_le_bytes());
+        body.extend_from_slice(&key.0.to_le_bytes());
+        body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        body.extend_from_slice(&leon_sim::fnv1a64(payload).to_le_bytes());
+        body.extend_from_slice(payload);
+
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{kind}-{key}",
+            std::process::id(),
+            self.stats.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &body)?;
+        let result = std::fs::rename(&tmp, self.entry_path(kind, key));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Load the payload stored under `(kind, key)`.
+    ///
+    /// Returns `None` — never a wrong payload — when the entry is missing or
+    /// fails any validation (magic, store version, fingerprint, length,
+    /// checksum).  Damaged entries additionally tick [`StoreStats::corrupt`].
+    pub fn load(&self, kind: &str, key: Fingerprint) -> Option<Vec<u8>> {
+        let path = self.entry_path(kind, key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match Self::validate(bytes, kind, key) {
+            Some(payload) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Reclassify the immediately preceding hit as a corrupt miss.
+    ///
+    /// For callers that decode a loaded payload themselves (the campaign's
+    /// binary trace entries, [`ArtifactStore::load_json`]): the envelope
+    /// validated — so [`ArtifactStore::load`] counted a hit — but the
+    /// payload turned out undecodable and the artifact will be recomputed,
+    /// which is what the stats should say.
+    pub fn note_decode_failure(&self) {
+        self.stats.hits.fetch_sub(1, Ordering::Relaxed);
+        self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Validate the envelope and strip it in place: the loaded payload
+    /// reuses the `fs::read` allocation — one in-buffer shift of the
+    /// payload instead of a second allocation + copy.
+    fn validate(mut bytes: Vec<u8>, kind: &str, key: Fingerprint) -> Option<Vec<u8>> {
+        if bytes.len() < 40 || bytes[0..4] != ENTRY_MAGIC {
+            return None;
+        }
+        let field = |at: usize| -> u64 { u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) };
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != STORE_FORMAT_VERSION {
+            return None;
+        }
+        if field(8) != leon_sim::fnv1a64(kind.as_bytes()) {
+            return None; // an entry renamed across kinds
+        }
+        if field(16) != key.0 {
+            return None; // a (renamed) entry for some other key
+        }
+        let payload = &bytes[40..];
+        if field(24) != payload.len() as u64 {
+            return None;
+        }
+        if field(32) != leon_sim::fnv1a64(payload) {
+            return None;
+        }
+        bytes.drain(0..40);
+        Some(bytes)
+    }
+
+    /// Store a serde-serialisable value as a JSON payload under `(kind, key)`.
+    ///
+    /// The vendored `serde_json` round-trips every `f64` and `u64`
+    /// bit-exactly, so a value loaded back compares (and re-serialises)
+    /// identically to the freshly computed one.
+    pub fn save_json<T: serde::Serialize>(
+        &self,
+        kind: &str,
+        key: Fingerprint,
+        value: &T,
+    ) -> std::io::Result<()> {
+        let body = serde_json::to_string(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.save(kind, key, body.as_bytes())
+    }
+
+    /// Load a JSON payload stored by [`ArtifactStore::save_json`].  Returns
+    /// `None` on a missing/corrupt entry or an undecodable payload (e.g. the
+    /// payload schema changed without a version bump — counted as a corrupt
+    /// miss, not a hit).
+    pub fn load_json<T: serde::Deserialize>(&self, kind: &str, key: Fingerprint) -> Option<T> {
+        let payload = self.load(kind, key)?;
+        let decoded = std::str::from_utf8(&payload).ok().and_then(|t| serde_json::from_str(t).ok());
+        if decoded.is_none() {
+            self.note_decode_failure();
+        }
+        decoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_store(tag: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!(
+            "autoreconf-store-unit-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let store = scratch_store("roundtrip");
+        let key = FingerprintBuilder::new().str("hello").u64(7).finish();
+        assert_eq!(store.load("trace", key), None);
+        store.save("trace", key, b"payload bytes").unwrap();
+        assert_eq!(store.load("trace", key).as_deref(), Some(&b"payload bytes"[..]));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.corrupt, s.writes), (1, 1, 0, 1));
+        // overwriting is atomic and idempotent
+        store.save("trace", key, b"payload bytes").unwrap();
+        assert_eq!(store.entries(Some("trace")).len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn kinds_and_keys_are_disjoint() {
+        let store = scratch_store("kinds");
+        let k1 = FingerprintBuilder::new().str("a").finish();
+        let k2 = FingerprintBuilder::new().str("b").finish();
+        assert_ne!(k1, k2);
+        store.save("trace", k1, b"t").unwrap();
+        store.save("table", k1, b"c").unwrap();
+        assert_eq!(store.load("trace", k1).as_deref(), Some(&b"t"[..]));
+        assert_eq!(store.load("table", k1).as_deref(), Some(&b"c"[..]));
+        assert_eq!(store.load("trace", k2), None);
+        assert_eq!(store.entries(None).len(), 2);
+        assert_eq!(store.entries(Some("table")).len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_are_rejected_not_returned() {
+        let store = scratch_store("corrupt");
+        let key = FingerprintBuilder::new().str("x").finish();
+        store.save("table", key, b"the artifact payload").unwrap();
+        let path = store.entries(Some("table"))[0].clone();
+
+        // bit flip in the payload
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.load("table", key), None);
+
+        // truncation
+        store.save("table", key, b"the artifact payload").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(store.load("table", key), None);
+
+        // an entry renamed onto the wrong key
+        let other = FingerprintBuilder::new().str("y").finish();
+        store.save("table", key, b"the artifact payload").unwrap();
+        std::fs::rename(&path, store.dir().join(format!("table-{other}.art"))).unwrap();
+        assert_eq!(store.load("table", other), None);
+
+        // an entry renamed across kinds under the same key
+        store.save("table", key, b"the artifact payload").unwrap();
+        std::fs::rename(&path, store.dir().join(format!("trace-{key}.art"))).unwrap();
+        assert_eq!(store.load("trace", key), None);
+
+        assert_eq!(store.stats().corrupt, 4);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn json_payloads_round_trip() {
+        let store = scratch_store("json");
+        let key = FingerprintBuilder::new().str("json").finish();
+        let value = vec![0.1f64, 1.0 / 3.0, 123456.789];
+        store.save_json("sweep", key, &value).unwrap();
+        let back: Vec<f64> = store.load_json("sweep", key).unwrap();
+        assert_eq!(back, value, "f64 payloads must round-trip bit-exactly");
+        // schema drift: the payload is valid bytes but not the asked-for type
+        let wrong: Option<Vec<String>> = store.load_json("sweep", key);
+        assert!(wrong.is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn fingerprints_separate_fields() {
+        // "ab" + "c" must not collide with "a" + "bc"
+        let k1 = FingerprintBuilder::new().str("ab").str("c").finish();
+        let k2 = FingerprintBuilder::new().str("a").str("bc").finish();
+        assert_ne!(k1, k2);
+        // debug-based keys see structural values
+        let k3 = FingerprintBuilder::new().debug(&(1u8, 2u32)).finish();
+        let k4 = FingerprintBuilder::new().debug(&(1u8, 3u32)).finish();
+        assert_ne!(k3, k4);
+    }
+
+    #[test]
+    fn from_env_requires_the_variable() {
+        if std::env::var("AUTORECONF_STORE").is_err() {
+            assert!(ArtifactStore::from_env().is_none());
+        }
+    }
+}

@@ -48,7 +48,10 @@ pub use error::SimError;
 pub use memory::Memory;
 pub use profiler::{RunResult, Stats};
 pub use regwin::{RegisterWindows, WindowEvent};
-pub use trace::{capture, replay, Trace, TraceOp};
+pub use trace::{
+    capture, fnv1a64, fnv1a64_extend, replay, Trace, TraceCodecError, TraceOp, FNV1A64_OFFSET,
+    TRACE_FORMAT_VERSION,
+};
 
 /// Default per-run cycle budget used by the higher-level crates.
 pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;

@@ -181,7 +181,7 @@ pub struct TraceSummary {
 /// A captured execution trace: the full timing-relevant event stream of one
 /// program run, independent of every Figure 1 parameter (including the
 /// register-window count — window traps are re-derived at replay time).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trace {
     /// Per-instruction records with fetch-run compression, in execution order.
     pub ops: Vec<TraceOp>,
@@ -224,12 +224,16 @@ impl Trace {
             + self.mem.len() * std::mem::size_of::<MemOp>()
     }
 
-    /// Build the derived streams (`mem`, `summary`) from a raw record stream
-    /// and the capturing run's results.
-    fn assemble(ops: Vec<TraceOp>, captured: &LeonConfig, stats: &Stats) -> Trace {
+    /// Build the derived streams (`mem`, `summary`) from a raw record stream.
+    ///
+    /// The derived streams are a pure function of `ops`, so they are *not*
+    /// serialised by [`Trace::to_bytes`]: a decoded trace rebuilds them here,
+    /// which both shrinks the on-disk format and makes an internally
+    /// inconsistent (ops vs. mem/summary) trace unrepresentable.
+    fn derive_streams(ops: &[TraceOp]) -> (TraceSummary, Vec<MemOp>) {
         let mut summary = TraceSummary::default();
         let mut mem = Vec::new();
-        for op in &ops {
+        for op in ops {
             let f = op.flags;
             if f == 0 {
                 summary.instructions += op.aux as u64;
@@ -261,6 +265,13 @@ impl Trace {
                 mem.push(MemOp::Restore(op.aux));
             }
         }
+        (summary, mem)
+    }
+
+    /// Build the derived streams (`mem`, `summary`) from a raw record stream
+    /// and the capturing run's results.
+    fn assemble(ops: Vec<TraceOp>, captured: &LeonConfig, stats: &Stats) -> Trace {
+        let (summary, mem) = Trace::derive_streams(&ops);
         debug_assert_eq!(summary.instructions, stats.instructions);
         debug_assert_eq!(summary.loads, stats.loads);
         debug_assert_eq!(summary.stores, stats.stores);
@@ -275,6 +286,322 @@ impl Trace {
             base_overflows: stats.window_overflows,
             base_underflows: stats.window_underflows,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned binary serialization
+// ---------------------------------------------------------------------------
+
+/// Version number of the binary trace format produced by [`Trace::to_bytes`].
+///
+/// Bump this whenever the record layout, the captured-configuration encoding
+/// or the semantics of any serialised field change: persisted traces carry
+/// the version they were written with, and [`Trace::from_bytes`] refuses to
+/// decode any other version, so stale artifacts fall back to recapture
+/// instead of silently mis-replaying.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every serialised trace.
+const TRACE_MAGIC: [u8; 4] = *b"LTRC";
+
+/// Error decoding a serialised trace (wrong magic/version, checksum
+/// mismatch, truncation, or a malformed field).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceCodecError(String);
+
+impl TraceCodecError {
+    fn new(message: impl Into<String>) -> TraceCodecError {
+        TraceCodecError(message.into())
+    }
+}
+
+impl std::fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+/// The FNV-1a offset basis: the initial state of [`fnv1a64`].
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Continue a 64-bit FNV-1a hash from `hash` over `bytes` (for incremental
+/// multi-field hashing; start from [`FNV1A64_OFFSET`]).
+pub fn fnv1a64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// 64-bit FNV-1a over a byte stream — the integrity checksum of the binary
+/// trace format (fast, dependency-free, and plenty for corruption detection;
+/// this is not a cryptographic guarantee).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV1A64_OFFSET, bytes)
+}
+
+struct ByteWriter(Vec<u8>);
+
+impl ByteWriter {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| TraceCodecError::new("unexpected end of input"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, TraceCodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, TraceCodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, TraceCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, TraceCodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bool(&mut self) -> Result<bool, TraceCodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(TraceCodecError::new(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+fn encode_cache_config(w: &mut ByteWriter, c: &CacheConfig) {
+    w.u8(c.ways);
+    w.u32(c.way_kb);
+    w.u8(c.line_words);
+    w.u8(match c.replacement {
+        crate::config::ReplacementPolicy::Random => 0,
+        crate::config::ReplacementPolicy::Lrr => 1,
+        crate::config::ReplacementPolicy::Lru => 2,
+    });
+}
+
+fn decode_cache_config(r: &mut ByteReader) -> Result<CacheConfig, TraceCodecError> {
+    Ok(CacheConfig {
+        ways: r.u8()?,
+        way_kb: r.u32()?,
+        line_words: r.u8()?,
+        replacement: match r.u8()? {
+            0 => crate::config::ReplacementPolicy::Random,
+            1 => crate::config::ReplacementPolicy::Lrr,
+            2 => crate::config::ReplacementPolicy::Lru,
+            other => {
+                return Err(TraceCodecError::new(format!("invalid replacement tag {other}")))
+            }
+        },
+    })
+}
+
+fn encode_config(w: &mut ByteWriter, c: &LeonConfig) {
+    encode_cache_config(w, &c.icache);
+    encode_cache_config(w, &c.dcache);
+    w.u8(c.dcache_fast_read as u8);
+    w.u8(c.dcache_fast_write as u8);
+    w.u8(c.iu.fast_jump as u8);
+    w.u8(c.iu.icc_hold as u8);
+    w.u8(c.iu.fast_decode as u8);
+    w.u8(c.iu.load_delay);
+    w.u8(c.iu.reg_windows);
+    w.u8(match c.iu.divider {
+        crate::config::Divider::Radix2 => 0,
+        crate::config::Divider::None => 1,
+    });
+    let mul = crate::config::Multiplier::ALL
+        .iter()
+        .position(|&m| m == c.iu.multiplier)
+        .expect("every multiplier variant is listed in Multiplier::ALL");
+    w.u8(mul as u8);
+    w.u8(c.synthesis.infer_mult_div as u8);
+    w.u32(c.memory.read_first);
+    w.u32(c.memory.read_burst);
+    w.u32(c.memory.write);
+    w.u32(c.clock_mhz);
+}
+
+fn decode_config(r: &mut ByteReader) -> Result<LeonConfig, TraceCodecError> {
+    let icache = decode_cache_config(r)?;
+    let dcache = decode_cache_config(r)?;
+    let dcache_fast_read = r.bool()?;
+    let dcache_fast_write = r.bool()?;
+    let fast_jump = r.bool()?;
+    let icc_hold = r.bool()?;
+    let fast_decode = r.bool()?;
+    let load_delay = r.u8()?;
+    let reg_windows = r.u8()?;
+    let divider = match r.u8()? {
+        0 => crate::config::Divider::Radix2,
+        1 => crate::config::Divider::None,
+        other => return Err(TraceCodecError::new(format!("invalid divider tag {other}"))),
+    };
+    let mul_tag = r.u8()? as usize;
+    let multiplier = *crate::config::Multiplier::ALL
+        .get(mul_tag)
+        .ok_or_else(|| TraceCodecError::new(format!("invalid multiplier tag {mul_tag}")))?;
+    let infer_mult_div = r.bool()?;
+    let memory = crate::config::MemoryTiming {
+        read_first: r.u32()?,
+        read_burst: r.u32()?,
+        write: r.u32()?,
+    };
+    let clock_mhz = r.u32()?;
+    Ok(LeonConfig {
+        icache,
+        dcache,
+        dcache_fast_read,
+        dcache_fast_write,
+        iu: crate::config::IuConfig {
+            fast_jump,
+            icc_hold,
+            fast_decode,
+            load_delay,
+            reg_windows,
+            divider,
+            multiplier,
+        },
+        synthesis: crate::config::SynthesisConfig { infer_mult_div },
+        memory,
+        clock_mhz,
+    })
+}
+
+fn encode_cache_stats(w: &mut ByteWriter, s: &CacheStats) {
+    w.u64(s.read_hits);
+    w.u64(s.read_misses);
+    w.u64(s.write_hits);
+    w.u64(s.write_misses);
+}
+
+fn decode_cache_stats(r: &mut ByteReader) -> Result<CacheStats, TraceCodecError> {
+    Ok(CacheStats {
+        read_hits: r.u64()?,
+        read_misses: r.u64()?,
+        write_hits: r.u64()?,
+        write_misses: r.u64()?,
+    })
+}
+
+impl Trace {
+    /// Serialise the trace into the versioned binary format.
+    ///
+    /// Layout (all integers little-endian): the magic `LTRC`, the
+    /// [`TRACE_FORMAT_VERSION`], the capturing configuration, the capturing
+    /// run's cache statistics and window-trap counts, the record stream
+    /// (10 bytes per [`TraceOp`]), and a trailing 64-bit FNV-1a checksum over
+    /// everything before it.  The derived streams (`mem`, `summary`) are
+    /// rebuilt on decode, not stored.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter(Vec::with_capacity(32 + self.ops.len() * 10 + 8));
+        w.0.extend_from_slice(&TRACE_MAGIC);
+        w.u32(TRACE_FORMAT_VERSION);
+        encode_config(&mut w, &self.captured);
+        encode_cache_stats(&mut w, &self.base_icache);
+        encode_cache_stats(&mut w, &self.base_dcache);
+        w.u64(self.base_overflows);
+        w.u64(self.base_underflows);
+        w.u64(self.ops.len() as u64);
+        for op in &self.ops {
+            w.u32(op.pc);
+            w.u16(op.flags);
+            w.u32(op.aux);
+        }
+        let checksum = fnv1a64(&w.0);
+        w.u64(checksum);
+        w.0
+    }
+
+    /// Decode a trace serialised by [`Trace::to_bytes`].
+    ///
+    /// Fails — rather than ever producing a wrong trace — on a bad magic, a
+    /// different format version, a checksum mismatch, truncated or trailing
+    /// bytes, or any malformed field.  On success the decoded trace is
+    /// exactly the one serialised (`mem` and `summary` are re-derived from
+    /// the record stream).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceCodecError> {
+        if bytes.len() < TRACE_MAGIC.len() + 4 + 8 {
+            return Err(TraceCodecError::new("input shorter than the fixed header"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let actual = fnv1a64(body);
+        if stored != actual {
+            return Err(TraceCodecError::new(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            )));
+        }
+
+        let mut r = ByteReader { bytes: body, pos: 0 };
+        if r.take(4)? != TRACE_MAGIC {
+            return Err(TraceCodecError::new("bad magic (not a serialised trace)"));
+        }
+        let version = r.u32()?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TraceCodecError::new(format!(
+                "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+            )));
+        }
+        let captured = decode_config(&mut r)?;
+        captured
+            .validate()
+            .map_err(|e| TraceCodecError::new(format!("invalid captured configuration: {e}")))?;
+        let base_icache = decode_cache_stats(&mut r)?;
+        let base_dcache = decode_cache_stats(&mut r)?;
+        let base_overflows = r.u64()?;
+        let base_underflows = r.u64()?;
+        let count = r.u64()? as usize;
+        // each record is 10 bytes; reject length prefixes the input cannot hold
+        if count.checked_mul(10).map(|need| need != body.len() - r.pos).unwrap_or(true) {
+            return Err(TraceCodecError::new(format!(
+                "record count {count} does not match the remaining payload"
+            )));
+        }
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            ops.push(TraceOp { pc: r.u32()?, flags: r.u16()?, aux: r.u32()? });
+        }
+        let (summary, mem) = Trace::derive_streams(&ops);
+        Ok(Trace {
+            ops,
+            mem,
+            summary,
+            captured,
+            base_icache,
+            base_dcache,
+            base_overflows,
+            base_underflows,
+        })
     }
 }
 
@@ -612,6 +939,64 @@ mod tests {
                 assert_eq!(op.pc >> 4, last_pc >> 4, "run crosses a minimum-size line");
             }
         }
+    }
+
+    #[test]
+    fn binary_codec_round_trips_exactly() {
+        let mut config = LeonConfig::base();
+        // a non-default capture configuration exercises every encoded field
+        config.icache.ways = 2;
+        config.icache.replacement = ReplacementPolicy::Lru;
+        config.iu.multiplier = Multiplier::M32x32;
+        config.dcache_fast_read = true;
+        for program in [demo_program(), recursing_program()] {
+            let (_, trace) = capture(&config, &program, 1_000_000).unwrap();
+            let bytes = trace.to_bytes();
+            let decoded = Trace::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded, trace, "decode(encode(t)) must equal t exactly");
+            // and the decoded trace replays bit-identically to the original
+            let base = LeonConfig::base();
+            assert_eq!(
+                replay(&decoded, &base, 1_000_000).unwrap(),
+                replay(&trace, &base, 1_000_000).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_codec_rejects_damage() {
+        let (_, trace) = capture(&LeonConfig::base(), &demo_program(), 1_000_000).unwrap();
+        let good = trace.to_bytes();
+        assert!(Trace::from_bytes(&good).is_ok());
+
+        // truncation (both mid-record and mid-header)
+        assert!(Trace::from_bytes(&good[..good.len() - 1]).is_err());
+        assert!(Trace::from_bytes(&good[..10]).is_err());
+        assert!(Trace::from_bytes(&[]).is_err());
+
+        // a single flipped bit anywhere must fail the checksum
+        for pos in [0usize, 4, good.len() / 2, good.len() - 9] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            assert!(Trace::from_bytes(&bad).is_err(), "bit flip at {pos} must be detected");
+        }
+
+        // a different format version must be rejected even with a valid
+        // checksum over the altered body
+        let mut versioned = good.clone();
+        versioned[4..8].copy_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+        let body_len = versioned.len() - 8;
+        let checksum = fnv1a64(&versioned[..body_len]);
+        versioned[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = Trace::from_bytes(&versioned).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
+
+        // trailing garbage is rejected (record count no longer matches)
+        let mut padded = good[..good.len() - 8].to_vec();
+        padded.extend_from_slice(&[0u8; 10]);
+        let checksum = fnv1a64(&padded);
+        padded.extend_from_slice(&checksum.to_le_bytes());
+        assert!(Trace::from_bytes(&padded).is_err());
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub use arith::Arith;
 pub use blastn::Blastn;
 pub use drr::Drr;
 pub use frag::Frag;
-pub use workload::{capture_verified, run_verified, Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC};
+pub use workload::{
+    capture_verified, guest_instructions_executed, run_verified, Scale, Workload, CHAN_CHECKSUM,
+    CHAN_METRIC,
+};
 
 /// The paper's benchmark suite at a given problem scale, in the order used
 /// throughout the paper's tables (BLASTN, DRR, FRAG, Arith).
@@ -74,6 +77,34 @@ mod tests {
                 assert!(p.required_memory() <= 1 << 20, "{} image too large", w.name());
             }
         }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_workloads_and_scales() {
+        let a1 = Arith::scaled(Scale::Tiny);
+        let a2 = Arith::scaled(Scale::Tiny);
+        assert_eq!(a1.fingerprint(), a2.fingerprint(), "same workload, same fingerprint");
+        assert_ne!(
+            Arith::scaled(Scale::Tiny).fingerprint(),
+            Arith::scaled(Scale::Small).fingerprint(),
+            "scale changes the embedded inputs and must change the fingerprint"
+        );
+        let suite = benchmark_suite(Scale::Tiny);
+        let fps: std::collections::BTreeSet<u64> =
+            suite.iter().map(|w| w.fingerprint()).collect();
+        assert_eq!(fps.len(), suite.len(), "suite fingerprints must be distinct");
+    }
+
+    #[test]
+    fn verified_runs_tick_the_guest_instruction_counter() {
+        let w = Arith::scaled(Scale::Tiny);
+        let before = guest_instructions_executed();
+        let run = run_verified(&w, &leon_sim::LeonConfig::base(), 100_000_000).unwrap();
+        let after = guest_instructions_executed();
+        assert!(
+            after - before >= run.stats.instructions,
+            "counter must advance by at least this run's instructions"
+        );
     }
 
     #[test]

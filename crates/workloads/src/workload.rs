@@ -1,8 +1,27 @@
 //! The [`Workload`] trait and common helpers.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use leon_isa::Program;
 use leon_sim::{LeonConfig, RunResult, SimError, Trace};
 use serde::{Deserialize, Serialize};
+
+/// Process-wide count of guest instructions retired through the verified
+/// execution entry points ([`run_verified`] and [`capture_verified`]).
+///
+/// The incremental campaign store's headline guarantee — *a warm-store run
+/// executes zero guest instructions for unchanged workloads* — is asserted
+/// against deltas of this counter, so every code path that actually executes
+/// guest code funnels through the two verified entry points and ticks it.
+/// Trace replay never does.
+static GUEST_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total guest instructions executed so far by this process through the
+/// verified entry points.  Monotonic; compare deltas rather than resetting,
+/// so concurrent measurements cannot clobber each other.
+pub fn guest_instructions_executed() -> u64 {
+    GUEST_INSTRUCTIONS.load(Ordering::Relaxed)
+}
 
 /// Report channel that carries the workload's primary checksum.
 pub const CHAN_CHECKSUM: u16 = 1;
@@ -74,6 +93,50 @@ pub trait Workload {
     /// functionally correct on every configuration.
     fn expected_reports(&self) -> Vec<(u16, u32)>;
 
+    /// Stable content fingerprint of this workload instance.
+    ///
+    /// Covers the name, the fully assembled program image (which embeds the
+    /// scaled, deterministically generated inputs — so two scales of the
+    /// same benchmark fingerprint differently) and the expected reports.
+    /// Artifact stores key captured traces and measured cost tables by this
+    /// value: any change to the guest program or its expected behaviour
+    /// yields a new fingerprint and therefore a recompute, never a stale
+    /// artifact.
+    ///
+    /// Every variable-length field is length-prefixed, so byte streams
+    /// cannot alias across field boundaries (e.g. a word moved from the end
+    /// of the text segment to the start of the data segment changes the
+    /// fingerprint even though the concatenated bytes would be identical).
+    fn fingerprint(&self) -> u64 {
+        let program = self.build();
+        let reports = self.expected_reports();
+        let mut image = Vec::with_capacity(
+            64 + self.name().len() + program.name.len() + program.text.len() * 4 + program.data.len(),
+        );
+        let mut field = |bytes: &[u8]| {
+            image.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            image.extend_from_slice(bytes);
+        };
+        field(self.name().as_bytes());
+        field(program.name.as_bytes());
+        field(&program.entry.to_le_bytes());
+        field(&program.stack_top.to_le_bytes());
+        field(&program.data_base.to_le_bytes());
+        let text: Vec<u8> = program.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        field(&text);
+        field(&program.data);
+        let reports: Vec<u8> = reports
+            .iter()
+            .flat_map(|(c, v)| {
+                let mut pair = c.to_le_bytes().to_vec();
+                pair.extend_from_slice(&v.to_le_bytes());
+                pair
+            })
+            .collect();
+        field(&reports);
+        leon_sim::fnv1a64(&image)
+    }
+
     /// Verify a run result against the reference implementation.
     fn verify(&self, result: &RunResult) -> Result<(), String> {
         for (channel, expected) in self.expected_reports() {
@@ -102,6 +165,7 @@ pub fn run_verified(
 ) -> Result<RunResult, SimError> {
     let program = workload.build();
     let result = leon_sim::simulate(config, &program, max_cycles)?;
+    GUEST_INSTRUCTIONS.fetch_add(result.stats.instructions, Ordering::Relaxed);
     if let Err(msg) = workload.verify(&result) {
         // A functional mismatch means the workload or simulator is broken —
         // surface it loudly rather than producing bogus experiment data.
@@ -123,6 +187,7 @@ pub fn capture_verified(
 ) -> Result<(RunResult, Trace), SimError> {
     let program = workload.build();
     let (result, trace) = leon_sim::capture(config, &program, max_cycles)?;
+    GUEST_INSTRUCTIONS.fetch_add(result.stats.instructions, Ordering::Relaxed);
     if let Err(msg) = workload.verify(&result) {
         panic!("workload verification failed: {msg}");
     }

@@ -36,8 +36,9 @@ pub use workloads as apps;
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
     pub use autoreconf::{
-        AutoReconfigurator, Campaign, CampaignResult, CoOutcome, ConstraintForm,
-        FormulationOptions, MeasurementOptions, Outcome, ParameterSpace, TraceSet, Weights,
+        ArtifactStore, AutoReconfigurator, Campaign, CampaignResult, CampaignSession, CoOutcome,
+        ConstraintForm, FormulationOptions, MeasurementOptions, Outcome, ParameterSpace,
+        SessionCounters, TraceSet, Weights,
     };
     pub use fpga_model::{Device, SynthesisModel};
     pub use leon_isa::{Asm, Program, Reg};

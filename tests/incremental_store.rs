@@ -1,0 +1,270 @@
+//! Incremental campaign-store contracts:
+//!
+//! * **round-trip equivalence** — a campaign served from a warm store is
+//!   byte-identical (compared as `serde_json` strings) to a cold run and to
+//!   a store-less run, for a mixed co-optimization and for every degenerate
+//!   per-workload mix, at `threads = 1` and `threads = 4`;
+//! * **corruption/eviction safety** — truncated or bit-flipped entries are
+//!   detected (checksum/version validation), recomputed, and the final
+//!   results still match the cold run;
+//! * **invalidation precision** — updating one workload of a 4-workload mix
+//!   re-captures exactly one trace and re-measures exactly one cost table;
+//!   the other three are served from the store;
+//! * **zero guest execution** — a fully warm campaign run retires zero
+//!   guest instructions (the store turns re-optimization into pure replay/
+//!   solver work, and a warm run not even that).
+//!
+//! The tests share one process-wide lock: the guest-instruction assertion
+//! reads a process-global counter, and serialising the campaign runs keeps
+//! every delta attributable.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use liquid_autoreconf::apps::{
+    benchmark_suite, guest_instructions_executed, Arith, Scale, Workload,
+};
+use liquid_autoreconf::isa::Program;
+use liquid_autoreconf::tuner::{
+    ArtifactStore, Campaign, CampaignResult, MeasurementOptions, ParameterSpace, Weights,
+};
+
+const MAX_CYCLES: u64 = 400_000_000;
+const MIX: [f64; 4] = [0.4, 0.3, 0.2, 0.1];
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "autoreconf-incremental-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine(threads: usize, store: Option<ArtifactStore>) -> Campaign {
+    let mut c = Campaign::new()
+        .with_space(ParameterSpace::dcache_geometry())
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(MeasurementOptions { max_cycles: MAX_CYCLES, threads, use_replay: true });
+    if let Some(s) = store {
+        c = c.with_store(s);
+    }
+    c
+}
+
+fn json(result: &CampaignResult) -> String {
+    serde_json::to_string(result).unwrap()
+}
+
+#[test]
+fn warm_store_runs_are_byte_identical_to_cold_and_storeless_runs() {
+    let _g = lock();
+    let suite = benchmark_suite(Scale::Tiny);
+    let reference = json(&engine(1, None).run(&suite, &MIX).unwrap());
+
+    let dir = scratch_dir("roundtrip");
+    let store = ArtifactStore::open(&dir).unwrap();
+
+    let cold = json(&engine(1, Some(store.clone())).run(&suite, &MIX).unwrap());
+    assert_eq!(cold, reference, "a cold store run must not perturb the result");
+    assert!(store.stats().writes >= 16, "cold run must persist 4 artifact kinds x 4 workloads");
+
+    let warm1 = json(&engine(1, Some(store.clone())).run(&suite, &MIX).unwrap());
+    let warm4 = json(&engine(4, Some(store.clone())).run(&suite, &MIX).unwrap());
+    assert_eq!(warm1, reference, "warm (threads=1) must be byte-identical to cold");
+    assert_eq!(warm4, reference, "warm (threads=4) must be byte-identical to cold");
+    assert_eq!(store.stats().corrupt, 0);
+
+    // a different cycle budget is a different measurement contract: its
+    // artifacts must not be served from this store (budget-exhausting runs
+    // error/truncate, so cross-budget reuse could diverge from a cold run)
+    let other_budget = Campaign::new()
+        .with_space(ParameterSpace::dcache_geometry())
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(MeasurementOptions {
+            max_cycles: MAX_CYCLES * 2,
+            threads: 2,
+            use_replay: true,
+        })
+        .with_store(store.clone());
+    let c = other_budget.session(&suite).unwrap().counters();
+    assert_eq!(c.trace_store_hits, 0, "a changed budget must miss every stored artifact");
+    assert_eq!(c.trace_captures, 4);
+
+    // every degenerate per-workload mix, warm vs. store-less
+    let warm_session = engine(2, Some(store.clone())).session(&suite).unwrap();
+    let plain_session = engine(2, None).session(&suite).unwrap();
+    assert_eq!(warm_session.counters().trace_captures, 0, "warm session must not capture");
+    for k in 0..suite.len() {
+        let mut mix = vec![0.0; suite.len()];
+        mix[k] = 1.0;
+        assert_eq!(
+            json(&warm_session.result(&mix).unwrap()),
+            json(&plain_session.result(&mix).unwrap()),
+            "degenerate mix on workload {k} must match without a store"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entries_are_detected_and_recomputed() {
+    let _g = lock();
+    let suite = benchmark_suite(Scale::Tiny);
+    let dir = scratch_dir("corruption");
+    let store = ArtifactStore::open(&dir).unwrap();
+
+    let cold = json(&engine(2, Some(store.clone())).run(&suite, &MIX).unwrap());
+
+    // truncate a stored trace mid-payload
+    let trace_file = store.entries(Some("trace"))[0].clone();
+    let bytes = std::fs::read(&trace_file).unwrap();
+    std::fs::write(&trace_file, &bytes[..bytes.len() / 3]).unwrap();
+
+    // flip one bit inside a stored cost table's payload
+    let table_file = store.entries(Some("table"))[1].clone();
+    let mut bytes = std::fs::read(&table_file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&table_file, &bytes).unwrap();
+
+    // and replace a sweep entry with garbage that is not even an envelope
+    let sweep_file = store.entries(Some("sweep"))[2].clone();
+    std::fs::write(&sweep_file, b"not an artifact at all").unwrap();
+
+    let warm_store = ArtifactStore::open(&dir).unwrap();
+    let session = engine(2, Some(warm_store.clone())).session(&suite).unwrap();
+    let healed = json(&session.result(&MIX).unwrap());
+    assert_eq!(healed, cold, "recomputed-after-corruption must equal the cold run");
+
+    let stats = warm_store.stats();
+    assert_eq!(stats.corrupt, 3, "all three damaged entries must be detected");
+    let c = session.counters();
+    assert_eq!(
+        (c.trace_captures, c.table_measurements, c.sweeps_computed),
+        (1, 1, 1),
+        "exactly the damaged artifacts are recomputed"
+    );
+    assert_eq!(
+        (c.trace_store_hits, c.table_store_hits, c.sweep_store_hits),
+        (3, 3, 3),
+        "the undamaged artifacts are served from the store"
+    );
+
+    // the recompute healed the store: a fresh session is fully warm again
+    let again = engine(2, Some(ArtifactStore::open(&dir).unwrap())).session(&suite).unwrap();
+    assert_eq!(again.counters().trace_captures, 0);
+    assert_eq!(json(&again.result(&MIX).unwrap()), cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Arith` under a different registered name: same guest program, different
+/// content fingerprint — the cheapest possible "this workload changed"
+/// stand-in for the invalidation-precision test.
+struct RetaggedArith(Arith);
+
+impl Workload for RetaggedArith {
+    fn name(&self) -> &str {
+        "Arith-v2"
+    }
+    fn description(&self) -> &str {
+        self.0.description()
+    }
+    fn build(&self) -> Program {
+        self.0.build()
+    }
+    fn expected_reports(&self) -> Vec<(u16, u32)> {
+        self.0.expected_reports()
+    }
+}
+
+#[test]
+fn update_workload_invalidates_exactly_one_entry() {
+    let _g = lock();
+    let suite = benchmark_suite(Scale::Tiny);
+    let dir = scratch_dir("invalidation");
+    let store = ArtifactStore::open(&dir).unwrap();
+
+    // cold session populates the store
+    let cold_session = engine(2, Some(store.clone())).session(&suite).unwrap();
+    let c = cold_session.counters();
+    assert_eq!((c.trace_captures, c.table_measurements), (4, 4));
+    assert_eq!((c.trace_store_hits, c.table_store_hits), (0, 0));
+
+    // warm session: everything from the store
+    let mut session = engine(2, Some(store.clone())).session(&suite).unwrap();
+    let c = session.counters();
+    assert_eq!((c.trace_captures, c.table_measurements, c.sweeps_computed, c.optimizations_solved), (0, 0, 0, 0));
+    assert_eq!((c.trace_store_hits, c.table_store_hits, c.sweep_store_hits, c.optimum_store_hits), (4, 4, 4, 4));
+
+    // update one member of the mix: exactly one trace re-captured, one cost
+    // table re-measured; the other three entries are not even re-read
+    let replacement = RetaggedArith(Arith::scaled(Scale::Tiny));
+    session.update_workload(3, &replacement).unwrap();
+    let c = session.counters();
+    assert_eq!(
+        (c.trace_captures, c.table_measurements, c.sweeps_computed, c.optimizations_solved),
+        (1, 1, 1, 1),
+        "exactly one of each artifact is re-derived"
+    );
+    assert_eq!(
+        (c.trace_store_hits, c.table_store_hits, c.sweep_store_hits, c.optimum_store_hits),
+        (4, 4, 4, 4),
+        "the unchanged workloads' artifacts are untouched"
+    );
+    assert_eq!(session.traces().names()[3], "Arith-v2");
+
+    // the updated session equals a from-scratch (store-less) session over
+    // the updated suite, byte for byte
+    let mut updated_suite = benchmark_suite(Scale::Tiny);
+    updated_suite[3] = Box::new(RetaggedArith(Arith::scaled(Scale::Tiny)));
+    let fresh = engine(2, None).session(&updated_suite).unwrap();
+    assert_eq!(
+        json(&session.result(&MIX).unwrap()),
+        json(&fresh.result(&MIX).unwrap()),
+        "incremental update must equal a from-scratch derivation"
+    );
+
+    // a second update back to the original workload is a pure store hit
+    let original = benchmark_suite(Scale::Tiny).remove(3);
+    session.update_workload(3, original.as_ref()).unwrap();
+    let c = session.counters();
+    assert_eq!(c.trace_captures, 1, "reverting must hit the store, not recapture");
+    assert_eq!(c.trace_store_hits, 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_runs_execute_zero_guest_instructions() {
+    let _g = lock();
+    let suite = benchmark_suite(Scale::Tiny);
+    let dir = scratch_dir("zeroguest");
+    let store = ArtifactStore::open(&dir).unwrap();
+
+    // cold: populates the store (and obviously executes guest code)
+    let before_cold = guest_instructions_executed();
+    let cold = json(&engine(2, Some(store.clone())).run(&suite, &MIX).unwrap());
+    assert!(
+        guest_instructions_executed() > before_cold,
+        "the cold run must execute guest instructions"
+    );
+
+    // warm: the whole campaign — including its per-workload pipelines and
+    // the final co-optimization — must run without a single guest
+    // instruction; validation is trace replay, artifacts come from disk
+    let before_warm = guest_instructions_executed();
+    let warm = json(&engine(2, Some(store.clone())).run(&suite, &MIX).unwrap());
+    assert_eq!(
+        guest_instructions_executed(),
+        before_warm,
+        "a warm-store campaign run must execute zero guest instructions"
+    );
+    assert_eq!(warm, cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
