@@ -18,7 +18,7 @@ use workloads::Scale;
 pub fn bench_scale() -> Scale {
     std::env::var("BENCH_SCALE")
         .ok()
-        .and_then(|v| Scale::parse(&v))
+        .map(|v| Scale::parse(&v).unwrap_or_else(|e| panic!("BENCH_SCALE: {e}")))
         .unwrap_or(Scale::Tiny)
 }
 
@@ -31,7 +31,7 @@ pub fn bench_scale() -> Scale {
 pub fn campaign_scale() -> Scale {
     std::env::var("BENCH_SCALE")
         .ok()
-        .and_then(|v| Scale::parse(&v))
+        .map(|v| Scale::parse(&v).unwrap_or_else(|e| panic!("BENCH_SCALE: {e}")))
         .unwrap_or(Scale::Small)
 }
 

@@ -1,16 +1,29 @@
 //! Experiment driver binary.
 //!
-//! Regenerates the paper's tables and figures:
+//! Regenerates the paper's tables and figures and manages the campaign
+//! artifact store:
 //!
 //! ```text
 //! experiments fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all \
-//!     [--scale tiny|small|medium|large] [--json DIR] [--store DIR]
+//!     [--scale tiny|small|medium|large] [--threads N] [--json DIR] \
+//!     [--store DIR] [--gc-budget BYTES]
+//! experiments store doctor [--repair] [--store DIR]
+//! experiments store stats            [--store DIR]
+//! experiments store gc --budget BYTES [--store DIR]
+//! experiments store pack --file FILE  [--store DIR]
+//! experiments store unpack --file FILE [--store DIR]
 //! ```
 //!
 //! `--store DIR` (or the `AUTORECONF_STORE` environment variable) roots the
 //! `campaign` target on the incremental artifact store: a second run over an
-//! unchanged suite serves every trace, cost table, sweep and per-app optimum
-//! from disk and re-runs only the (cheap) co-optimization.
+//! unchanged suite serves every artifact from disk, and a warm run whose
+//! co-optimization entry hits reads zero trace payload bytes.  `--gc-budget`
+//! (or `AUTORECONF_STORE_BUDGET`; both accept `K`/`M`/`G` suffixes) shrinks
+//! the store to a byte budget after the campaign, evicting the least
+//! recently used entries first.
+//!
+//! Every malformed flag is a hard error with a precise message — never a
+//! silent fallback (see `parse_args` unit tests for the full error matrix).
 
 use std::io::Write;
 
@@ -18,44 +31,219 @@ use autoreconf::experiments::{self, ExperimentOptions};
 use autoreconf::ArtifactStore;
 use workloads::Scale;
 
-fn parse_args() -> (Vec<String>, ExperimentOptions, Option<String>, Option<String>) {
+const FIGURES: [&str; 10] =
+    ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "campaign", "space", "all"];
+
+const USAGE: &str = "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all]... \
+     [--scale tiny|small|medium|large] [--threads N] [--json DIR] [--store DIR] \
+     [--gc-budget BYTES]\n\
+       experiments store doctor [--repair] [--store DIR]\n\
+       experiments store stats [--store DIR]\n\
+       experiments store gc --budget BYTES [--store DIR]\n\
+       experiments store pack --file FILE [--store DIR]\n\
+       experiments store unpack --file FILE [--store DIR]\n\
+\n\
+BYTES accepts K/M/G suffixes (e.g. 64K, 16M). --store defaults to \
+$AUTORECONF_STORE; --gc-budget defaults to $AUTORECONF_STORE_BUDGET.";
+
+/// A fully parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+enum Command {
+    /// Print usage and exit successfully.
+    Help,
+    /// Run experiment targets.
+    Figures {
+        figures: Vec<String>,
+        options: ExperimentOptions,
+        json_dir: Option<String>,
+        store_dir: Option<String>,
+        gc_budget: Option<u64>,
+    },
+    /// Operate on the artifact store.
+    Store { action: StoreAction, store_dir: Option<String> },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum StoreAction {
+    Doctor { repair: bool },
+    Stats,
+    Gc { budget: u64 },
+    Pack { file: String },
+    Unpack { file: String },
+}
+
+/// Parse a byte count with an optional `K`/`M`/`G` suffix (binary units).
+fn parse_bytes(text: &str) -> Result<u64, String> {
+    let text = text.trim();
+    let (digits, multiplier) = match text.to_ascii_uppercase() {
+        t if t.ends_with('K') => (&text[..text.len() - 1], 1u64 << 10),
+        t if t.ends_with('M') => (&text[..text.len() - 1], 1u64 << 20),
+        t if t.ends_with('G') => (&text[..text.len() - 1], 1u64 << 30),
+        _ => (text, 1),
+    };
+    let value: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid byte count `{text}` (expected e.g. 65536, 64K, 16M, 1G)"))?;
+    value
+        .checked_mul(multiplier)
+        .ok_or_else(|| format!("byte count `{text}` overflows a 64-bit size"))
+}
+
+/// Consume the value of `--flag value`, erroring when it is missing or is
+/// itself a flag.
+fn flag_value(
+    flag: &str,
+    args: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<String, String> {
+    match args.peek() {
+        Some(v) if !v.starts_with("--") => Ok(args.next().unwrap().clone()),
+        _ => Err(format!("{flag} requires a value")),
+    }
+}
+
+/// Parse a `store <action>` invocation (everything after the `store` word).
+fn parse_store_args(args: &[String]) -> Result<Command, String> {
+    let mut iter = args.iter().peekable();
+    let action_word = iter
+        .next()
+        .ok_or("store: missing action (expected doctor|stats|gc|pack|unpack)".to_string())?;
+    if matches!(action_word.as_str(), "--help" | "-h") {
+        return Ok(Command::Help);
+    }
+    let mut store_dir = None;
+    let mut budget = None;
+    let mut file = None;
+    let mut repair = false;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--store" => store_dir = Some(flag_value("--store", &mut iter)?),
+            "--budget" => budget = Some(parse_bytes(&flag_value("--budget", &mut iter)?)?),
+            "--file" => file = Some(flag_value("--file", &mut iter)?),
+            "--repair" => repair = true,
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("store: unknown argument `{other}`")),
+        }
+    }
+    // each flag belongs to exactly one action — a stray one is an error,
+    // not silently ignored
+    let action_word = action_word.as_str();
+    if budget.is_some() && action_word != "gc" {
+        return Err(format!("store {action_word}: unknown argument `--budget`"));
+    }
+    if file.is_some() && !matches!(action_word, "pack" | "unpack") {
+        return Err(format!("store {action_word}: unknown argument `--file`"));
+    }
+    if repair && action_word != "doctor" {
+        return Err(format!("store {action_word}: unknown argument `--repair`"));
+    }
+    let need_file = |file: Option<String>, action: &str| {
+        file.ok_or(format!("store {action}: --file FILE is required"))
+    };
+    let action = match action_word {
+        "doctor" => StoreAction::Doctor { repair },
+        "stats" => StoreAction::Stats,
+        "gc" => StoreAction::Gc {
+            budget: budget.ok_or("store gc: --budget BYTES is required".to_string())?,
+        },
+        "pack" => StoreAction::Pack { file: need_file(file, "pack")? },
+        "unpack" => StoreAction::Unpack { file: need_file(file, "unpack")? },
+        other => {
+            return Err(format!(
+                "store: unknown action `{other}` (expected doctor|stats|gc|pack|unpack)"
+            ))
+        }
+    };
+    Ok(Command::Store { action, store_dir })
+}
+
+/// Parse a full command line (without the program name).  Every malformed
+/// argument is an `Err` with a message naming the flag — never a silent
+/// fallback to a default.
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    if args.first().map(String::as_str) == Some("store") {
+        return parse_store_args(&args[1..]);
+    }
     let mut figures = Vec::new();
     let mut options = ExperimentOptions::default();
     let mut json_dir = None;
     let mut store_dir = None;
-    let mut args = std::env::args().skip(1).peekable();
-    while let Some(arg) = args.next() {
+    let mut gc_budget = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--scale" => {
-                let value = args.next().unwrap_or_default();
-                options.scale = Scale::parse(&value).unwrap_or_else(|| {
-                    eprintln!("unknown scale `{value}`, using `small`");
-                    Scale::Small
-                });
+                let value = flag_value("--scale", &mut iter)?;
+                options.scale = Scale::parse(&value).map_err(|e| e.to_string())?;
             }
             "--threads" => {
-                options.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                let value = flag_value("--threads", &mut iter)?;
+                options.threads = value.trim().parse().map_err(|_| {
+                    format!("invalid --threads value `{value}` (expected a number; 0 = all cores)")
+                })?;
             }
-            "--json" => {
-                json_dir = args.next();
+            "--json" => json_dir = Some(flag_value("--json", &mut iter)?),
+            "--store" => store_dir = Some(flag_value("--store", &mut iter)?),
+            "--gc-budget" => {
+                gc_budget = Some(parse_bytes(&flag_value("--gc-budget", &mut iter)?)?)
             }
-            "--store" => {
-                store_dir = args.next();
+            "--help" | "-h" => return Ok(Command::Help),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all]... \
-                     [--scale tiny|small|medium|large] [--threads N] [--json DIR] [--store DIR]"
-                );
-                std::process::exit(0);
+            other => {
+                if !FIGURES.contains(&other) {
+                    return Err(format!(
+                        "unknown experiment target `{other}` (expected one of: {})",
+                        FIGURES.join(", ")
+                    ));
+                }
+                figures.push(other.to_string());
             }
-            other => figures.push(other.to_string()),
         }
     }
     if figures.is_empty() {
         figures.push("all".to_string());
     }
-    (figures, options, json_dir, store_dir)
+    let wants_campaign = figures.iter().any(|f| f == "campaign" || f == "all");
+    if gc_budget.is_some() && !wants_campaign {
+        return Err("--gc-budget only applies to the campaign target".to_string());
+    }
+    if store_dir.is_some() && !wants_campaign {
+        return Err("--store only applies to the campaign target".to_string());
+    }
+    Ok(Command::Figures { figures, options, json_dir, store_dir, gc_budget })
+}
+
+/// Resolve the GC budget: the explicit flag wins, else
+/// `AUTORECONF_STORE_BUDGET` (malformed values are an error, not a warning).
+fn resolve_gc_budget(flag: Option<u64>) -> Result<Option<u64>, String> {
+    if flag.is_some() {
+        return Ok(flag);
+    }
+    match std::env::var("AUTORECONF_STORE_BUDGET") {
+        Ok(v) if !v.trim().is_empty() => {
+            parse_bytes(&v).map(Some).map_err(|e| format!("AUTORECONF_STORE_BUDGET: {e}"))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Open the store named by `--store`, falling back to `AUTORECONF_STORE`.
+fn open_store(store_dir: &Option<String>) -> Result<Option<ArtifactStore>, String> {
+    match store_dir {
+        Some(dir) => ArtifactStore::open(dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open artifact store `{dir}`: {e}")),
+        None => Ok(ArtifactStore::from_env()),
+    }
+}
+
+/// Like [`open_store`] but requires a store (for the `store` subcommands).
+fn require_store(store_dir: &Option<String>) -> Result<ArtifactStore, String> {
+    open_store(store_dir)?.ok_or_else(|| {
+        "no store: pass --store DIR or set AUTORECONF_STORE".to_string()
+    })
 }
 
 fn write_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
@@ -69,9 +257,81 @@ fn write_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
     }
 }
 
-fn main() {
-    let (figures, options, json_dir, store_dir) = parse_args();
+fn run_store_action(action: &StoreAction, store_dir: &Option<String>) -> Result<(), String> {
+    let store = require_store(store_dir)?;
+    match action {
+        StoreAction::Doctor { repair } => {
+            let report = store.doctor(*repair).map_err(|e| format!("doctor failed: {e}"))?;
+            print!("{}", report.render());
+            if !report.is_clean() && !report.repaired {
+                return Err("store is not clean (re-run with --repair to fix)".to_string());
+            }
+        }
+        StoreAction::Stats => {
+            let usage = store.usage();
+            let manifest = store.manifest();
+            println!("store {}: manifest clock {}", store.dir().display(), manifest.clock);
+            println!("{:<10} {:>8} {:>14}", "kind", "entries", "file bytes");
+            let mut entries = 0usize;
+            let mut bytes = 0u64;
+            for row in &usage {
+                println!("{:<10} {:>8} {:>14}", row.kind, row.entries, row.file_bytes);
+                entries += row.entries;
+                bytes += row.file_bytes;
+            }
+            println!("{:<10} {:>8} {:>14}", "total", entries, bytes);
+        }
+        StoreAction::Gc { budget } => {
+            let report = store.gc(*budget).map_err(|e| format!("gc failed: {e}"))?;
+            println!("{}", report.render());
+        }
+        StoreAction::Pack { file } => {
+            let stats = store
+                .pack_to(std::path::Path::new(file))
+                .map_err(|e| format!("pack failed: {e}"))?;
+            println!(
+                "packed {} entries ({} payload bytes, {} corrupt skipped) into {file}",
+                stats.entries, stats.payload_bytes, stats.skipped_corrupt
+            );
+        }
+        StoreAction::Unpack { file } => {
+            let stats = store
+                .unpack_from(std::path::Path::new(file))
+                .map_err(|e| format!("unpack failed: {e}"))?;
+            println!(
+                "unpacked {} entries ({} payload bytes) from {file} into {}",
+                stats.entries,
+                stats.payload_bytes,
+                store.dir().display()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run_figures(
+    figures: &[String],
+    options: &ExperimentOptions,
+    json_dir: &Option<String>,
+    store_dir: &Option<String>,
+    gc_budget: Option<u64>,
+) -> Result<(), String> {
     let wants = |name: &str| figures.iter().any(|f| f == name || f == "all");
+
+    // resolve the campaign's store and GC budget *before* running anything:
+    // a budget (flag or AUTORECONF_STORE_BUDGET) with nowhere to apply it —
+    // or a malformed env value — must fail fast, not after a potentially
+    // hour-long campaign, and never be silently ignored
+    let campaign_store = if wants("campaign") { open_store(store_dir)? } else { None };
+    let budget = if wants("campaign") { resolve_gc_budget(gc_budget)? } else { None };
+    if budget.is_some() && campaign_store.is_none() {
+        return Err(
+            "a GC budget (--gc-budget / AUTORECONF_STORE_BUDGET) requires a store \
+             (--store or AUTORECONF_STORE)"
+                .to_string(),
+        );
+    }
+
     let started = std::time::Instant::now();
 
     if wants("fig1") {
@@ -81,49 +341,234 @@ fn main() {
         println!("{}", experiments::space_summary());
     }
     if wants("fig2") {
-        let r = experiments::fig2(&options).expect("figure 2");
+        let r = experiments::fig2(options).expect("figure 2");
         println!("{}", r.render());
-        write_json(&json_dir, "fig2", &r);
+        write_json(json_dir, "fig2", &r);
     }
     if wants("fig3") {
-        let r = experiments::fig3(&options).expect("figure 3");
+        let r = experiments::fig3(options).expect("figure 3");
         println!("{}", r.render());
-        write_json(&json_dir, "fig3", &r);
+        write_json(json_dir, "fig3", &r);
     }
     if wants("fig4") {
-        let r = experiments::fig4(&options).expect("figure 4");
+        let r = experiments::fig4(options).expect("figure 4");
         println!("{}", r.render());
-        write_json(&json_dir, "fig4", &r);
+        write_json(json_dir, "fig4", &r);
     }
     let mut fig5_result = None;
     if wants("fig5") || wants("fig6") {
-        let r = experiments::fig5(&options).expect("figure 5");
+        let r = experiments::fig5(options).expect("figure 5");
         if wants("fig5") {
             println!("{}", r.render("Figure 5: Application runtime optimization"));
-            write_json(&json_dir, "fig5", &r);
+            write_json(json_dir, "fig5", &r);
         }
         fig5_result = Some(r);
     }
     if wants("fig6") {
         let r = experiments::fig6_from(fig5_result.as_ref().expect("figure 5 result available"));
         println!("{}", r.render());
-        write_json(&json_dir, "fig6", &r);
+        write_json(json_dir, "fig6", &r);
     }
     if wants("fig7") {
-        let r = experiments::fig7(&options).expect("figure 7");
+        let r = experiments::fig7(options).expect("figure 7");
         println!("{}", r.render("Figure 7: Chip resource optimization"));
-        write_json(&json_dir, "fig7", &r);
+        write_json(json_dir, "fig7", &r);
     }
     if wants("campaign") {
-        // --store wins over AUTORECONF_STORE; without either, no store
-        let store = match &store_dir {
-            Some(dir) => Some(ArtifactStore::open(dir).expect("open artifact store")),
-            None => ArtifactStore::from_env(),
-        };
-        let r = experiments::campaign_with_store(&options, store).expect("campaign");
+        let r = experiments::campaign_with_store(options, campaign_store.clone())
+            .expect("campaign");
         println!("{}", r.render());
-        write_json(&json_dir, "campaign", &r);
+        write_json(json_dir, "campaign", &r);
+        if let (Some(store), Some(budget)) = (&campaign_store, budget) {
+            let report = store.gc(budget).map_err(|e| format!("gc failed: {e}"))?;
+            eprintln!("{}", report.render());
+        }
     }
 
     eprintln!("total experiment time: {:.1}s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match &command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Store { action, store_dir } => run_store_action(action, store_dir),
+        Command::Figures { figures, options, json_dir, store_dir, gc_budget } => {
+            run_figures(figures, options, json_dir, store_dir, *gc_budget)
+        }
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, String> {
+        parse_args(&words.iter().map(|w| w.to_string()).collect::<Vec<_>>())
+    }
+
+    fn parse_err(words: &[&str]) -> String {
+        parse(words).expect_err("must be rejected")
+    }
+
+    #[test]
+    fn defaults_to_all_targets() {
+        match parse(&[]).unwrap() {
+            Command::Figures { figures, options, gc_budget, .. } => {
+                assert_eq!(figures, vec!["all"]);
+                assert_eq!(options.scale, Scale::Small);
+                assert_eq!(gc_budget, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_full_campaign_invocation() {
+        let cmd = parse(&[
+            "campaign", "--scale", "medium", "--threads", "4", "--json", "out", "--store",
+            ".store", "--gc-budget", "64M",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Figures { figures, options, json_dir, store_dir, gc_budget } => {
+                assert_eq!(figures, vec!["campaign"]);
+                assert_eq!(options.scale, Scale::Medium);
+                assert_eq!(options.threads, 4);
+                assert_eq!(json_dir.as_deref(), Some("out"));
+                assert_eq!(store_dir.as_deref(), Some(".store"));
+                assert_eq!(gc_budget, Some(64 << 20));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_errors_are_loud() {
+        // a typo'd scale must not silently fall back to `small`
+        assert!(parse_err(&["campaign", "--scale", "mediun"]).contains("unknown scale"));
+        // a missing value must not be swallowed
+        assert!(parse_err(&["campaign", "--scale"]).contains("--scale requires a value"));
+        // a following flag is not a value
+        assert!(parse_err(&["--scale", "--threads", "2"]).contains("--scale requires a value"));
+    }
+
+    #[test]
+    fn threads_errors_are_loud() {
+        assert!(parse_err(&["--threads", "two"]).contains("invalid --threads"));
+        assert!(parse_err(&["--threads"]).contains("--threads requires a value"));
+        assert!(parse_err(&["--threads", "-3"]).contains("invalid --threads"));
+    }
+
+    #[test]
+    fn json_and_store_require_values() {
+        assert!(parse_err(&["--json"]).contains("--json requires a value"));
+        assert!(parse_err(&["--store"]).contains("--store requires a value"));
+        assert!(parse_err(&["campaign", "--store", "--json", "x"])
+            .contains("--store requires a value"));
+    }
+
+    #[test]
+    fn gc_budget_errors_are_loud() {
+        assert!(parse_err(&["campaign", "--gc-budget"]).contains("--gc-budget requires a value"));
+        assert!(parse_err(&["campaign", "--gc-budget", "lots"]).contains("invalid byte count"));
+        assert!(parse_err(&["campaign", "--gc-budget", "12Q"]).contains("invalid byte count"));
+        // the flag must name a run that can apply it (before anything runs)
+        assert!(parse_err(&["fig2", "--gc-budget", "64K"])
+            .contains("only applies to the campaign target"));
+        assert!(parse(&["campaign", "--gc-budget", "64K"]).is_ok());
+        assert!(parse(&["--gc-budget", "64K"]).is_ok(), "bare invocation implies `all`");
+    }
+
+    #[test]
+    fn unknown_targets_and_flags_are_rejected() {
+        assert!(parse_err(&["fig9"]).contains("unknown experiment target"));
+        assert!(parse_err(&["--frobnicate"]).contains("unknown flag"));
+    }
+
+    #[test]
+    fn parse_bytes_supports_binary_suffixes() {
+        assert_eq!(parse_bytes("0"), Ok(0));
+        assert_eq!(parse_bytes("65536"), Ok(65536));
+        assert_eq!(parse_bytes("64K"), Ok(64 << 10));
+        assert_eq!(parse_bytes("16m"), Ok(16 << 20));
+        assert_eq!(parse_bytes(" 2G "), Ok(2 << 30));
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("K").is_err());
+        assert!(parse_bytes("1.5M").is_err());
+        assert!(parse_bytes("999999999999G").is_err(), "overflow must error");
+    }
+
+    #[test]
+    fn store_subcommands_parse() {
+        assert_eq!(
+            parse(&["store", "doctor"]).unwrap(),
+            Command::Store { action: StoreAction::Doctor { repair: false }, store_dir: None }
+        );
+        assert_eq!(
+            parse(&["store", "doctor", "--repair", "--store", "d"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Doctor { repair: true },
+                store_dir: Some("d".to_string())
+            }
+        );
+        assert_eq!(
+            parse(&["store", "gc", "--budget", "1M"]).unwrap(),
+            Command::Store { action: StoreAction::Gc { budget: 1 << 20 }, store_dir: None }
+        );
+        assert_eq!(
+            parse(&["store", "pack", "--file", "f.pack"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Pack { file: "f.pack".to_string() },
+                store_dir: None
+            }
+        );
+        match parse(&["store", "stats"]).unwrap() {
+            Command::Store { action: StoreAction::Stats, .. } => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_subcommand_errors_are_loud() {
+        assert!(parse_err(&["store"]).contains("missing action"));
+        assert!(parse_err(&["store", "defrag"]).contains("unknown action"));
+        assert!(parse_err(&["store", "gc"]).contains("--budget BYTES is required"));
+        assert!(parse_err(&["store", "gc", "--budget"]).contains("--budget requires a value"));
+        assert!(parse_err(&["store", "gc", "--budget", "huge"]).contains("invalid byte count"));
+        assert!(parse_err(&["store", "pack"]).contains("--file FILE is required"));
+        assert!(parse_err(&["store", "unpack"]).contains("--file FILE is required"));
+        assert!(parse_err(&["store", "doctor", "--budget", "1"]).contains("unknown argument"));
+    }
+
+    #[test]
+    fn help_is_reachable_from_both_grammars() {
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["store", "--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["store", "-h"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["store", "doctor", "-h"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn store_flag_requires_the_campaign_target() {
+        assert!(parse_err(&["fig2", "--store", "d"]).contains("only applies to the campaign"));
+        assert!(parse(&["campaign", "--store", "d"]).is_ok());
+        assert!(parse(&["--store", "d"]).is_ok(), "bare invocation implies `all`");
+    }
 }

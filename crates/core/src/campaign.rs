@@ -36,7 +36,7 @@ use crate::formulation::{formulate_mixed, FormulationOptions, Weights};
 use crate::measure::{measure_cost_table_traced, CostTable, MeasurementOptions};
 use crate::optimizer::{AutoReconfigurator, OptimizeError, Outcome};
 use crate::params::ParameterSpace;
-use crate::store::{ArtifactStore, Fingerprint, FingerprintBuilder, RESULTS_VERSION};
+use crate::store::{ArtifactStore, Fingerprint, FingerprintBuilder, LazyArtifact, RESULTS_VERSION};
 
 /// Resolve a requested worker count.  `0` means one worker per available
 /// CPU, overridable via the `AUTORECONF_THREADS` environment variable —
@@ -496,13 +496,28 @@ impl Campaign {
         mix: &[f64],
     ) -> Result<CoOutcome, OptimizeError> {
         assert_eq!(tables.len(), traces.len(), "tables and trace set must align");
+        let entries: Vec<&TracedWorkload> = traces.entries.iter().collect();
+        let tables: Vec<&CostTable> = tables.iter().collect();
+        self.co_optimize_on(&entries, &tables, mix)
+    }
+
+    /// [`Campaign::co_optimize`] over borrowed per-workload artifacts — the
+    /// form [`CampaignSession`] calls with its lazily materialised handles,
+    /// so no trace or table is ever cloned just to be solved over.
+    fn co_optimize_on(
+        &self,
+        entries: &[&TracedWorkload],
+        tables: &[&CostTable],
+        mix: &[f64],
+    ) -> Result<CoOutcome, OptimizeError> {
+        assert_eq!(tables.len(), entries.len(), "tables and traces must align");
         assert_eq!(mix.len(), tables.len(), "one mix weight per workload required");
         let total: f64 = mix.iter().sum();
         assert!(total > 0.0, "mix weights must sum to a positive value");
         let shares: Vec<f64> = mix.iter().map(|w| w / total).collect();
 
         let weighted: Vec<(f64, &CostTable)> =
-            shares.iter().copied().zip(tables.iter()).collect();
+            shares.iter().copied().zip(tables.iter().copied()).collect();
         let (formulation, _blended) =
             formulate_mixed(&self.space, &weighted, self.weights, self.formulation);
         let solution =
@@ -516,15 +531,15 @@ impl Campaign {
         // validate on every workload by replaying its trace under the shared
         // candidate — bit-identical to fully simulating the recommendation,
         // since every Figure 1 variable is trace-invariant
-        let runs = run_indexed(traces.len(), self.measurement.threads, |i| {
-            leon_sim::replay(&traces.entries[i].trace, &recommended, self.measurement.max_cycles)
+        let runs = run_indexed(entries.len(), self.measurement.threads, |i| {
+            leon_sim::replay(&entries[i].trace, &recommended, self.measurement.max_cycles)
                 .map(|stats| stats.cycles)
         });
         let cycles = collect_indexed(runs)?;
 
-        let mut per_workload = Vec::with_capacity(traces.len());
+        let mut per_workload = Vec::with_capacity(entries.len());
         let mut weighted_relative = 0.0;
-        for (i, entry) in traces.entries.iter().enumerate() {
+        for (i, entry) in entries.iter().enumerate() {
             weighted_relative += shares[i] * cycles[i] as f64 / entry.base_cycles as f64;
             per_workload.push(CoWorkloadRun {
                 name: entry.name.clone(),
@@ -542,8 +557,7 @@ impl Campaign {
             .collect();
 
         Ok(CoOutcome {
-            mix: traces
-                .entries
+            mix: entries
                 .iter()
                 .zip(&shares)
                 .map(|(e, &weight)| WorkloadShare { name: e.name.clone(), weight })
@@ -622,25 +636,39 @@ impl Campaign {
     }
 
     // -- store-aware per-workload derivation --------------------------------
+    //
+    // Every artifact kind is split into a *try-load* half (store lookup by
+    // key — safe to call without any other artifact materialised) and a
+    // *compute-and-persist* half (which needs the trace).  The lazy session
+    // wires them so that the compute half — and therefore the trace — is
+    // only reached on a store miss.
 
     /// Serve the workload's verified trace (plus its base-run costs) from
-    /// the store, or capture it by full simulation.  The boolean reports
-    /// whether a capture (guest execution) happened.
-    fn load_or_capture(
+    /// the store, if a valid entry exists.  Ticks the process-wide
+    /// [`workloads::trace_payload_bytes_read`] counter on every actual
+    /// payload read — the cost the lazy session exists to avoid.
+    fn try_load_trace(&self, name: &str, workload_fp: u64) -> Option<TracedWorkload> {
+        let store = self.store.as_ref()?;
+        let payload = store.load("trace", self.trace_key(workload_fp))?;
+        workloads::record_trace_payload_read(payload.len() as u64);
+        match decode_stored_trace(&payload, name, &self.base) {
+            Some(entry) => Some(entry),
+            None => {
+                // envelope was intact but the payload didn't decode (format
+                // drift): count it and let the caller recompute/overwrite
+                store.note_decode_failure();
+                None
+            }
+        }
+    }
+
+    /// Capture the workload's trace by full (guest-executing) simulation and
+    /// persist it.
+    fn capture_and_persist_trace(
         &self,
         workload: &(dyn Workload + Send + Sync),
         workload_fp: u64,
-    ) -> Result<(TracedWorkload, bool), SimError> {
-        if let Some(store) = &self.store {
-            if let Some(payload) = store.load("trace", self.trace_key(workload_fp)) {
-                if let Some(entry) = decode_stored_trace(&payload, workload.name(), &self.base) {
-                    return Ok((entry, false));
-                }
-                // envelope was intact but the payload didn't decode (format
-                // drift): fall through and recompute/overwrite
-                store.note_decode_failure();
-            }
-        }
+    ) -> Result<TracedWorkload, SimError> {
         let (run, trace) =
             workloads::capture_verified(workload, &self.base, self.measurement.max_cycles)?;
         let entry = TracedWorkload {
@@ -655,23 +683,50 @@ impl Campaign {
                 eprintln!("warning: could not persist trace for {}: {e}", entry.name);
             }
         }
-        Ok((entry, true))
+        Ok(entry)
     }
 
-    /// Serve the workload's cost table from the store, or measure it by
-    /// replaying the trace.  The boolean reports whether a measurement ran.
-    fn load_or_measure_table(
+    /// Serve the workload's trace from the store, or capture it.  The
+    /// boolean reports whether a capture (guest execution) happened.
+    fn load_or_capture(
+        &self,
+        workload: &(dyn Workload + Send + Sync),
+        workload_fp: u64,
+    ) -> Result<(TracedWorkload, bool), SimError> {
+        if let Some(entry) = self.try_load_trace(workload.name(), workload_fp) {
+            return Ok((entry, false));
+        }
+        Ok((self.capture_and_persist_trace(workload, workload_fp)?, true))
+    }
+
+    /// Load a JSON artifact from the attached store, if any.
+    fn try_load_json<T: serde::Deserialize>(&self, kind: &str, key: Fingerprint) -> Option<T> {
+        self.store.as_ref()?.load_json(kind, key)
+    }
+
+    /// Persist a JSON artifact to the attached store (best effort).
+    fn persist_json<T: serde::Serialize>(
+        &self,
+        kind: &str,
+        key: Fingerprint,
+        what: &str,
+        value: &T,
+    ) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save_json(kind, key, value) {
+                eprintln!("warning: could not persist {what}: {e}");
+            }
+        }
+    }
+
+    /// Measure the workload's cost table by replaying the trace and persist
+    /// it.
+    fn measure_and_persist_table(
         &self,
         workload: &(dyn Workload + Send + Sync),
         workload_fp: u64,
         entry: &TracedWorkload,
-    ) -> Result<(CostTable, bool), SimError> {
-        let key = self.table_key(workload_fp);
-        if let Some(store) = &self.store {
-            if let Some(table) = store.load_json::<CostTable>("table", key) {
-                return Ok((table, false));
-            }
-        }
+    ) -> Result<CostTable, SimError> {
         let table = measure_cost_table_traced(
             &self.space,
             workload,
@@ -680,27 +735,37 @@ impl Campaign {
             &self.measurement,
             &entry.trace,
         )?;
-        if let Some(store) = &self.store {
-            if let Err(e) = store.save_json("table", key, &table) {
-                eprintln!("warning: could not persist cost table for {}: {e}", entry.name);
-            }
-        }
-        Ok((table, true))
+        self.persist_json(
+            "table",
+            self.table_key(workload_fp),
+            &format!("cost table for {}", entry.name),
+            &table,
+        );
+        Ok(table)
     }
 
-    /// Serve the workload's Figure 2 exhaustive sweep from the store, or
-    /// recompute it by replay.  The boolean reports whether replays ran.
-    fn load_or_sweep(
+    /// Serve the workload's cost table from the store, or measure it.  The
+    /// boolean reports whether a measurement ran.
+    fn load_or_measure_table(
+        &self,
+        workload: &(dyn Workload + Send + Sync),
+        workload_fp: u64,
+        entry: &TracedWorkload,
+    ) -> Result<(CostTable, bool), SimError> {
+        if let Some(table) = self.try_load_json::<CostTable>("table", self.table_key(workload_fp))
+        {
+            return Ok((table, false));
+        }
+        Ok((self.measure_and_persist_table(workload, workload_fp, entry)?, true))
+    }
+
+    /// Recompute the workload's Figure 2 exhaustive sweep by replay and
+    /// persist it.
+    fn compute_and_persist_sweep(
         &self,
         workload_fp: u64,
         entry: &TracedWorkload,
-    ) -> Result<(Vec<DcacheRow>, bool), SimError> {
-        let key = self.sweep_key(workload_fp);
-        if let Some(store) = &self.store {
-            if let Some(sweep) = store.load_json::<Vec<DcacheRow>>("sweep", key) {
-                return Ok((sweep, false));
-            }
-        }
+    ) -> Result<Vec<DcacheRow>, SimError> {
         let sweep = dcache_exhaustive_traced(
             &entry.trace,
             &self.base,
@@ -708,17 +773,56 @@ impl Campaign {
             self.measurement.max_cycles,
             self.measurement.threads,
         )?;
-        if let Some(store) = &self.store {
-            if let Err(e) = store.save_json("sweep", key, &sweep) {
-                eprintln!("warning: could not persist sweep for {}: {e}", entry.name);
-            }
+        self.persist_json(
+            "sweep",
+            self.sweep_key(workload_fp),
+            &format!("sweep for {}", entry.name),
+            &sweep,
+        );
+        Ok(sweep)
+    }
+
+    /// Serve the workload's sweep from the store, or recompute it.  The
+    /// boolean reports whether replays ran.
+    fn load_or_sweep(
+        &self,
+        workload_fp: u64,
+        entry: &TracedWorkload,
+    ) -> Result<(Vec<DcacheRow>, bool), SimError> {
+        if let Some(sweep) =
+            self.try_load_json::<Vec<DcacheRow>>("sweep", self.sweep_key(workload_fp))
+        {
+            return Ok((sweep, false));
         }
-        Ok((sweep, true))
+        Ok((self.compute_and_persist_sweep(workload_fp, entry)?, true))
+    }
+
+    /// Formulate + solve + replay-validate the workload's per-application
+    /// problem and persist the outcome.
+    fn solve_and_persist_optimum(
+        &self,
+        tool: &AutoReconfigurator,
+        workload: &(dyn Workload + Send + Sync),
+        workload_fp: u64,
+        entry: &TracedWorkload,
+        table: &CostTable,
+    ) -> Result<Outcome, OptimizeError> {
+        let outcome = if self.measurement.use_replay {
+            tool.optimize_with_table_traced(&entry.name, table.clone(), &entry.trace)?
+        } else {
+            tool.optimize_with_table(workload, table.clone())?
+        };
+        self.persist_json(
+            "optimum",
+            self.optimum_key(workload_fp),
+            &format!("optimum for {}", entry.name),
+            &outcome,
+        );
+        Ok(outcome)
     }
 
     /// Serve the workload's per-application optimum from the store, or
-    /// formulate + solve + replay-validate it.  The boolean reports whether
-    /// a solve ran.
+    /// solve for it.  The boolean reports whether a solve ran.
     fn load_or_optimize(
         &self,
         tool: &AutoReconfigurator,
@@ -727,23 +831,12 @@ impl Campaign {
         entry: &TracedWorkload,
         table: &CostTable,
     ) -> Result<(Outcome, bool), OptimizeError> {
-        let key = self.optimum_key(workload_fp);
-        if let Some(store) = &self.store {
-            if let Some(outcome) = store.load_json::<Outcome>("optimum", key) {
-                return Ok((outcome, false));
-            }
+        if let Some(outcome) =
+            self.try_load_json::<Outcome>("optimum", self.optimum_key(workload_fp))
+        {
+            return Ok((outcome, false));
         }
-        let outcome = if self.measurement.use_replay {
-            tool.optimize_with_table_traced(&entry.name, table.clone(), &entry.trace)?
-        } else {
-            tool.optimize_with_table(workload, table.clone())?
-        };
-        if let Some(store) = &self.store {
-            if let Err(e) = store.save_json("optimum", key, &outcome) {
-                eprintln!("warning: could not persist optimum for {}: {e}", entry.name);
-            }
-        }
-        Ok((outcome, true))
+        Ok((self.solve_and_persist_optimum(tool, workload, workload_fp, entry, table)?, true))
     }
 }
 
@@ -769,10 +862,14 @@ fn decode_stored_trace(
     }
     let base_cycles = u64::from_le_bytes(payload[0..8].try_into().unwrap());
     let base_seconds = f64::from_bits(u64::from_le_bytes(payload[8..16].try_into().unwrap()));
-    let trace = Trace::from_bytes(&payload[16..]).ok()?;
-    if trace.captured != *expected_base {
+    let trace_bytes = &payload[16..];
+    // header-only peek: reject version skew or a foreign capture
+    // configuration before paying the full record decode + stream rebuild
+    let header = Trace::peek_header(trace_bytes).ok()?;
+    if header.captured != *expected_base {
         return None; // keyed correctly but captured elsewhere — never trust it
     }
+    let trace = Trace::from_bytes(trace_bytes).ok()?;
     Some(TracedWorkload { name: name.to_string(), trace, base_cycles, base_seconds })
 }
 
@@ -803,113 +900,106 @@ pub struct SessionCounters {
     pub optimum_store_hits: usize,
 }
 
-/// Tick either the "recomputed" or the "served from store" counter.
-fn bump(computed_fresh: bool, computed: &mut usize, hit: &mut usize) {
-    if computed_fresh {
-        *computed += 1;
-    } else {
-        *hit += 1;
+/// RAII pin set: every key registered here is pinned in the store for the
+/// guard's lifetime ([`crate::store::ArtifactStore::gc`] never evicts
+/// pinned entries) and released on drop.  A no-op without a store.
+#[derive(Debug, Default)]
+struct PinGuard {
+    store: Option<ArtifactStore>,
+    keys: Mutex<Vec<(&'static str, Fingerprint)>>,
+}
+
+impl PinGuard {
+    fn new(store: Option<ArtifactStore>) -> PinGuard {
+        PinGuard { store, keys: Mutex::new(Vec::new()) }
+    }
+
+    fn pin(&self, kind: &'static str, key: Fingerprint) {
+        if let Some(store) = &self.store {
+            store.pin(kind, key);
+            self.keys.lock().unwrap_or_else(|e| e.into_inner()).push((kind, key));
+        }
     }
 }
 
-/// A materialised campaign over one benchmark suite: every per-workload
-/// artifact (trace, cost table, sweep, per-application optimum) derived
-/// once — from the artifact store where possible — and held in memory for
-/// repeated, cheap re-optimization.
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        if let Some(store) = &self.store {
+            let keys = self.keys.get_mut().unwrap_or_else(|e| e.into_inner());
+            for (kind, key) in keys.drain(..) {
+                store.unpin(kind, key);
+            }
+        }
+    }
+}
+
+/// A lazily materialised campaign over one benchmark suite.
 ///
-/// This is the incremental-re-optimization surface ROADMAP PR-2 called for:
+/// Creating a session derives *nothing*: it computes the per-workload
+/// content fingerprints, pins the corresponding store keys (so a concurrent
+/// [`crate::store::ArtifactStore::gc`] cannot evict them mid-session) and
+/// hands out [`LazyArtifact`] slots.  Artifacts materialise — store load or
+/// recompute — exactly when a result's dependency chain dereferences them:
 ///
-/// * [`CampaignSession::result`] assembles a full [`CampaignResult`] for any
-///   workload mix; only `blend_cost_tables` + the BINLP solve + the
-///   replay-validation of the one recommended configuration run per call.
-/// * [`CampaignSession::update_workload`] swaps one workload of the mix and
-///   re-derives *only* that workload's artifacts (a content-identical
-///   replacement is even served from the store); the other workloads'
-///   traces and tables are reused untouched.
-pub struct CampaignSession {
+/// * [`CampaignSession::co_optimize`] with a stored co outcome dereferences
+///   **nothing**: a warm `co` hit reads zero trace payload bytes and
+///   executes zero guest instructions (both counter-asserted by
+///   `tests/incremental_store.rs`);
+/// * [`CampaignSession::result`] additionally materialises the cost tables,
+///   sweeps and per-application optima the [`CampaignResult`] carries —
+///   all small JSON artifacts — but still no traces when they hit;
+/// * only a store **miss** walks the dependency chain down to the trace
+///   (and only that workload's trace), recomputes, and persists.
+///
+/// [`CampaignSession::update_workload`] swaps one workload of the mix and
+/// re-derives *only* that workload's artifacts (a content-identical
+/// replacement is even served from the store); the other workloads' slots
+/// are untouched.
+pub struct CampaignSession<'a> {
     engine: Campaign,
+    suite: &'a [Box<dyn Workload + Send + Sync>],
+    names: Vec<String>,
     fingerprints: Vec<u64>,
-    traces: TraceSet,
-    tables: Vec<CostTable>,
-    sweeps: Vec<Vec<DcacheRow>>,
-    per_app: Vec<Outcome>,
-    counters: SessionCounters,
+    traces: Vec<LazyArtifact<TracedWorkload>>,
+    tables: Vec<LazyArtifact<CostTable>>,
+    sweeps: Vec<LazyArtifact<Vec<DcacheRow>>>,
+    per_app: Vec<LazyArtifact<Outcome>>,
+    counters: Mutex<SessionCounters>,
+    pins: PinGuard,
 }
 
 impl Campaign {
-    /// Derive (or load) every per-workload artifact for `suite` and return
-    /// the session holding them.
+    /// Open a lazy session over `suite`: fingerprint every workload, pin the
+    /// session's store keys, and hand out pending [`LazyArtifact`] slots.
     ///
-    /// Stage structure matches the plain [`Campaign::run`] pipeline: traces
-    /// fan out per workload, table measurement fans out per variable inside
-    /// each workload, sweeps fan out per geometry, per-application solves
-    /// fan out per workload.  Every stage consults the store first when one
-    /// is attached.
-    pub fn session(
+    /// Nothing is loaded or computed here — materialisation happens on
+    /// dereference (see [`CampaignSession`]).  The suite must outlive the
+    /// session: pending slots capture it for on-demand recapture.
+    pub fn session<'a>(
         &self,
-        suite: &[Box<dyn Workload + Send + Sync>],
-    ) -> Result<CampaignSession, OptimizeError> {
-        let mut counters = SessionCounters::default();
-
-        // traces: one (load-or-capture) job per workload
-        let results = run_indexed(suite.len(), self.measurement.threads, |i| {
-            let fp = suite[i].fingerprint();
-            self.load_or_capture(suite[i].as_ref(), fp).map(|(entry, captured)| (fp, entry, captured))
-        });
-        let mut fingerprints = Vec::with_capacity(suite.len());
-        let mut entries = Vec::with_capacity(suite.len());
-        for r in results {
-            let (fp, entry, captured) = r?;
-            bump(captured, &mut counters.trace_captures, &mut counters.trace_store_hits);
-            fingerprints.push(fp);
-            entries.push(entry);
+        suite: &'a [Box<dyn Workload + Send + Sync>],
+    ) -> Result<CampaignSession<'a>, OptimizeError> {
+        let fingerprints: Vec<u64> =
+            suite.iter().map(|w| w.fingerprint()).collect();
+        let names: Vec<String> = suite.iter().map(|w| w.name().to_string()).collect();
+        let pins = PinGuard::new(self.store.clone());
+        for &fp in &fingerprints {
+            pins.pin("trace", self.trace_key(fp));
+            pins.pin("table", self.table_key(fp));
+            pins.pin("sweep", self.sweep_key(fp));
+            pins.pin("optimum", self.optimum_key(fp));
         }
-        let traces = TraceSet { base: self.base, entries };
-
-        // cost tables: the per-variable fan-out inside each measurement
-        // saturates the pool, so workloads are processed in order
-        let mut tables = Vec::with_capacity(suite.len());
-        for (i, w) in suite.iter().enumerate() {
-            let (table, measured) =
-                self.load_or_measure_table(w.as_ref(), fingerprints[i], &traces.entries[i])?;
-            bump(measured, &mut counters.table_measurements, &mut counters.table_store_hits);
-            tables.push(table);
-        }
-
-        // Figure 2 sweeps: per-geometry fan-out inside each sweep
-        let mut sweeps = Vec::with_capacity(suite.len());
-        for (i, _) in suite.iter().enumerate() {
-            let (sweep, computed) = self.load_or_sweep(fingerprints[i], &traces.entries[i])?;
-            bump(computed, &mut counters.sweeps_computed, &mut counters.sweep_store_hits);
-            sweeps.push(sweep);
-        }
-
-        // per-application optima: one job per workload, inner stages serial
-        let tool = self.per_app_tool();
-        let results = run_indexed(suite.len(), self.measurement.threads, |i| {
-            self.load_or_optimize(
-                &tool,
-                suite[i].as_ref(),
-                fingerprints[i],
-                &traces.entries[i],
-                &tables[i],
-            )
-        });
-        let mut per_app = Vec::with_capacity(suite.len());
-        for r in results {
-            let (outcome, solved) = r?;
-            bump(solved, &mut counters.optimizations_solved, &mut counters.optimum_store_hits);
-            per_app.push(outcome);
-        }
-
         Ok(CampaignSession {
             engine: self.clone(),
+            suite,
+            names,
             fingerprints,
-            traces,
-            tables,
-            sweeps,
-            per_app,
-            counters,
+            traces: (0..suite.len()).map(|_| LazyArtifact::pending()).collect(),
+            tables: (0..suite.len()).map(|_| LazyArtifact::pending()).collect(),
+            sweeps: (0..suite.len()).map(|_| LazyArtifact::pending()).collect(),
+            per_app: (0..suite.len()).map(|_| LazyArtifact::pending()).collect(),
+            counters: Mutex::new(SessionCounters::default()),
+            pins,
         })
     }
 
@@ -928,36 +1018,164 @@ impl Campaign {
     }
 }
 
-impl CampaignSession {
+impl<'a> CampaignSession<'a> {
     /// The campaign configuration this session was derived with.
     pub fn engine(&self) -> &Campaign {
         &self.engine
     }
 
-    /// The shared trace set (one verified capture — or store load — per
-    /// workload).
-    pub fn traces(&self) -> &TraceSet {
-        &self.traces
+    /// Number of workloads in the session's suite.
+    pub fn len(&self) -> usize {
+        self.suite.len()
     }
 
-    /// Per-workload one-at-a-time cost tables, in suite order.
-    pub fn tables(&self) -> &[CostTable] {
-        &self.tables
+    /// True for an empty suite.
+    pub fn is_empty(&self) -> bool {
+        self.suite.is_empty()
     }
 
-    /// Per-workload Figure 2 sweeps, in suite order.
-    pub fn sweeps(&self) -> &[Vec<DcacheRow>] {
-        &self.sweeps
-    }
-
-    /// Per-application optima, in suite order.
-    pub fn per_app(&self) -> &[Outcome] {
-        &self.per_app
+    /// Workload names, in suite order (reflects
+    /// [`CampaignSession::update_workload`] replacements).
+    pub fn names(&self) -> &[String] {
+        &self.names
     }
 
     /// What this session recomputed vs. served from the store so far.
+    /// Pending (never-dereferenced) artifacts appear in neither column —
+    /// that absence *is* the laziness guarantee.
     pub fn counters(&self) -> SessionCounters {
-        self.counters
+        *self.counters.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Tick either the "recomputed" or the "served from store" counter.
+    fn bump(
+        &self,
+        computed_fresh: bool,
+        pick: impl FnOnce(&mut SessionCounters) -> (&mut usize, &mut usize),
+    ) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let (computed, hit) = pick(&mut counters);
+        if computed_fresh {
+            *computed += 1;
+        } else {
+            *hit += 1;
+        }
+    }
+
+    /// The workload's trace, materialising it (store load or full capture)
+    /// on first dereference.
+    pub fn trace(&self, index: usize) -> Result<&TracedWorkload, OptimizeError> {
+        self.traces[index].get_or_try_materialize(|| {
+            let (entry, captured) = self
+                .engine
+                .load_or_capture(self.suite[index].as_ref(), self.fingerprints[index])?;
+            self.bump(captured, |c| (&mut c.trace_captures, &mut c.trace_store_hits));
+            Ok(entry)
+        })
+    }
+
+    /// The workload's cost table; a store hit never touches the trace.
+    pub fn table(&self, index: usize) -> Result<&CostTable, OptimizeError> {
+        self.tables[index].get_or_try_materialize(|| {
+            let fp = self.fingerprints[index];
+            if let Some(table) =
+                self.engine.try_load_json::<CostTable>("table", self.engine.table_key(fp))
+            {
+                self.bump(false, |c| (&mut c.table_measurements, &mut c.table_store_hits));
+                return Ok(table);
+            }
+            let entry = self.trace(index)?;
+            let table =
+                self.engine.measure_and_persist_table(self.suite[index].as_ref(), fp, entry)?;
+            self.bump(true, |c| (&mut c.table_measurements, &mut c.table_store_hits));
+            Ok(table)
+        })
+    }
+
+    /// The workload's Figure 2 sweep; a store hit never touches the trace.
+    pub fn sweep(&self, index: usize) -> Result<&Vec<DcacheRow>, OptimizeError> {
+        self.sweeps[index].get_or_try_materialize(|| {
+            let fp = self.fingerprints[index];
+            if let Some(sweep) =
+                self.engine.try_load_json::<Vec<DcacheRow>>("sweep", self.engine.sweep_key(fp))
+            {
+                self.bump(false, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
+                return Ok(sweep);
+            }
+            let entry = self.trace(index)?;
+            let sweep = self.engine.compute_and_persist_sweep(fp, entry)?;
+            self.bump(true, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
+            Ok(sweep)
+        })
+    }
+
+    /// The workload's per-application optimum; a store hit touches neither
+    /// the cost table nor the trace.
+    pub fn per_app_outcome(&self, index: usize) -> Result<&Outcome, OptimizeError> {
+        self.per_app[index].get_or_try_materialize(|| {
+            let fp = self.fingerprints[index];
+            if let Some(outcome) =
+                self.engine.try_load_json::<Outcome>("optimum", self.engine.optimum_key(fp))
+            {
+                self.bump(false, |c| (&mut c.optimizations_solved, &mut c.optimum_store_hits));
+                return Ok(outcome);
+            }
+            let table = self.table(index)?;
+            let entry = self.trace(index)?;
+            let tool = self.engine.per_app_tool();
+            let outcome = self.engine.solve_and_persist_optimum(
+                &tool,
+                self.suite[index].as_ref(),
+                fp,
+                entry,
+                table,
+            )?;
+            self.bump(true, |c| (&mut c.optimizations_solved, &mut c.optimum_store_hits));
+            Ok(outcome)
+        })
+    }
+
+    /// Materialise the measurement artifacts a co-optimization solve needs:
+    /// every trace (parallel — capture is the expensive, guest-executing
+    /// phase) and every cost table (serial; the per-variable fan-out inside
+    /// each measurement already saturates the pool).
+    fn materialize_measurements(&self) -> Result<(), OptimizeError> {
+        let results = run_indexed(self.len(), self.engine.measurement.threads, |i| {
+            self.trace(i).map(|_| ())
+        });
+        collect_indexed(results)?;
+        for i in 0..self.len() {
+            self.table(i)?;
+        }
+        Ok(())
+    }
+
+    /// Materialise the artifacts a [`CampaignResult`] carries (tables,
+    /// sweeps, per-application optima) — but *not* the traces: when every
+    /// store lookup hits, zero trace payload bytes are read.
+    fn materialize_result_artifacts(&self) -> Result<(), OptimizeError> {
+        for i in 0..self.len() {
+            self.table(i)?;
+        }
+        for i in 0..self.len() {
+            self.sweep(i)?;
+        }
+        let results = run_indexed(self.len(), self.engine.measurement.threads, |i| {
+            self.per_app_outcome(i).map(|_| ())
+        });
+        collect_indexed(results)?;
+        Ok(())
+    }
+
+    /// Materialise *every* artifact of the session, traces included — the
+    /// eager (PR-3) semantics, used by tests that exercise the whole store
+    /// surface and by the `warm_eager` benchmark baseline.
+    pub fn materialize_all(&self) -> Result<(), OptimizeError> {
+        let results = run_indexed(self.len(), self.engine.measurement.threads, |i| {
+            self.trace(i).map(|_| ())
+        });
+        collect_indexed(results)?;
+        self.materialize_result_artifacts()
     }
 
     /// Content key of a co-optimization outcome: every workload fingerprint
@@ -972,36 +1190,43 @@ impl CampaignSession {
         b.finish()
     }
 
-    /// Co-optimize the current artifact set for a workload mix (cheap: one
-    /// blend, one BINLP solve, one replay-validation per workload — and with
-    /// a store attached, an unchanged (mix, artifact-set) pair is served
-    /// from disk without even those replays).
+    /// Co-optimize the session's suite for a workload mix.
+    ///
+    /// With a store attached, an unchanged (mix, artifact-set) pair is
+    /// served straight from disk — no trace bytes, no tables, no replays,
+    /// no solver.  Only a miss materialises the traces and cost tables and
+    /// runs blend + BINLP + replay validation, then persists the outcome.
     pub fn co_optimize(&self, mix: &[f64]) -> Result<CoOutcome, OptimizeError> {
-        assert_eq!(mix.len(), self.traces.len(), "one mix weight per workload required");
+        assert_eq!(mix.len(), self.len(), "one mix weight per workload required");
         let key = self.co_key(mix);
-        if let Some(store) = &self.engine.store {
-            if let Some(outcome) = store.load_json::<CoOutcome>("co", key) {
-                return Ok(outcome);
-            }
+        self.pins.pin("co", key);
+        if let Some(outcome) = self.engine.try_load_json::<CoOutcome>("co", key) {
+            return Ok(outcome);
         }
-        let outcome = self.engine.co_optimize(&self.traces, &self.tables, mix)?;
-        if let Some(store) = &self.engine.store {
-            if let Err(e) = store.save_json("co", key, &outcome) {
-                eprintln!("warning: could not persist co-optimization outcome: {e}");
-            }
-        }
+        self.materialize_measurements()?;
+        let entries: Vec<&TracedWorkload> =
+            (0..self.len()).map(|i| self.traces[i].get().expect("just materialised")).collect();
+        let tables: Vec<&CostTable> =
+            (0..self.len()).map(|i| self.tables[i].get().expect("just materialised")).collect();
+        let outcome = self.engine.co_optimize_on(&entries, &tables, mix)?;
+        self.engine.persist_json("co", key, "co-optimization outcome", &outcome);
         Ok(outcome)
     }
 
-    /// Assemble the full [`CampaignResult`] for a workload mix.  Everything
-    /// except the final co-optimization is served from the session.
+    /// Assemble the full [`CampaignResult`] for a workload mix.
+    ///
+    /// The co-optimization is resolved *first*, so on a fully warm store
+    /// the result is assembled from the co entry plus the (small, JSON)
+    /// table/sweep/optimum entries — zero trace payload bytes.
     pub fn result(&self, mix: &[f64]) -> Result<CampaignResult, OptimizeError> {
+        let co = self.co_optimize(mix)?;
+        self.materialize_result_artifacts()?;
         Ok(CampaignResult {
-            workloads: self.traces.names(),
-            tables: self.tables.clone(),
-            sweeps: self.sweeps.clone(),
-            per_app: self.per_app.clone(),
-            co: self.co_optimize(mix)?,
+            workloads: self.names.clone(),
+            tables: (0..self.len()).map(|i| self.tables[i].get().unwrap().clone()).collect(),
+            sweeps: (0..self.len()).map(|i| self.sweeps[i].get().unwrap().clone()).collect(),
+            per_app: (0..self.len()).map(|i| self.per_app[i].get().unwrap().clone()).collect(),
+            co,
         })
     }
 
@@ -1009,50 +1234,61 @@ impl CampaignSession {
     /// and moves the artifacts into the result instead of cloning them.
     pub fn into_result(self, mix: &[f64]) -> Result<CampaignResult, OptimizeError> {
         let co = self.co_optimize(mix)?;
-        Ok(CampaignResult {
-            workloads: self.traces.names(),
-            tables: self.tables,
-            sweeps: self.sweeps,
-            per_app: self.per_app,
+        self.materialize_result_artifacts()?;
+        let CampaignSession { names, tables, sweeps, per_app, pins, .. } = self;
+        let result = CampaignResult {
+            workloads: names,
+            tables: tables.into_iter().map(|l| l.into_inner().expect("materialised")).collect(),
+            sweeps: sweeps.into_iter().map(|l| l.into_inner().expect("materialised")).collect(),
+            per_app: per_app.into_iter().map(|l| l.into_inner().expect("materialised")).collect(),
             co,
-        })
+        };
+        drop(pins); // release the session's store pins
+        Ok(result)
     }
 
-    /// Replace the workload at `index` and re-derive *only* its artifacts.
+    /// Replace the workload at `index` and re-derive *only* its artifacts
+    /// (eagerly — the replacement reference does not outlive this call, so
+    /// its slots cannot stay pending).
     ///
-    /// The other workloads' traces, tables, sweeps and optima are left
-    /// untouched (and unqueried), so the cost of a mix update is one
-    /// capture + one table + one sweep + one solve in the worst case — and
-    /// zero guest execution when the replacement's artifacts are already in
-    /// the store.  Call [`CampaignSession::result`] afterwards to re-run the
-    /// (cheap) blend + BINLP co-optimization over the updated mix.
+    /// The other workloads' artifacts are left untouched (and unqueried),
+    /// so the cost of a mix update is one capture + one table + one sweep +
+    /// one solve in the worst case — and zero guest execution when the
+    /// replacement's artifacts are already in the store.  Call
+    /// [`CampaignSession::result`] afterwards to re-run the (cheap) blend +
+    /// BINLP co-optimization over the updated mix.
     pub fn update_workload(
         &mut self,
         index: usize,
         workload: &(dyn Workload + Send + Sync),
     ) -> Result<(), OptimizeError> {
-        assert!(index < self.traces.len(), "workload index {index} out of range");
+        assert!(index < self.len(), "workload index {index} out of range");
         let fp = workload.fingerprint();
+        self.pins.pin("trace", self.engine.trace_key(fp));
+        self.pins.pin("table", self.engine.table_key(fp));
+        self.pins.pin("sweep", self.engine.sweep_key(fp));
+        self.pins.pin("optimum", self.engine.optimum_key(fp));
 
         let (entry, captured) = self.engine.load_or_capture(workload, fp)?;
-        bump(captured, &mut self.counters.trace_captures, &mut self.counters.trace_store_hits);
+        self.bump(captured, |c| (&mut c.trace_captures, &mut c.trace_store_hits));
 
         let (table, measured) = self.engine.load_or_measure_table(workload, fp, &entry)?;
-        bump(measured, &mut self.counters.table_measurements, &mut self.counters.table_store_hits);
+        self.bump(measured, |c| (&mut c.table_measurements, &mut c.table_store_hits));
 
         let (sweep, computed) = self.engine.load_or_sweep(fp, &entry)?;
-        bump(computed, &mut self.counters.sweeps_computed, &mut self.counters.sweep_store_hits);
+        self.bump(computed, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
 
         let tool = self.engine.per_app_tool();
         let (outcome, solved) =
             self.engine.load_or_optimize(&tool, workload, fp, &entry, &table)?;
-        bump(solved, &mut self.counters.optimizations_solved, &mut self.counters.optimum_store_hits);
+        self.bump(solved, |c| (&mut c.optimizations_solved, &mut c.optimum_store_hits));
 
+        self.names[index] = workload.name().to_string();
         self.fingerprints[index] = fp;
-        self.traces.entries[index] = entry;
-        self.tables[index] = table;
-        self.sweeps[index] = sweep;
-        self.per_app[index] = outcome;
+        self.traces[index] = LazyArtifact::ready(entry);
+        self.tables[index] = LazyArtifact::ready(table);
+        self.sweeps[index] = LazyArtifact::ready(sweep);
+        self.per_app[index] = LazyArtifact::ready(outcome);
         Ok(())
     }
 }

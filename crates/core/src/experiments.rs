@@ -18,7 +18,7 @@ use crate::optimizer::{AutoReconfigurator, Outcome, OptimizeError};
 use crate::params::ParameterSpace;
 
 /// Options shared by all experiment drivers.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExperimentOptions {
     /// Benchmark problem scale.
     pub scale: Scale,
@@ -614,12 +614,13 @@ pub fn campaign_with_store(
     if let Some(store) = engine.store() {
         let s = store.stats();
         eprintln!(
-            "artifact store {}: {} hits, {} misses ({} corrupt), {} writes",
+            "artifact store {}: {} hits, {} misses ({} corrupt), {} writes, {} payload bytes read",
             store.dir().display(),
             s.hits,
             s.misses,
             s.corrupt,
-            s.writes
+            s.writes,
+            s.payload_bytes_read
         );
     }
     Ok(result)

@@ -47,7 +47,10 @@ pub use campaign::{
     effective_threads, run_indexed, Campaign, CampaignResult, CampaignSession, CoOutcome,
     CoWorkloadRun, SessionCounters, TraceSet, TracedWorkload, WorkloadShare,
 };
-pub use store::{ArtifactStore, Fingerprint, FingerprintBuilder, StoreStats};
+pub use store::{
+    ArtifactStore, DoctorReport, EntryMeta, Fingerprint, FingerprintBuilder, GcReport, KindUsage,
+    LazyArtifact, Manifest, ManifestEntry, PackStats, StoreStats,
+};
 pub use dcache_study::{
     best_runtime_row, dcache_exhaustive, dcache_exhaustive_full, dcache_exhaustive_traced,
     DcacheRow,

@@ -29,14 +29,43 @@
 //!   either the old entry or no entry, never a torn one.  Concurrent writers
 //!   of the same key race benignly: both produce identical bytes.
 //!
+//! # Store lifecycle (manifest, GC, doctor, pack)
+//!
+//! Alongside the entries the store maintains a [`Manifest`] index file
+//! (`manifest.json`, written atomically like every entry): one record per
+//! entry carrying the kind, the fingerprint, the payload size, the payload
+//! checksum and a logical last-access stamp.  The manifest is *advisory* —
+//! artifact correctness always comes from full envelope + checksum
+//! validation at load time — but it is what makes the lifecycle operations
+//! cheap:
+//!
+//! * [`ArtifactStore::peek`] answers "is a valid-looking entry present?"
+//!   from the 40-byte envelope and the file size alone — the payload is
+//!   never read, which is what keeps presence checks O(1) even for
+//!   multi-megabyte trace entries;
+//! * [`ArtifactStore::gc`] evicts least-recently-accessed entries until the
+//!   store fits a byte budget, never touching entries pinned by an open
+//!   [`crate::campaign::CampaignSession`];
+//! * [`ArtifactStore::doctor`] verifies (and optionally repairs) the
+//!   manifest ↔ directory correspondence and every entry's integrity;
+//! * [`ArtifactStore::pack_to`] / [`ArtifactStore::unpack_from`] serialise
+//!   the whole store into one portable, platform-independent file — the
+//!   format is little-endian and content-addressed, so a store packed on
+//!   one machine warms a campaign on another.
+//!
 //! The store directory is wired up either explicitly
 //! ([`crate::campaign::Campaign::with_store`], the `campaign` CLI target's
 //! `--store <dir>` flag) or through the `AUTORECONF_STORE` environment
-//! variable ([`ArtifactStore::from_env`]).
+//! variable ([`ArtifactStore::from_env`]); the GC budget comes from
+//! `campaign --gc-budget` or `AUTORECONF_STORE_BUDGET`.
 
+use std::collections::HashMap;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
 
 /// Version of the store's entry envelope (header + checksum framing).
 ///
@@ -52,7 +81,16 @@ pub const STORE_FORMAT_VERSION: u32 = 1;
 /// artifact from before the change misses and is recomputed.
 pub const RESULTS_VERSION: u32 = 1;
 
+/// Version of the [`Manifest`] index schema.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Version of the portable pack format written by [`ArtifactStore::pack_to`].
+pub const PACK_FORMAT_VERSION: u32 = 1;
+
 const ENTRY_MAGIC: [u8; 4] = *b"ARST";
+const PACK_MAGIC: [u8; 4] = *b"ARPK";
+const ENVELOPE_LEN: usize = 40;
+const MANIFEST_FILE: &str = "manifest.json";
 
 /// A stable 64-bit content fingerprint identifying one store entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -118,6 +156,83 @@ impl FingerprintBuilder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lazy artifact handles
+// ---------------------------------------------------------------------------
+
+/// A lazily materialised artifact: either already decoded (ready) or a
+/// pending slot that materialises at most once, on first dereference.
+///
+/// This is the handle [`crate::campaign::CampaignSession`] threads through
+/// the campaign pipeline: a session starts with every per-workload artifact
+/// pending, and only the artifacts a result's dependency chain actually
+/// dereferences get loaded or computed.  A warm run whose co-optimization
+/// entry hits therefore reads *zero* trace payload bytes — the dominant
+/// warm-run cost at `Scale::Medium` and above.
+///
+/// Materialisation is thread-safe (double-checked through an internal lock)
+/// and fallible: [`LazyArtifact::get_or_try_materialize`] runs its closure at
+/// most once per handle, and a failed materialisation leaves the handle
+/// pending so a later caller can retry.
+#[derive(Debug, Default)]
+pub struct LazyArtifact<T> {
+    cell: OnceLock<T>,
+    init: Mutex<()>,
+}
+
+impl<T> LazyArtifact<T> {
+    /// A pending handle: nothing loaded, nothing computed.
+    pub fn pending() -> LazyArtifact<T> {
+        LazyArtifact { cell: OnceLock::new(), init: Mutex::new(()) }
+    }
+
+    /// A handle that is already materialised.
+    pub fn ready(value: T) -> LazyArtifact<T> {
+        let cell = OnceLock::new();
+        let _ = cell.set(value);
+        LazyArtifact { cell, init: Mutex::new(()) }
+    }
+
+    /// The materialised value, if any (never triggers materialisation).
+    pub fn get(&self) -> Option<&T> {
+        self.cell.get()
+    }
+
+    /// Whether the artifact has been materialised.
+    pub fn is_materialized(&self) -> bool {
+        self.cell.get().is_some()
+    }
+
+    /// Consume the handle, returning the value if it was materialised.
+    pub fn into_inner(self) -> Option<T> {
+        self.cell.into_inner()
+    }
+
+    /// Return the materialised value, materialising it with `f` first if
+    /// needed.  `f` runs at most once per handle even under concurrent
+    /// callers; if it fails, the handle stays pending and the error is
+    /// returned.
+    pub fn get_or_try_materialize<E>(
+        &self,
+        f: impl FnOnce() -> Result<T, E>,
+    ) -> Result<&T, E> {
+        if let Some(v) = self.cell.get() {
+            return Ok(v);
+        }
+        let _guard = self.init.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = self.cell.get() {
+            return Ok(v);
+        }
+        let value = f()?;
+        let _ = self.cell.set(value);
+        Ok(self.cell.get().expect("value was just set"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
 /// Hit/miss/corruption accounting of one store handle (shared by clones).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -130,6 +245,12 @@ pub struct StoreStats {
     pub corrupt: usize,
     /// Entries written.
     pub writes: usize,
+    /// Payload bytes read from disk by successful loads.  Envelope-only
+    /// presence checks ([`ArtifactStore::peek`]) never move this counter —
+    /// it is the session-visible cost a lazy warm run avoids.
+    pub payload_bytes_read: u64,
+    /// Entries evicted by [`ArtifactStore::gc`].
+    pub evictions: usize,
 }
 
 #[derive(Debug, Default)]
@@ -138,25 +259,270 @@ struct StatsCells {
     misses: AtomicUsize,
     corrupt: AtomicUsize,
     writes: AtomicUsize,
+    payload_bytes_read: AtomicU64,
+    evictions: AtomicUsize,
     tmp_counter: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One record of the store [`Manifest`]: the envelope metadata of one entry
+/// plus its logical last-access stamp.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Entry kind (`trace`, `table`, `sweep`, `optimum`, `co`, …).
+    pub kind: String,
+    /// The entry's content fingerprint.
+    pub fingerprint: u64,
+    /// Payload size in bytes (the entry file is 40 bytes larger).
+    pub payload_len: u64,
+    /// FNV-1a checksum of the payload (mirrors the envelope field).
+    pub checksum: u64,
+    /// Logical access stamp: the manifest clock value of the most recent
+    /// save or load of this entry.  Larger = more recently used.
+    pub last_access: u64,
+}
+
+/// The store's index file (`manifest.json`), written atomically alongside
+/// the entries it describes.
+///
+/// The manifest is *advisory*: loads always re-validate the entry envelope
+/// and payload checksum, so a stale or missing manifest can never produce a
+/// wrong artifact — it is rebuilt from the entry envelopes on open (40
+/// bytes per entry, no payload reads) and reconciled by
+/// [`ArtifactStore::gc`] and [`ArtifactStore::doctor`].  What the manifest
+/// *is* authoritative for is the logical access clock that orders GC
+/// eviction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Schema version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// The logical access clock: one tick per save or load.
+    pub clock: u64,
+    /// One record per entry, sorted by (kind, fingerprint).
+    pub entries: Vec<ManifestEntry>,
+}
+
+#[derive(Debug, Default)]
+struct ManifestState {
+    clock: u64,
+    entries: HashMap<(String, u64), ManifestEntry>,
+}
+
+impl ManifestState {
+    fn to_manifest(&self) -> Manifest {
+        let mut entries: Vec<ManifestEntry> = self.entries.values().cloned().collect();
+        entries.sort_by(|a, b| (&a.kind, a.fingerprint).cmp(&(&b.kind, b.fingerprint)));
+        Manifest { version: MANIFEST_VERSION, clock: self.clock, entries }
+    }
+
+    fn from_manifest(manifest: Manifest) -> ManifestState {
+        let mut state = ManifestState { clock: manifest.clock, entries: HashMap::new() };
+        for e in manifest.entries {
+            state.entries.insert((e.kind.clone(), e.fingerprint), e);
+        }
+        state
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    stats: StatsCells,
+    manifest: Mutex<ManifestState>,
+    /// In-memory manifest changes not yet persisted to `manifest.json`.
+    /// Access stamps batch here so loads stay read-only on disk; flushed by
+    /// the lifecycle passes and when a handle drops.
+    manifest_dirty: std::sync::atomic::AtomicBool,
+    /// Refcounted pins: entries an open session depends on.  GC never
+    /// evicts a pinned entry.
+    pins: Mutex<HashMap<(String, u64), usize>>,
+}
+
+/// Envelope metadata returned by [`ArtifactStore::peek`] — everything known
+/// about an entry without reading its payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// Payload size in bytes.
+    pub payload_len: u64,
+    /// FNV-1a checksum of the payload, as recorded in the envelope.
+    pub checksum: u64,
+}
+
+/// What one [`ArtifactStore::gc`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// The byte budget the pass enforced.
+    pub budget_bytes: u64,
+    /// Entries present before the pass.
+    pub entries_before: usize,
+    /// Entries remaining after the pass.
+    pub entries_after: usize,
+    /// Store size (entry files, envelopes included) before the pass.
+    pub bytes_before: u64,
+    /// Store size after the pass.
+    pub bytes_after: u64,
+    /// Entries evicted.
+    pub evicted: usize,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
+    /// Entries that survived only because a session pins them.
+    pub pinned_retained: usize,
+}
+
+impl GcReport {
+    /// Whether the store fits the budget (always true unless pinned entries
+    /// alone exceed it).
+    pub fn within_budget(&self) -> bool {
+        self.bytes_after <= self.budget_bytes
+    }
+
+    /// Human-readable one-paragraph summary.
+    pub fn render(&self) -> String {
+        format!(
+            "gc: budget {} bytes: {} -> {} entries, {} -> {} bytes ({} evicted, {} bytes freed, {} pinned retained)",
+            self.budget_bytes,
+            self.entries_before,
+            self.entries_after,
+            self.bytes_before,
+            self.bytes_after,
+            self.evicted,
+            self.evicted_bytes,
+            self.pinned_retained
+        )
+    }
+}
+
+/// What [`ArtifactStore::doctor`] found (and, with `repair`, fixed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DoctorReport {
+    /// Entries whose envelope and payload checksum validate.
+    pub entries_ok: usize,
+    /// Total payload bytes across valid entries.
+    pub payload_bytes: u64,
+    /// Entry files that failed validation (deleted when repairing).
+    pub corrupt_entries: usize,
+    /// Valid entry files missing from the manifest (indexed when repairing).
+    pub unindexed_files: usize,
+    /// Manifest records without a backing file (dropped when repairing).
+    pub stale_manifest_entries: usize,
+    /// Manifest records whose size/checksum disagree with the entry
+    /// envelope (re-synced when repairing).
+    pub mismatched_manifest_entries: usize,
+    /// Leftover temporary files from interrupted writes (deleted when
+    /// repairing).
+    pub stray_tmp_files: usize,
+    /// Whether the pass repaired what it found.
+    pub repaired: bool,
+}
+
+impl DoctorReport {
+    /// True when the store needs no repair: every entry validates and the
+    /// manifest matches the directory exactly.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_entries == 0
+            && self.unindexed_files == 0
+            && self.stale_manifest_entries == 0
+            && self.mismatched_manifest_entries == 0
+            && self.stray_tmp_files == 0
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "doctor: {} valid entries ({} payload bytes)\n",
+            self.entries_ok, self.payload_bytes
+        );
+        let issues = [
+            (self.corrupt_entries, "corrupt entry file(s)"),
+            (self.unindexed_files, "valid file(s) missing from the manifest"),
+            (self.stale_manifest_entries, "manifest record(s) without a file"),
+            (self.mismatched_manifest_entries, "manifest record(s) out of sync"),
+            (self.stray_tmp_files, "stray temporary file(s)"),
+        ];
+        for (count, what) in issues {
+            if count > 0 {
+                out.push_str(&format!("  {count} {what}\n"));
+            }
+        }
+        if self.is_clean() {
+            out.push_str("  store is clean\n");
+        } else if self.repaired {
+            out.push_str("  all issues repaired\n");
+        } else {
+            out.push_str("  run `store doctor --repair` to fix\n");
+        }
+        out
+    }
+}
+
+/// What one [`ArtifactStore::pack_to`] / [`ArtifactStore::unpack_from`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackStats {
+    /// Entries packed/unpacked.
+    pub entries: usize,
+    /// Total payload bytes moved.
+    pub payload_bytes: u64,
+    /// Entries skipped because they failed validation (pack only).
+    pub skipped_corrupt: usize,
+}
+
+/// Per-kind usage summary row (see [`ArtifactStore::usage`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KindUsage {
+    /// Entry kind.
+    pub kind: String,
+    /// Number of entries of this kind.
+    pub entries: usize,
+    /// Total file bytes (envelopes included) of this kind.
+    pub file_bytes: u64,
 }
 
 /// The content-addressed artifact store (see the module docs).
 ///
-/// Cloning is cheap and clones share statistics; the handle is `Sync`, so
-/// one store serves every worker of a campaign concurrently.
+/// Cloning is cheap and clones share statistics, the manifest and the pin
+/// table; the handle is `Sync`, so one store serves every worker of a
+/// campaign concurrently.
 #[derive(Clone, Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
-    stats: Arc<StatsCells>,
+    shared: Arc<Shared>,
+}
+
+impl Drop for ArtifactStore {
+    /// Best-effort flush of batched manifest changes (quiet: the directory
+    /// may legitimately be gone by now).  The first dropping handle
+    /// persists; the flag keeps the rest no-ops unless new accesses landed.
+    fn drop(&mut self) {
+        self.flush_impl(true);
+    }
+}
+
+/// Remove an entry file, treating "already gone" as success: a concurrent
+/// GC or doctor (another handle or another process) may have unlinked it
+/// first, which is exactly the outcome the caller wanted.
+fn remove_entry_file(path: &Path) -> std::io::Result<()> {
+    match std::fs::remove_file(path) {
+        Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+        _ => Ok(()),
+    }
 }
 
 impl ArtifactStore {
     /// Open (creating if necessary) a store rooted at `dir`.
+    ///
+    /// Loads the manifest if one is present and readable; otherwise rebuilds
+    /// it from the entry envelopes (40 bytes per entry — payloads are never
+    /// read on open).
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ArtifactStore> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        Ok(ArtifactStore { dir, stats: Arc::new(StatsCells::default()) })
+        let store =
+            ArtifactStore { dir, shared: Arc::new(Shared::default()) };
+        let state = store.load_or_rebuild_manifest();
+        *store.shared.manifest.lock().unwrap_or_else(|e| e.into_inner()) = state;
+        Ok(store)
     }
 
     /// Open the store named by the `AUTORECONF_STORE` environment variable,
@@ -184,11 +550,14 @@ impl ArtifactStore {
     /// Snapshot of the hit/miss/corruption counters of this handle (and all
     /// of its clones).
     pub fn stats(&self) -> StoreStats {
+        let s = &self.shared.stats;
         StoreStats {
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            misses: self.stats.misses.load(Ordering::Relaxed),
-            corrupt: self.stats.corrupt.load(Ordering::Relaxed),
-            writes: self.stats.writes.load(Ordering::Relaxed),
+            hits: s.hits.load(Ordering::Relaxed),
+            misses: s.misses.load(Ordering::Relaxed),
+            corrupt: s.corrupt.load(Ordering::Relaxed),
+            writes: s.writes.load(Ordering::Relaxed),
+            payload_bytes_read: s.payload_bytes_read.load(Ordering::Relaxed),
+            evictions: s.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -221,21 +590,193 @@ impl ArtifactStore {
         self.dir.join(format!("{kind}-{key}.art"))
     }
 
+    /// Parse `<kind>-<16 hex>.art` back into `(kind, fingerprint)`.
+    fn parse_entry_name(path: &Path) -> Option<(String, Fingerprint)> {
+        let name = path.file_name()?.to_str()?;
+        let stem = name.strip_suffix(".art")?;
+        let (kind, hex) = stem.rsplit_once('-')?;
+        if kind.is_empty() || hex.len() != 16 {
+            return None;
+        }
+        let fp = u64::from_str_radix(hex, 16).ok()?;
+        Some((kind.to_string(), Fingerprint(fp)))
+    }
+
+    // -- manifest -----------------------------------------------------------
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    /// Read `manifest.json`, falling back to an envelope scan of the
+    /// directory when it is missing, unreadable or version-skewed.
+    fn load_or_rebuild_manifest(&self) -> ManifestState {
+        if let Ok(text) = std::fs::read_to_string(self.manifest_path()) {
+            if let Ok(manifest) = serde_json::from_str::<Manifest>(&text) {
+                if manifest.version == MANIFEST_VERSION {
+                    return ManifestState::from_manifest(manifest);
+                }
+            }
+        }
+        self.rebuild_manifest_from_envelopes()
+    }
+
+    /// Index every entry file from its 40-byte envelope (no payload reads).
+    /// Rebuilt entries get access stamp 0 — oldest, evicted first — since
+    /// their true history is unknown.
+    fn rebuild_manifest_from_envelopes(&self) -> ManifestState {
+        let mut state = ManifestState::default();
+        for path in self.entries(None) {
+            let Some((kind, key)) = Self::parse_entry_name(&path) else { continue };
+            if let Some(meta) = self.peek(&kind, key) {
+                state.entries.insert(
+                    (kind.clone(), key.0),
+                    ManifestEntry {
+                        kind,
+                        fingerprint: key.0,
+                        payload_len: meta.payload_len,
+                        checksum: meta.checksum,
+                        last_access: 0,
+                    },
+                );
+            }
+        }
+        state
+    }
+
+    /// Atomically persist the manifest (tmp + rename, like every entry) and
+    /// clear the dirty flag.  Failure is at most a warning, never an error:
+    /// the manifest is advisory and is rebuilt from envelopes on the next
+    /// open.  `quiet` suppresses the warning for best-effort paths (handle
+    /// drop — the directory may already be gone).
+    fn persist_manifest(&self, state: &ManifestState, quiet: bool) {
+        self.shared.manifest_dirty.store(false, Ordering::Relaxed);
+        let failed = |what: &str, detail: String| {
+            // keep the batched state flushable: a transient failure must
+            // not silently drop the stamps forever
+            self.shared.manifest_dirty.store(true, Ordering::Relaxed);
+            if !quiet {
+                eprintln!("warning: could not {what} store manifest: {detail}");
+            }
+        };
+        let body = match serde_json::to_string(&state.to_manifest()) {
+            Ok(b) => b,
+            Err(e) => return failed("serialise", e.to_string()),
+        };
+        let tmp = self.dir.join(format!(
+            ".tmp-manifest-{}-{}",
+            std::process::id(),
+            self.shared.stats.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = std::fs::write(&tmp, body.as_bytes())
+            .and_then(|_| std::fs::rename(&tmp, self.manifest_path()));
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            failed("persist", e.to_string());
+        }
+    }
+
+    /// Record a save or load in the in-memory manifest: bump the clock and
+    /// stamp the entry.  Deliberately does *not* touch the disk — loads stay
+    /// reads — the batched state is persisted by [`ArtifactStore::flush`],
+    /// the lifecycle passes, or the last handle's drop.
+    fn note_access(&self, kind: &str, key: Fingerprint, payload_len: u64, checksum: u64) {
+        let mut state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+        state.clock += 1;
+        let stamp = state.clock;
+        state
+            .entries
+            .entry((kind.to_string(), key.0))
+            .and_modify(|e| {
+                e.payload_len = payload_len;
+                e.checksum = checksum;
+                e.last_access = stamp;
+            })
+            .or_insert_with(|| ManifestEntry {
+                kind: kind.to_string(),
+                fingerprint: key.0,
+                payload_len,
+                checksum,
+                last_access: stamp,
+            });
+        self.shared.manifest_dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Persist any batched manifest changes (access stamps, new entries).
+    /// A no-op when nothing changed since the last flush.
+    pub fn flush(&self) {
+        self.flush_impl(false);
+    }
+
+    fn flush_impl(&self, quiet: bool) {
+        if self.shared.manifest_dirty.swap(false, Ordering::Relaxed) {
+            let state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+            self.persist_manifest(&state, quiet);
+        }
+    }
+
+    /// Snapshot of the current manifest (sorted, as persisted).
+    pub fn manifest(&self) -> Manifest {
+        self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner()).to_manifest()
+    }
+
+    // -- pinning ------------------------------------------------------------
+
+    /// Pin an entry: [`ArtifactStore::gc`] will not evict it until every pin
+    /// is released.  Pins are refcounted and shared by all clones of this
+    /// handle — but **not** across handles or processes: a GC run from a
+    /// separately opened handle cannot see them (eviction then costs a
+    /// recompute, never a wrong result).
+    /// [`crate::campaign::CampaignSession`] pins every key it may
+    /// dereference for its whole lifetime.
+    pub fn pin(&self, kind: &str, key: Fingerprint) {
+        let mut pins = self.shared.pins.lock().unwrap_or_else(|e| e.into_inner());
+        *pins.entry((kind.to_string(), key.0)).or_insert(0) += 1;
+    }
+
+    /// Release one pin of an entry (refcounted; no-op when not pinned).
+    pub fn unpin(&self, kind: &str, key: Fingerprint) {
+        let mut pins = self.shared.pins.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(count) = pins.get_mut(&(kind.to_string(), key.0)) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&(kind.to_string(), key.0));
+            }
+        }
+    }
+
+    /// Whether an entry currently holds at least one pin.
+    pub fn is_pinned(&self, kind: &str, key: Fingerprint) -> bool {
+        self.shared
+            .pins
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&(kind.to_string(), key.0))
+    }
+
+    /// Number of distinct pinned entries.
+    pub fn pinned_count(&self) -> usize {
+        self.shared.pins.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    // -- save / load / peek -------------------------------------------------
+
     /// Store `payload` under `(kind, key)`, atomically.
     pub fn save(&self, kind: &str, key: Fingerprint, payload: &[u8]) -> std::io::Result<()> {
-        let mut body = Vec::with_capacity(40 + payload.len());
+        let checksum = leon_sim::fnv1a64(payload);
+        let mut body = Vec::with_capacity(ENVELOPE_LEN + payload.len());
         body.extend_from_slice(&ENTRY_MAGIC);
         body.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
         body.extend_from_slice(&leon_sim::fnv1a64(kind.as_bytes()).to_le_bytes());
         body.extend_from_slice(&key.0.to_le_bytes());
         body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        body.extend_from_slice(&leon_sim::fnv1a64(payload).to_le_bytes());
+        body.extend_from_slice(&checksum.to_le_bytes());
         body.extend_from_slice(payload);
 
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{kind}-{key}",
             std::process::id(),
-            self.stats.tmp_counter.fetch_add(1, Ordering::Relaxed)
+            self.shared.stats.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::write(&tmp, &body)?;
         let result = std::fs::rename(&tmp, self.entry_path(kind, key));
@@ -243,7 +784,8 @@ impl ArtifactStore {
             let _ = std::fs::remove_file(&tmp);
         }
         result?;
-        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.note_access(kind, key, payload.len() as u64, checksum);
         Ok(())
     }
 
@@ -252,26 +794,72 @@ impl ArtifactStore {
     /// Returns `None` — never a wrong payload — when the entry is missing or
     /// fails any validation (magic, store version, fingerprint, length,
     /// checksum).  Damaged entries additionally tick [`StoreStats::corrupt`].
+    /// A successful load stamps the entry's manifest access clock and adds
+    /// the payload size to [`StoreStats::payload_bytes_read`].
     pub fn load(&self, kind: &str, key: Fingerprint) -> Option<Vec<u8>> {
         let path = self.entry_path(kind, key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
         match Self::validate(bytes, kind, key) {
-            Some(payload) => {
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            Some((payload, checksum)) => {
+                self.shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .payload_bytes_read
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                self.note_access(kind, key, payload.len() as u64, checksum);
                 Some(payload)
             }
             None => {
-                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// Envelope-only presence check: read the entry's 40-byte envelope (and
+    /// the file size) and report its metadata without ever touching the
+    /// payload.
+    ///
+    /// Returns `None` when the entry is missing or its envelope is invalid
+    /// (wrong magic/version/kind/fingerprint, or a file size that disagrees
+    /// with the recorded payload length).  A `Some` is *presence*, not full
+    /// integrity — the payload checksum is only verified by
+    /// [`ArtifactStore::load`] — so callers use `peek` to decide whether an
+    /// artifact is worth dereferencing, never to trust its content.
+    pub fn peek(&self, kind: &str, key: Fingerprint) -> Option<EntryMeta> {
+        let path = self.entry_path(kind, key);
+        let mut file = std::fs::File::open(&path).ok()?;
+        let file_len = file.metadata().ok()?.len();
+        let mut envelope = [0u8; ENVELOPE_LEN];
+        file.read_exact(&mut envelope).ok()?;
+        let field = |at: usize| u64::from_le_bytes(envelope[at..at + 8].try_into().unwrap());
+        if envelope[0..4] != ENTRY_MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(envelope[4..8].try_into().unwrap()) != STORE_FORMAT_VERSION {
+            return None;
+        }
+        if field(8) != leon_sim::fnv1a64(kind.as_bytes()) || field(16) != key.0 {
+            return None;
+        }
+        let payload_len = field(24);
+        if file_len != ENVELOPE_LEN as u64 + payload_len {
+            return None;
+        }
+        Some(EntryMeta { payload_len, checksum: field(32) })
+    }
+
+    /// Whether a valid-looking entry for `(kind, key)` is present
+    /// (envelope-only, see [`ArtifactStore::peek`]).
+    pub fn contains(&self, kind: &str, key: Fingerprint) -> bool {
+        self.peek(kind, key).is_some()
     }
 
     /// Reclassify the immediately preceding hit as a corrupt miss.
@@ -282,16 +870,17 @@ impl ArtifactStore {
     /// payload turned out undecodable and the artifact will be recomputed,
     /// which is what the stats should say.
     pub fn note_decode_failure(&self) {
-        self.stats.hits.fetch_sub(1, Ordering::Relaxed);
-        self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.hits.fetch_sub(1, Ordering::Relaxed);
+        self.shared.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Validate the envelope and strip it in place: the loaded payload
     /// reuses the `fs::read` allocation — one in-buffer shift of the
-    /// payload instead of a second allocation + copy.
-    fn validate(mut bytes: Vec<u8>, kind: &str, key: Fingerprint) -> Option<Vec<u8>> {
-        if bytes.len() < 40 || bytes[0..4] != ENTRY_MAGIC {
+    /// payload instead of a second allocation + copy.  Returns the payload
+    /// and its (verified) checksum.
+    fn validate(mut bytes: Vec<u8>, kind: &str, key: Fingerprint) -> Option<(Vec<u8>, u64)> {
+        if bytes.len() < ENVELOPE_LEN || bytes[0..4] != ENTRY_MAGIC {
             return None;
         }
         let field = |at: usize| -> u64 { u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) };
@@ -305,15 +894,16 @@ impl ArtifactStore {
         if field(16) != key.0 {
             return None; // a (renamed) entry for some other key
         }
-        let payload = &bytes[40..];
+        let payload = &bytes[ENVELOPE_LEN..];
         if field(24) != payload.len() as u64 {
             return None;
         }
-        if field(32) != leon_sim::fnv1a64(payload) {
+        let checksum = field(32);
+        if checksum != leon_sim::fnv1a64(payload) {
             return None;
         }
-        bytes.drain(0..40);
-        Some(bytes)
+        bytes.drain(0..ENVELOPE_LEN);
+        Some((bytes, checksum))
     }
 
     /// Store a serde-serialisable value as a JSON payload under `(kind, key)`.
@@ -344,6 +934,404 @@ impl ArtifactStore {
         }
         decoded
     }
+
+    // -- lifecycle: gc / doctor / usage / pack ------------------------------
+
+    /// Merge the persisted manifest into this handle's in-memory state.
+    ///
+    /// Two handles on the same directory each keep their own advisory state;
+    /// whichever persists last wins on disk.  Before a lifecycle pass (GC,
+    /// doctor) the handle adopts anything a sibling handle recorded — newest
+    /// access stamp wins per entry — so stale in-memory views never
+    /// misreport (or mis-evict) entries another handle wrote.
+    fn sync_with_disk_locked(&self, state: &mut ManifestState) {
+        let disk = self.load_or_rebuild_manifest();
+        state.clock = state.clock.max(disk.clock);
+        for (id, entry) in disk.entries {
+            match state.entries.get_mut(&id) {
+                Some(existing) => {
+                    if entry.last_access > existing.last_access {
+                        *existing = entry;
+                    }
+                }
+                None => {
+                    state.entries.insert(id, entry);
+                }
+            }
+        }
+    }
+
+    /// Reconcile the manifest with the directory: returns, for each entry
+    /// file that parses, its key, its actual file size and its (possibly
+    /// just-created) manifest record.  Stale manifest records are dropped.
+    fn reconcile_locked(&self, state: &mut ManifestState) -> Vec<((String, u64), u64)> {
+        let mut present: Vec<((String, u64), u64)> = Vec::new();
+        let mut seen: HashMap<(String, u64), ()> = HashMap::new();
+        for path in self.entries(None) {
+            let Some((kind, key)) = Self::parse_entry_name(&path) else { continue };
+            let Ok(meta) = std::fs::metadata(&path) else { continue };
+            let id = (kind.clone(), key.0);
+            if !state.entries.contains_key(&id) {
+                if let Some(peeked) = self.peek(&kind, key) {
+                    state.entries.insert(
+                        id.clone(),
+                        ManifestEntry {
+                            kind,
+                            fingerprint: key.0,
+                            payload_len: peeked.payload_len,
+                            checksum: peeked.checksum,
+                            last_access: 0,
+                        },
+                    );
+                } else {
+                    // unreadable/foreign envelope: still occupies space, so
+                    // report it (GC may evict it), but don't index it
+                    present.push((id.clone(), meta.len()));
+                    seen.insert(id, ());
+                    continue;
+                }
+            }
+            present.push((id.clone(), meta.len()));
+            seen.insert(id, ());
+        }
+        state.entries.retain(|id, _| seen.contains_key(id));
+        present
+    }
+
+    /// Evict least-recently-accessed entries until the entry files fit
+    /// `budget_bytes`, skipping entries pinned by open sessions.
+    ///
+    /// The invariant (property-tested in `tests/incremental_store.rs`):
+    /// after `gc(b)` either the store's entry files total ≤ `b` bytes, or
+    /// every remaining entry is pinned.  Eviction order is strictly by
+    /// ascending access stamp (ties broken by kind + fingerprint for
+    /// determinism); the manifest is reconciled with the directory before
+    /// and persisted after the pass.
+    pub fn gc(&self, budget_bytes: u64) -> std::io::Result<GcReport> {
+        let mut state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+        self.sync_with_disk_locked(&mut state);
+        let present = self.reconcile_locked(&mut state);
+
+        let mut total: u64 = present.iter().map(|(_, len)| *len).sum();
+        let entries_before = present.len();
+        let bytes_before = total;
+
+        // LRU order: unknown entries (not in the manifest) evict first with
+        // stamp 0, then by ascending last_access
+        let mut candidates: Vec<(u64, (String, u64), u64)> = present
+            .iter()
+            .map(|(id, len)| {
+                let stamp = state.entries.get(id).map(|e| e.last_access).unwrap_or(0);
+                (stamp, id.clone(), *len)
+            })
+            .collect();
+        candidates.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+        let pins = self.shared.pins.lock().unwrap_or_else(|e| e.into_inner());
+        let mut evicted = 0usize;
+        let mut evicted_bytes = 0u64;
+        let mut pinned_retained = 0usize;
+        for (_stamp, id, len) in candidates {
+            if total <= budget_bytes {
+                break;
+            }
+            if pins.contains_key(&id) {
+                pinned_retained += 1;
+                continue;
+            }
+            let (kind, fp) = (&id.0, Fingerprint(id.1));
+            remove_entry_file(&self.entry_path(kind, fp))?;
+            state.entries.remove(&id);
+            total -= len;
+            evicted += 1;
+            evicted_bytes += len;
+            self.shared.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(pins);
+
+        self.persist_manifest(&state, false);
+        Ok(GcReport {
+            budget_bytes,
+            entries_before,
+            entries_after: entries_before - evicted,
+            bytes_before,
+            bytes_after: total,
+            evicted,
+            evicted_bytes,
+            pinned_retained,
+        })
+    }
+
+    /// Verify the store end to end: every entry's envelope *and payload
+    /// checksum*, the manifest ↔ directory correspondence, and leftover
+    /// temporary files.  With `repair`, corrupt entries and stray files are
+    /// deleted and the manifest is rebuilt to match the surviving entries
+    /// (preserving access stamps where known).
+    pub fn doctor(&self, repair: bool) -> std::io::Result<DoctorReport> {
+        let mut state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+        self.sync_with_disk_locked(&mut state);
+        let mut report = DoctorReport { repaired: repair, ..DoctorReport::default() };
+        let mut valid: HashMap<(String, u64), (u64, u64)> = HashMap::new(); // id -> (len, checksum)
+
+        for path in self.entries(None) {
+            let id = Self::parse_entry_name(&path);
+            let ok = id.as_ref().and_then(|(kind, key)| {
+                let bytes = std::fs::read(&path).ok()?;
+                Self::validate(bytes, kind, *key)
+            });
+            match (id, ok) {
+                (Some((kind, key)), Some((payload, checksum))) => {
+                    report.entries_ok += 1;
+                    report.payload_bytes += payload.len() as u64;
+                    valid.insert((kind, key.0), (payload.len() as u64, checksum));
+                }
+                _ => {
+                    report.corrupt_entries += 1;
+                    if repair {
+                        remove_entry_file(&path)?;
+                    }
+                }
+            }
+        }
+
+        // manifest ↔ directory correspondence
+        for (id, entry) in &state.entries {
+            match valid.get(id) {
+                None => report.stale_manifest_entries += 1,
+                Some(&(len, checksum)) => {
+                    if entry.payload_len != len || entry.checksum != checksum {
+                        report.mismatched_manifest_entries += 1;
+                    }
+                }
+            }
+        }
+        for id in valid.keys() {
+            if !state.entries.contains_key(id) {
+                report.unindexed_files += 1;
+            }
+        }
+
+        // stray temporaries from interrupted writes
+        for entry in std::fs::read_dir(&self.dir)?.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".tmp-") {
+                report.stray_tmp_files += 1;
+                if repair {
+                    remove_entry_file(&entry.path())?;
+                }
+            }
+        }
+
+        if repair {
+            // rebuild the manifest from the surviving valid entries,
+            // keeping known access stamps
+            let old = std::mem::take(&mut state.entries);
+            for (id, (len, checksum)) in &valid {
+                let last_access = old.get(id).map(|e| e.last_access).unwrap_or(0);
+                state.entries.insert(
+                    id.clone(),
+                    ManifestEntry {
+                        kind: id.0.clone(),
+                        fingerprint: id.1,
+                        payload_len: *len,
+                        checksum: *checksum,
+                        last_access,
+                    },
+                );
+            }
+            self.persist_manifest(&state, false);
+        }
+        Ok(report)
+    }
+
+    /// Per-kind entry counts and file sizes (sorted by kind).
+    pub fn usage(&self) -> Vec<KindUsage> {
+        let mut by_kind: HashMap<String, (usize, u64)> = HashMap::new();
+        for path in self.entries(None) {
+            let Some((kind, _)) = Self::parse_entry_name(&path) else { continue };
+            let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let slot = by_kind.entry(kind).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += len;
+        }
+        let mut out: Vec<KindUsage> = by_kind
+            .into_iter()
+            .map(|(kind, (entries, file_bytes))| KindUsage { kind, entries, file_bytes })
+            .collect();
+        out.sort_by(|a, b| a.kind.cmp(&b.kind));
+        out
+    }
+
+    /// Serialise every valid entry into one portable file.
+    ///
+    /// Wire format (all integers little-endian): magic `ARPK`,
+    /// [`PACK_FORMAT_VERSION`], entry count, then per entry a
+    /// length-prefixed kind string, the fingerprint, and the
+    /// length-prefixed payload; a trailing FNV-1a checksum covers everything
+    /// before it.  Entries are written in sorted (kind, fingerprint) order,
+    /// so packing the same store twice produces identical bytes.  Corrupt
+    /// entries are skipped (counted in [`PackStats::skipped_corrupt`]).
+    ///
+    /// Entries are *streamed* — one payload in memory at a time, hashed
+    /// incrementally — into a temporary sibling of `out` that is renamed
+    /// into place, so packing a multi-gigabyte store neither doubles its
+    /// size in RAM nor leaves a torn file behind on interruption.
+    pub fn pack_to(&self, out: &Path) -> std::io::Result<PackStats> {
+        use std::io::Write as _;
+
+        // pass 1: validate and order the entries (payloads are dropped)
+        let mut stats = PackStats::default();
+        let mut valid: Vec<(String, Fingerprint)> = Vec::new();
+        for path in self.entries(None) {
+            let Some((kind, key)) = Self::parse_entry_name(&path) else {
+                stats.skipped_corrupt += 1;
+                continue;
+            };
+            match std::fs::read(&path).ok().and_then(|b| Self::validate(b, &kind, key)) {
+                Some(_) => valid.push((kind, key)),
+                None => stats.skipped_corrupt += 1,
+            }
+        }
+        valid.sort();
+
+        // pass 2: stream into a tmp sibling of `out` (same filesystem, so
+        // the final rename is atomic), hashing as we go
+        let tmp = out.with_file_name(format!(
+            ".tmp-pack-{}-{}",
+            std::process::id(),
+            self.shared.stats.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut write = || -> std::io::Result<PackStats> {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            let mut hash = leon_sim::FNV1A64_OFFSET;
+            let mut emit = |file: &mut std::io::BufWriter<std::fs::File>,
+                            bytes: &[u8]|
+             -> std::io::Result<()> {
+                hash = leon_sim::fnv1a64_extend(hash, bytes);
+                file.write_all(bytes)
+            };
+            emit(&mut file, &PACK_MAGIC)?;
+            emit(&mut file, &PACK_FORMAT_VERSION.to_le_bytes())?;
+            emit(&mut file, &(valid.len() as u64).to_le_bytes())?;
+            for (kind, key) in &valid {
+                // an entry may vanish or rot between the passes; the count
+                // is already written, so abort rather than mis-describe
+                let (payload, _) = std::fs::read(self.entry_path(kind, *key))
+                    .ok()
+                    .and_then(|b| Self::validate(b, kind, *key))
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::Other,
+                            format!("entry {kind}-{key} changed while packing; re-run"),
+                        )
+                    })?;
+                emit(&mut file, &(kind.len() as u16).to_le_bytes())?;
+                emit(&mut file, kind.as_bytes())?;
+                emit(&mut file, &key.0.to_le_bytes())?;
+                emit(&mut file, &(payload.len() as u64).to_le_bytes())?;
+                emit(&mut file, &payload)?;
+                stats.entries += 1;
+                stats.payload_bytes += payload.len() as u64;
+            }
+            file.write_all(&hash.to_le_bytes())?;
+            file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            Ok(stats)
+        };
+        match write() {
+            Ok(stats) => {
+                std::fs::rename(&tmp, out)?;
+                Ok(stats)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Import every entry of a file written by [`ArtifactStore::pack_to`]
+    /// into this store (overwriting same-key entries; each import is a
+    /// normal atomic [`ArtifactStore::save`], so the manifest stays in
+    /// sync).  Fails without importing anything when the pack's magic,
+    /// version or checksum is wrong.
+    ///
+    /// Streams in two passes, mirroring [`ArtifactStore::pack_to`]: a
+    /// chunked checksum pass over the whole file, then an entry-at-a-time
+    /// import pass — peak memory is one payload, not the pack.
+    pub fn unpack_from(&self, input: &Path) -> std::io::Result<PackStats> {
+        use std::io::Read as _;
+        let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+
+        let total_len = std::fs::metadata(input)?.len();
+        if total_len < (4 + 4 + 8 + 8) as u64 {
+            return Err(invalid("pack file shorter than its fixed header"));
+        }
+        let body_len = total_len - 8;
+
+        // pass 1: chunked checksum over everything before the trailer
+        let mut file = std::io::BufReader::new(std::fs::File::open(input)?);
+        let mut hash = leon_sim::FNV1A64_OFFSET;
+        let mut remaining = body_len;
+        let mut chunk = vec![0u8; 64 << 10];
+        while remaining > 0 {
+            let want = chunk.len().min(remaining as usize);
+            let got = file.read(&mut chunk[..want])?;
+            if got == 0 {
+                return Err(invalid("pack file truncated mid-body"));
+            }
+            hash = leon_sim::fnv1a64_extend(hash, &chunk[..got]);
+            remaining -= got as u64;
+        }
+        let mut trailer = [0u8; 8];
+        file.read_exact(&mut trailer)?;
+        if u64::from_le_bytes(trailer) != hash {
+            return Err(invalid("pack checksum mismatch"));
+        }
+
+        // pass 2: import entry by entry
+        let mut file = std::io::BufReader::new(std::fs::File::open(input)?);
+        let mut pos: u64 = 0;
+        let mut take = |file: &mut std::io::BufReader<std::fs::File>,
+                        n: u64|
+         -> std::io::Result<Vec<u8>> {
+            if pos.checked_add(n).filter(|&e| e <= body_len).is_none() {
+                return Err(invalid("truncated pack entry"));
+            }
+            let mut buf = vec![0u8; n as usize];
+            file.read_exact(&mut buf)?;
+            pos += n;
+            Ok(buf)
+        };
+        let header = take(&mut file, 16)?;
+        if header[0..4] != PACK_MAGIC {
+            return Err(invalid("not a store pack (bad magic)"));
+        }
+        if u32::from_le_bytes(header[4..8].try_into().unwrap()) != PACK_FORMAT_VERSION {
+            return Err(invalid("unsupported pack format version"));
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().unwrap());
+
+        let mut stats = PackStats::default();
+        for _ in 0..count {
+            let kind_len =
+                u16::from_le_bytes(take(&mut file, 2)?.try_into().unwrap()) as u64;
+            let kind = String::from_utf8(take(&mut file, kind_len)?)
+                .map_err(|_| invalid("pack entry kind is not UTF-8"))?;
+            let key =
+                Fingerprint(u64::from_le_bytes(take(&mut file, 8)?.try_into().unwrap()));
+            let payload_len = u64::from_le_bytes(take(&mut file, 8)?.try_into().unwrap());
+            let payload = take(&mut file, payload_len)?;
+            self.save(&kind, key, &payload)?;
+            stats.entries += 1;
+            stats.payload_bytes += payload_len;
+        }
+        if pos != body_len {
+            return Err(invalid("trailing bytes after the last pack entry"));
+        }
+        self.flush();
+        Ok(stats)
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +1356,7 @@ mod tests {
         assert_eq!(store.load("trace", key).as_deref(), Some(&b"payload bytes"[..]));
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.corrupt, s.writes), (1, 1, 0, 1));
+        assert_eq!(s.payload_bytes_read, b"payload bytes".len() as u64);
         // overwriting is atomic and idempotent
         store.save("trace", key, b"payload bytes").unwrap();
         assert_eq!(store.entries(Some("trace")).len(), 1);
@@ -455,5 +1444,239 @@ mod tests {
         if std::env::var("AUTORECONF_STORE").is_err() {
             assert!(ArtifactStore::from_env().is_none());
         }
+    }
+
+    #[test]
+    fn peek_validates_the_envelope_without_reading_the_payload() {
+        let store = scratch_store("peek");
+        let key = FingerprintBuilder::new().str("peeked").finish();
+        assert_eq!(store.peek("table", key), None);
+        store.save("table", key, b"0123456789").unwrap();
+
+        let meta = store.peek("table", key).expect("entry is present");
+        assert_eq!(meta.payload_len, 10);
+        assert_eq!(meta.checksum, leon_sim::fnv1a64(b"0123456789"));
+        assert!(store.contains("table", key));
+        // wrong kind, wrong key: envelope mismatch
+        assert_eq!(store.peek("trace", key), None);
+        assert_eq!(store.peek("table", FingerprintBuilder::new().str("no").finish()), None);
+        // a truncated file fails the size cross-check
+        let path = store.entries(Some("table"))[0].clone();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(store.peek("table", key), None);
+        // and none of the above read any payload bytes
+        assert_eq!(store.stats().payload_bytes_read, 0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn manifest_tracks_saves_loads_and_survives_reopen() {
+        let store = scratch_store("manifest");
+        let k1 = FingerprintBuilder::new().str("m1").finish();
+        let k2 = FingerprintBuilder::new().str("m2").finish();
+        store.save("table", k1, b"first").unwrap();
+        store.save("sweep", k2, b"second!").unwrap();
+        let manifest = store.manifest();
+        assert_eq!(manifest.version, MANIFEST_VERSION);
+        assert_eq!(manifest.entries.len(), 2);
+        assert_eq!(manifest.clock, 2);
+
+        // loading bumps the accessed entry past the other one
+        store.load("table", k1).unwrap();
+        let manifest = store.manifest();
+        let stamp = |kind: &str| {
+            manifest.entries.iter().find(|e| e.kind == kind).unwrap().last_access
+        };
+        assert!(stamp("table") > stamp("sweep"));
+
+        // access stamps batch in memory until a flush; a reopened handle
+        // then sees the persisted manifest (same stamps)
+        store.flush();
+        let reopened = ArtifactStore::open(store.dir()).unwrap();
+        assert_eq!(reopened.manifest(), manifest);
+
+        // deleting the manifest file rebuilds the index from envelopes
+        std::fs::remove_file(store.dir().join(MANIFEST_FILE)).unwrap();
+        let rebuilt = ArtifactStore::open(store.dir()).unwrap();
+        let rebuilt_manifest = rebuilt.manifest();
+        assert_eq!(rebuilt_manifest.entries.len(), 2);
+        assert!(rebuilt_manifest.entries.iter().all(|e| e.last_access == 0));
+        assert_eq!(rebuilt.stats().payload_bytes_read, 0, "rebuild reads envelopes only");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first_and_respects_pins() {
+        let store = scratch_store("gc");
+        let keys: Vec<Fingerprint> =
+            (0..4).map(|i| FingerprintBuilder::new().str("gc").u64(i).finish()).collect();
+        for &k in &keys {
+            store.save("table", k, &[0u8; 60]).unwrap(); // 100 bytes per file
+        }
+        // access order now 0 < 1 < 2 < 3; touch 0 so 1 becomes the LRU
+        store.load("table", keys[0]).unwrap();
+        // pin entry 1 (the LRU): GC must skip it
+        store.pin("table", keys[1]);
+
+        let report = store.gc(250).unwrap();
+        assert_eq!(report.bytes_before, 400);
+        assert!(report.bytes_after <= 250, "{report:?}");
+        assert_eq!(report.pinned_retained, 1);
+        // evicted: 2 then 3 (oldest unpinned); survivors: 0 (touched), 1 (pinned)
+        assert!(store.contains("table", keys[0]));
+        assert!(store.contains("table", keys[1]));
+        assert!(!store.contains("table", keys[2]));
+        assert!(!store.contains("table", keys[3]));
+        assert_eq!(store.stats().evictions, 2);
+
+        // unpinning lets a tighter pass take entry 1 too
+        store.unpin("table", keys[1]);
+        let report = store.gc(100).unwrap();
+        assert!(report.within_budget());
+        assert!(store.contains("table", keys[0]), "the most recently used entry survives");
+        assert_eq!(store.entries(None).len(), 1);
+
+        // a budget pinned entries alone exceed: nothing evictable remains
+        store.pin("table", keys[0]);
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.pinned_retained, 1);
+        assert_eq!(report.entries_after, 1, "only pinned entries may remain over budget");
+        assert!(!report.within_budget());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn doctor_detects_and_repairs_damage() {
+        let store = scratch_store("doctor");
+        let k1 = FingerprintBuilder::new().str("d1").finish();
+        let k2 = FingerprintBuilder::new().str("d2").finish();
+        let k3 = FingerprintBuilder::new().str("d3").finish();
+        store.save("table", k1, b"healthy").unwrap();
+        store.save("trace", k2, b"will be corrupted").unwrap();
+        store.save("sweep", k3, b"will go stale").unwrap();
+        assert!(store.doctor(false).unwrap().is_clean());
+
+        // corrupt one payload, delete one file behind the manifest's back,
+        // and drop a stray temporary
+        let path = store.dir().join(format!("trace-{k2}.art"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        std::fs::remove_file(store.dir().join(format!("sweep-{k3}.art"))).unwrap();
+        std::fs::write(store.dir().join(".tmp-1234-99-stray"), b"torn").unwrap();
+
+        let report = store.doctor(false).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.entries_ok, 1);
+        assert_eq!(report.corrupt_entries, 1);
+        // the corrupted trace still has a (now mismatching or stale)
+        // manifest record, and the deleted sweep is stale
+        assert_eq!(report.stale_manifest_entries, 2);
+        assert_eq!(report.stray_tmp_files, 1);
+        assert!(report.render().contains("corrupt"));
+
+        let repaired = store.doctor(true).unwrap();
+        assert!(repaired.repaired);
+        let after = store.doctor(false).unwrap();
+        assert!(after.is_clean(), "{after:?}");
+        assert_eq!(after.entries_ok, 1);
+        assert_eq!(store.manifest().entries.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn pack_and_unpack_round_trip_the_whole_store() {
+        let store = scratch_store("pack-src");
+        let k1 = FingerprintBuilder::new().str("p1").finish();
+        let k2 = FingerprintBuilder::new().str("p2").finish();
+        store.save("table", k1, b"table payload").unwrap();
+        store.save("trace", k2, b"trace payload, longer").unwrap();
+
+        let pack = store.dir().join("export.pack");
+        let packed = store.pack_to(&pack).unwrap();
+        assert_eq!(packed.entries, 2);
+        assert_eq!(packed.skipped_corrupt, 0);
+
+        // packing is deterministic
+        let pack2 = store.dir().join("export2.pack");
+        store.pack_to(&pack2).unwrap();
+        assert_eq!(std::fs::read(&pack).unwrap(), std::fs::read(&pack2).unwrap());
+
+        let dest = scratch_store("pack-dst");
+        let unpacked = dest.unpack_from(&pack).unwrap();
+        assert_eq!(unpacked.entries, 2);
+        assert_eq!(dest.load("table", k1).as_deref(), Some(&b"table payload"[..]));
+        assert_eq!(dest.load("trace", k2).as_deref(), Some(&b"trace payload, longer"[..]));
+        assert!(dest.doctor(false).unwrap().is_clean());
+
+        // a corrupt pack is rejected atomically
+        let mut bad = std::fs::read(&pack).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x20;
+        let bad_path = store.dir().join("bad.pack");
+        std::fs::write(&bad_path, &bad).unwrap();
+        let empty = scratch_store("pack-bad");
+        assert!(empty.unpack_from(&bad_path).is_err());
+        assert_eq!(empty.entries(None).len(), 0);
+
+        // a corrupt source entry is skipped, not exported
+        let path = store.dir().join(format!("table-{k1}.art"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        let partial = store.pack_to(&pack).unwrap();
+        assert_eq!((partial.entries, partial.skipped_corrupt), (1, 1));
+
+        for s in [&store, &dest, &empty] {
+            let _ = std::fs::remove_dir_all(s.dir());
+        }
+    }
+
+    #[test]
+    fn lazy_artifacts_materialize_once() {
+        let lazy: LazyArtifact<u32> = LazyArtifact::pending();
+        assert!(!lazy.is_materialized());
+        assert_eq!(lazy.get(), None);
+        let mut calls = 0;
+        let v = lazy
+            .get_or_try_materialize(|| -> Result<u32, ()> {
+                calls += 1;
+                Ok(42)
+            })
+            .unwrap();
+        assert_eq!(*v, 42);
+        // second dereference does not re-run the materializer
+        let v = lazy.get_or_try_materialize(|| -> Result<u32, ()> { panic!("must not rerun") });
+        assert_eq!(v, Ok(&42));
+        assert_eq!(calls, 1);
+        assert_eq!(lazy.into_inner(), Some(42));
+
+        // a failed materialisation leaves the handle pending for a retry
+        let lazy: LazyArtifact<u32> = LazyArtifact::pending();
+        assert_eq!(lazy.get_or_try_materialize(|| Err::<u32, _>("boom")), Err("boom"));
+        assert!(!lazy.is_materialized());
+        assert_eq!(lazy.get_or_try_materialize(|| Ok::<u32, ()>(7)), Ok(&7));
+
+        // ready handles never run a materializer
+        let ready = LazyArtifact::ready(9u32);
+        assert!(ready.is_materialized());
+        assert_eq!(ready.get_or_try_materialize(|| Err::<u32, _>(())), Ok(&9));
+    }
+
+    #[test]
+    fn usage_reports_per_kind_totals() {
+        let store = scratch_store("usage");
+        store.save("table", FingerprintBuilder::new().str("u1").finish(), &[0; 10]).unwrap();
+        store.save("table", FingerprintBuilder::new().str("u2").finish(), &[0; 20]).unwrap();
+        store.save("trace", FingerprintBuilder::new().str("u3").finish(), &[0; 30]).unwrap();
+        let usage = store.usage();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].kind, "table");
+        assert_eq!(usage[0].entries, 2);
+        assert_eq!(usage[0].file_bytes, 40 + 10 + 40 + 20);
+        assert_eq!(usage[1].kind, "trace");
+        assert_eq!(usage[1].file_bytes, 70);
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -513,6 +513,27 @@ fn decode_cache_stats(r: &mut ByteReader) -> Result<CacheStats, TraceCodecError>
     })
 }
 
+/// The fixed-size header of a serialised trace, decodable without touching
+/// the record stream (see [`Trace::peek_header`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// The serialised format version (always [`TRACE_FORMAT_VERSION`] on a
+    /// successful peek).
+    pub version: u32,
+    /// The configuration the trace was captured on.
+    pub captured: LeonConfig,
+    /// I-cache statistics of the capturing run.
+    pub base_icache: CacheStats,
+    /// D-cache statistics of the capturing run.
+    pub base_dcache: CacheStats,
+    /// Window overflow traps of the capturing run.
+    pub base_overflows: u64,
+    /// Window underflow traps of the capturing run.
+    pub base_underflows: u64,
+    /// Number of trace records in the (unread) record stream.
+    pub records: u64,
+}
+
 impl Trace {
     /// Serialise the trace into the versioned binary format.
     ///
@@ -540,6 +561,59 @@ impl Trace {
         let checksum = fnv1a64(&w.0);
         w.u64(checksum);
         w.0
+    }
+
+    /// Decode only the fixed-size header of a serialised trace — O(header)
+    /// regardless of how many records follow, because neither the record
+    /// stream nor the trailing checksum is read.
+    ///
+    /// This is the *peek* half of the lazy-materialization contract: a store
+    /// layer can check the format version, the capturing configuration and
+    /// the record count of a multi-megabyte trace entry without paying the
+    /// full decode (stream walk + checksum + derived-stream rebuild).  It is
+    /// **not** an integrity check — a bit flip in the record stream passes
+    /// `peek_header` and is only caught by [`Trace::from_bytes`] — so
+    /// callers must still decode fully before trusting the records.
+    pub fn peek_header(bytes: &[u8]) -> Result<TraceHeader, TraceCodecError> {
+        if bytes.len() < TRACE_MAGIC.len() + 4 + 8 {
+            return Err(TraceCodecError::new("input shorter than the fixed header"));
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let mut r = ByteReader { bytes: body, pos: 0 };
+        if r.take(4)? != TRACE_MAGIC {
+            return Err(TraceCodecError::new("bad magic (not a serialised trace)"));
+        }
+        let version = r.u32()?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TraceCodecError::new(format!(
+                "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+            )));
+        }
+        let captured = decode_config(&mut r)?;
+        captured
+            .validate()
+            .map_err(|e| TraceCodecError::new(format!("invalid captured configuration: {e}")))?;
+        let base_icache = decode_cache_stats(&mut r)?;
+        let base_dcache = decode_cache_stats(&mut r)?;
+        let base_overflows = r.u64()?;
+        let base_underflows = r.u64()?;
+        let records = r.u64()?;
+        // records are 10 bytes each; the length prefix must match the input
+        if records.checked_mul(10).map(|need| need != (body.len() - r.pos) as u64).unwrap_or(true)
+        {
+            return Err(TraceCodecError::new(format!(
+                "record count {records} does not match the remaining payload"
+            )));
+        }
+        Ok(TraceHeader {
+            version,
+            captured,
+            base_icache,
+            base_dcache,
+            base_overflows,
+            base_underflows,
+            records,
+        })
     }
 
     /// Decode a trace serialised by [`Trace::to_bytes`].
@@ -961,6 +1035,41 @@ mod tests {
                 replay(&trace, &base, 1_000_000).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn peek_header_reads_only_the_fixed_header() {
+        let mut config = LeonConfig::base();
+        config.icache.ways = 2;
+        config.icache.replacement = ReplacementPolicy::Lru;
+        let (run, trace) = capture(&config, &recursing_program(), 1_000_000).unwrap();
+        let bytes = trace.to_bytes();
+
+        let header = Trace::peek_header(&bytes).unwrap();
+        assert_eq!(header.version, TRACE_FORMAT_VERSION);
+        assert_eq!(header.captured, config);
+        assert_eq!(header.base_icache, run.stats.icache);
+        assert_eq!(header.base_dcache, run.stats.dcache);
+        assert_eq!(header.base_overflows, run.stats.window_overflows);
+        assert_eq!(header.records, trace.ops.len() as u64);
+
+        // a record-stream bit flip passes the peek (no integrity claim) but
+        // still fails the full decode
+        let mut flipped = bytes.clone();
+        let pos = flipped.len() - 20;
+        flipped[pos] ^= 0x40;
+        assert!(Trace::peek_header(&flipped).is_ok());
+        assert!(Trace::from_bytes(&flipped).is_err());
+
+        // header damage is caught by the peek itself
+        assert!(Trace::peek_header(&bytes[..10]).is_err());
+        let mut versioned = bytes.clone();
+        versioned[4..8].copy_from_slice(&(TRACE_FORMAT_VERSION + 7).to_le_bytes());
+        let err = Trace::peek_header(&versioned).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 10);
+        assert!(Trace::peek_header(&truncated).is_err(), "record count must mismatch");
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub use blastn::Blastn;
 pub use drr::Drr;
 pub use frag::Frag;
 pub use workload::{
-    capture_verified, guest_instructions_executed, run_verified, Scale, Workload, CHAN_CHECKSUM,
-    CHAN_METRIC,
+    capture_verified, guest_instructions_executed, record_trace_payload_read, run_verified,
+    trace_payload_bytes_read, ParseScaleError, Scale, Workload, CHAN_CHECKSUM, CHAN_METRIC,
 };
 
 /// The paper's benchmark suite at a given problem scale, in the order used
@@ -110,9 +110,26 @@ mod tests {
     #[test]
     fn scale_names_round_trip() {
         for scale in Scale::ALL {
-            assert_eq!(Scale::parse(scale.name()), Some(scale));
+            assert_eq!(Scale::parse(scale.name()), Ok(scale));
         }
-        assert_eq!(Scale::parse("huge"), None);
+        // forgiving about case and whitespace, strict about the name
+        assert_eq!(Scale::parse(" Medium\n"), Ok(Scale::Medium));
         assert!(Scale::Tiny < Scale::Small && Scale::Small < Scale::Medium && Scale::Medium < Scale::Large);
+    }
+
+    #[test]
+    fn scale_parse_rejects_unknown_names_with_a_precise_error() {
+        for bad in ["huge", "", "mediun", "tiny,small"] {
+            let err = Scale::parse(bad).unwrap_err();
+            assert_eq!(err.input(), bad);
+            assert!(err.to_string().contains("expected one of"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_payload_counter_is_monotonic() {
+        let before = trace_payload_bytes_read();
+        record_trace_payload_read(123);
+        assert!(trace_payload_bytes_read() >= before + 123);
     }
 }

@@ -23,6 +23,29 @@ pub fn guest_instructions_executed() -> u64 {
     GUEST_INSTRUCTIONS.load(Ordering::Relaxed)
 }
 
+/// Process-wide count of serialised trace-payload bytes materialised from
+/// artifact stores — the companion counter to [`guest_instructions_executed`].
+///
+/// The lazy-store guarantee — *a warm campaign run whose co-optimization
+/// entry hits reads zero trace payload bytes* — is asserted against deltas
+/// of this counter: the campaign layer ticks it whenever it actually loads a
+/// stored trace payload, and envelope-only presence checks never do.
+static TRACE_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Total trace-payload bytes read back from artifact stores so far by this
+/// process.  Monotonic; compare deltas rather than resetting (see
+/// [`guest_instructions_executed`]).
+pub fn trace_payload_bytes_read() -> u64 {
+    TRACE_PAYLOAD_BYTES.load(Ordering::Relaxed)
+}
+
+/// Record `bytes` of serialised trace payload read from an artifact store.
+/// Called by the store-aware campaign layer; tests observe the total through
+/// [`trace_payload_bytes_read`].
+pub fn record_trace_payload_read(bytes: u64) {
+    TRACE_PAYLOAD_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
 /// Report channel that carries the workload's primary checksum.
 pub const CHAN_CHECKSUM: u16 = 1;
 /// Report channel that carries a secondary result metric (hits, packets, …).
@@ -51,18 +74,49 @@ pub enum Scale {
     Large,
 }
 
+/// Error returned by [`Scale::parse`] for an unrecognised preset name.
+///
+/// Carries the offending input so CLI layers can surface a precise message
+/// instead of silently falling back to a default (the silent fallback was a
+/// real bug: `--scale mediun` used to run a whole campaign at `small`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseScaleError {
+    input: String,
+}
+
+impl ParseScaleError {
+    /// The string that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl std::fmt::Display for ParseScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scale `{}` (expected one of: tiny, small, medium, large)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseScaleError {}
+
 impl Scale {
     /// Every preset, smallest problem first.
     pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large];
 
-    /// Parse a preset name as used by the CLI / environment knobs.
-    pub fn parse(name: &str) -> Option<Scale> {
-        match name {
-            "tiny" => Some(Scale::Tiny),
-            "small" => Some(Scale::Small),
-            "medium" => Some(Scale::Medium),
-            "large" => Some(Scale::Large),
-            _ => None,
+    /// Parse a preset name as used by the CLI / environment knobs
+    /// (whitespace-trimmed, case-insensitive).  An unrecognised name is an
+    /// error, never a silent default.
+    pub fn parse(name: &str) -> Result<Scale, ParseScaleError> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            "large" => Ok(Scale::Large),
+            _ => Err(ParseScaleError { input: name.to_string() }),
         }
     }
 
