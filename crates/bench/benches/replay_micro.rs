@@ -56,7 +56,8 @@ fn cost_table_speedup(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost_table");
     group.sample_size(10).measurement_time(Duration::from_secs(20));
     for (name, use_replay) in [("replay_52_variables", true), ("full_sim_52_variables", false)] {
-        let options = autoreconf::MeasurementOptions { max_cycles: MAX_CYCLES, threads: 0, use_replay };
+        let options =
+            autoreconf::MeasurementOptions { use_replay, ..bench::measurement() };
         group.bench_function(name, |b| {
             b.iter(|| measure_cost_table(&space, &workload, &base, &model, &options).unwrap().len())
         });

@@ -104,6 +104,64 @@ fn collect_indexed<T, E>(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
     Ok(out)
 }
 
+/// Deterministically split `count` behavior classes into at most `workers`
+/// contiguous spans — the unit of work the batched replay engine fans out
+/// over the pool.
+fn class_spans(count: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, count);
+    let chunk = count.div_ceil(workers);
+    (0..count).step_by(chunk).map(|start| start..(start + chunk).min(count)).collect()
+}
+
+/// Retime every configuration of `configs` against one captured trace
+/// through the one-pass batched replay engine, partitioning *behavior
+/// classes* — not configurations — over the worker pool.
+///
+/// Element `i` of the result equals `leon_sim::replay(trace, &configs[i],
+/// max_cycles)` bit-for-bit (including errors), at any thread count: class
+/// results do not depend on how the classes are chunked, so `threads = 1`
+/// (one fused pass per trace stream, at most two walks total) and
+/// `threads = N` (at most `N` spans per stream, still at most one walk per
+/// class) produce byte-identical output.  This is the retiming kernel behind
+/// [`crate::measure::measure_cost_table_traced`] and
+/// [`crate::dcache_study::dcache_exhaustive_traced`].
+pub fn replay_batch_indexed(
+    trace: &Trace,
+    configs: &[LeonConfig],
+    max_cycles: u64,
+    threads: usize,
+) -> Vec<Result<leon_sim::Stats, SimError>> {
+    let plan = leon_sim::ReplayBatch::new(trace, configs, max_cycles);
+    let workers = effective_threads(threads);
+    let mem_spans = class_spans(plan.mem_class_count(), workers);
+    let fetch_spans = class_spans(plan.fetch_class_count(), workers);
+
+    enum SpanOut {
+        Mem(Vec<(leon_sim::CacheStats, u64, u64)>),
+        Fetch(Vec<leon_sim::CacheStats>),
+    }
+    let outs = run_indexed(mem_spans.len() + fetch_spans.len(), threads, |i| {
+        if i < mem_spans.len() {
+            SpanOut::Mem(plan.walk_mem_span(mem_spans[i].clone()))
+        } else {
+            SpanOut::Fetch(plan.walk_fetch_span(fetch_spans[i - mem_spans.len()].clone()))
+        }
+    });
+
+    let mut mem = Vec::with_capacity(plan.mem_class_count());
+    let mut fetch = Vec::with_capacity(plan.fetch_class_count());
+    for out in outs {
+        match out {
+            SpanOut::Mem(results) => mem.extend(results),
+            SpanOut::Fetch(results) => fetch.extend(results),
+        }
+    }
+    plan.finish(&mem, &fetch)
+}
+
 /// One workload's captured trace plus its base-configuration run costs.
 #[derive(Clone, Debug)]
 pub struct TracedWorkload {
@@ -1306,6 +1364,7 @@ mod tests {
                 max_cycles: 400_000_000,
                 threads,
                 use_replay: true,
+                batch_replay: true,
             })
     }
 

@@ -87,10 +87,73 @@ pub fn dcache_exhaustive(
 /// geometries without executing the workload at all.  A measurement session
 /// captures each workload's trace once (e.g. in a campaign
 /// [`crate::campaign::TraceSet`]) and every subsequent study over that
-/// workload replays it.  The geometries are independent, so they run on the
-/// per-index-slot worker pool: row order is the combination order and the
-/// first error propagated is the lowest-indexed one, for any thread count.
+/// workload replays it.
+///
+/// The feasible geometries are retimed through the one-pass batched replay
+/// engine ([`crate::campaign::replay_batch_indexed`]): every distinct
+/// geometry is a behavior class, the memory stream is decoded once per span
+/// of classes instead of once per configuration, and `threads` partitions
+/// the *classes* over the worker pool.  Row order is the combination order,
+/// the first error propagated is the lowest-indexed one, and the rows are
+/// bit-identical to the per-config kernel
+/// ([`dcache_exhaustive_traced_per_config`]) at any thread count.
 pub fn dcache_exhaustive_traced(
+    trace: &leon_sim::Trace,
+    base: &LeonConfig,
+    model: &SynthesisModel,
+    max_cycles: u64,
+    threads: usize,
+) -> Result<Vec<DcacheRow>, SimError> {
+    let combos = dcache_combinations();
+    let mut meta = Vec::with_capacity(combos.len());
+    let mut feasible = Vec::new();
+    for (ways, way_kb) in combos {
+        let config = sweep_config(base, ways, way_kb);
+        let report = model.synthesize(&config);
+        if report.fits {
+            feasible.push(config);
+        }
+        meta.push((ways, way_kb, config, report));
+    }
+
+    let retimed =
+        crate::campaign::replay_batch_indexed(trace, &feasible, max_cycles, threads);
+    let mut retimed = retimed.into_iter();
+
+    let mut rows = Vec::with_capacity(meta.len());
+    for (ways, way_kb, config, report) in meta {
+        if !report.fits {
+            rows.push(DcacheRow {
+                ways,
+                way_kb,
+                cycles: 0,
+                seconds: 0.0,
+                lut_pct: report.lut_percent,
+                bram_pct: report.bram_percent,
+                fits: false,
+            });
+            continue;
+        }
+        let stats = retimed.next().expect("one retiming per feasible geometry")?;
+        rows.push(DcacheRow {
+            ways,
+            way_kb,
+            cycles: stats.cycles,
+            seconds: config.cycles_to_seconds(stats.cycles),
+            lut_pct: report.lut_percent,
+            bram_pct: report.bram_percent,
+            fits: true,
+        });
+    }
+    Ok(rows)
+}
+
+/// The pre-batching sweep kernel: one [`leon_sim::replay`] — and therefore
+/// one full memory-stream walk — per feasible geometry, fanned out over the
+/// pool per configuration.  Kept as the baseline the `batch_replay`
+/// benchmark measures the one-pass engine against, and as the reference the
+/// equivalence tests compare bit-for-bit.
+pub fn dcache_exhaustive_traced_per_config(
     trace: &leon_sim::Trace,
     base: &LeonConfig,
     model: &SynthesisModel,

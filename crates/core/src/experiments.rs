@@ -41,7 +41,7 @@ impl ExperimentOptions {
     }
 
     fn measurement(&self) -> MeasurementOptions {
-        MeasurementOptions { max_cycles: self.max_cycles, threads: self.threads, use_replay: true }
+        MeasurementOptions { max_cycles: self.max_cycles, threads: self.threads, use_replay: true, batch_replay: true }
     }
 }
 

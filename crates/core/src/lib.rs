@@ -44,8 +44,9 @@ pub mod params;
 pub mod store;
 
 pub use campaign::{
-    effective_threads, run_indexed, Campaign, CampaignResult, CampaignSession, CoOutcome,
-    CoWorkloadRun, SessionCounters, TraceSet, TracedWorkload, WorkloadShare,
+    effective_threads, replay_batch_indexed, run_indexed, Campaign, CampaignResult,
+    CampaignSession, CoOutcome, CoWorkloadRun, SessionCounters, TraceSet, TracedWorkload,
+    WorkloadShare,
 };
 pub use store::{
     ArtifactStore, DoctorReport, EntryMeta, Fingerprint, FingerprintBuilder, GcReport, KindUsage,
@@ -53,7 +54,7 @@ pub use store::{
 };
 pub use dcache_study::{
     best_runtime_row, dcache_exhaustive, dcache_exhaustive_full, dcache_exhaustive_traced,
-    DcacheRow,
+    dcache_exhaustive_traced_per_config, DcacheRow,
 };
 pub use formulation::{
     blend_cost_tables, formulate, formulate_mixed, predict, ConstraintForm, FormulationOptions,

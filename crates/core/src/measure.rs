@@ -42,6 +42,12 @@ pub struct MeasurementOptions {
     /// Disable to force full simulation everywhere — only useful for
     /// benchmarking the replay speedup and for equivalence testing.
     pub use_replay: bool,
+    /// Retime all of a table's replayable configurations in one batched
+    /// trace walk per behavior class (the default; see
+    /// [`leon_sim::ReplayBatch`]).  Disable to fall back to one walk per
+    /// configuration — only useful for benchmarking the one-pass speedup
+    /// and for equivalence testing; results are bit-identical either way.
+    pub batch_replay: bool,
 }
 
 impl Default for MeasurementOptions {
@@ -50,6 +56,7 @@ impl Default for MeasurementOptions {
             max_cycles: leon_sim::DEFAULT_MAX_CYCLES,
             threads: 0,
             use_replay: true,
+            batch_replay: true,
         }
     }
 }
@@ -315,11 +322,17 @@ pub fn measure_variable(
 }
 
 /// The shared measurement kernel: retime (or simulate) every variable of the
-/// space, fanned out over the campaign worker pool.  Results land in
-/// per-variable slots, so both the table order and error propagation (first
-/// failing variable by index) are deterministic regardless of worker
-/// scheduling — `threads = 1` and `threads = N` produce byte-identical
-/// tables.
+/// space.  Results land in per-variable slots, so both the table order and
+/// error propagation (first failing variable by index) are deterministic
+/// regardless of worker scheduling — `threads = 1` and `threads = N` produce
+/// byte-identical tables.
+///
+/// With a trace and batching enabled (the default), every replayable
+/// configuration of the table — perturbations and enabler references alike —
+/// is retimed through one batched walk per behavior class
+/// ([`crate::campaign::replay_batch_indexed`], classes partitioned over the
+/// pool); otherwise each variable replays (or fully simulates) on its own,
+/// fanned out per variable.
 fn measure_all(
     space: &ParameterSpace,
     workload: &(dyn Workload + Sync),
@@ -342,6 +355,17 @@ fn measure_all(
         references: &references,
     };
 
+    if options.use_replay && options.batch_replay {
+        if let Some(trace) = trace {
+            let costs = measure_all_batched(variables, &ctx, trace)?;
+            return Ok(CostTable {
+                workload: workload.name().to_string(),
+                base: base_costs,
+                costs,
+            });
+        }
+    }
+
     let results = crate::campaign::run_indexed(variables.len(), options.threads, |i| {
         ctx.measure_variable(&variables[i])
     });
@@ -350,6 +374,121 @@ fn measure_all(
         costs.push(result?);
     }
     Ok(CostTable { workload: workload.name().to_string(), base: base_costs, costs })
+}
+
+/// The batched measurement kernel: collect every *unique* configuration the
+/// replayable variables need timed — each perturbation, plus each distinct
+/// enabler reference — retime them all with one trace walk per behavior
+/// class, then assemble the per-variable costs closed-form.
+///
+/// Bit-identical to the per-variable path, including error order: variables
+/// are assembled in index order and each variable surfaces its reference's
+/// error before its perturbation's, exactly as `measure_variable` evaluates
+/// them.  Non-replayable variables (none exist in today's Figure 1 space,
+/// but the classification stays explicit) fall back to per-variable full
+/// simulation on the pool.
+fn measure_all_batched(
+    variables: &[Variable],
+    ctx: &MeasureCtx<'_>,
+    trace: &Trace,
+) -> Result<Vec<VariableCost>, SimError> {
+    struct Plan {
+        replayable: bool,
+        reference: LeonConfig,
+        /// Batch slot of the reference run; `None` when the variable has no
+        /// enabler (its reference is the already-measured base).
+        reference_slot: Option<usize>,
+        perturbed: LeonConfig,
+        perturbed_slot: Option<usize>,
+    }
+
+    fn intern(
+        config: LeonConfig,
+        unique: &mut Vec<LeonConfig>,
+        slots: &mut HashMap<LeonConfig, usize>,
+    ) -> usize {
+        *slots.entry(config).or_insert_with(|| {
+            unique.push(config);
+            unique.len() - 1
+        })
+    }
+
+    let mut unique: Vec<LeonConfig> = Vec::new();
+    let mut slots: HashMap<LeonConfig, usize> = HashMap::new();
+    let plans: Vec<Plan> = variables
+        .iter()
+        .map(|var| {
+            let replayable = var.is_trace_invariant();
+            let mut reference = *ctx.base;
+            if let Some(enabler) = &var.enabler {
+                enabler.apply(&mut reference);
+            }
+            let mut perturbed = reference;
+            var.change.apply(&mut perturbed);
+            let (reference_slot, perturbed_slot) = if replayable {
+                (
+                    var.enabler.is_some().then(|| intern(reference, &mut unique, &mut slots)),
+                    Some(intern(perturbed, &mut unique, &mut slots)),
+                )
+            } else {
+                (None, None)
+            };
+            Plan { replayable, reference, reference_slot, perturbed, perturbed_slot }
+        })
+        .collect();
+
+    // one batched walk per behavior class, classes spread over the pool
+    let retimed = crate::campaign::replay_batch_indexed(
+        trace,
+        &unique,
+        ctx.options.max_cycles,
+        ctx.options.threads,
+    );
+
+    // non-replayable variables fall back to per-variable full simulation
+    let fallback_vars: Vec<usize> =
+        plans.iter().enumerate().filter(|(_, p)| !p.replayable).map(|(i, _)| i).collect();
+    let fallback = crate::campaign::run_indexed(fallback_vars.len(), ctx.options.threads, |j| {
+        ctx.measure_variable(&variables[fallback_vars[j]])
+    });
+    let mut fallback = fallback.into_iter();
+
+    let mut costs = Vec::with_capacity(variables.len());
+    for (var, plan) in variables.iter().zip(&plans) {
+        if !plan.replayable {
+            costs.push(fallback.next().expect("one fallback result per non-replayable var")?);
+            continue;
+        }
+        let (ref_cycles, ref_lut_pct, ref_bram_pct) = match plan.reference_slot {
+            None => (ctx.base_costs.cycles, ctx.base_costs.lut_pct, ctx.base_costs.bram_pct),
+            Some(slot) => {
+                let cycles = retimed[slot].as_ref().map_err(Clone::clone)?.cycles;
+                let report = ctx.synth.synthesize(&plan.reference);
+                (
+                    cycles,
+                    exact_lut_pct(ctx.synth.model, report.luts),
+                    exact_bram_pct(ctx.synth.model, report.bram_blocks),
+                )
+            }
+        };
+        let report = ctx.synth.synthesize(&plan.perturbed);
+        let slot = plan.perturbed_slot.expect("replayable variables are always interned");
+        let cycles = retimed[slot].as_ref().map_err(Clone::clone)?.cycles;
+        let lut_pct = exact_lut_pct(ctx.synth.model, report.luts);
+        let bram_pct = exact_bram_pct(ctx.synth.model, report.bram_blocks);
+        costs.push(VariableCost {
+            index: var.index,
+            name: var.name.clone(),
+            cycles,
+            seconds: plan.perturbed.cycles_to_seconds(cycles),
+            rho: (cycles as f64 - ref_cycles as f64) * 100.0 / ctx.base_costs.cycles as f64,
+            lambda: lut_pct - ref_lut_pct,
+            beta: bram_pct - ref_bram_pct,
+            lut_pct,
+            bram_pct,
+        });
+    }
+    Ok(costs)
 }
 
 /// Measure the full one-at-a-time cost table for `workload`.
@@ -407,7 +546,7 @@ mod tests {
     use workloads::{Arith, Blastn, Scale};
 
     fn options() -> MeasurementOptions {
-        MeasurementOptions { max_cycles: 100_000_000, threads: 2, use_replay: true }
+        MeasurementOptions { max_cycles: 100_000_000, threads: 2, use_replay: true, batch_replay: true }
     }
 
     fn no_replay() -> MeasurementOptions {

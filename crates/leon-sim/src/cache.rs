@@ -82,24 +82,64 @@ pub struct Cache {
     stats: CacheStats,
 }
 
+/// Seed of the 16-bit Galois LFSR driving pseudo-random replacement (shared
+/// by [`Cache`] and [`TagCache`] so their victim streams are identical).
+const LFSR_SEED: u32 = 0xace1;
+
 impl Cache {
     /// Build a cache from its configuration.
     pub fn new(config: CacheConfig) -> Cache {
+        let mut cache = Cache {
+            config,
+            lines: Vec::new(),
+            sets: 1,
+            line_shift: 0,
+            index_mask: 0,
+            tag_shift: 0,
+            clock: 0,
+            lfsr: LFSR_SEED,
+            lrr_next: Vec::new(),
+            stats: CacheStats::default(),
+        };
+        cache.reconfigure(config);
+        cache
+    }
+
+    /// Reset the cache to its just-constructed state: every line invalid,
+    /// the replacement state (LRU clock, LRR pointers, LFSR) back at its
+    /// seed, and the statistics cleared.  `c.reset()` is observably
+    /// identical to `*c = Cache::new(*c.config())` but reuses the line
+    /// allocation — walk engines re-walking one trace under many
+    /// configurations call this between walks instead of paying a fresh
+    /// `Vec<Line>` per configuration.
+    pub fn reset(&mut self) {
+        self.lines.fill(Line::default());
+        self.lrr_next.fill(0);
+        self.clock = 0;
+        self.lfsr = LFSR_SEED;
+        self.stats = CacheStats::default();
+    }
+
+    /// Re-shape the cache for a (possibly different) configuration and
+    /// [`Cache::reset`] it, reusing the line and pointer allocations where
+    /// capacity allows.  After the call the cache is observably identical
+    /// to `Cache::new(config)`.
+    pub fn reconfigure(&mut self, config: CacheConfig) {
         let sets = config.lines_per_way();
         debug_assert!(sets.is_power_of_two(), "way_kb and line size are powers of two");
         let line_shift = config.line_bytes().trailing_zeros();
-        Cache {
-            config,
-            lines: vec![Line::default(); (sets * config.ways as u32) as usize],
-            sets,
-            line_shift,
-            index_mask: sets - 1,
-            tag_shift: line_shift + sets.trailing_zeros(),
-            clock: 0,
-            lfsr: 0xace1_u32,
-            lrr_next: vec![0; sets as usize],
-            stats: CacheStats::default(),
-        }
+        self.config = config;
+        self.sets = sets;
+        self.line_shift = line_shift;
+        self.index_mask = sets - 1;
+        self.tag_shift = line_shift + sets.trailing_zeros();
+        self.lines.clear();
+        self.lines.resize((sets * config.ways as u32) as usize, Line::default());
+        self.lrr_next.clear();
+        self.lrr_next.resize(sets as usize, 0);
+        self.clock = 0;
+        self.lfsr = LFSR_SEED;
+        self.stats = CacheStats::default();
     }
 
     /// The configuration this cache was built from.
@@ -239,6 +279,376 @@ impl Cache {
         }
         self.lrr_next.fill(0);
     }
+}
+
+/// Sentinel marking an empty line in a [`TagCache`].  A real tag can never
+/// reach it: the tag shift is at least 10 bits for every valid geometry
+/// (line ≥ 16 bytes, way ≥ 1 KB), so tags top out below 2²³.
+const INVALID_TAG: u32 = u32::MAX;
+
+/// A lean, tag-only cache model for batched replay walks.
+///
+/// Reproduces [`Cache`]'s hit/miss decisions — and therefore its
+/// [`CacheStats`] — bit-identically while maintaining only the state those
+/// decisions actually read:
+///
+/// * Random replacement picks victims from the LFSR and LRR from its
+///   per-set round-robin pointer, so neither ever reads the LRU timestamps
+///   (or the fill stamps, which nothing reads at all); both reduce to a
+///   flat `u32` tag array, and only LRU pays for a clock and stamps.
+/// * Hit counters are *derived*, not maintained: the walker knows each
+///   class's total read/write counts up front (they are configuration-
+///   independent properties of the trace), so only the rare miss paths
+///   touch a counter and the common hit path is read-only —
+///   [`TagCache::stats`] reconstructs the full [`CacheStats`] from the
+///   totals.
+/// * Tags are stored set-major (`tags[set * ways + way]`, the transpose of
+///   [`Cache`]'s way-major lines), so a multi-way probe walks one cache
+///   line instead of striding a way apart.  Probe order over ways is
+///   unchanged, so every decision matches.
+///
+/// Together these roughly halve the per-access cost, which the one-pass
+/// batched walk multiplies by the number of behavior classes it updates per
+/// trace record.  Equivalence with [`Cache`] is pinned by the
+/// `tag_cache_matches_cache_*` tests below and, end to end, by the
+/// replay-batch equivalence suite (`tests/replay_equivalence.rs`).
+pub(crate) struct TagCache {
+    ways: u32,
+    line_shift: u32,
+    index_mask: u32,
+    tag_shift: u32,
+    replacement: ReplacementPolicy,
+    /// `tags[set * ways + way]`; [`INVALID_TAG`] marks an empty line.
+    tags: Vec<u32>,
+    /// Last-use timestamps (same layout as `tags`), only under LRU.
+    stamps: Vec<u64>,
+    /// Per-set round-robin pointers, allocated only under LRR.
+    lrr_next: Vec<u8>,
+    clock: u64,
+    lfsr: u32,
+    read_misses: u64,
+    write_misses: u64,
+}
+
+impl TagCache {
+    /// Build a lean model of `config`.
+    pub(crate) fn new(config: CacheConfig) -> TagCache {
+        let mut cache = TagCache {
+            ways: 0,
+            line_shift: 0,
+            index_mask: 0,
+            tag_shift: 0,
+            replacement: config.replacement,
+            tags: Vec::new(),
+            stamps: Vec::new(),
+            lrr_next: Vec::new(),
+            clock: 0,
+            lfsr: LFSR_SEED,
+            read_misses: 0,
+            write_misses: 0,
+        };
+        cache.reconfigure(config);
+        cache
+    }
+
+    /// Re-shape for `config` (reusing allocations) and reset all state, as
+    /// [`Cache::reconfigure`] does for the full model.
+    pub(crate) fn reconfigure(&mut self, config: CacheConfig) {
+        let sets = config.lines_per_way();
+        debug_assert!(sets.is_power_of_two(), "way_kb and line size are powers of two");
+        let line_shift = config.line_bytes().trailing_zeros();
+        self.ways = config.ways as u32;
+        self.line_shift = line_shift;
+        self.index_mask = sets - 1;
+        self.tag_shift = line_shift + sets.trailing_zeros();
+        debug_assert!(self.tag_shift >= 9, "tags must stay clear of INVALID_TAG");
+        self.replacement = config.replacement;
+        let lines = (sets * self.ways) as usize;
+        self.tags.clear();
+        self.tags.resize(lines, INVALID_TAG);
+        self.stamps.clear();
+        self.lrr_next.clear();
+        match config.replacement {
+            ReplacementPolicy::Lru => self.stamps.resize(lines, 0),
+            ReplacementPolicy::Lrr => self.lrr_next.resize(sets as usize, 0),
+            ReplacementPolicy::Random => {}
+        }
+        self.clock = 0;
+        self.lfsr = LFSR_SEED;
+        self.read_misses = 0;
+        self.write_misses = 0;
+    }
+
+    /// Reconstruct the full statistics from the class's total access
+    /// counts: the walker charged every read/write through this model, so
+    /// `reads`/`writes` minus the recorded misses are exactly the hits the
+    /// eagerly-counting [`Cache`] would report.
+    pub(crate) fn stats(&self, reads: u64, writes: u64) -> CacheStats {
+        debug_assert!(self.read_misses <= reads && self.write_misses <= writes);
+        CacheStats {
+            read_hits: reads - self.read_misses,
+            read_misses: self.read_misses,
+            write_hits: writes - self.write_misses,
+            write_misses: self.write_misses,
+        }
+    }
+
+    /// Victim slot for a miss in `set` (slot base `set * ways`) — mirrors
+    /// [`Cache`]: first invalid way in way order, else the policy's choice
+    /// (identical LFSR/round-robin/argmin, first minimum on ties).
+    fn victim_slot(&mut self, base: usize) -> usize {
+        for slot in base..base + self.ways as usize {
+            if self.tags[slot] == INVALID_TAG {
+                return slot;
+            }
+        }
+        match self.replacement {
+            ReplacementPolicy::Random => {
+                let lsb = self.lfsr & 1;
+                self.lfsr >>= 1;
+                if lsb == 1 {
+                    self.lfsr ^= 0xb400;
+                }
+                base + (self.lfsr % self.ways) as usize
+            }
+            ReplacementPolicy::Lrr => {
+                let set = base / self.ways as usize;
+                let way = self.lrr_next[set] as u32 % self.ways;
+                self.lrr_next[set] = ((way + 1) % self.ways) as u8;
+                base + way as usize
+            }
+            ReplacementPolicy::Lru => {
+                let mut best = base;
+                let mut best_stamp = self.stamps[base];
+                for slot in base + 1..base + self.ways as usize {
+                    if self.stamps[slot] < best_stamp {
+                        best = slot;
+                        best_stamp = self.stamps[slot];
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Read access; returns the outcome and the slot now holding the line.
+    #[inline]
+    fn read_at(&mut self, addr: u32) -> (Access, usize) {
+        let set = ((addr >> self.line_shift) & self.index_mask) as usize;
+        let tag = addr >> self.tag_shift;
+        let lru = self.replacement == ReplacementPolicy::Lru;
+        if lru {
+            self.clock += 1;
+        }
+        let base = set * self.ways as usize;
+        for slot in base..base + self.ways as usize {
+            if self.tags[slot] == tag {
+                if lru {
+                    self.stamps[slot] = self.clock;
+                }
+                return (Access::Hit, slot);
+            }
+        }
+        self.read_misses += 1;
+        let victim = self.victim_slot(base);
+        self.tags[victim] = tag;
+        if lru {
+            self.stamps[victim] = self.clock;
+        }
+        (Access::Miss, victim)
+    }
+
+    /// Read (or fetch) access; misses fill the line.
+    #[inline]
+    pub(crate) fn read(&mut self, addr: u32) -> Access {
+        self.read_at(addr).0
+    }
+
+    /// One read at `addr` plus `extra` guaranteed same-line accesses —
+    /// identical in decisions and end state to [`Cache::read_run`] (the
+    /// `extra` hits surface through the derived totals in
+    /// [`TagCache::stats`]).
+    #[inline]
+    pub(crate) fn read_run(&mut self, addr: u32, extra: u64) -> Access {
+        let (access, slot) = self.read_at(addr);
+        if extra > 0 && self.replacement == ReplacementPolicy::Lru {
+            self.clock += extra;
+            self.stamps[slot] = self.clock;
+        }
+        access
+    }
+
+    /// Write access: write-through, no allocation on miss, like
+    /// [`Cache::write`].
+    #[inline]
+    pub(crate) fn write(&mut self, addr: u32) -> Access {
+        let set = ((addr >> self.line_shift) & self.index_mask) as usize;
+        let tag = addr >> self.tag_shift;
+        let lru = self.replacement == ReplacementPolicy::Lru;
+        if lru {
+            self.clock += 1;
+        }
+        let base = set * self.ways as usize;
+        for slot in base..base + self.ways as usize {
+            if self.tags[slot] == tag {
+                if lru {
+                    self.stamps[slot] = self.clock;
+                }
+                return Access::Hit;
+            }
+        }
+        self.write_misses += 1;
+        Access::Miss
+    }
+
+    /// Run a whole block of resolved memory accesses — equivalent to
+    /// calling [`TagCache::read`]/[`TagCache::write`] per represented
+    /// access, but dispatched once to a loop monomorphized for this cache's
+    /// (ways, policy), with every scalar hoisted into registers.  This is
+    /// the batched walker's hot loop: the per-entry cost is what one trace
+    /// pass multiplies by the class count.
+    ///
+    /// Each entry is a *run leader* — `addr` in the low half,
+    /// [`TagCache::WRITE_BIT`] marking a write — plus, in the bits above
+    /// [`TagCache::MEM_RUN_SHIFT`], the number of elided accesses that
+    /// followed the leader strictly consecutively within the leader's
+    /// 16-byte line (only read leaders carry them).  After a read of a line
+    /// the line is present and nothing intervenes, so every elided access —
+    /// read or write — is a guaranteed hit under *any* geometry: it
+    /// contributes no miss (hits are derived from totals, see
+    /// [`TagCache::stats`]) and changes no tag state; under LRU it advances
+    /// the clock and leaves the line's stamp on the final tick, exactly as
+    /// the per-access path would.
+    pub(crate) fn run_mem_block(&mut self, block: &[u64]) {
+        match (self.replacement, self.ways) {
+            (ReplacementPolicy::Random, 1) => self.mem_block::<1, POLICY_RANDOM>(block),
+            (ReplacementPolicy::Random, 2) => self.mem_block::<2, POLICY_RANDOM>(block),
+            (ReplacementPolicy::Random, 3) => self.mem_block::<3, POLICY_RANDOM>(block),
+            (ReplacementPolicy::Random, 4) => self.mem_block::<4, POLICY_RANDOM>(block),
+            (ReplacementPolicy::Lrr, _) => self.mem_block::<2, POLICY_LRR>(block),
+            (ReplacementPolicy::Lru, 2) => self.mem_block::<2, POLICY_LRU>(block),
+            (ReplacementPolicy::Lru, 3) => self.mem_block::<3, POLICY_LRU>(block),
+            (ReplacementPolicy::Lru, 4) => self.mem_block::<4, POLICY_LRU>(block),
+            // structurally unreachable for validated configs; stay correct
+            _ => {
+                for &entry in block {
+                    let addr = entry as u32;
+                    if entry & TagCache::WRITE_BIT != 0 {
+                        self.write(addr);
+                    } else {
+                        // elided same-line followers only touch LRU clock and
+                        // the line's stamp — exactly read_run's contract
+                        self.read_run(addr, entry >> TagCache::MEM_RUN_SHIFT);
+                    }
+                }
+            }
+        }
+    }
+
+
+    /// The monomorphized memory-block loop behind [`TagCache::run_mem_block`].
+    fn mem_block<const WAYS: usize, const POLICY: u8>(&mut self, block: &[u64]) {
+        let line_shift = self.line_shift;
+        let index_mask = self.index_mask;
+        let tag_shift = self.tag_shift;
+        let mut read_misses = self.read_misses;
+        let mut write_misses = self.write_misses;
+        let mut lfsr = self.lfsr;
+        let mut clock = self.clock;
+        let tags = self.tags.as_mut_slice();
+        let stamps = self.stamps.as_mut_slice();
+        let lrr_next = self.lrr_next.as_mut_slice();
+
+        for &entry in block {
+            let addr = entry as u32;
+            let set = ((addr >> line_shift) & index_mask) as usize;
+            let tag = addr >> tag_shift;
+            let base = set * WAYS;
+            if POLICY == POLICY_LRU {
+                // the leader plus its elided same-line followers each tick
+                // the clock; the line's stamp lands on the final tick
+                clock += 1 + (entry >> TagCache::MEM_RUN_SHIFT);
+            }
+            // probe (way order preserved; unrolled for const WAYS)
+            let mut hit = usize::MAX;
+            for way in 0..WAYS {
+                if tags[base + way] == tag {
+                    hit = way;
+                    break;
+                }
+            }
+            if hit != usize::MAX {
+                if POLICY == POLICY_LRU {
+                    stamps[base + hit] = clock;
+                }
+                continue;
+            }
+            if entry & TagCache::WRITE_BIT != 0 {
+                write_misses += 1; // write-through, no allocation
+                continue;
+            }
+            read_misses += 1;
+            let mut victim = usize::MAX;
+            for way in 0..WAYS {
+                if tags[base + way] == INVALID_TAG {
+                    victim = way;
+                    break;
+                }
+            }
+            if victim == usize::MAX {
+                victim = match POLICY {
+                    POLICY_RANDOM => {
+                        let lsb = lfsr & 1;
+                        lfsr >>= 1;
+                        if lsb == 1 {
+                            lfsr ^= 0xb400;
+                        }
+                        (lfsr % WAYS as u32) as usize
+                    }
+                    POLICY_LRR => {
+                        let way = lrr_next[set] as usize % WAYS;
+                        lrr_next[set] = ((way + 1) % WAYS) as u8;
+                        way
+                    }
+                    _ => {
+                        let mut best = 0;
+                        for way in 1..WAYS {
+                            if stamps[base + way] < stamps[base + best] {
+                                best = way;
+                            }
+                        }
+                        best
+                    }
+                };
+            }
+            tags[base + victim] = tag;
+            if POLICY == POLICY_LRU {
+                stamps[base + victim] = clock;
+            }
+        }
+
+        self.read_misses = read_misses;
+        self.write_misses = write_misses;
+        self.lfsr = lfsr;
+        self.clock = clock;
+    }
+
+}
+
+/// Policy tags for the monomorphized block loops (const-generic parameters).
+const POLICY_RANDOM: u8 = 0;
+const POLICY_LRR: u8 = 1;
+const POLICY_LRU: u8 = 2;
+
+impl TagCache {
+    /// Bit marking a resolved memory-block entry as a write access.
+    pub(crate) const WRITE_BIT: u64 = 1 << 32;
+
+    /// Bit position of a memory-block entry's elided-run length: the number
+    /// of accesses that followed the leader strictly consecutively within
+    /// its 16-byte line (guaranteed hits under every valid geometry, since
+    /// 16 bytes is the minimum line size and nothing intervenes).
+    pub(crate) const MEM_RUN_SHIFT: u32 = 33;
 }
 
 #[cfg(test)]
@@ -393,6 +803,224 @@ mod tests {
         c.read(0);
         c.read(0);
         assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random access sequence mixing reads, writes and
+    /// same-line runs, exercising hits, conflict misses and every victim
+    /// path of a given geometry.
+    fn torture_sequence(seed: u64) -> Vec<(u8, u32, u64)> {
+        let mut state = seed;
+        let mut next = move |n: u64| -> u64 {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) % n
+        };
+        (0..4000)
+            .map(|_| {
+                let kind = next(3) as u8; // 0 read, 1 write, 2 read_run
+                let addr = (next(64 * 1024) as u32) & !3;
+                let extra = next(4);
+                (kind, addr, extra)
+            })
+            .collect()
+    }
+
+    fn all_geometries() -> Vec<CacheConfig> {
+        let mut configs = Vec::new();
+        for (ways, replacement) in [
+            (1u8, ReplacementPolicy::Random),
+            (2, ReplacementPolicy::Random),
+            (2, ReplacementPolicy::Lrr),
+            (2, ReplacementPolicy::Lru),
+            (3, ReplacementPolicy::Lru),
+            (4, ReplacementPolicy::Random),
+            (4, ReplacementPolicy::Lru),
+        ] {
+            for way_kb in [1u32, 2, 4] {
+                for line_words in [4u8, 8] {
+                    configs.push(cfg(ways, way_kb, line_words, replacement));
+                }
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn tag_cache_matches_cache_on_every_policy_and_geometry() {
+        // the lean batched-walk model must reproduce the full model's
+        // hit/miss stream (and so its statistics) bit-identically
+        for config in all_geometries() {
+            let mut full = Cache::new(config);
+            let mut lean = TagCache::new(config);
+            let (mut reads, mut writes) = (0u64, 0u64);
+            for (kind, addr, extra) in torture_sequence(config.total_bytes() as u64) {
+                let (a, b) = match kind {
+                    0 => {
+                        reads += 1;
+                        (full.read(addr), lean.read(addr))
+                    }
+                    1 => {
+                        writes += 1;
+                        (full.write(addr), lean.write(addr))
+                    }
+                    _ => {
+                        reads += extra + 1;
+                        (full.read_run(addr, extra), lean.read_run(addr, extra))
+                    }
+                };
+                assert_eq!(a, b, "{config:?}: diverged at addr {addr:#x}");
+            }
+            assert_eq!(full.stats(), lean.stats(reads, writes), "{config:?}: stats diverged");
+        }
+    }
+
+    #[test]
+    fn tag_cache_block_loops_match_cache_on_every_policy_and_geometry() {
+        // the monomorphized block loops are the batched walker's hot path:
+        // run_mem_block must leave the model in exactly
+        // the state per-access Cache calls produce
+        for config in all_geometries() {
+            // memory blocks: reads and writes, with the walker's
+            // guaranteed-hit run compression (an access strictly following
+            // a read of its own 16-byte line folds into the leader)
+            let mut full = Cache::new(config);
+            let mut lean = TagCache::new(config);
+            let (mut reads, mut writes) = (0u64, 0u64);
+            let mut entries: Vec<u64> = Vec::new();
+            let mut run_line: Option<u32> = None;
+            let mut prev_addr = 0u32;
+            for (i, (kind, addr, _)) in
+                torture_sequence(config.total_bytes() as u64 + 1).into_iter().enumerate()
+            {
+                // revisit the previous access's 16-byte line often, so
+                // mixed read/write runs actually form
+                let addr = if i % 3 != 0 { prev_addr ^ 4 } else { addr };
+                prev_addr = addr;
+                let write = kind == 1;
+                if write {
+                    writes += 1;
+                    full.write(addr);
+                } else {
+                    reads += 1;
+                    full.read(addr);
+                }
+                if run_line == Some(addr >> 4) {
+                    *entries.last_mut().unwrap() += 1 << TagCache::MEM_RUN_SHIFT;
+                } else {
+                    entries.push(addr as u64 | if write { TagCache::WRITE_BIT } else { 0 });
+                    run_line = (!write).then(|| addr >> 4);
+                }
+            }
+            assert!(entries.len() < (reads + writes) as usize, "{config:?}: no runs formed");
+            // feed the lean model the same accesses in two odd-sized blocks
+            let split = entries.len() / 3;
+            lean.run_mem_block(&entries[..split]);
+            lean.run_mem_block(&entries[split..]);
+            assert_eq!(full.stats(), lean.stats(reads, writes), "{config:?}: mem blocks diverged");
+            // subsequent behaviour must agree exactly (internal state equal)
+            for addr in [0u32, 64, 4096, 1 << 16] {
+                assert_eq!(full.read(addr), lean.read(addr), "{config:?}: post-block read");
+                reads += 1;
+            }
+            assert_eq!(full.stats(), lean.stats(reads, writes));
+
+            // fetch blocks: reads with same-line runs
+            let mut full = Cache::new(config);
+            let mut lean = TagCache::new(config);
+            let mut fetches = 0u64;
+            let entries: Vec<u64> = torture_sequence(config.way_kb as u64)
+                .into_iter()
+                .map(|(_, addr, extra)| {
+                    // keep the run inside one minimum-size line, as captured
+                    // traces guarantee
+                    let addr = addr & !15;
+                    let extra = extra.min(3);
+                    fetches += extra + 1;
+                    full.read_run(addr, extra);
+                    addr as u64 | extra << TagCache::MEM_RUN_SHIFT
+                })
+                .collect();
+            let split = entries.len() / 2 + 1;
+            lean.run_mem_block(&entries[..split]);
+            lean.run_mem_block(&entries[split..]);
+            assert_eq!(full.stats(), lean.stats(fetches, 0), "{config:?}: fetch blocks diverged");
+            for addr in [0u32, 64, 4096, 1 << 16] {
+                assert_eq!(full.read(addr), lean.read(addr), "{config:?}: post-block fetch");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_the_just_constructed_state() {
+        for config in all_geometries() {
+            let mut reused = Cache::new(config);
+            // dirty every piece of state, then reset
+            for (kind, addr, extra) in torture_sequence(7) {
+                match kind {
+                    0 => {
+                        reused.read(addr);
+                    }
+                    1 => {
+                        reused.write(addr);
+                    }
+                    _ => {
+                        reused.read_run(addr, extra);
+                    }
+                }
+            }
+            reused.reset();
+            assert_eq!(reused.stats(), CacheStats::default());
+            let mut fresh = Cache::new(config);
+            for (kind, addr, extra) in torture_sequence(11) {
+                let (a, b) = match kind {
+                    0 => (fresh.read(addr), reused.read(addr)),
+                    1 => (fresh.write(addr), reused.write(addr)),
+                    _ => (fresh.read_run(addr, extra), reused.read_run(addr, extra)),
+                };
+                assert_eq!(a, b, "{config:?}: reset cache diverged from fresh");
+            }
+            assert_eq!(fresh.stats(), reused.stats());
+        }
+    }
+
+    #[test]
+    fn reconfigure_is_equivalent_to_new_for_both_models() {
+        // one model re-shaped across every geometry must behave exactly like
+        // a freshly constructed one each time (the walk engines' reuse path)
+        let mut reused_full = Cache::new(cfg(4, 4, 8, ReplacementPolicy::Lru));
+        let mut reused_lean = TagCache::new(cfg(4, 4, 8, ReplacementPolicy::Lru));
+        for config in all_geometries() {
+            reused_full.reconfigure(config);
+            reused_lean.reconfigure(config);
+            let mut fresh = Cache::new(config);
+            let (mut reads, mut writes) = (0u64, 0u64);
+            for (kind, addr, extra) in torture_sequence(config.ways as u64) {
+                let (a, b, c) = match kind {
+                    0 => {
+                        reads += 1;
+                        (fresh.read(addr), reused_full.read(addr), reused_lean.read(addr))
+                    }
+                    1 => {
+                        writes += 1;
+                        (fresh.write(addr), reused_full.write(addr), reused_lean.write(addr))
+                    }
+                    _ => {
+                        reads += extra + 1;
+                        (
+                            fresh.read_run(addr, extra),
+                            reused_full.read_run(addr, extra),
+                            reused_lean.read_run(addr, extra),
+                        )
+                    }
+                };
+                assert_eq!(a, b, "{config:?}: reconfigured Cache diverged");
+                assert_eq!(a, c, "{config:?}: reconfigured TagCache diverged");
+            }
+            assert_eq!(fresh.stats(), reused_full.stats());
+            assert_eq!(fresh.stats(), reused_lean.stats(reads, writes));
+        }
     }
 
     #[test]

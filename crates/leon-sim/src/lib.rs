@@ -49,8 +49,8 @@ pub use memory::Memory;
 pub use profiler::{RunResult, Stats};
 pub use regwin::{RegisterWindows, WindowEvent};
 pub use trace::{
-    capture, fnv1a64, fnv1a64_extend, replay, Trace, TraceCodecError, TraceHeader, TraceOp,
-    FNV1A64_OFFSET, TRACE_FORMAT_VERSION,
+    capture, fnv1a64, fnv1a64_extend, replay, replay_batch, trace_walks_performed, ReplayBatch,
+    Trace, TraceCodecError, TraceHeader, TraceOp, FNV1A64_OFFSET, TRACE_FORMAT_VERSION,
 };
 
 /// Default per-run cycle budget used by the higher-level crates.

@@ -54,10 +54,42 @@
 //! Traces are plain data (`Send + Sync`): one captured trace is shared
 //! read-only by every replay worker of a measurement campaign.
 
-use crate::cache::{Cache, CacheStats};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::{Cache, CacheStats, TagCache};
 use crate::config::{CacheConfig, LeonConfig};
 use crate::error::SimError;
 use crate::profiler::Stats;
+
+/// Process-wide count of trace-stream walks: one tick per pass over a trace's
+/// record or memory stream, whether it re-simulates one cache model (the
+/// per-config [`replay`] path) or a whole span of behavior classes at once
+/// (the batched [`ReplayBatch`] path).  Closed-form retimes never walk and
+/// never tick.
+///
+/// This is the batched engine's headline counter, next to
+/// `workloads::guest_instructions_executed` and
+/// `workloads::trace_payload_bytes_read`: a batched 52-variable cost-table
+/// measurement must perform at most one walk per distinct behavior class —
+/// and exactly one pass per stream when the classes are not partitioned
+/// across workers — which `tests/batch_walk_budget.rs` asserts against
+/// deltas of this counter.
+static TRACE_WALKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total trace-stream walks performed so far by this process.  Monotonic;
+/// compare deltas rather than resetting, so concurrent measurements cannot
+/// clobber each other.
+pub fn trace_walks_performed() -> u64 {
+    TRACE_WALKS.load(Ordering::Relaxed)
+}
+
+/// Record one pass over a trace stream.
+fn record_trace_walk() {
+    TRACE_WALKS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Flag bits of one [`TraceOp`].  A bit records that the *event occurred* in
 /// the instruction stream; whether and how many cycles it costs is decided at
@@ -679,71 +711,100 @@ impl Trace {
     }
 }
 
+thread_local! {
+    /// Per-worker scratch model reused by the per-config walkers
+    /// ([`walk_mem`], [`walk_fetches`]): a sweep over N geometries re-shapes
+    /// one model N times ([`Cache::reconfigure`]) instead of allocating N
+    /// line vectors.  Reconfiguring restores the exact just-constructed
+    /// state, so reuse is invisible to the walk results.
+    static WALK_SCRATCH: RefCell<Option<Cache>> = const { RefCell::new(None) };
+}
+
+/// Run `walk` on a scratch [`Cache`] shaped as `config` (fresh-state
+/// semantics, reused allocation).
+fn with_scratch_cache<R>(config: CacheConfig, walk: impl FnOnce(&mut Cache) -> R) -> R {
+    WALK_SCRATCH.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let cache = slot.get_or_insert_with(|| Cache::new(config));
+        cache.reconfigure(config);
+        walk(cache)
+    })
+}
+
 /// Re-walk the memory stream for a d-cache and/or window-count perturbation:
 /// re-derives window traps with the resident-window automaton (mirroring
 /// [`crate::regwin::RegisterWindows`]) and expands each trap into its 16
 /// spill/fill accesses.  Returns the d-cache statistics plus trap counts.
 fn walk_mem(trace: &Trace, config: &LeonConfig) -> (CacheStats, u64, u64) {
-    let mut dcache = Cache::new(config.dcache);
-    let nwindows = config.iu.reg_windows as u32;
-    let mut resident: u32 = 1;
-    let mut overflows: u64 = 0;
-    let mut underflows: u64 = 0;
-    for op in &trace.mem {
-        match *op {
-            MemOp::Load(addr) => {
-                dcache.read(addr);
-            }
-            MemOp::Store(addr) => {
-                dcache.write(addr);
-            }
-            MemOp::Save(sp) => {
-                if resident >= nwindows - 1 {
-                    overflows += 1;
-                    for i in 0..crate::cpu::WINDOW_TRAP_REGS {
-                        dcache.write(sp.wrapping_sub(4 + i * 4));
-                    }
-                } else {
-                    resident += 1;
+    record_trace_walk();
+    with_scratch_cache(config.dcache, |dcache| {
+        let nwindows = config.iu.reg_windows as u32;
+        let mut resident: u32 = 1;
+        let mut overflows: u64 = 0;
+        let mut underflows: u64 = 0;
+        for op in &trace.mem {
+            match *op {
+                MemOp::Load(addr) => {
+                    dcache.read(addr);
                 }
-            }
-            MemOp::Restore(sp) => {
-                if resident <= 1 {
-                    underflows += 1;
-                    for i in 0..crate::cpu::WINDOW_TRAP_REGS {
-                        dcache.read(sp.wrapping_sub(4 + i * 4));
+                MemOp::Store(addr) => {
+                    dcache.write(addr);
+                }
+                MemOp::Save(sp) => {
+                    if resident >= nwindows - 1 {
+                        overflows += 1;
+                        for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                            dcache.write(sp.wrapping_sub(4 + i * 4));
+                        }
+                    } else {
+                        resident += 1;
                     }
-                } else {
-                    resident -= 1;
+                }
+                MemOp::Restore(sp) => {
+                    if resident <= 1 {
+                        underflows += 1;
+                        for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                            dcache.read(sp.wrapping_sub(4 + i * 4));
+                        }
+                    } else {
+                        resident -= 1;
+                    }
                 }
             }
         }
-    }
-    (dcache.stats(), overflows, underflows)
+        (dcache.stats(), overflows, underflows)
+    })
 }
 
 /// Re-walk the fetch stream for an i-cache perturbation.
 fn walk_fetches(trace: &Trace, icache_config: CacheConfig) -> CacheStats {
-    let mut icache = Cache::new(icache_config);
-    for op in &trace.ops {
-        if op.flags == 0 {
-            icache.read_run(op.pc, op.aux as u64 - 1);
-        } else {
-            icache.read(op.pc);
+    record_trace_walk();
+    with_scratch_cache(icache_config, |icache| {
+        for op in &trace.ops {
+            if op.flags == 0 {
+                icache.read_run(op.pc, op.aux as u64 - 1);
+            } else {
+                icache.read(op.pc);
+            }
         }
-    }
-    icache.stats()
+        icache.stats()
+    })
 }
 
-/// Retime a captured trace under `config`, producing the exact [`Stats`] a
-/// full simulation of the same program on `config` would produce — in a
-/// fraction of the time, because only the caches (and only the *changed*
-/// caches) are re-simulated while every other cost is closed-form.
-pub fn replay(trace: &Trace, config: &LeonConfig, max_cycles: u64) -> Result<Stats, SimError> {
-    config
-        .validate()
-        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
-
+/// Closed-form cycle reconstruction shared by [`replay`] and
+/// [`ReplayBatch::finish`] (mirrors `Cpu::step`'s charges): given a
+/// configuration's cache behaviour and window-trap counts, rebuild the exact
+/// [`Stats`] a full run would produce, enforcing the cycle budget as a bound
+/// on the run total.
+fn reconstruct_stats(
+    trace: &Trace,
+    config: &LeonConfig,
+    icache: CacheStats,
+    dcache: CacheStats,
+    window_overflows: u64,
+    window_underflows: u64,
+    max_cycles: u64,
+) -> Result<Stats, SimError> {
     let s = &trace.summary;
     let m = &config.memory;
     let icache_fill = (m.read_first + (config.icache.line_words as u32 - 1) * m.read_burst) as u64;
@@ -751,23 +812,6 @@ pub fn replay(trace: &Trace, config: &LeonConfig, max_cycles: u64) -> Result<Sta
     let dread_hit: u64 = if config.dcache_fast_read { 0 } else { 1 };
     let dwrite_hit: u64 = if config.dcache_fast_write { 0 } else { 1 };
 
-    // 1. i-cache behaviour (identical geometry => identical statistics)
-    let icache = if config.icache == trace.captured.icache {
-        trace.base_icache
-    } else {
-        walk_fetches(trace, config.icache)
-    };
-
-    // 2. d-cache + window-trap behaviour
-    let same_mem_behaviour = config.dcache == trace.captured.dcache
-        && config.iu.reg_windows == trace.captured.iu.reg_windows;
-    let (dcache, window_overflows, window_underflows) = if same_mem_behaviour {
-        (trace.base_dcache, trace.base_overflows, trace.base_underflows)
-    } else {
-        walk_mem(trace, config)
-    };
-
-    // 3. closed-form cycle reconstruction (mirrors `Cpu::step`'s charges)
     let load_use_stalls = s.load_use * config.iu.load_delay as u64;
     let icc_hold_stalls = if config.iu.icc_hold { s.icc_branch } else { 0 };
     let traps = window_overflows + window_underflows;
@@ -807,6 +851,480 @@ pub fn replay(trace: &Trace, config: &LeonConfig, max_cycles: u64) -> Result<Sta
         icc_hold_stalls,
         load_use_stalls,
     })
+}
+
+/// Retime a captured trace under `config`, producing the exact [`Stats`] a
+/// full simulation of the same program on `config` would produce — in a
+/// fraction of the time, because only the caches (and only the *changed*
+/// caches) are re-simulated while every other cost is closed-form.
+pub fn replay(trace: &Trace, config: &LeonConfig, max_cycles: u64) -> Result<Stats, SimError> {
+    config
+        .validate()
+        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+
+    // 1. i-cache behaviour (identical geometry => identical statistics)
+    let icache = if config.icache == trace.captured.icache {
+        trace.base_icache
+    } else {
+        walk_fetches(trace, config.icache)
+    };
+
+    // 2. d-cache + window-trap behaviour
+    let same_mem_behaviour = config.dcache == trace.captured.dcache
+        && config.iu.reg_windows == trace.captured.iu.reg_windows;
+    let (dcache, window_overflows, window_underflows) = if same_mem_behaviour {
+        (trace.base_dcache, trace.base_overflows, trace.base_underflows)
+    } else {
+        walk_mem(trace, config)
+    };
+
+    // 3. closed-form cycle reconstruction
+    reconstruct_stats(trace, config, icache, dcache, window_overflows, window_underflows, max_cycles)
+}
+
+// ---------------------------------------------------------------------------
+// Batched replay: retime every configuration of a sweep in one trace walk
+// ---------------------------------------------------------------------------
+
+/// Behaviour class of the memory walk: a distinct (d-cache geometry,
+/// register-window count) pair.  Every other Figure 1 knob is a pure
+/// closed-form retime, so two configurations in the same class share one
+/// memory walk bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct MemClass {
+    dcache: CacheConfig,
+    reg_windows: u8,
+}
+
+/// Entries per resolved-access block of the batched walkers: 4096 × 8 bytes
+/// = 32 KB, so a block plus the tags one class touches while streaming
+/// through it stay cache-resident.
+const WALK_BLOCK: usize = 4096;
+
+/// Accesses one window trap expands into (16 spills or fills).
+const TRAP_ACCESSES: usize = crate::cpu::WINDOW_TRAP_REGS as usize;
+
+/// Resident-window automaton shared by every memory class with one window
+/// count: trap decisions depend only on the count, so the automaton (and
+/// its trap totals) runs once per distinct count and its expansions are
+/// applied to each member class's cache.
+struct WindowGroup {
+    nwindows: u32,
+    resident: u32,
+    overflows: u64,
+    underflows: u64,
+    members: Vec<usize>,
+}
+
+/// Per-configuration disposition within a [`ReplayBatch`].
+#[derive(Clone, Debug)]
+enum Disposition {
+    /// Failed validation; [`replay`] would fail with exactly this error.
+    Invalid(SimError),
+    /// Valid: which walk classes (if any) this configuration's cache
+    /// statistics come from.  `None` means the captured geometry matches and
+    /// the capturing run's statistics are reused verbatim.
+    Valid { mem_class: Option<usize>, fetch_class: Option<usize> },
+}
+
+/// A planned batch replay: every configuration of a sweep partitioned into
+/// *behavior classes*, so that one pass over each trace stream retimes the
+/// whole batch.
+///
+/// The paper's central experiments — the 52-variable cost table and the
+/// exhaustive d-cache sweep — evaluate many configurations against one fixed
+/// program behaviour.  Per-config [`replay`] walks the trace once per
+/// configuration; this plan walks each stream **once**, updating one lean
+/// cache model per distinct class simultaneously ([`crate::cache`]'s
+/// `TagCache`), and reconstructs every configuration's [`Stats`] closed-form
+/// from its class's walk results — bit-identical to element-wise [`replay`]
+/// (pinned by `tests/replay_equivalence.rs`).
+///
+/// The classes of each stream are exposed as an indexable axis
+/// ([`ReplayBatch::walk_mem_span`] / [`ReplayBatch::walk_fetch_span`]) so a
+/// worker pool can partition *classes* — not configurations — across
+/// threads; results are independent of the partitioning, so any thread
+/// count produces byte-identical output.  [`replay_batch`] is the serial
+/// convenience wrapper: one fused pass per stream.
+pub struct ReplayBatch<'a> {
+    trace: &'a Trace,
+    max_cycles: u64,
+    configs: Vec<LeonConfig>,
+    dispositions: Vec<Disposition>,
+    mem_classes: Vec<MemClass>,
+    fetch_classes: Vec<CacheConfig>,
+}
+
+impl<'a> ReplayBatch<'a> {
+    /// Plan a batch: validate every configuration and partition the batch
+    /// into distinct behavior classes (first-appearance order, so the plan
+    /// is deterministic for a given configuration sequence).  Performs no
+    /// walks.
+    pub fn new(trace: &'a Trace, configs: &[LeonConfig], max_cycles: u64) -> ReplayBatch<'a> {
+        let mut mem_classes = Vec::new();
+        let mut fetch_classes = Vec::new();
+        let mut mem_index: HashMap<MemClass, usize> = HashMap::new();
+        let mut fetch_index: HashMap<CacheConfig, usize> = HashMap::new();
+        let dispositions = configs
+            .iter()
+            .map(|config| {
+                if let Err(e) = config.validate() {
+                    return Disposition::Invalid(SimError::InvalidConfig(e.to_string()));
+                }
+                let mem_class = if config.dcache == trace.captured.dcache
+                    && config.iu.reg_windows == trace.captured.iu.reg_windows
+                {
+                    None
+                } else {
+                    let key =
+                        MemClass { dcache: config.dcache, reg_windows: config.iu.reg_windows };
+                    Some(*mem_index.entry(key).or_insert_with(|| {
+                        mem_classes.push(key);
+                        mem_classes.len() - 1
+                    }))
+                };
+                let fetch_class = if config.icache == trace.captured.icache {
+                    None
+                } else {
+                    Some(*fetch_index.entry(config.icache).or_insert_with(|| {
+                        fetch_classes.push(config.icache);
+                        fetch_classes.len() - 1
+                    }))
+                };
+                Disposition::Valid { mem_class, fetch_class }
+            })
+            .collect();
+        ReplayBatch {
+            trace,
+            max_cycles,
+            configs: configs.to_vec(),
+            dispositions,
+            mem_classes,
+            fetch_classes,
+        }
+    }
+
+    /// Number of configurations in the batch.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Number of distinct memory-walk behavior classes.
+    pub fn mem_class_count(&self) -> usize {
+        self.mem_classes.len()
+    }
+
+    /// Number of distinct fetch-walk behavior classes.
+    pub fn fetch_class_count(&self) -> usize {
+        self.fetch_classes.len()
+    }
+
+    /// Total distinct behavior classes (the batch's walk budget: no caller
+    /// partitioning can make the engine perform more walks than this).
+    pub fn class_count(&self) -> usize {
+        self.mem_classes.len() + self.fetch_classes.len()
+    }
+
+    /// Walk the memory stream **once**, re-simulating every memory class in
+    /// `span` simultaneously: each class's lean d-cache model sees exactly
+    /// the access sequence the per-config walk would have produced, and one
+    /// resident-window automaton per distinct window count re-derives the
+    /// traps shared by every class with that count.  Returns each class's
+    /// `(dcache stats, overflows, underflows)` in span order.
+    ///
+    /// When the whole span shares one window count (every real sweep: the
+    /// d-cache study and the cost table's cache variables), the stream is
+    /// resolved block-wise into a flat access buffer — the decode and the
+    /// trap expansion happen once per block — and each class then runs a
+    /// tight loop over the block while its tag array stays hot in L1
+    /// (classic cache blocking; the access *order* per class is identical
+    /// either way).  Spans mixing window counts fall back to per-record
+    /// fan-out, since each group's trap expansions interleave differently.
+    pub fn walk_mem_span(&self, span: Range<usize>) -> Vec<(CacheStats, u64, u64)> {
+        let classes = &self.mem_classes[span];
+        if classes.is_empty() {
+            return Vec::new();
+        }
+        record_trace_walk();
+        let mut caches: Vec<TagCache> =
+            classes.iter().map(|class| TagCache::new(class.dcache)).collect();
+
+        // one automaton per distinct window count; members index `caches`
+        let mut groups: Vec<WindowGroup> = Vec::new();
+        for (i, class) in classes.iter().enumerate() {
+            let nwindows = class.reg_windows as u32;
+            match groups.iter_mut().find(|g| g.nwindows == nwindows) {
+                Some(group) => group.members.push(i),
+                None => groups.push(WindowGroup {
+                    nwindows,
+                    resident: 1,
+                    overflows: 0,
+                    underflows: 0,
+                    members: vec![i],
+                }),
+            }
+        }
+
+        if let [group] = groups.as_mut_slice() {
+            self.walk_mem_blocked(&mut caches, group);
+        } else {
+            self.walk_mem_interleaved(&mut caches, &mut groups);
+        }
+
+        // hit counts are derived, not maintained: every class in a window
+        // group saw exactly loads + 16·underflows reads and stores +
+        // 16·overflows writes
+        let loads = self.trace.summary.loads;
+        let stores = self.trace.summary.stores;
+        let mut results: Vec<(CacheStats, u64, u64)> =
+            vec![(CacheStats::default(), 0, 0); classes.len()];
+        for group in &groups {
+            let reads = loads + group.underflows * crate::cpu::WINDOW_TRAP_REGS as u64;
+            let writes = stores + group.overflows * crate::cpu::WINDOW_TRAP_REGS as u64;
+            for &member in &group.members {
+                results[member] =
+                    (caches[member].stats(reads, writes), group.overflows, group.underflows);
+            }
+        }
+        results
+    }
+
+    /// Single-window-count memory walk: resolve the stream (trap expansions
+    /// included) into [`WALK_BLOCK`]-entry access buffers, then fan each
+    /// block out class by class.
+    ///
+    /// The fill compresses *guaranteed hits* away, once for all classes: an
+    /// access that strictly-consecutively follows a **read** of the same
+    /// 16-byte line (the minimum line size, so "same line" holds under
+    /// every geometry) must hit in every class — the read left the line
+    /// present and nothing intervened to evict it — so it folds into the
+    /// leader's run count instead of being probed per class.  Half to
+    /// two-thirds of a typical memory stream compresses away, multiplying
+    /// directly into the per-class walk cost.
+    fn walk_mem_blocked(&self, caches: &mut [TagCache], group: &mut WindowGroup) {
+        const WRITE_BIT: u64 = TagCache::WRITE_BIT;
+        const RUN_ONE: u64 = 1 << TagCache::MEM_RUN_SHIFT;
+        let mut block: Vec<u64> = Vec::with_capacity(WALK_BLOCK + 2 * TRAP_ACCESSES);
+        // 16-byte line established as present by the last entry's read run
+        // (None after a write leader — a write never establishes presence)
+        let mut run_line: Option<u32> = None;
+
+        let flush = |block: &mut Vec<u64>, run_line: &mut Option<u32>, caches: &mut [TagCache]| {
+            for cache in caches.iter_mut() {
+                cache.run_mem_block(block);
+            }
+            block.clear();
+            *run_line = None; // never extend an entry across a flush
+        };
+
+        let push = |block: &mut Vec<u64>, run_line: &mut Option<u32>, addr: u32, write: bool| {
+            if *run_line == Some(addr >> 4) {
+                *block.last_mut().expect("a run leader precedes every extension") += RUN_ONE;
+            } else {
+                block.push(addr as u64 | if write { WRITE_BIT } else { 0 });
+                *run_line = (!write).then(|| addr >> 4);
+            }
+        };
+
+        for op in &self.trace.mem {
+            match *op {
+                MemOp::Load(addr) => push(&mut block, &mut run_line, addr, false),
+                MemOp::Store(addr) => push(&mut block, &mut run_line, addr, true),
+                MemOp::Save(sp) => {
+                    if group.resident >= group.nwindows - 1 {
+                        group.overflows += 1;
+                        for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                            push(&mut block, &mut run_line, sp.wrapping_sub(4 + i * 4), true);
+                        }
+                    } else {
+                        group.resident += 1;
+                    }
+                }
+                MemOp::Restore(sp) => {
+                    if group.resident <= 1 {
+                        group.underflows += 1;
+                        for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                            push(&mut block, &mut run_line, sp.wrapping_sub(4 + i * 4), false);
+                        }
+                    } else {
+                        group.resident -= 1;
+                    }
+                }
+            }
+            if block.len() >= WALK_BLOCK {
+                flush(&mut block, &mut run_line, caches);
+            }
+        }
+        flush(&mut block, &mut run_line, caches);
+    }
+
+    /// Mixed-window-count memory walk: fan every record out to all classes
+    /// as it is decoded (each group's trap expansions interleave at its own
+    /// positions, so a shared resolved buffer does not exist).
+    fn walk_mem_interleaved(&self, caches: &mut [TagCache], groups: &mut [WindowGroup]) {
+        for op in &self.trace.mem {
+            match *op {
+                MemOp::Load(addr) => {
+                    for cache in caches.iter_mut() {
+                        cache.read(addr);
+                    }
+                }
+                MemOp::Store(addr) => {
+                    for cache in caches.iter_mut() {
+                        cache.write(addr);
+                    }
+                }
+                MemOp::Save(sp) => {
+                    for group in groups.iter_mut() {
+                        if group.resident >= group.nwindows - 1 {
+                            group.overflows += 1;
+                            for &member in &group.members {
+                                let cache = &mut caches[member];
+                                for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                                    cache.write(sp.wrapping_sub(4 + i * 4));
+                                }
+                            }
+                        } else {
+                            group.resident += 1;
+                        }
+                    }
+                }
+                MemOp::Restore(sp) => {
+                    for group in groups.iter_mut() {
+                        if group.resident <= 1 {
+                            group.underflows += 1;
+                            for &member in &group.members {
+                                let cache = &mut caches[member];
+                                for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                                    cache.read(sp.wrapping_sub(4 + i * 4));
+                                }
+                            }
+                        } else {
+                            group.resident -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walk the fetch stream **once**, re-simulating every fetch class in
+    /// `span` simultaneously.  The record stream is decoded block-wise into
+    /// flat read entries — the same layout [`ReplayBatch::walk_mem_span`]
+    /// uses, run length above `MEM_RUN_SHIFT`, write bit never set — and
+    /// each class runs the shared monomorphized block loop (see the memory
+    /// walk on why blocking wins).  Returns each class's i-cache statistics
+    /// in span order.
+    pub fn walk_fetch_span(&self, span: Range<usize>) -> Vec<CacheStats> {
+        let classes = &self.fetch_classes[span];
+        if classes.is_empty() {
+            return Vec::new();
+        }
+        record_trace_walk();
+        let mut caches: Vec<TagCache> =
+            classes.iter().map(|&config| TagCache::new(config)).collect();
+
+        // Consecutive records inside one 16-byte block — the captured
+        // fetch-run invariant guarantees a compressed run never crosses one
+        // — merge into the previous entry's run: after the leading fetch
+        // the line is present in every class, so the followers are
+        // guaranteed hits (probed by nobody, clock-accounted under LRU).
+        const RUN_ONE: u64 = 1 << TagCache::MEM_RUN_SHIFT;
+        let mut block: Vec<u64> = Vec::with_capacity(WALK_BLOCK);
+        let mut run_line: Option<u32> = None;
+        let flush = |block: &mut Vec<u64>, run_line: &mut Option<u32>, caches: &mut [TagCache]| {
+            for cache in caches.iter_mut() {
+                cache.run_mem_block(block);
+            }
+            block.clear();
+            *run_line = None;
+        };
+        for op in &self.trace.ops {
+            let fetches = if op.flags == 0 { op.aux as u64 } else { 1 };
+            if run_line == Some(op.pc >> 4) {
+                *block.last_mut().expect("a run leader precedes every extension") +=
+                    fetches * RUN_ONE;
+            } else {
+                block.push(op.pc as u64 | (fetches - 1) * RUN_ONE);
+                run_line = Some(op.pc >> 4);
+                if block.len() >= WALK_BLOCK {
+                    flush(&mut block, &mut run_line, &mut caches);
+                }
+            }
+        }
+        flush(&mut block, &mut run_line, &mut caches);
+
+        // every class fetched exactly one read per dynamic instruction
+        let fetches = self.trace.summary.instructions;
+        caches.iter().map(|cache| cache.stats(fetches, 0)).collect()
+    }
+
+    /// Reconstruct every configuration's [`Stats`] closed-form from the walk
+    /// results (`mem` and `fetch` are the per-class results, concatenated in
+    /// class order).  Element `i` equals `replay(trace, &configs[i],
+    /// max_cycles)` exactly, including errors.
+    pub fn finish(
+        &self,
+        mem: &[(CacheStats, u64, u64)],
+        fetch: &[CacheStats],
+    ) -> Vec<Result<Stats, SimError>> {
+        assert_eq!(mem.len(), self.mem_classes.len(), "one walk result per memory class");
+        assert_eq!(fetch.len(), self.fetch_classes.len(), "one walk result per fetch class");
+        self.dispositions
+            .iter()
+            .zip(&self.configs)
+            .map(|(disposition, config)| match disposition {
+                Disposition::Invalid(error) => Err(error.clone()),
+                Disposition::Valid { mem_class, fetch_class } => {
+                    let icache = match fetch_class {
+                        Some(class) => fetch[*class],
+                        None => self.trace.base_icache,
+                    };
+                    let (dcache, overflows, underflows) = match mem_class {
+                        Some(class) => mem[*class],
+                        None => {
+                            (self.trace.base_dcache, self.trace.base_overflows, self.trace.base_underflows)
+                        }
+                    };
+                    reconstruct_stats(
+                        self.trace,
+                        config,
+                        icache,
+                        dcache,
+                        overflows,
+                        underflows,
+                        self.max_cycles,
+                    )
+                }
+            })
+            .collect()
+    }
+}
+
+/// Retime every configuration of a batch against one captured trace in a
+/// single pass per trace stream.
+///
+/// Element `i` of the result equals `replay(trace, &configs[i], max_cycles)`
+/// bit-for-bit (including `InvalidConfig` and `CycleLimitExceeded` errors),
+/// but a batch of N configurations performs at most **two** trace walks —
+/// one over the memory stream for all distinct (d-cache geometry, window
+/// count) classes, one over the record stream for all distinct i-cache
+/// geometries — instead of up to N.  Callers with a worker pool should
+/// partition the classes instead (see [`ReplayBatch`]).
+pub fn replay_batch(
+    trace: &Trace,
+    configs: &[LeonConfig],
+    max_cycles: u64,
+) -> Vec<Result<Stats, SimError>> {
+    let plan = ReplayBatch::new(trace, configs, max_cycles);
+    let mem = plan.walk_mem_span(0..plan.mem_class_count());
+    let fetch = plan.walk_fetch_span(0..plan.fetch_class_count());
+    plan.finish(&mem, &fetch)
 }
 
 /// Run `program` on `config` once, capturing both the full [`crate::RunResult`]
@@ -988,6 +1506,108 @@ mod tests {
             let replayed = replay(&trace, &base, total - 1).unwrap_err();
             assert_eq!(full, SimError::CycleLimitExceeded { limit: total - 1 });
             assert_eq!(replayed, full);
+        }
+    }
+
+    #[test]
+    fn replay_batch_matches_elementwise_replay_on_a_mixed_batch() {
+        let base = LeonConfig::base();
+        for program in [demo_program(), recursing_program()] {
+            let (_, trace) = capture(&base, &program, 1_000_000).unwrap();
+
+            let mut configs = Vec::new();
+            configs.push(base); // the captured configuration itself
+            let mut c = base;
+            c.dcache.way_kb = 1;
+            configs.push(c);
+            configs.push(c); // duplicate: same behavior class, same result
+            let mut c = base;
+            c.dcache.ways = 2;
+            c.dcache.replacement = ReplacementPolicy::Lru;
+            c.iu.reg_windows = 2;
+            configs.push(c);
+            let mut c = base;
+            c.icache.way_kb = 1;
+            c.icache.ways = 2;
+            c.icache.replacement = ReplacementPolicy::Lrr;
+            configs.push(c);
+            let mut c = base;
+            c.iu.multiplier = Multiplier::M32x32;
+            c.dcache_fast_read = true;
+            configs.push(c); // pure closed-form retime, no class at all
+            let mut c = base;
+            c.dcache.way_kb = 3; // structurally invalid
+            configs.push(c);
+
+            let batched = replay_batch(&trace, &configs, 1_000_000);
+            let elementwise: Vec<_> =
+                configs.iter().map(|c| replay(&trace, c, 1_000_000)).collect();
+            assert_eq!(batched, elementwise, "batch must equal element-wise replay exactly");
+            assert!(matches!(batched[6], Err(SimError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    fn replay_batch_enforces_the_cycle_budget_per_configuration() {
+        let base = LeonConfig::base();
+        let program = demo_program();
+        let (run, trace) = capture(&base, &program, 1_000_000).unwrap();
+        let mut slow = base;
+        slow.iu.fast_decode = false;
+        slow.iu.fast_jump = false;
+        // budget exactly the base total: the base fits, the slowed config
+        // must exceed it — with the same error replay produces
+        let results = replay_batch(&trace, &[base, slow], run.stats.cycles);
+        assert_eq!(results[0].as_ref().unwrap().cycles, run.stats.cycles);
+        assert_eq!(
+            results[1],
+            Err(SimError::CycleLimitExceeded { limit: run.stats.cycles })
+        );
+        assert_eq!(results[1], replay(&trace, &slow, run.stats.cycles));
+    }
+
+    #[test]
+    fn batch_plan_deduplicates_behavior_classes_and_walks_once_per_span() {
+        let base = LeonConfig::base();
+        let program = recursing_program();
+        let (_, trace) = capture(&base, &program, 1_000_000).unwrap();
+
+        let mut dcache_small = base;
+        dcache_small.dcache.way_kb = 1;
+        let mut windows_low = base;
+        windows_low.iu.reg_windows = 2;
+        let mut icache_small = base;
+        icache_small.icache.way_kb = 1;
+        let mut closed_form = base;
+        closed_form.iu.multiplier = Multiplier::M32x32;
+        let configs =
+            [base, dcache_small, dcache_small, windows_low, icache_small, closed_form, base];
+
+        let plan = ReplayBatch::new(&trace, &configs, 1_000_000);
+        assert_eq!(plan.len(), 7);
+        // duplicates and base-geometry configs never create classes
+        assert_eq!(plan.mem_class_count(), 2, "dcache_small (deduped) + windows_low");
+        assert_eq!(plan.fetch_class_count(), 1, "icache_small");
+        assert_eq!(plan.class_count(), 3);
+
+        // a span walk is exactly one counted pass over the stream
+        let before = trace_walks_performed();
+        let mem = plan.walk_mem_span(0..plan.mem_class_count());
+        assert_eq!(trace_walks_performed() - before, 1);
+        let fetch = plan.walk_fetch_span(0..plan.fetch_class_count());
+        assert_eq!(trace_walks_performed() - before, 2);
+        // empty spans are free
+        assert!(plan.walk_mem_span(0..0).is_empty());
+        assert_eq!(trace_walks_performed() - before, 2);
+
+        // split spans produce the same per-class results as the fused pass
+        let first = plan.walk_mem_span(0..1);
+        let second = plan.walk_mem_span(1..2);
+        assert_eq!(mem, [first, second].concat());
+
+        let finished = plan.finish(&mem, &fetch);
+        for (result, config) in finished.iter().zip(&configs) {
+            assert_eq!(result.as_ref().unwrap(), &replay(&trace, config, 1_000_000).unwrap());
         }
     }
 

@@ -1,0 +1,179 @@
+//! Trace-walk budget contract of the batched replay engine.
+//!
+//! The batched engine's reason to exist is that a sweep of N configurations
+//! over one trace must no longer decode the op stream N times.  These tests
+//! pin that with the process-wide `leon_sim::trace_walks_performed` counter:
+//!
+//! * the 52-variable cost table performs **at most one walk per distinct
+//!   behavior class** — and exactly one pass per trace stream when the
+//!   classes are not partitioned across workers (`threads = 1`);
+//! * the Figure 2 exhaustive d-cache sweep collapses to a single
+//!   memory-stream pass, where the per-config kernel pays one walk per
+//!   feasible non-base geometry;
+//! * both engines produce byte-identical tables/sweeps (`serde_json`
+//!   compared), so the walk budget is a pure cost change.
+//!
+//! The walk counter is process-global, so every test in this binary takes
+//! one shared lock around its delta measurements (the
+//! `tests/incremental_store.rs` pattern).
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use liquid_autoreconf::apps::{capture_verified, Blastn, Scale};
+use liquid_autoreconf::fpga::SynthesisModel;
+use liquid_autoreconf::sim::{trace_walks_performed, CacheConfig, LeonConfig};
+use liquid_autoreconf::tuner::{
+    dcache_exhaustive_traced, dcache_exhaustive_traced_per_config, measure_cost_table_traced,
+    MeasurementOptions, ParameterSpace,
+};
+
+const MAX_CYCLES: u64 = 400_000_000;
+
+/// Serialises this binary's counter-delta measurements.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn options(threads: usize, batch_replay: bool) -> MeasurementOptions {
+    MeasurementOptions { max_cycles: MAX_CYCLES, threads, use_replay: true, batch_replay }
+}
+
+/// Independently re-derive the batch's behavior classes from the parameter
+/// space: every distinct (d-cache geometry, window count) pair and every
+/// distinct i-cache geometry — over perturbations *and* enabler references —
+/// that differs from the capturing configuration.  Also counts the timed
+/// configurations that would walk at least one stream under the per-config
+/// engine.
+fn distinct_classes(
+    space: &ParameterSpace,
+    base: &LeonConfig,
+) -> (HashSet<(CacheConfig, u8)>, HashSet<CacheConfig>, usize) {
+    let mut mem: HashSet<(CacheConfig, u8)> = HashSet::new();
+    let mut fetch: HashSet<CacheConfig> = HashSet::new();
+    let mut walked_configs: HashSet<LeonConfig> = HashSet::new();
+    for var in space.variables() {
+        let mut reference = *base;
+        if let Some(enabler) = &var.enabler {
+            enabler.apply(&mut reference);
+        }
+        let mut perturbed = reference;
+        var.change.apply(&mut perturbed);
+        let mut timed = vec![perturbed];
+        if var.enabler.is_some() {
+            timed.push(reference);
+        }
+        for config in timed {
+            let mut walks = false;
+            if config.dcache != base.dcache || config.iu.reg_windows != base.iu.reg_windows {
+                mem.insert((config.dcache, config.iu.reg_windows));
+                walks = true;
+            }
+            if config.icache != base.icache {
+                fetch.insert(config.icache);
+                walks = true;
+            }
+            if walks {
+                walked_configs.insert(config);
+            }
+        }
+    }
+    (mem, fetch, walked_configs.len())
+}
+
+#[test]
+fn cost_table_walks_at_most_once_per_behavior_class() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let workload = Blastn::scaled(Scale::Tiny);
+    let base = LeonConfig::base();
+    let model = SynthesisModel::default();
+    let space = ParameterSpace::paper();
+    let (_, trace) = capture_verified(&workload, &base, MAX_CYCLES).unwrap();
+
+    let (mem_classes, fetch_classes, walked_configs) = distinct_classes(&space, &base);
+    let classes = mem_classes.len() + fetch_classes.len();
+    assert!(classes > 0, "the paper space must contain cache perturbations");
+    assert!(
+        classes <= walked_configs,
+        "classes ({classes}) can never exceed walked configurations ({walked_configs})"
+    );
+
+    // threads = 1: the whole table fuses into one pass per trace stream
+    let before = trace_walks_performed();
+    let serial =
+        measure_cost_table_traced(&space, &workload, &base, &model, &options(1, true), &trace)
+            .unwrap();
+    let serial_walks = trace_walks_performed() - before;
+    assert!(
+        serial_walks <= 2,
+        "threads=1 must fuse all classes into one pass per stream, walked {serial_walks}"
+    );
+
+    // threads = 4: classes are partitioned, never duplicated
+    let before = trace_walks_performed();
+    let parallel =
+        measure_cost_table_traced(&space, &workload, &base, &model, &options(4, true), &trace)
+            .unwrap();
+    let parallel_walks = trace_walks_performed() - before;
+    assert!(
+        parallel_walks <= classes as u64,
+        "batched table must walk at most once per class ({classes}), walked {parallel_walks}"
+    );
+
+    // the per-config engine pays one walk per walked configuration — the
+    // cost the batched engine amortises away
+    let before = trace_walks_performed();
+    let per_config =
+        measure_cost_table_traced(&space, &workload, &base, &model, &options(1, false), &trace)
+            .unwrap();
+    let per_config_walks = trace_walks_performed() - before;
+    assert!(
+        per_config_walks >= classes as u64,
+        "per-config engine must walk at least once per class ({classes}), \
+         walked {per_config_walks}"
+    );
+    assert!(
+        serial_walks < per_config_walks,
+        "batching must reduce the walk count ({serial_walks} vs {per_config_walks})"
+    );
+
+    // and the budget is a pure cost change: all three tables byte-identical
+    let serial_json = serde_json::to_string(&serial).unwrap();
+    assert_eq!(serial_json, serde_json::to_string(&parallel).unwrap());
+    assert_eq!(serial_json, serde_json::to_string(&per_config).unwrap());
+}
+
+#[test]
+fn fig2_sweep_collapses_to_one_memory_stream_pass() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let workload = Blastn::scaled(Scale::Tiny);
+    let base = LeonConfig::base();
+    let model = SynthesisModel::default();
+    let (_, trace) = capture_verified(&workload, &base, MAX_CYCLES).unwrap();
+
+    let before = trace_walks_performed();
+    let batched = dcache_exhaustive_traced(&trace, &base, &model, MAX_CYCLES, 1).unwrap();
+    let batched_walks = trace_walks_performed() - before;
+    assert_eq!(
+        batched_walks, 1,
+        "the sweep changes only the d-cache: one fused memory-stream pass"
+    );
+
+    let before = trace_walks_performed();
+    let per_config =
+        dcache_exhaustive_traced_per_config(&trace, &base, &model, MAX_CYCLES, 1).unwrap();
+    let per_config_walks = trace_walks_performed() - before;
+    let walked_rows =
+        batched.iter().filter(|r| r.fits && (r.ways, r.way_kb) != (1, 4)).count() as u64;
+    assert_eq!(
+        per_config_walks, walked_rows,
+        "per-config sweep walks once per feasible non-base geometry"
+    );
+    assert!(per_config_walks > batched_walks);
+
+    assert_eq!(
+        serde_json::to_string(&batched).unwrap(),
+        serde_json::to_string(&per_config).unwrap(),
+        "both engines must produce identical Figure 2 rows"
+    );
+}

@@ -217,6 +217,49 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The one-pass batched engine against the anchor above: for a random
+    /// batch of valid geometries — salted with a duplicate, the captured
+    /// configuration itself and a structurally invalid config —
+    /// `replay_batch` must equal element-wise `replay` bit-for-bit
+    /// (successes *and* errors), on every workload, both through the serial
+    /// fused walk and through the class-partitioned worker pool at
+    /// `threads = 1` and `threads = 4`.
+    #[test]
+    fn replay_batch_matches_elementwise_replay(
+        seeds in proptest::collection::vec(any::<u64>(), 1..8)
+    ) {
+        let mut configs: Vec<LeonConfig> =
+            seeds.iter().map(|&seed| config_from_seed(seed)).collect();
+        configs.push(configs[0]); // duplicate: same behavior class twice
+        configs.push(LeonConfig::base()); // the captured configuration itself
+        let mut invalid = LeonConfig::base();
+        invalid.dcache.way_kb = 3; // structurally invalid
+        configs.push(invalid);
+
+        for (name, _program, trace) in captured_suite() {
+            let elementwise: Vec<_> =
+                configs.iter().map(|c| sim::replay(trace, c, MAX_CYCLES)).collect();
+            let batched = sim::replay_batch(trace, &configs, MAX_CYCLES);
+            prop_assert_eq!(&batched, &elementwise, "{}: serial batch diverged", name);
+            for threads in [1usize, 4] {
+                let pooled = liquid_autoreconf::tuner::replay_batch_indexed(
+                    trace, &configs, MAX_CYCLES, threads,
+                );
+                prop_assert_eq!(
+                    &pooled,
+                    &elementwise,
+                    "{}: class-partitioned batch diverged at threads={}",
+                    name,
+                    threads
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn trace_is_compact() {
     let base = LeonConfig::base();
