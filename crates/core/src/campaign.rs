@@ -117,15 +117,28 @@ fn class_spans(count: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
 }
 
 /// Retime every configuration of `configs` against one captured trace
-/// through the one-pass batched replay engine, partitioning *behavior
-/// classes* — not configurations — over the worker pool.
+/// through the one-pass batched replay engine, partitioning **class-span ×
+/// segment** units — not configurations, and not whole streams — over the
+/// worker pool.
+///
+/// Each class span owns a stateful segmented walker
+/// ([`leon_sim::MemSpanWalker`]/[`leon_sim::FetchSpanWalker`]) parked in a
+/// per-span slot; the work unit `(span g, segment s)` waits until segment
+/// `s − 1` of its span is done, resumes the walker through segment `s`, and
+/// parks it again.  Units are laid out segment-major (`i = s·nspans + g`)
+/// and `run_indexed` claims indexes in order, so a unit's predecessor is
+/// always already claimed and being computed — chains make progress, and
+/// different spans' segments overlap in time.  This unlocks *intra-trace*
+/// parallelism: a sweep dominated by one big trace stream no longer
+/// serialises on a single monolithic walk.
 ///
 /// Element `i` of the result equals `leon_sim::replay(trace, &configs[i],
-/// max_cycles)` bit-for-bit (including errors), at any thread count: class
-/// results do not depend on how the classes are chunked, so `threads = 1`
-/// (one fused pass per trace stream, at most two walks total) and
-/// `threads = N` (at most `N` spans per stream, still at most one walk per
-/// class) produce byte-identical output.  This is the retiming kernel behind
+/// max_cycles)` bit-for-bit (including errors), at any thread count: each
+/// span's per-segment partial sequence is schedule-independent (the walker
+/// chains its state through the segments in order no matter which worker
+/// runs which unit), and the partials are merged by the deterministic
+/// segment-order reduction.  `threads = 1` degenerates to one fused ordered
+/// pass per stream.  This is the retiming kernel behind
 /// [`crate::measure::measure_cost_table_traced`] and
 /// [`crate::dcache_study::dcache_exhaustive_traced`].
 pub fn replay_batch_indexed(
@@ -134,30 +147,92 @@ pub fn replay_batch_indexed(
     max_cycles: u64,
     threads: usize,
 ) -> Vec<Result<leon_sim::Stats, SimError>> {
+    use std::sync::Condvar;
+
     let plan = leon_sim::ReplayBatch::new(trace, configs, max_cycles);
     let workers = effective_threads(threads);
     let mem_spans = class_spans(plan.mem_class_count(), workers);
     let fetch_spans = class_spans(plan.fetch_class_count(), workers);
-
-    enum SpanOut {
-        Mem(Vec<(leon_sim::CacheStats, u64, u64)>),
-        Fetch(Vec<leon_sim::CacheStats>),
+    let nspans = mem_spans.len() + fetch_spans.len();
+    let segments = plan.segment_count();
+    if nspans == 0 || segments == 0 {
+        // no classes to walk, or an empty trace (every span reduces over
+        // zero partials — `walk_*_span` handles both for free)
+        let mem: Vec<_> =
+            mem_spans.iter().flat_map(|span| plan.walk_mem_span(span.clone())).collect();
+        let fetch: Vec<_> =
+            fetch_spans.iter().flat_map(|span| plan.walk_fetch_span(span.clone())).collect();
+        return plan.finish(&mem, &fetch);
     }
-    let outs = run_indexed(mem_spans.len() + fetch_spans.len(), threads, |i| {
-        if i < mem_spans.len() {
-            SpanOut::Mem(plan.walk_mem_span(mem_spans[i].clone()))
-        } else {
-            SpanOut::Fetch(plan.walk_fetch_span(fetch_spans[i - mem_spans.len()].clone()))
+
+    enum Walker<'a> {
+        Mem(leon_sim::MemSpanWalker<'a>),
+        Fetch(leon_sim::FetchSpanWalker<'a>),
+    }
+    enum Partial {
+        Mem(leon_sim::MemSegmentPartial),
+        Fetch(leon_sim::FetchSegmentPartial),
+    }
+    struct ChainSlot<'a> {
+        walker: Option<Walker<'a>>,
+        next_seg: usize,
+    }
+    let chains: Vec<(Mutex<ChainSlot>, Condvar)> = (0..nspans)
+        .map(|_| (Mutex::new(ChainSlot { walker: None, next_seg: 0 }), Condvar::new()))
+        .collect();
+
+    let outs = run_indexed(nspans * segments, threads, |i| {
+        let (g, s) = (i % nspans, i / nspans);
+        let (lock, ready) = &chains[g];
+        let mut slot = lock.lock().unwrap();
+        while slot.next_seg != s {
+            slot = ready.wait(slot).unwrap();
         }
+        // the walker exists from segment 1 on; segment 0 creates it
+        let mut walker = slot.walker.take().unwrap_or_else(|| {
+            debug_assert_eq!(s, 0);
+            if g < mem_spans.len() {
+                Walker::Mem(plan.mem_span_walker(mem_spans[g].clone()))
+            } else {
+                Walker::Fetch(plan.fetch_span_walker(fetch_spans[g - mem_spans.len()].clone()))
+            }
+        });
+        drop(slot);
+
+        let partial = match &mut walker {
+            Walker::Mem(w) => Partial::Mem(w.walk_segment(s)),
+            Walker::Fetch(w) => Partial::Fetch(w.walk_segment(s)),
+        };
+
+        let mut slot = lock.lock().unwrap();
+        slot.walker = Some(walker);
+        slot.next_seg = s + 1;
+        ready.notify_all();
+        drop(slot);
+        partial
     });
 
+    let mut outs: Vec<Option<Partial>> = outs.into_iter().map(Some).collect();
     let mut mem = Vec::with_capacity(plan.mem_class_count());
     let mut fetch = Vec::with_capacity(plan.fetch_class_count());
-    for out in outs {
-        match out {
-            SpanOut::Mem(results) => mem.extend(results),
-            SpanOut::Fetch(results) => fetch.extend(results),
-        }
+    for (g, span) in mem_spans.iter().enumerate() {
+        let partials: Vec<leon_sim::MemSegmentPartial> = (0..segments)
+            .map(|s| match outs[s * nspans + g].take() {
+                Some(Partial::Mem(p)) => p,
+                _ => unreachable!("mem span units produce mem partials"),
+            })
+            .collect();
+        mem.extend(plan.reduce_mem_partials(span.clone(), &partials));
+    }
+    for (g, span) in fetch_spans.iter().enumerate() {
+        let g = g + mem_spans.len();
+        let partials: Vec<leon_sim::FetchSegmentPartial> = (0..segments)
+            .map(|s| match outs[s * nspans + g].take() {
+                Some(Partial::Fetch(p)) => p,
+                _ => unreachable!("fetch span units produce fetch partials"),
+            })
+            .collect();
+        fetch.extend(plan.reduce_fetch_partials(span.clone(), &partials));
     }
     plan.finish(&mem, &fetch)
 }
@@ -720,6 +795,25 @@ impl Campaign {
         }
     }
 
+    /// Open the workload's stored trace entry for segment-at-a-time
+    /// streaming, if the store holds a structurally valid version-2 entry
+    /// captured on this campaign's base configuration.
+    ///
+    /// `None` (→ the caller falls back to full materialisation) on a
+    /// missing entry, a version-1 payload, a damaged header, or a foreign
+    /// capture configuration.  Per-segment corruption deeper in the payload
+    /// is only caught when the segment is fetched.
+    fn open_streamed_trace(&self, workload_fp: u64) -> Option<leon_sim::StreamedTrace> {
+        let store = self.store.as_ref()?;
+        let reader = store.open_payload_reader("trace", self.trace_key(workload_fp))?;
+        let streamed =
+            leon_sim::StreamedTrace::open(Box::new(StoredTraceSource { reader })).ok()?;
+        if streamed.header().captured != self.base {
+            return None; // keyed correctly but captured elsewhere — never trust it
+        }
+        Some(streamed)
+    }
+
     /// Capture the workload's trace by full (guest-executing) simulation and
     /// persist it.
     fn capture_and_persist_trace(
@@ -898,11 +992,37 @@ impl Campaign {
     }
 }
 
+/// [`leon_sim::SegmentRead`] adapter over a stored trace entry's payload:
+/// skips the 16-byte base-cost prefix ([`encode_stored_trace`]) so offsets
+/// address serialised trace bytes, and ticks the process-wide
+/// [`workloads::trace_payload_bytes_read`] counter for every byte actually
+/// fetched — the laziness tests keep measuring streamed reads, which are a
+/// small fraction of a full payload load.
+struct StoredTraceSource {
+    reader: crate::store::PayloadReader,
+}
+
+impl leon_sim::SegmentRead for StoredTraceSource {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        leon_sim::SegmentRead::read_at(&self.reader, offset + 16, buf)?;
+        workloads::record_trace_payload_read(buf.len() as u64);
+        Ok(())
+    }
+
+    fn total_len(&self) -> std::io::Result<u64> {
+        Ok(leon_sim::SegmentRead::total_len(&self.reader)?.saturating_sub(16))
+    }
+}
+
+/// Length of the base-cost prefix ([`encode_stored_trace`]) that precedes
+/// the serialised trace bytes in a stored trace entry's payload.
+pub(crate) const STORED_TRACE_PREFIX_LEN: usize = 16;
+
 /// Binary payload of a stored trace entry: the base-run costs the campaign
 /// needs alongside the trace itself, so a warm load replays nothing.
 fn encode_stored_trace(entry: &TracedWorkload) -> Vec<u8> {
     let trace = entry.trace.to_bytes();
-    let mut payload = Vec::with_capacity(16 + trace.len());
+    let mut payload = Vec::with_capacity(STORED_TRACE_PREFIX_LEN + trace.len());
     payload.extend_from_slice(&entry.base_cycles.to_le_bytes());
     payload.extend_from_slice(&entry.base_seconds.to_bits().to_le_bytes());
     payload.extend_from_slice(&trace);
@@ -1151,6 +1271,13 @@ impl<'a> CampaignSession<'a> {
     }
 
     /// The workload's Figure 2 sweep; a store hit never touches the trace.
+    ///
+    /// On a sweep miss with the trace *not yet resident*, the recompute
+    /// first tries the streaming path: the stored v2 trace entry is replayed
+    /// one segment at a time ([`crate::dcache_study::dcache_exhaustive_traced_streamed`])
+    /// without ever materialising the whole op vector — the bounded-memory
+    /// half of the segmented-trace contract.  A damaged or version-1 entry
+    /// falls back to the full decode path, which detects and heals it.
     pub fn sweep(&self, index: usize) -> Result<&Vec<DcacheRow>, OptimizeError> {
         self.sweeps[index].get_or_try_materialize(|| {
             let fp = self.fingerprints[index];
@@ -1159,6 +1286,35 @@ impl<'a> CampaignSession<'a> {
             {
                 self.bump(false, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
                 return Ok(sweep);
+            }
+            if !self.traces[index].is_materialized() {
+                if let Some(streamed) = self.engine.open_streamed_trace(fp) {
+                    match crate::dcache_study::dcache_exhaustive_traced_streamed(
+                        &streamed,
+                        &self.engine.base,
+                        &self.engine.model,
+                        self.engine.measurement.max_cycles,
+                    ) {
+                        Ok(sweep) => {
+                            self.engine.persist_json(
+                                "sweep",
+                                self.engine.sweep_key(fp),
+                                &format!("sweep for {}", self.names[index]),
+                                &sweep,
+                            );
+                            self.bump(true, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
+                            return Ok(sweep);
+                        }
+                        Err(crate::dcache_study::StreamedSweepError::Sim(e)) => {
+                            return Err(e.into());
+                        }
+                        Err(crate::dcache_study::StreamedSweepError::Codec(_)) => {
+                            // the stored entry is damaged mid-payload: fall
+                            // through to the full decode, which recounts the
+                            // corruption and recaptures the trace
+                        }
+                    }
+                }
             }
             let entry = self.trace(index)?;
             let sweep = self.engine.compute_and_persist_sweep(fp, entry)?;

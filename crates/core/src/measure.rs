@@ -330,9 +330,10 @@ pub fn measure_variable(
 /// With a trace and batching enabled (the default), every replayable
 /// configuration of the table — perturbations and enabler references alike —
 /// is retimed through one batched walk per behavior class
-/// ([`crate::campaign::replay_batch_indexed`], classes partitioned over the
-/// pool); otherwise each variable replays (or fully simulates) on its own,
-/// fanned out per variable.
+/// ([`crate::campaign::replay_batch_indexed`], which schedules class-span ×
+/// trace-segment units over the pool — segments of one span chain in order,
+/// while different spans interleave at segment granularity); otherwise each
+/// variable replays (or fully simulates) on its own, fanned out per variable.
 fn measure_all(
     space: &ParameterSpace,
     workload: &(dyn Workload + Sync),

@@ -340,6 +340,39 @@ struct Shared {
     pins: Mutex<HashMap<(String, u64), usize>>,
 }
 
+/// Positional reader over one stored entry's payload, opened by
+/// [`ArtifactStore::open_payload_reader`].  Offsets address payload bytes
+/// directly (the 40-byte envelope is skipped internally), and every
+/// successful read adds to [`StoreStats::payload_bytes_read`] — so
+/// streaming a few segments of a large trace is visibly cheaper in the
+/// stats than a full [`ArtifactStore::load`].
+pub struct PayloadReader {
+    file: Mutex<std::fs::File>,
+    payload_len: u64,
+    shared: Arc<Shared>,
+}
+
+impl leon_sim::SegmentRead for PayloadReader {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        use std::io::{Seek, SeekFrom};
+        if offset.checked_add(buf.len() as u64).is_none_or(|end| end > self.payload_len) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "read past the end of the stored payload",
+            ));
+        }
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.seek(SeekFrom::Start(ENVELOPE_LEN as u64 + offset))?;
+        file.read_exact(buf)?;
+        self.shared.stats.payload_bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn total_len(&self) -> std::io::Result<u64> {
+        Ok(self.payload_len)
+    }
+}
+
 /// Envelope metadata returned by [`ArtifactStore::peek`] — everything known
 /// about an entry without reading its payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -413,6 +446,18 @@ pub struct DoctorReport {
     /// Leftover temporary files from interrupted writes (deleted when
     /// repairing).
     pub stray_tmp_files: usize,
+    /// Trace entries in the legacy version-1 (monolithic) codec.  They
+    /// still load — the decoder keeps v1 support — but re-serialising
+    /// (or re-capturing) upgrades them to the segmented format.
+    pub trace_v1_entries: usize,
+    /// Trace entries in the segmented version-2 codec whose segment index
+    /// and per-segment checksums all validate.
+    pub trace_v2_entries: usize,
+    /// Trace entries whose envelope checksum passes but whose embedded
+    /// trace fails structural validation — a broken segment index (offsets
+    /// not monotone, payload mis-tiled) or a per-segment checksum mismatch
+    /// (deleted when repairing).
+    pub segment_index_errors: usize,
     /// Whether the pass repaired what it found.
     pub repaired: bool,
 }
@@ -426,6 +471,7 @@ impl DoctorReport {
             && self.stale_manifest_entries == 0
             && self.mismatched_manifest_entries == 0
             && self.stray_tmp_files == 0
+            && self.segment_index_errors == 0
     }
 
     /// Human-readable multi-line summary.
@@ -440,10 +486,23 @@ impl DoctorReport {
             (self.stale_manifest_entries, "manifest record(s) without a file"),
             (self.mismatched_manifest_entries, "manifest record(s) out of sync"),
             (self.stray_tmp_files, "stray temporary file(s)"),
+            (self.segment_index_errors, "trace entry(ies) with a broken segment index"),
         ];
         for (count, what) in issues {
             if count > 0 {
                 out.push_str(&format!("  {count} {what}\n"));
+            }
+        }
+        if self.trace_v1_entries + self.trace_v2_entries > 0 {
+            out.push_str(&format!(
+                "  traces: {} segmented (v2), {} legacy (v1)\n",
+                self.trace_v2_entries, self.trace_v1_entries
+            ));
+            if self.trace_v1_entries > 0 && self.trace_v2_entries > 0 {
+                out.push_str(
+                    "  mixed-version store: v1 entries still load, and refresh to v2 \
+                     on the next capture\n",
+                );
             }
         }
         if self.is_clean() {
@@ -862,6 +921,30 @@ impl ArtifactStore {
         self.peek(kind, key).is_some()
     }
 
+    /// Open the entry under `(kind, key)` for positional payload reads
+    /// without loading it — the [`leon_sim::SegmentRead`] half of the
+    /// streaming-trace contract: a warm replay fetches one segment at a
+    /// time instead of materialising a multi-megabyte payload.
+    ///
+    /// The envelope is validated exactly like [`ArtifactStore::peek`]; the
+    /// payload checksum is deliberately **not** verified here (that would
+    /// read the whole payload), so this is only suitable for payload
+    /// formats carrying their own integrity data — the v2 trace codec's
+    /// per-segment checksums.  A successful open counts as a hit and stamps
+    /// the manifest clock; a missing/invalid envelope returns `None`
+    /// without counting a miss (the caller's fallback `load` does).
+    pub fn open_payload_reader(&self, kind: &str, key: Fingerprint) -> Option<PayloadReader> {
+        let meta = self.peek(kind, key)?;
+        let file = std::fs::File::open(self.entry_path(kind, key)).ok()?;
+        self.shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+        self.note_access(kind, key, meta.payload_len, meta.checksum);
+        Some(PayloadReader {
+            file: Mutex::new(file),
+            payload_len: meta.payload_len,
+            shared: self.shared.clone(),
+        })
+    }
+
     /// Reclassify the immediately preceding hit as a corrupt miss.
     ///
     /// For callers that decode a loaded payload themselves (the campaign's
@@ -904,6 +987,16 @@ impl ArtifactStore {
         }
         bytes.drain(0..ENVELOPE_LEN);
         Some((bytes, checksum))
+    }
+
+    /// Codec version of the trace embedded in a stored `trace` payload, or
+    /// `None` when its structure does not validate (`store doctor`'s inner
+    /// integrity pass): the 16-byte base-cost prefix must be present, the
+    /// trace header must parse, and — for the segmented v2 codec — the
+    /// segment index and every per-segment checksum must check out.
+    fn stored_trace_version(payload: &[u8]) -> Option<u32> {
+        let trace_bytes = payload.get(crate::campaign::STORED_TRACE_PREFIX_LEN..)?;
+        leon_sim::Trace::validate_segments(trace_bytes).ok().map(|h| h.version)
     }
 
     /// Store a serde-serialisable value as a JSON payload under `(kind, key)`.
@@ -1064,9 +1157,12 @@ impl ArtifactStore {
 
     /// Verify the store end to end: every entry's envelope *and payload
     /// checksum*, the manifest ↔ directory correspondence, and leftover
-    /// temporary files.  With `repair`, corrupt entries and stray files are
-    /// deleted and the manifest is rebuilt to match the surviving entries
-    /// (preserving access stamps where known).
+    /// temporary files.  Trace entries get a deeper pass — the embedded
+    /// trace's segment index and (v2) per-segment checksums are validated,
+    /// and the report breaks out legacy-v1 vs segmented-v2 counts so a
+    /// mixed-version store is visible.  With `repair`, corrupt entries and
+    /// stray files are deleted and the manifest is rebuilt to match the
+    /// surviving entries (preserving access stamps where known).
     pub fn doctor(&self, repair: bool) -> std::io::Result<DoctorReport> {
         let mut state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
         self.sync_with_disk_locked(&mut state);
@@ -1081,9 +1177,39 @@ impl ArtifactStore {
             });
             match (id, ok) {
                 (Some((kind, key)), Some((payload, checksum))) => {
-                    report.entries_ok += 1;
-                    report.payload_bytes += payload.len() as u64;
-                    valid.insert((kind, key.0), (payload.len() as u64, checksum));
+                    // trace entries carry their own inner structure (segment
+                    // index + per-segment checksums in v2) that the envelope
+                    // checksum cannot vouch for — validate it here, where
+                    // the payload is already in hand
+                    let trace_ok = if kind == "trace" {
+                        match Self::stored_trace_version(&payload) {
+                            Some(1) => {
+                                report.trace_v1_entries += 1;
+                                true
+                            }
+                            Some(_) => {
+                                report.trace_v2_entries += 1;
+                                true
+                            }
+                            None => {
+                                report.segment_index_errors += 1;
+                                false
+                            }
+                        }
+                    } else {
+                        true
+                    };
+                    if trace_ok {
+                        report.entries_ok += 1;
+                        report.payload_bytes += payload.len() as u64;
+                        valid.insert((kind, key.0), (payload.len() as u64, checksum));
+                    } else if repair {
+                        remove_entry_file(&path)?;
+                    } else {
+                        // keep the manifest correspondence quiet — the
+                        // defect is already counted above
+                        valid.insert((kind, key.0), (payload.len() as u64, checksum));
+                    }
                 }
                 _ => {
                     report.corrupt_entries += 1;
@@ -1553,25 +1679,25 @@ mod tests {
         let k2 = FingerprintBuilder::new().str("d2").finish();
         let k3 = FingerprintBuilder::new().str("d3").finish();
         store.save("table", k1, b"healthy").unwrap();
-        store.save("trace", k2, b"will be corrupted").unwrap();
-        store.save("sweep", k3, b"will go stale").unwrap();
+        store.save("sweep", k2, b"will be corrupted").unwrap();
+        store.save("optimum", k3, b"will go stale").unwrap();
         assert!(store.doctor(false).unwrap().is_clean());
 
         // corrupt one payload, delete one file behind the manifest's back,
         // and drop a stray temporary
-        let path = store.dir().join(format!("trace-{k2}.art"));
+        let path = store.dir().join(format!("sweep-{k2}.art"));
         let mut bytes = std::fs::read(&path).unwrap();
         *bytes.last_mut().unwrap() ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
-        std::fs::remove_file(store.dir().join(format!("sweep-{k3}.art"))).unwrap();
+        std::fs::remove_file(store.dir().join(format!("optimum-{k3}.art"))).unwrap();
         std::fs::write(store.dir().join(".tmp-1234-99-stray"), b"torn").unwrap();
 
         let report = store.doctor(false).unwrap();
         assert!(!report.is_clean());
         assert_eq!(report.entries_ok, 1);
         assert_eq!(report.corrupt_entries, 1);
-        // the corrupted trace still has a (now mismatching or stale)
-        // manifest record, and the deleted sweep is stale
+        // the corrupted sweep still has a (now mismatching or stale)
+        // manifest record, and the deleted optimum is stale
         assert_eq!(report.stale_manifest_entries, 2);
         assert_eq!(report.stray_tmp_files, 1);
         assert!(report.render().contains("corrupt"));
@@ -1585,13 +1711,77 @@ mod tests {
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
+    /// A real captured trace wrapped in the stored-entry framing (the
+    /// 16-byte base-cost prefix of `campaign::encode_stored_trace`).
+    fn stored_trace_payload(trace_bytes: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 + trace_bytes.len());
+        payload.extend_from_slice(&42u64.to_le_bytes());
+        payload.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        payload.extend_from_slice(trace_bytes);
+        payload
+    }
+
+    #[test]
+    fn doctor_validates_stored_trace_segments() {
+        use leon_isa::{Asm, Reg};
+        let store = scratch_store("doctor-trace");
+        let mut a = Asm::new("doctor-trace");
+        a.set(Reg::L0, 64);
+        a.set(Reg::L2, leon_isa::DEFAULT_MEMORY_SIZE / 2);
+        a.label("loop");
+        a.st(Reg::L0, Reg::L2, 0);
+        a.ld(Reg::L3, Reg::L2, 0);
+        a.add(Reg::L2, Reg::L2, 4);
+        a.subcc(Reg::L0, Reg::L0, 1);
+        a.bne("loop");
+        a.halt();
+        let program = a.assemble().unwrap();
+        let (_, trace) =
+            leon_sim::capture(&leon_sim::LeonConfig::base(), &program, 1_000_000).unwrap();
+        let v2 = trace.to_bytes();
+        let v1 = trace.to_bytes_v1();
+
+        let k_v2 = FingerprintBuilder::new().str("trace-v2").finish();
+        let k_v1 = FingerprintBuilder::new().str("trace-v1").finish();
+        store.save("trace", k_v2, &stored_trace_payload(&v2)).unwrap();
+        store.save("trace", k_v1, &stored_trace_payload(&v1)).unwrap();
+        let report = store.doctor(false).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!((report.trace_v2_entries, report.trace_v1_entries), (1, 1));
+        assert!(report.render().contains("mixed-version store"));
+
+        // flip the last payload byte of the trace (just ahead of its
+        // trailing whole-file checksum) and re-save: the store envelope is
+        // recomputed over the damaged bytes and validates, so only the
+        // inner per-segment checksum can catch it
+        let mut bad = v2.clone();
+        let at = bad.len() - 9;
+        bad[at] ^= 0xff;
+        let k_bad = FingerprintBuilder::new().str("trace-bad").finish();
+        store.save("trace", k_bad, &stored_trace_payload(&bad)).unwrap();
+        let report = store.doctor(false).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.segment_index_errors, 1);
+        assert_eq!(report.corrupt_entries, 0, "the envelope itself is fine");
+        assert!(report.render().contains("broken segment index"));
+
+        // repair deletes the damaged entry; the healthy ones survive
+        assert!(store.doctor(true).unwrap().repaired);
+        let after = store.doctor(false).unwrap();
+        assert!(after.is_clean(), "{after:?}");
+        assert_eq!((after.trace_v2_entries, after.trace_v1_entries), (1, 1));
+        assert_eq!(store.load("trace", k_bad), None);
+        assert!(store.load("trace", k_v2).is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
     #[test]
     fn pack_and_unpack_round_trip_the_whole_store() {
         let store = scratch_store("pack-src");
         let k1 = FingerprintBuilder::new().str("p1").finish();
         let k2 = FingerprintBuilder::new().str("p2").finish();
         store.save("table", k1, b"table payload").unwrap();
-        store.save("trace", k2, b"trace payload, longer").unwrap();
+        store.save("sweep", k2, b"sweep payload, longer").unwrap();
 
         let pack = store.dir().join("export.pack");
         let packed = store.pack_to(&pack).unwrap();
@@ -1607,7 +1797,7 @@ mod tests {
         let unpacked = dest.unpack_from(&pack).unwrap();
         assert_eq!(unpacked.entries, 2);
         assert_eq!(dest.load("table", k1).as_deref(), Some(&b"table payload"[..]));
-        assert_eq!(dest.load("trace", k2).as_deref(), Some(&b"trace payload, longer"[..]));
+        assert_eq!(dest.load("sweep", k2).as_deref(), Some(&b"sweep payload, longer"[..]));
         assert!(dest.doctor(false).unwrap().is_clean());
 
         // a corrupt pack is rejected atomically

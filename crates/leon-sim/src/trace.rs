@@ -91,6 +91,27 @@ fn record_trace_walk() {
     TRACE_WALKS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Process-wide count of trace *segments* walked: one tick per segment
+/// processed by a segmented span walker ([`MemSpanWalker`] /
+/// [`FetchSpanWalker`]), whichever engine drives it.  A full span walk over
+/// a trace with S segments ticks this S times (and [`TRACE_WALKS`] once), so
+/// the segment-level budget of a batched measurement is
+/// `classes × segments`, and a fused Figure 2 memory pass is exactly
+/// `segments` — `tests/batch_walk_budget.rs` asserts both against deltas of
+/// this counter.
+static TRACE_SEGMENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total trace segments walked so far by this process.  Monotonic; compare
+/// deltas, as with [`trace_walks_performed`].
+pub fn trace_segments_walked() -> u64 {
+    TRACE_SEGMENTS.load(Ordering::Relaxed)
+}
+
+/// Record one segment processed by a span walker.
+fn record_segment_walk() {
+    TRACE_SEGMENTS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Flag bits of one [`TraceOp`].  A bit records that the *event occurred* in
 /// the instruction stream; whether and how many cycles it costs is decided at
 /// replay time from the configuration under evaluation.  A record with no
@@ -210,6 +231,138 @@ pub struct TraceSummary {
     pub restores: u64,
 }
 
+/// Target number of records per trace segment (the "fixed-size-ish" cut):
+/// large enough that per-segment checkpoint and index overhead is noise,
+/// small enough that a large trace yields dozens of independently walkable
+/// units for intra-trace parallelism.
+pub const SEGMENT_TARGET_OPS: usize = 1 << 16;
+
+/// Marker flag of a folded-stream item (bit 63): the item is a
+/// `save`/`restore` window rotation, not a load/store run leader.
+const FOLD_MARKER_BIT: u64 = 1 << 63;
+
+/// On a marker item: set for `restore`, clear for `save`.  The low 32 bits
+/// hold the (configuration-independent) trap stack pointer either way.
+const FOLD_RESTORE_BIT: u64 = 1 << 32;
+
+/// [`SegmentMeta::fold_carry`] sentinel: no fold was in flight at the
+/// segment boundary.  A real carry is a 16-byte line number (`addr >> 4`,
+/// at most `2^28 - 1`), so the sentinel is unambiguous.
+const FOLD_NONE: u32 = u32::MAX;
+
+/// Per-segment entry checkpoint of a [`Trace`]: everything needed to decode
+/// and walk one segment without touching its predecessors.  Deliberately
+/// cache-independent — cache tag state chains through the span walkers — the
+/// checkpoint pins the *stream* state at segment entry: per-stream record
+/// offsets, the retired-instruction (cycle-offset) prefix, the capturing
+/// configuration's resident-window automaton state, and the capture-fold
+/// run-compression carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// First record of this segment in [`Trace::ops`].
+    pub ops_start: usize,
+    /// First event of this segment in [`Trace::mem`] (in-memory offset; the
+    /// serialised index stores the folded offset instead, from which this is
+    /// re-derived on decode).
+    pub mem_start: usize,
+    /// First item of this segment in [`Trace::folded`].
+    pub folded_start: usize,
+    /// Dynamic instructions retired before this segment (the segment's
+    /// configuration-independent cycle/instruction offset).
+    pub instructions_before: u64,
+    /// Resident-window automaton state at segment entry *on the capturing
+    /// configuration* (format completeness; replay automata for other window
+    /// counts chain through the span walkers).
+    pub resident_entry: u32,
+    /// 16-byte line a capture-time fold would have continued across this
+    /// boundary ([`FOLD_NONE`] when none): stored folds are split at every
+    /// boundary so segments decode independently, and the carry records what
+    /// was split.
+    pub fold_carry: u32,
+}
+
+/// Build the segment checkpoints and the capture-folded memory stream for a
+/// record stream cut at `boundaries` (record indices; first must be 0,
+/// strictly increasing, all within the stream).
+///
+/// The folded stream is the capture-side pre-computation of the batched
+/// walk's guaranteed-hit elision: an access that strictly-consecutively
+/// follows a **read** of its own 16-byte line folds into the leader's run
+/// count (a write never establishes presence, so write leaders carry no
+/// run).  Stored folds split at every `save`/`restore` marker — whether the
+/// marker traps depends on the replayed window count, so folding across it
+/// would be unsound — and at every segment boundary, so each segment's items
+/// stand alone; the walk re-folds across non-trapping markers at run time,
+/// recovering the monolithic elision exactly.
+fn derive_segments(
+    ops: &[TraceOp],
+    boundaries: &[usize],
+    nwindows: u32,
+) -> (Vec<SegmentMeta>, Vec<u64>) {
+    let mut segments = Vec::with_capacity(boundaries.len());
+    let mut folded: Vec<u64> = Vec::new();
+    let mut mem_index = 0usize;
+    let mut instructions = 0u64;
+    let mut resident: u32 = 1;
+    let mut run_line: Option<u32> = None;
+
+    let fold_push = |folded: &mut Vec<u64>, run_line: &mut Option<u32>, addr: u32, write: bool| {
+        if *run_line == Some(addr >> 4) {
+            *folded.last_mut().expect("a run leader precedes every extension") +=
+                1 << TagCache::MEM_RUN_SHIFT;
+        } else {
+            folded.push(addr as u64 | if write { TagCache::WRITE_BIT } else { 0 });
+            *run_line = (!write).then(|| addr >> 4);
+        }
+    };
+
+    for (index, &start) in boundaries.iter().enumerate() {
+        let end = boundaries.get(index + 1).copied().unwrap_or(ops.len());
+        segments.push(SegmentMeta {
+            ops_start: start,
+            mem_start: mem_index,
+            folded_start: folded.len(),
+            instructions_before: instructions,
+            resident_entry: resident,
+            fold_carry: run_line.unwrap_or(FOLD_NONE),
+        });
+        // a stored fold never crosses a segment boundary, so `folded_start`
+        // always aligns with `ops_start` (the split is recorded as the carry)
+        run_line = None;
+        for op in &ops[start..end] {
+            instructions += op.instructions();
+            if op.flags == 0 {
+                continue;
+            }
+            if op.flags & flags::LOAD != 0 {
+                fold_push(&mut folded, &mut run_line, op.aux, false);
+                mem_index += 1;
+            }
+            if op.flags & flags::STORE != 0 {
+                fold_push(&mut folded, &mut run_line, op.aux, true);
+                mem_index += 1;
+            }
+            if op.flags & flags::SAVE != 0 {
+                folded.push(FOLD_MARKER_BIT | op.aux as u64);
+                run_line = None;
+                mem_index += 1;
+                if resident < nwindows - 1 {
+                    resident += 1;
+                }
+            }
+            if op.flags & flags::RESTORE != 0 {
+                folded.push(FOLD_MARKER_BIT | FOLD_RESTORE_BIT | op.aux as u64);
+                run_line = None;
+                mem_index += 1;
+                if resident > 1 {
+                    resident -= 1;
+                }
+            }
+        }
+    }
+    (segments, folded)
+}
+
 /// A captured execution trace: the full timing-relevant event stream of one
 /// program run, independent of every Figure 1 parameter (including the
 /// register-window count — window traps are re-derived at replay time).
@@ -219,6 +372,14 @@ pub struct Trace {
     pub ops: Vec<TraceOp>,
     /// The data-cache/window event stream (see [`MemOp`]), in execution order.
     pub mem: Vec<MemOp>,
+    /// The capture-folded memory stream: one item per run leader or window
+    /// marker (see [`derive_segments`]), segment-aligned.  The batched
+    /// walkers consume this instead of re-deriving the guaranteed-hit
+    /// elision from [`Trace::mem`] on every batch build.
+    pub folded: Vec<u64>,
+    /// Segment checkpoints, in segment order ([`SegmentMeta`]); every trace
+    /// with records has at least one segment.
+    pub segments: Vec<SegmentMeta>,
     /// Configuration-independent event counts.
     pub summary: TraceSummary,
     /// The configuration the trace was captured on.
@@ -254,6 +415,64 @@ impl Trace {
     pub fn memory_bytes(&self) -> usize {
         self.ops.len() * std::mem::size_of::<TraceOp>()
             + self.mem.len() * std::mem::size_of::<MemOp>()
+            + self.folded.len() * std::mem::size_of::<u64>()
+            + self.segments.len() * std::mem::size_of::<SegmentMeta>()
+    }
+
+    /// Number of segments (0 only for an empty trace).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Record range of segment `seg` in [`Trace::ops`].
+    fn ops_range(&self, seg: usize) -> Range<usize> {
+        let start = self.segments[seg].ops_start;
+        let end = self.segments.get(seg + 1).map_or(self.ops.len(), |s| s.ops_start);
+        start..end
+    }
+
+    /// Item range of segment `seg` in [`Trace::folded`].
+    fn folded_range(&self, seg: usize) -> Range<usize> {
+        let start = self.segments[seg].folded_start;
+        let end = self.segments.get(seg + 1).map_or(self.folded.len(), |s| s.folded_start);
+        start..end
+    }
+
+    /// `true` when `boundaries` is a valid segmentation of `records` records:
+    /// empty for an empty trace, otherwise starting at 0, strictly
+    /// increasing, and within the stream.
+    fn valid_boundaries(records: usize, boundaries: &[usize]) -> bool {
+        if records == 0 {
+            return boundaries.is_empty();
+        }
+        boundaries.first() == Some(&0)
+            && boundaries.windows(2).all(|w| w[0] < w[1])
+            && boundaries.iter().all(|&b| b < records)
+    }
+
+    /// The default segmentation: a cut every [`SEGMENT_TARGET_OPS`] records.
+    fn default_boundaries(records: usize) -> Vec<usize> {
+        (0..records).step_by(SEGMENT_TARGET_OPS).collect()
+    }
+
+    /// Re-cut the trace at the given record boundaries (first must be 0,
+    /// strictly increasing, all `< ops.len()`; empty only for an empty
+    /// trace), rebuilding the segment checkpoints and the capture-folded
+    /// stream.  Replay results are independent of the segmentation — the
+    /// segmented-replay proptest exercises exactly this API.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `boundaries` is not a valid segmentation.
+    pub fn resegment_at(&mut self, boundaries: &[usize]) {
+        assert!(
+            Trace::valid_boundaries(self.ops.len(), boundaries),
+            "segment boundaries must start at 0, increase strictly and stay in-range"
+        );
+        let (segments, folded) =
+            derive_segments(&self.ops, boundaries, self.captured.iu.reg_windows as u32);
+        self.segments = segments;
+        self.folded = folded;
     }
 
     /// Build the derived streams (`mem`, `summary`) from a raw record stream.
@@ -300,17 +519,22 @@ impl Trace {
         (summary, mem)
     }
 
-    /// Build the derived streams (`mem`, `summary`) from a raw record stream
-    /// and the capturing run's results.
+    /// Build the derived streams (`mem`, `summary`, segments, folded) from a
+    /// raw record stream and the capturing run's results.
     fn assemble(ops: Vec<TraceOp>, captured: &LeonConfig, stats: &Stats) -> Trace {
         let (summary, mem) = Trace::derive_streams(&ops);
         debug_assert_eq!(summary.instructions, stats.instructions);
         debug_assert_eq!(summary.loads, stats.loads);
         debug_assert_eq!(summary.stores, stats.stores);
         debug_assert_eq!(summary.branches, stats.branches);
+        let boundaries = Trace::default_boundaries(ops.len());
+        let (segments, folded) =
+            derive_segments(&ops, &boundaries, captured.iu.reg_windows as u32);
         Trace {
             ops,
             mem,
+            folded,
+            segments,
             summary,
             captured: *captured,
             base_icache: stats.icache,
@@ -330,9 +554,14 @@ impl Trace {
 /// Bump this whenever the record layout, the captured-configuration encoding
 /// or the semantics of any serialised field change: persisted traces carry
 /// the version they were written with, and [`Trace::from_bytes`] refuses to
-/// decode any other version, so stale artifacts fall back to recapture
-/// instead of silently mis-replaying.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+/// decode any *newer* version, so stale artifacts fall back to recapture
+/// instead of silently mis-replaying.  Version 2 adds the segment index, the
+/// stored summary and the capture-folded payload; version-1 traces
+/// ([`Trace::to_bytes_v1`]) still decode, with the segmentation re-derived.
+pub const TRACE_FORMAT_VERSION: u32 = 2;
+
+/// The previous (monolithic, unsegmented) format version, still decodable.
+const TRACE_FORMAT_V1: u32 = 1;
 
 /// Magic bytes opening every serialised trace.
 const TRACE_MAGIC: [u8; 4] = *b"LTRC";
@@ -545,12 +774,41 @@ fn decode_cache_stats(r: &mut ByteReader) -> Result<CacheStats, TraceCodecError>
     })
 }
 
-/// The fixed-size header of a serialised trace, decodable without touching
-/// the record stream (see [`Trace::peek_header`]).
+/// One entry of the serialised v2 segment index: the [`SegmentMeta`]
+/// checkpoint plus where the segment's payload lives and its integrity
+/// checksum, so a streaming reader can locate, fetch and verify any segment
+/// independently.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// First record of the segment in the record stream.
+    pub ops_start: u64,
+    /// First item of the segment in the folded stream.
+    pub folded_start: u64,
+    /// Dynamic instructions retired before the segment.
+    pub instructions_before: u64,
+    /// Capture-config resident-window automaton state at entry.
+    pub resident_entry: u32,
+    /// Run-compression carry split at the boundary ([`FOLD_NONE`] if none).
+    pub fold_carry: u32,
+    /// Byte offset of the segment's payload, relative to the start of the
+    /// payload region (just after the index).
+    pub payload_offset: u64,
+    /// FNV-1a checksum over the segment's payload bytes.
+    pub checksum: u64,
+}
+
+/// Serialised size of one [`SegmentInfo`] index entry.
+const SEGMENT_INFO_LEN: usize = 48;
+
+/// The header of a serialised trace, decodable without touching the record
+/// payload (see [`Trace::peek_header`]).  For version-2 traces this includes
+/// the stored [`TraceSummary`] and the segment index; for version-1 traces
+/// `summary` is `None` and `segments` is empty (the segmentation is
+/// re-derived on full decode).
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceHeader {
-    /// The serialised format version (always [`TRACE_FORMAT_VERSION`] on a
-    /// successful peek).
+    /// The serialised format version ([`TRACE_FORMAT_VERSION`] or
+    /// [`TRACE_FORMAT_V1`] on a successful peek).
     pub version: u32,
     /// The configuration the trace was captured on.
     pub captured: LeonConfig,
@@ -564,21 +822,241 @@ pub struct TraceHeader {
     pub base_underflows: u64,
     /// Number of trace records in the (unread) record stream.
     pub records: u64,
+    /// Number of items in the folded stream (0 for v1 headers).
+    pub folded: u64,
+    /// The stored event summary (v2 only; v1 derives it on full decode).
+    pub summary: Option<TraceSummary>,
+    /// The segment index (empty for v1 headers).
+    pub segments: Vec<SegmentInfo>,
+}
+
+fn encode_summary(w: &mut ByteWriter, s: &TraceSummary) {
+    for v in [
+        s.instructions,
+        s.slow_decode,
+        s.load_use,
+        s.icc_branch,
+        s.mul_ops,
+        s.div_ops,
+        s.loads,
+        s.stores,
+        s.branches,
+        s.taken_branches,
+        s.calls,
+        s.saves,
+        s.restores,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_summary(r: &mut ByteReader) -> Result<TraceSummary, TraceCodecError> {
+    Ok(TraceSummary {
+        instructions: r.u64()?,
+        slow_decode: r.u64()?,
+        load_use: r.u64()?,
+        icc_branch: r.u64()?,
+        mul_ops: r.u64()?,
+        div_ops: r.u64()?,
+        loads: r.u64()?,
+        stores: r.u64()?,
+        branches: r.u64()?,
+        taken_branches: r.u64()?,
+        calls: r.u64()?,
+        saves: r.u64()?,
+        restores: r.u64()?,
+    })
+}
+
+/// Parse a serialised trace header (fixed fields, and for v2 the stored
+/// summary, stream counts and segment index) from `r`, leaving `r` at the
+/// first payload byte.  Structural payload-length validation is the
+/// caller's job (via [`validate_segment_index`]).
+fn parse_header(r: &mut ByteReader) -> Result<TraceHeader, TraceCodecError> {
+    if r.take(4)? != TRACE_MAGIC {
+        return Err(TraceCodecError::new("bad magic (not a serialised trace)"));
+    }
+    let version = r.u32()?;
+    if version != TRACE_FORMAT_VERSION && version != TRACE_FORMAT_V1 {
+        return Err(TraceCodecError::new(format!(
+            "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+        )));
+    }
+    let captured = decode_config(r)?;
+    captured
+        .validate()
+        .map_err(|e| TraceCodecError::new(format!("invalid captured configuration: {e}")))?;
+    let base_icache = decode_cache_stats(r)?;
+    let base_dcache = decode_cache_stats(r)?;
+    let base_overflows = r.u64()?;
+    let base_underflows = r.u64()?;
+    let records = r.u64()?;
+    let mut header = TraceHeader {
+        version,
+        captured,
+        base_icache,
+        base_dcache,
+        base_overflows,
+        base_underflows,
+        records,
+        folded: 0,
+        summary: None,
+        segments: Vec::new(),
+    };
+    if version == TRACE_FORMAT_V1 {
+        return Ok(header);
+    }
+    header.summary = Some(decode_summary(r)?);
+    header.folded = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut segments = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        segments.push(SegmentInfo {
+            ops_start: r.u64()?,
+            folded_start: r.u64()?,
+            instructions_before: r.u64()?,
+            resident_entry: r.u32()?,
+            fold_carry: r.u32()?,
+            payload_offset: r.u64()?,
+            checksum: r.u64()?,
+        });
+    }
+    header.segments = segments;
+    Ok(header)
+}
+
+/// Byte length of segment `i`'s payload per the index in `header`.
+fn segment_payload_len(header: &TraceHeader, i: usize) -> (u64, u64, u64) {
+    let info = &header.segments[i];
+    let ops_end = header.segments.get(i + 1).map_or(header.records, |s| s.ops_start);
+    let folded_end = header.segments.get(i + 1).map_or(header.folded, |s| s.folded_start);
+    let recs = ops_end.wrapping_sub(info.ops_start);
+    let folded = folded_end.wrapping_sub(info.folded_start);
+    (recs, folded, recs.wrapping_mul(10).wrapping_add(folded.wrapping_mul(8)))
+}
+
+/// Structurally validate a parsed header's segment index — offsets start at
+/// 0 and increase monotonically, per-segment payloads tile the payload
+/// region contiguously — and return the total payload byte count the body
+/// must still hold.  This is the `store doctor` half of the v2 integrity
+/// contract (per-segment checksums are verified where the payload is
+/// actually read: [`Trace::from_bytes`] and [`StreamedTrace::load_segment`]).
+fn validate_segment_index(header: &TraceHeader) -> Result<u64, TraceCodecError> {
+    if header.version == TRACE_FORMAT_V1 {
+        return header
+            .records
+            .checked_mul(10)
+            .ok_or_else(|| TraceCodecError::new("record count overflows the payload size"));
+    }
+    let segs = &header.segments;
+    if header.records == 0 {
+        if !segs.is_empty() || header.folded != 0 {
+            return Err(TraceCodecError::new("an empty trace must have an empty segment index"));
+        }
+        return Ok(0);
+    }
+    if segs.is_empty() {
+        return Err(TraceCodecError::new("a non-empty trace must have at least one segment"));
+    }
+    if segs[0].ops_start != 0 || segs[0].folded_start != 0 || segs[0].payload_offset != 0 {
+        return Err(TraceCodecError::new("segment index must start at offset 0"));
+    }
+    let mut expected_offset: u64 = 0;
+    for i in 0..segs.len() {
+        let info = &segs[i];
+        let ops_end = segs.get(i + 1).map_or(header.records, |s| s.ops_start);
+        let folded_end = segs.get(i + 1).map_or(header.folded, |s| s.folded_start);
+        if ops_end <= info.ops_start || ops_end > header.records {
+            return Err(TraceCodecError::new(format!(
+                "segment {i}: record offsets are not strictly increasing"
+            )));
+        }
+        if folded_end < info.folded_start || folded_end > header.folded {
+            return Err(TraceCodecError::new(format!(
+                "segment {i}: folded offsets are not monotone"
+            )));
+        }
+        if info.payload_offset != expected_offset {
+            return Err(TraceCodecError::new(format!(
+                "segment {i}: payload offset {} does not tile the payload (expected \
+                 {expected_offset})",
+                info.payload_offset
+            )));
+        }
+        let (_, _, len) = segment_payload_len(header, i);
+        expected_offset = expected_offset
+            .checked_add(len)
+            .ok_or_else(|| TraceCodecError::new("segment payload sizes overflow"))?;
+    }
+    Ok(expected_offset)
 }
 
 impl Trace {
-    /// Serialise the trace into the versioned binary format.
+    /// Serialise the trace into the versioned binary format (version 2).
     ///
     /// Layout (all integers little-endian): the magic `LTRC`, the
     /// [`TRACE_FORMAT_VERSION`], the capturing configuration, the capturing
-    /// run's cache statistics and window-trap counts, the record stream
-    /// (10 bytes per [`TraceOp`]), and a trailing 64-bit FNV-1a checksum over
-    /// everything before it.  The derived streams (`mem`, `summary`) are
-    /// rebuilt on decode, not stored.
+    /// run's cache statistics and window-trap counts, the record count, the
+    /// stored [`TraceSummary`], the folded-item count, the segment index
+    /// (one [`SegmentInfo`] per segment, with per-segment payload offsets
+    /// and checksums), the per-segment payloads (each segment's records at
+    /// 10 bytes apiece followed by its capture-folded items at 8), and a
+    /// trailing 64-bit FNV-1a checksum over everything before it.  `mem` is
+    /// rebuilt on decode, not stored; the folded stream *is* stored, so a
+    /// decoder (streaming or not) never re-derives the guaranteed-hit
+    /// elision.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = ByteWriter(Vec::with_capacity(32 + self.ops.len() * 10 + 8));
+        let mut payload = ByteWriter(Vec::with_capacity(self.ops.len() * 10 + self.folded.len() * 8));
+        let mut locations: Vec<(u64, u64)> = Vec::with_capacity(self.segments.len());
+        for seg in 0..self.segments.len() {
+            let start = payload.0.len();
+            for op in &self.ops[self.ops_range(seg)] {
+                payload.u32(op.pc);
+                payload.u16(op.flags);
+                payload.u32(op.aux);
+            }
+            for &item in &self.folded[self.folded_range(seg)] {
+                payload.u64(item);
+            }
+            locations.push((start as u64, fnv1a64(&payload.0[start..])));
+        }
+
+        let prefix = 252 + self.segments.len() * SEGMENT_INFO_LEN;
+        let mut w = ByteWriter(Vec::with_capacity(prefix + payload.0.len() + 8));
         w.0.extend_from_slice(&TRACE_MAGIC);
         w.u32(TRACE_FORMAT_VERSION);
+        encode_config(&mut w, &self.captured);
+        encode_cache_stats(&mut w, &self.base_icache);
+        encode_cache_stats(&mut w, &self.base_dcache);
+        w.u64(self.base_overflows);
+        w.u64(self.base_underflows);
+        w.u64(self.ops.len() as u64);
+        encode_summary(&mut w, &self.summary);
+        w.u64(self.folded.len() as u64);
+        w.u32(self.segments.len() as u32);
+        for (meta, &(offset, checksum)) in self.segments.iter().zip(&locations) {
+            w.u64(meta.ops_start as u64);
+            w.u64(meta.folded_start as u64);
+            w.u64(meta.instructions_before);
+            w.u32(meta.resident_entry);
+            w.u32(meta.fold_carry);
+            w.u64(offset);
+            w.u64(checksum);
+        }
+        w.0.extend_from_slice(&payload.0);
+        let checksum = fnv1a64(&w.0);
+        w.u64(checksum);
+        w.0
+    }
+
+    /// Serialise the trace into the previous, version-1 monolithic format
+    /// (no segment index, no stored summary or folded stream).  Kept so the
+    /// mixed-store path — v1 entries written by earlier releases must still
+    /// load — stays testable, and as the migration writer's reference.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        let mut w = ByteWriter(Vec::with_capacity(32 + self.ops.len() * 10 + 8));
+        w.0.extend_from_slice(&TRACE_MAGIC);
+        w.u32(TRACE_FORMAT_V1);
         encode_config(&mut w, &self.captured);
         encode_cache_stats(&mut w, &self.base_icache);
         encode_cache_stats(&mut w, &self.base_dcache);
@@ -612,40 +1090,49 @@ impl Trace {
         }
         let body = &bytes[..bytes.len() - 8];
         let mut r = ByteReader { bytes: body, pos: 0 };
-        if r.take(4)? != TRACE_MAGIC {
-            return Err(TraceCodecError::new("bad magic (not a serialised trace)"));
-        }
-        let version = r.u32()?;
-        if version != TRACE_FORMAT_VERSION {
+        let header = parse_header(&mut r)?;
+        // the declared payload (v1: records × 10; v2: the tiled per-segment
+        // payloads) must exactly match the input
+        let payload = validate_segment_index(&header)?;
+        if payload != (body.len() - r.pos) as u64 {
             return Err(TraceCodecError::new(format!(
-                "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+                "record count {} does not match the remaining payload",
+                header.records
             )));
         }
-        let captured = decode_config(&mut r)?;
-        captured
-            .validate()
-            .map_err(|e| TraceCodecError::new(format!("invalid captured configuration: {e}")))?;
-        let base_icache = decode_cache_stats(&mut r)?;
-        let base_dcache = decode_cache_stats(&mut r)?;
-        let base_overflows = r.u64()?;
-        let base_underflows = r.u64()?;
-        let records = r.u64()?;
-        // records are 10 bytes each; the length prefix must match the input
-        if records.checked_mul(10).map(|need| need != (body.len() - r.pos) as u64).unwrap_or(true)
-        {
-            return Err(TraceCodecError::new(format!(
-                "record count {records} does not match the remaining payload"
-            )));
+        Ok(header)
+    }
+
+    /// Structurally validate a serialised trace without decoding it: the
+    /// header fields, the segment index (offset monotonicity, contiguous
+    /// payload tiling, total length) and — for version 2 — every
+    /// per-segment payload checksum.  Returns the parsed header.
+    ///
+    /// Cheaper than [`Trace::from_bytes`] (no record decode, no derived
+    /// stream rebuild or cross-check), which makes it the right integrity
+    /// pass for `store doctor`: it catches exactly the damage the streaming
+    /// reader would trip over.  For version-1 traces this is header
+    /// validation only (their single checksum is the whole-file one, which
+    /// the store envelope already covers).
+    pub fn validate_segments(bytes: &[u8]) -> Result<TraceHeader, TraceCodecError> {
+        let header = Trace::peek_header(bytes)?;
+        if header.version == TRACE_FORMAT_V1 {
+            return Ok(header);
         }
-        Ok(TraceHeader {
-            version,
-            captured,
-            base_icache,
-            base_dcache,
-            base_overflows,
-            base_underflows,
-            records,
-        })
+        let total = validate_segment_index(&header)?;
+        let base = bytes.len() - 8 - total as usize;
+        for (i, info) in header.segments.iter().enumerate() {
+            let (_, _, len) = segment_payload_len(&header, i);
+            let start = base + info.payload_offset as usize;
+            let computed = fnv1a64(&bytes[start..start + len as usize]);
+            if computed != info.checksum {
+                return Err(TraceCodecError::new(format!(
+                    "segment {i} checksum mismatch: stored {:#018x}, computed {computed:#018x}",
+                    info.checksum
+                )));
+            }
+        }
+        Ok(header)
     }
 
     /// Decode a trace serialised by [`Trace::to_bytes`].
@@ -669,44 +1156,93 @@ impl Trace {
         }
 
         let mut r = ByteReader { bytes: body, pos: 0 };
-        if r.take(4)? != TRACE_MAGIC {
-            return Err(TraceCodecError::new("bad magic (not a serialised trace)"));
-        }
-        let version = r.u32()?;
-        if version != TRACE_FORMAT_VERSION {
+        let header = parse_header(&mut r)?;
+        let payload = validate_segment_index(&header)?;
+        if payload != (body.len() - r.pos) as u64 {
             return Err(TraceCodecError::new(format!(
-                "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+                "record count {} does not match the remaining payload",
+                header.records
             )));
         }
-        let captured = decode_config(&mut r)?;
-        captured
-            .validate()
-            .map_err(|e| TraceCodecError::new(format!("invalid captured configuration: {e}")))?;
-        let base_icache = decode_cache_stats(&mut r)?;
-        let base_dcache = decode_cache_stats(&mut r)?;
-        let base_overflows = r.u64()?;
-        let base_underflows = r.u64()?;
-        let count = r.u64()? as usize;
-        // each record is 10 bytes; reject length prefixes the input cannot hold
-        if count.checked_mul(10).map(|need| need != body.len() - r.pos).unwrap_or(true) {
-            return Err(TraceCodecError::new(format!(
-                "record count {count} does not match the remaining payload"
-            )));
+
+        let mut ops = Vec::with_capacity(header.records as usize);
+        let mut stored_folded: Vec<u64> = Vec::with_capacity(header.folded as usize);
+        if header.version == TRACE_FORMAT_V1 {
+            for _ in 0..header.records {
+                ops.push(TraceOp { pc: r.u32()?, flags: r.u16()?, aux: r.u32()? });
+            }
+        } else {
+            // segment payloads tile the region in index order (validated
+            // above), so a sequential read visits each one exactly
+            for (i, info) in header.segments.iter().enumerate() {
+                let (recs, folded, len) = segment_payload_len(&header, i);
+                let seg_bytes = r.take(len as usize)?;
+                let computed = fnv1a64(seg_bytes);
+                if computed != info.checksum {
+                    return Err(TraceCodecError::new(format!(
+                        "segment {i} checksum mismatch: stored {:#018x}, computed \
+                         {computed:#018x}",
+                        info.checksum
+                    )));
+                }
+                let mut sr = ByteReader { bytes: seg_bytes, pos: 0 };
+                for _ in 0..recs {
+                    ops.push(TraceOp { pc: sr.u32()?, flags: sr.u16()?, aux: sr.u32()? });
+                }
+                for _ in 0..folded {
+                    stored_folded.push(sr.u64()?);
+                }
+            }
         }
-        let mut ops = Vec::with_capacity(count);
-        for _ in 0..count {
-            ops.push(TraceOp { pc: r.u32()?, flags: r.u16()?, aux: r.u32()? });
-        }
+
         let (summary, mem) = Trace::derive_streams(&ops);
+        let boundaries: Vec<usize> = if header.version == TRACE_FORMAT_V1 {
+            Trace::default_boundaries(ops.len())
+        } else {
+            header.segments.iter().map(|s| s.ops_start as usize).collect()
+        };
+        let (segments, folded) =
+            derive_segments(&ops, &boundaries, header.captured.iu.reg_windows as u32);
+
+        // the stored derived data (summary, folded stream, checkpoints) must
+        // match re-derivation from the record stream: a file can checksum
+        // correctly and still be internally inconsistent, and the streaming
+        // replay path trusts the stored form without re-deriving it
+        if header.version != TRACE_FORMAT_V1 {
+            if header.summary != Some(summary) {
+                return Err(TraceCodecError::new(
+                    "stored summary does not match the record stream",
+                ));
+            }
+            if stored_folded != folded {
+                return Err(TraceCodecError::new(
+                    "stored folded stream does not match the record stream",
+                ));
+            }
+            for (i, (meta, info)) in segments.iter().zip(&header.segments).enumerate() {
+                if meta.folded_start as u64 != info.folded_start
+                    || meta.instructions_before != info.instructions_before
+                    || meta.resident_entry != info.resident_entry
+                    || meta.fold_carry != info.fold_carry
+                {
+                    return Err(TraceCodecError::new(format!(
+                        "segment {i} checkpoint does not match the record stream"
+                    )));
+                }
+            }
+        }
+
         Ok(Trace {
             ops,
             mem,
+            folded,
+            segments,
             summary,
-            captured,
-            base_icache,
-            base_dcache,
-            base_overflows,
-            base_underflows,
+            captured: header.captured,
+            base_icache: header.base_icache,
+            base_dcache: header.base_dcache,
+            base_overflows: header.base_overflows,
+            base_underflows: header.base_underflows,
         })
     }
 }
@@ -797,7 +1333,7 @@ fn walk_fetches(trace: &Trace, icache_config: CacheConfig) -> CacheStats {
 /// [`Stats`] a full run would produce, enforcing the cycle budget as a bound
 /// on the run total.
 fn reconstruct_stats(
-    trace: &Trace,
+    s: &TraceSummary,
     config: &LeonConfig,
     icache: CacheStats,
     dcache: CacheStats,
@@ -805,7 +1341,6 @@ fn reconstruct_stats(
     window_underflows: u64,
     max_cycles: u64,
 ) -> Result<Stats, SimError> {
-    let s = &trace.summary;
     let m = &config.memory;
     let icache_fill = (m.read_first + (config.icache.line_words as u32 - 1) * m.read_burst) as u64;
     let dcache_fill = (m.read_first + (config.dcache.line_words as u32 - 1) * m.read_burst) as u64;
@@ -879,7 +1414,15 @@ pub fn replay(trace: &Trace, config: &LeonConfig, max_cycles: u64) -> Result<Sta
     };
 
     // 3. closed-form cycle reconstruction
-    reconstruct_stats(trace, config, icache, dcache, window_overflows, window_underflows, max_cycles)
+    reconstruct_stats(
+        &trace.summary,
+        config,
+        icache,
+        dcache,
+        window_overflows,
+        window_underflows,
+        max_cycles,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -948,6 +1491,14 @@ enum Disposition {
 /// convenience wrapper: one fused pass per stream.
 pub struct ReplayBatch<'a> {
     trace: &'a Trace,
+    plan: BatchPlan,
+}
+
+/// The trace-independent half of a batch replay — configuration validation,
+/// behavior-class dedup and closed-form reconstruction — shared by the
+/// in-memory [`ReplayBatch`] and the streaming [`replay_batch_streamed`]
+/// path (which never holds a whole [`Trace`]).
+struct BatchPlan {
     max_cycles: u64,
     configs: Vec<LeonConfig>,
     dispositions: Vec<Disposition>,
@@ -955,12 +1506,8 @@ pub struct ReplayBatch<'a> {
     fetch_classes: Vec<CacheConfig>,
 }
 
-impl<'a> ReplayBatch<'a> {
-    /// Plan a batch: validate every configuration and partition the batch
-    /// into distinct behavior classes (first-appearance order, so the plan
-    /// is deterministic for a given configuration sequence).  Performs no
-    /// walks.
-    pub fn new(trace: &'a Trace, configs: &[LeonConfig], max_cycles: u64) -> ReplayBatch<'a> {
+impl BatchPlan {
+    fn new(captured: &LeonConfig, configs: &[LeonConfig], max_cycles: u64) -> BatchPlan {
         let mut mem_classes = Vec::new();
         let mut fetch_classes = Vec::new();
         let mut mem_index: HashMap<MemClass, usize> = HashMap::new();
@@ -971,8 +1518,8 @@ impl<'a> ReplayBatch<'a> {
                 if let Err(e) = config.validate() {
                     return Disposition::Invalid(SimError::InvalidConfig(e.to_string()));
                 }
-                let mem_class = if config.dcache == trace.captured.dcache
-                    && config.iu.reg_windows == trace.captured.iu.reg_windows
+                let mem_class = if config.dcache == captured.dcache
+                    && config.iu.reg_windows == captured.iu.reg_windows
                 {
                     None
                 } else {
@@ -983,7 +1530,7 @@ impl<'a> ReplayBatch<'a> {
                         mem_classes.len() - 1
                     }))
                 };
-                let fetch_class = if config.icache == trace.captured.icache {
+                let fetch_class = if config.icache == captured.icache {
                     None
                 } else {
                     Some(*fetch_index.entry(config.icache).or_insert_with(|| {
@@ -994,40 +1541,92 @@ impl<'a> ReplayBatch<'a> {
                 Disposition::Valid { mem_class, fetch_class }
             })
             .collect();
-        ReplayBatch {
-            trace,
-            max_cycles,
-            configs: configs.to_vec(),
-            dispositions,
-            mem_classes,
-            fetch_classes,
-        }
+        BatchPlan { max_cycles, configs: configs.to_vec(), dispositions, mem_classes, fetch_classes }
+    }
+
+    /// Closed-form reconstruction over the walk results, given the captured
+    /// base statistics (reused verbatim for classless configurations).
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        summary: &TraceSummary,
+        base_icache: CacheStats,
+        base_dcache: CacheStats,
+        base_overflows: u64,
+        base_underflows: u64,
+        mem: &[(CacheStats, u64, u64)],
+        fetch: &[CacheStats],
+    ) -> Vec<Result<Stats, SimError>> {
+        assert_eq!(mem.len(), self.mem_classes.len(), "one walk result per memory class");
+        assert_eq!(fetch.len(), self.fetch_classes.len(), "one walk result per fetch class");
+        self.dispositions
+            .iter()
+            .zip(&self.configs)
+            .map(|(disposition, config)| match disposition {
+                Disposition::Invalid(error) => Err(error.clone()),
+                Disposition::Valid { mem_class, fetch_class } => {
+                    let icache = match fetch_class {
+                        Some(class) => fetch[*class],
+                        None => base_icache,
+                    };
+                    let (dcache, overflows, underflows) = match mem_class {
+                        Some(class) => mem[*class],
+                        None => (base_dcache, base_overflows, base_underflows),
+                    };
+                    reconstruct_stats(
+                        summary,
+                        config,
+                        icache,
+                        dcache,
+                        overflows,
+                        underflows,
+                        self.max_cycles,
+                    )
+                }
+            })
+            .collect()
+    }
+}
+
+impl<'a> ReplayBatch<'a> {
+    /// Plan a batch: validate every configuration and partition the batch
+    /// into distinct behavior classes (first-appearance order, so the plan
+    /// is deterministic for a given configuration sequence).  Performs no
+    /// walks.
+    pub fn new(trace: &'a Trace, configs: &[LeonConfig], max_cycles: u64) -> ReplayBatch<'a> {
+        ReplayBatch { trace, plan: BatchPlan::new(&trace.captured, configs, max_cycles) }
     }
 
     /// Number of configurations in the batch.
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.plan.configs.len()
     }
 
     /// True for an empty batch.
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.plan.configs.is_empty()
     }
 
     /// Number of distinct memory-walk behavior classes.
     pub fn mem_class_count(&self) -> usize {
-        self.mem_classes.len()
+        self.plan.mem_classes.len()
     }
 
     /// Number of distinct fetch-walk behavior classes.
     pub fn fetch_class_count(&self) -> usize {
-        self.fetch_classes.len()
+        self.plan.fetch_classes.len()
     }
 
     /// Total distinct behavior classes (the batch's walk budget: no caller
     /// partitioning can make the engine perform more walks than this).
     pub fn class_count(&self) -> usize {
-        self.mem_classes.len() + self.fetch_classes.len()
+        self.plan.mem_classes.len() + self.plan.fetch_classes.len()
+    }
+
+    /// Number of segments of the underlying trace — the second axis of the
+    /// class × segment work partition.
+    pub fn segment_count(&self) -> usize {
+        self.trace.segment_count()
     }
 
     /// Walk the memory stream **once**, re-simulating every memory class in
@@ -1037,79 +1636,300 @@ impl<'a> ReplayBatch<'a> {
     /// traps shared by every class with that count.  Returns each class's
     /// `(dcache stats, overflows, underflows)` in span order.
     ///
-    /// When the whole span shares one window count (every real sweep: the
-    /// d-cache study and the cost table's cache variables), the stream is
-    /// resolved block-wise into a flat access buffer — the decode and the
-    /// trap expansion happen once per block — and each class then runs a
-    /// tight loop over the block while its tag array stays hot in L1
-    /// (classic cache blocking; the access *order* per class is identical
-    /// either way).  Spans mixing window counts fall back to per-record
-    /// fan-out, since each group's trap expansions interleave differently.
+    /// Implemented as the segmented walker driven over every segment in
+    /// order plus the deterministic partial reduction — the fused serial
+    /// walk and any segment-parallel schedule produce byte-identical
+    /// results by construction.
     pub fn walk_mem_span(&self, span: Range<usize>) -> Vec<(CacheStats, u64, u64)> {
-        let classes = &self.mem_classes[span];
-        if classes.is_empty() {
+        if span.is_empty() {
             return Vec::new();
         }
-        record_trace_walk();
-        let mut caches: Vec<TagCache> =
-            classes.iter().map(|class| TagCache::new(class.dcache)).collect();
-
-        // one automaton per distinct window count; members index `caches`
-        let mut groups: Vec<WindowGroup> = Vec::new();
-        for (i, class) in classes.iter().enumerate() {
-            let nwindows = class.reg_windows as u32;
-            match groups.iter_mut().find(|g| g.nwindows == nwindows) {
-                Some(group) => group.members.push(i),
-                None => groups.push(WindowGroup {
-                    nwindows,
-                    resident: 1,
-                    overflows: 0,
-                    underflows: 0,
-                    members: vec![i],
-                }),
-            }
-        }
-
-        if let [group] = groups.as_mut_slice() {
-            self.walk_mem_blocked(&mut caches, group);
-        } else {
-            self.walk_mem_interleaved(&mut caches, &mut groups);
-        }
-
-        // hit counts are derived, not maintained: every class in a window
-        // group saw exactly loads + 16·underflows reads and stores +
-        // 16·overflows writes
-        let loads = self.trace.summary.loads;
-        let stores = self.trace.summary.stores;
-        let mut results: Vec<(CacheStats, u64, u64)> =
-            vec![(CacheStats::default(), 0, 0); classes.len()];
-        for group in &groups {
-            let reads = loads + group.underflows * crate::cpu::WINDOW_TRAP_REGS as u64;
-            let writes = stores + group.overflows * crate::cpu::WINDOW_TRAP_REGS as u64;
-            for &member in &group.members {
-                results[member] =
-                    (caches[member].stats(reads, writes), group.overflows, group.underflows);
-            }
-        }
-        results
+        let mut walker = self.mem_span_walker(span.clone());
+        let partials: Vec<MemSegmentPartial> =
+            (0..walker.segment_count()).map(|seg| walker.walk_segment(seg)).collect();
+        self.reduce_mem_partials(span, &partials)
     }
 
-    /// Single-window-count memory walk: resolve the stream (trap expansions
-    /// included) into [`WALK_BLOCK`]-entry access buffers, then fan each
-    /// block out class by class.
+    /// Build the stateful segmented walker for the memory classes in `span`:
+    /// call [`MemSpanWalker::walk_segment`] for every segment in order and
+    /// feed the partials to [`ReplayBatch::reduce_mem_partials`].  Counts as
+    /// one trace walk (the segment counter ticks per segment).
     ///
-    /// The fill compresses *guaranteed hits* away, once for all classes: an
-    /// access that strictly-consecutively follows a **read** of the same
-    /// 16-byte line (the minimum line size, so "same line" holds under
-    /// every geometry) must hit in every class — the read left the line
-    /// present and nothing intervened to evict it — so it folds into the
-    /// leader's run count instead of being probed per class.  Half to
-    /// two-thirds of a typical memory stream compresses away, multiplying
-    /// directly into the per-class walk cost.
-    fn walk_mem_blocked(&self, caches: &mut [TagCache], group: &mut WindowGroup) {
-        const WRITE_BIT: u64 = TagCache::WRITE_BIT;
+    /// # Panics
+    ///
+    /// Panics when `span` is empty — empty spans have nothing to walk.
+    pub fn mem_span_walker(&self, span: Range<usize>) -> MemSpanWalker<'a> {
+        let classes = &self.plan.mem_classes[span];
+        assert!(!classes.is_empty(), "a span walker needs at least one class");
+        record_trace_walk();
+        MemSpanWalker { trace: self.trace, core: MemWalkCore::new(classes), next_segment: 0 }
+    }
+
+    /// Deterministically merge per-segment memory partials (one per segment,
+    /// in segment order, each with one delta per class of `span`) into the
+    /// final span results — bit-identical to the monolithic walk: the walk
+    /// counters are associative sums over segments, and every derived
+    /// statistic is a closed form over those sums.
+    pub fn reduce_mem_partials(
+        &self,
+        span: Range<usize>,
+        partials: &[MemSegmentPartial],
+    ) -> Vec<(CacheStats, u64, u64)> {
+        reduce_mem(&self.trace.summary, span.len(), partials)
+    }
+
+    /// Walk the fetch stream **once**, re-simulating every fetch class in
+    /// `span` simultaneously.  Returns each class's i-cache statistics in
+    /// span order.  Like [`ReplayBatch::walk_mem_span`], this drives the
+    /// segmented walker over every segment in order and reduces.
+    pub fn walk_fetch_span(&self, span: Range<usize>) -> Vec<CacheStats> {
+        if span.is_empty() {
+            return Vec::new();
+        }
+        let mut walker = self.fetch_span_walker(span.clone());
+        let partials: Vec<FetchSegmentPartial> =
+            (0..walker.segment_count()).map(|seg| walker.walk_segment(seg)).collect();
+        self.reduce_fetch_partials(span, &partials)
+    }
+
+    /// Build the stateful segmented walker for the fetch classes in `span`
+    /// (see [`ReplayBatch::mem_span_walker`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `span` is empty.
+    pub fn fetch_span_walker(&self, span: Range<usize>) -> FetchSpanWalker<'a> {
+        let classes = &self.plan.fetch_classes[span];
+        assert!(!classes.is_empty(), "a span walker needs at least one class");
+        record_trace_walk();
+        FetchSpanWalker { trace: self.trace, core: FetchWalkCore::new(classes), next_segment: 0 }
+    }
+
+    /// Deterministically merge per-segment fetch partials into the final
+    /// span results (see [`ReplayBatch::reduce_mem_partials`]).
+    pub fn reduce_fetch_partials(
+        &self,
+        span: Range<usize>,
+        partials: &[FetchSegmentPartial],
+    ) -> Vec<CacheStats> {
+        reduce_fetch(&self.trace.summary, span.len(), partials)
+    }
+
+    /// Reconstruct every configuration's [`Stats`] closed-form from the walk
+    /// results (`mem` and `fetch` are the per-class results, concatenated in
+    /// class order).  Element `i` equals `replay(trace, &configs[i],
+    /// max_cycles)` exactly, including errors.
+    pub fn finish(
+        &self,
+        mem: &[(CacheStats, u64, u64)],
+        fetch: &[CacheStats],
+    ) -> Vec<Result<Stats, SimError>> {
+        self.plan.finish(
+            &self.trace.summary,
+            self.trace.base_icache,
+            self.trace.base_dcache,
+            self.trace.base_overflows,
+            self.trace.base_underflows,
+            mem,
+            fetch,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented span walkers: per-segment partials + deterministic reduction
+// ---------------------------------------------------------------------------
+
+/// Counter deltas one memory class accumulated over one segment.  The
+/// deltas — not the tag state — are what the segments contribute
+/// associatively: summing them in segment order reproduces the monolithic
+/// walk's final counters exactly, because the tag state itself chains
+/// sequentially through the walker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemClassDelta {
+    /// Read misses charged to the class in this segment.
+    pub read_misses: u64,
+    /// Write misses charged to the class in this segment.
+    pub write_misses: u64,
+    /// Window overflow traps of the class's window group in this segment.
+    pub overflows: u64,
+    /// Window underflow traps of the class's window group in this segment.
+    pub underflows: u64,
+}
+
+/// Partial result of one memory segment: one delta per class, in span order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemSegmentPartial {
+    /// Per-class counter deltas.
+    pub classes: Vec<MemClassDelta>,
+}
+
+/// Partial result of one fetch segment: per-class read-miss deltas, in span
+/// order (fetch walks never write, so one counter suffices).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FetchSegmentPartial {
+    /// Per-class read-miss deltas.
+    pub classes: Vec<u64>,
+}
+
+/// Merge memory partials in segment order into final span results.
+fn reduce_mem(
+    summary: &TraceSummary,
+    count: usize,
+    partials: &[MemSegmentPartial],
+) -> Vec<(CacheStats, u64, u64)> {
+    let mut totals = vec![MemClassDelta::default(); count];
+    for partial in partials {
+        assert_eq!(partial.classes.len(), count, "one delta per class in every partial");
+        for (total, delta) in totals.iter_mut().zip(&partial.classes) {
+            total.read_misses += delta.read_misses;
+            total.write_misses += delta.write_misses;
+            total.overflows += delta.overflows;
+            total.underflows += delta.underflows;
+        }
+    }
+    // hit counts are derived, not maintained: every class saw exactly
+    // loads + 16·underflows reads and stores + 16·overflows writes
+    let trap_regs = crate::cpu::WINDOW_TRAP_REGS as u64;
+    totals
+        .iter()
+        .map(|t| {
+            let reads = summary.loads + t.underflows * trap_regs;
+            let writes = summary.stores + t.overflows * trap_regs;
+            debug_assert!(t.read_misses <= reads && t.write_misses <= writes);
+            let stats = CacheStats {
+                read_hits: reads - t.read_misses,
+                read_misses: t.read_misses,
+                write_hits: writes - t.write_misses,
+                write_misses: t.write_misses,
+            };
+            (stats, t.overflows, t.underflows)
+        })
+        .collect()
+}
+
+/// Merge fetch partials in segment order into final span results.
+fn reduce_fetch(
+    summary: &TraceSummary,
+    count: usize,
+    partials: &[FetchSegmentPartial],
+) -> Vec<CacheStats> {
+    let mut totals = vec![0u64; count];
+    for partial in partials {
+        assert_eq!(partial.classes.len(), count, "one delta per class in every partial");
+        for (total, delta) in totals.iter_mut().zip(&partial.classes) {
+            *total += delta;
+        }
+    }
+    // every class fetched exactly one read per dynamic instruction
+    let fetches = summary.instructions;
+    totals
+        .iter()
+        .map(|&misses| {
+            debug_assert!(misses <= fetches);
+            CacheStats {
+                read_hits: fetches - misses,
+                read_misses: misses,
+                write_hits: 0,
+                write_misses: 0,
+            }
+        })
+        .collect()
+}
+
+/// The chained cache/automaton state of a memory span walk, segment-agnostic:
+/// the same core serves the in-memory [`MemSpanWalker`] and the streaming
+/// [`replay_batch_streamed`] path.
+struct MemWalkCore {
+    caches: Vec<TagCache>,
+    groups: Vec<WindowGroup>,
+    /// `group_of[class]` indexes `groups`.
+    group_of: Vec<usize>,
+    block: Vec<u64>,
+}
+
+impl MemWalkCore {
+    fn new(classes: &[MemClass]) -> MemWalkCore {
+        let caches: Vec<TagCache> =
+            classes.iter().map(|class| TagCache::new(class.dcache)).collect();
+        // one automaton per distinct window count; members index `caches`
+        let mut groups: Vec<WindowGroup> = Vec::new();
+        let mut group_of = vec![0usize; classes.len()];
+        for (i, class) in classes.iter().enumerate() {
+            let nwindows = class.reg_windows as u32;
+            match groups.iter_mut().position(|g| g.nwindows == nwindows) {
+                Some(index) => {
+                    groups[index].members.push(i);
+                    group_of[i] = index;
+                }
+                None => {
+                    groups.push(WindowGroup {
+                        nwindows,
+                        resident: 1,
+                        overflows: 0,
+                        underflows: 0,
+                        members: vec![i],
+                    });
+                    group_of[i] = groups.len() - 1;
+                }
+            }
+        }
+        MemWalkCore {
+            caches,
+            groups,
+            group_of,
+            block: Vec::with_capacity(WALK_BLOCK + 2 * TRAP_ACCESSES),
+        }
+    }
+
+    /// Process one segment's folded items, returning the per-class counter
+    /// deltas it contributed.  Must be fed the segments in order — the tag
+    /// and automaton state chains across calls.
+    fn walk_segment_folded(&mut self, folded: &[u64]) -> MemSegmentPartial {
+        let miss_before: Vec<(u64, u64)> =
+            self.caches.iter().map(|cache| cache.miss_counts()).collect();
+        let trap_before: Vec<(u64, u64)> =
+            self.groups.iter().map(|g| (g.overflows, g.underflows)).collect();
+
+        if self.groups.len() == 1 {
+            self.walk_folded_blocked(folded);
+        } else {
+            self.walk_folded_interleaved(folded);
+        }
+
+        let classes = self
+            .caches
+            .iter()
+            .enumerate()
+            .map(|(i, cache)| {
+                let (read_misses, write_misses) = cache.miss_counts();
+                let group = &self.groups[self.group_of[i]];
+                let (overflows_before, underflows_before) = trap_before[self.group_of[i]];
+                MemClassDelta {
+                    read_misses: read_misses - miss_before[i].0,
+                    write_misses: write_misses - miss_before[i].1,
+                    overflows: group.overflows - overflows_before,
+                    underflows: group.underflows - underflows_before,
+                }
+            })
+            .collect();
+        MemSegmentPartial { classes }
+    }
+
+    /// Single-window-count path: the segment's pre-folded items stream into
+    /// [`WALK_BLOCK`]-entry buffers that fan out class by class (cache
+    /// blocking, as before — the folded-item encoding *is* the block-entry
+    /// encoding, so a leader whose line is not already established is pushed
+    /// verbatim).  Walk-time folding re-merges items across non-trapping
+    /// markers and block starts, recovering the monolithic elision exactly:
+    /// every re-merged access is a guaranteed hit whose only state effect
+    /// (LRU clock/stamp) is identical either way, and flush/boundary
+    /// `run_line` resets are stats-invisible for the same reason.
+    fn walk_folded_blocked(&mut self, folded: &[u64]) {
         const RUN_ONE: u64 = 1 << TagCache::MEM_RUN_SHIFT;
-        let mut block: Vec<u64> = Vec::with_capacity(WALK_BLOCK + 2 * TRAP_ACCESSES);
+        let group = &mut self.groups[0];
+        let caches = &mut self.caches;
+        let block = &mut self.block;
         // 16-byte line established as present by the last entry's read run
         // (None after a write leader — a write never establishes presence)
         let mut run_line: Option<u32> = None;
@@ -1126,80 +1946,68 @@ impl<'a> ReplayBatch<'a> {
             if *run_line == Some(addr >> 4) {
                 *block.last_mut().expect("a run leader precedes every extension") += RUN_ONE;
             } else {
-                block.push(addr as u64 | if write { WRITE_BIT } else { 0 });
+                block.push(addr as u64 | if write { TagCache::WRITE_BIT } else { 0 });
                 *run_line = (!write).then(|| addr >> 4);
             }
         };
 
-        for op in &self.trace.mem {
-            match *op {
-                MemOp::Load(addr) => push(&mut block, &mut run_line, addr, false),
-                MemOp::Store(addr) => push(&mut block, &mut run_line, addr, true),
-                MemOp::Save(sp) => {
-                    if group.resident >= group.nwindows - 1 {
-                        group.overflows += 1;
-                        for i in 0..crate::cpu::WINDOW_TRAP_REGS {
-                            push(&mut block, &mut run_line, sp.wrapping_sub(4 + i * 4), true);
-                        }
-                    } else {
-                        group.resident += 1;
-                    }
-                }
-                MemOp::Restore(sp) => {
+        for &item in folded {
+            if item & FOLD_MARKER_BIT != 0 {
+                let sp = item as u32;
+                if item & FOLD_RESTORE_BIT != 0 {
                     if group.resident <= 1 {
                         group.underflows += 1;
                         for i in 0..crate::cpu::WINDOW_TRAP_REGS {
-                            push(&mut block, &mut run_line, sp.wrapping_sub(4 + i * 4), false);
+                            push(block, &mut run_line, sp.wrapping_sub(4 + i * 4), false);
                         }
                     } else {
                         group.resident -= 1;
                     }
+                } else if group.resident >= group.nwindows - 1 {
+                    group.overflows += 1;
+                    for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                        push(block, &mut run_line, sp.wrapping_sub(4 + i * 4), true);
+                    }
+                } else {
+                    group.resident += 1;
+                }
+            } else {
+                let addr = item as u32;
+                let write = item & TagCache::WRITE_BIT != 0;
+                if run_line == Some(addr >> 4) {
+                    // the stored leader and its whole run are guaranteed hits
+                    // here: merge all of them into the established entry
+                    let run = item >> TagCache::MEM_RUN_SHIFT;
+                    *block.last_mut().expect("a run leader precedes every extension") +=
+                        (1 + run) * RUN_ONE;
+                } else {
+                    block.push(item);
+                    run_line = (!write).then(|| addr >> 4);
                 }
             }
             if block.len() >= WALK_BLOCK {
-                flush(&mut block, &mut run_line, caches);
+                flush(block, &mut run_line, caches);
             }
         }
-        flush(&mut block, &mut run_line, caches);
+        flush(block, &mut run_line, caches);
     }
 
-    /// Mixed-window-count memory walk: fan every record out to all classes
-    /// as it is decoded (each group's trap expansions interleave at its own
-    /// positions, so a shared resolved buffer does not exist).
-    fn walk_mem_interleaved(&self, caches: &mut [TagCache], groups: &mut [WindowGroup]) {
-        for op in &self.trace.mem {
-            match *op {
-                MemOp::Load(addr) => {
-                    for cache in caches.iter_mut() {
-                        cache.read(addr);
-                    }
-                }
-                MemOp::Store(addr) => {
-                    for cache in caches.iter_mut() {
-                        cache.write(addr);
-                    }
-                }
-                MemOp::Save(sp) => {
-                    for group in groups.iter_mut() {
-                        if group.resident >= group.nwindows - 1 {
-                            group.overflows += 1;
-                            for &member in &group.members {
-                                let cache = &mut caches[member];
-                                for i in 0..crate::cpu::WINDOW_TRAP_REGS {
-                                    cache.write(sp.wrapping_sub(4 + i * 4));
-                                }
-                            }
-                        } else {
-                            group.resident += 1;
-                        }
-                    }
-                }
-                MemOp::Restore(sp) => {
-                    for group in groups.iter_mut() {
+    /// Mixed-window-count path: fan every folded item out to all classes as
+    /// it is decoded (each group's trap expansions interleave at its own
+    /// positions, so a shared resolved buffer does not exist).  A read
+    /// leader's elided followers surface as `read_run` extras — guaranteed
+    /// hits whose LRU clock/stamp effects match the per-access walk.
+    fn walk_folded_interleaved(&mut self, folded: &[u64]) {
+        for &item in folded {
+            if item & FOLD_MARKER_BIT != 0 {
+                let sp = item as u32;
+                let restore = item & FOLD_RESTORE_BIT != 0;
+                for group in self.groups.iter_mut() {
+                    if restore {
                         if group.resident <= 1 {
                             group.underflows += 1;
                             for &member in &group.members {
-                                let cache = &mut caches[member];
+                                let cache = &mut self.caches[member];
                                 for i in 0..crate::cpu::WINDOW_TRAP_REGS {
                                     cache.read(sp.wrapping_sub(4 + i * 4));
                                 }
@@ -1207,27 +2015,54 @@ impl<'a> ReplayBatch<'a> {
                         } else {
                             group.resident -= 1;
                         }
+                    } else if group.resident >= group.nwindows - 1 {
+                        group.overflows += 1;
+                        for &member in &group.members {
+                            let cache = &mut self.caches[member];
+                            for i in 0..crate::cpu::WINDOW_TRAP_REGS {
+                                cache.write(sp.wrapping_sub(4 + i * 4));
+                            }
+                        }
+                    } else {
+                        group.resident += 1;
+                    }
+                }
+            } else {
+                let addr = item as u32;
+                if item & TagCache::WRITE_BIT != 0 {
+                    debug_assert_eq!(item >> TagCache::MEM_RUN_SHIFT, 0, "write leaders carry no run");
+                    for cache in self.caches.iter_mut() {
+                        cache.write(addr);
+                    }
+                } else {
+                    let run = item >> TagCache::MEM_RUN_SHIFT;
+                    for cache in self.caches.iter_mut() {
+                        cache.read_run(addr, run);
                     }
                 }
             }
         }
     }
+}
 
-    /// Walk the fetch stream **once**, re-simulating every fetch class in
-    /// `span` simultaneously.  The record stream is decoded block-wise into
-    /// flat read entries — the same layout [`ReplayBatch::walk_mem_span`]
-    /// uses, run length above `MEM_RUN_SHIFT`, write bit never set — and
-    /// each class runs the shared monomorphized block loop (see the memory
-    /// walk on why blocking wins).  Returns each class's i-cache statistics
-    /// in span order.
-    pub fn walk_fetch_span(&self, span: Range<usize>) -> Vec<CacheStats> {
-        let classes = &self.fetch_classes[span];
-        if classes.is_empty() {
-            return Vec::new();
+/// The chained cache state of a fetch span walk (see [`MemWalkCore`]).
+struct FetchWalkCore {
+    caches: Vec<TagCache>,
+    block: Vec<u64>,
+}
+
+impl FetchWalkCore {
+    fn new(classes: &[CacheConfig]) -> FetchWalkCore {
+        FetchWalkCore {
+            caches: classes.iter().map(|&config| TagCache::new(config)).collect(),
+            block: Vec::with_capacity(WALK_BLOCK),
         }
-        record_trace_walk();
-        let mut caches: Vec<TagCache> =
-            classes.iter().map(|&config| TagCache::new(config)).collect();
+    }
+
+    /// Process one segment's records, returning per-class read-miss deltas.
+    /// Must be fed the segments in order.
+    fn walk_segment_ops(&mut self, ops: &[TraceOp]) -> FetchSegmentPartial {
+        let before: Vec<u64> = self.caches.iter().map(|cache| cache.miss_counts().0).collect();
 
         // Consecutive records inside one 16-byte block — the captured
         // fetch-run invariant guarantees a compressed run never crosses one
@@ -1235,7 +2070,8 @@ impl<'a> ReplayBatch<'a> {
         // the line is present in every class, so the followers are
         // guaranteed hits (probed by nobody, clock-accounted under LRU).
         const RUN_ONE: u64 = 1 << TagCache::MEM_RUN_SHIFT;
-        let mut block: Vec<u64> = Vec::with_capacity(WALK_BLOCK);
+        let caches = &mut self.caches;
+        let block = &mut self.block;
         let mut run_line: Option<u32> = None;
         let flush = |block: &mut Vec<u64>, run_line: &mut Option<u32>, caches: &mut [TagCache]| {
             for cache in caches.iter_mut() {
@@ -1244,7 +2080,7 @@ impl<'a> ReplayBatch<'a> {
             block.clear();
             *run_line = None;
         };
-        for op in &self.trace.ops {
+        for op in ops {
             let fetches = if op.flags == 0 { op.aux as u64 } else { 1 };
             if run_line == Some(op.pc >> 4) {
                 *block.last_mut().expect("a run leader precedes every extension") +=
@@ -1253,56 +2089,81 @@ impl<'a> ReplayBatch<'a> {
                 block.push(op.pc as u64 | (fetches - 1) * RUN_ONE);
                 run_line = Some(op.pc >> 4);
                 if block.len() >= WALK_BLOCK {
-                    flush(&mut block, &mut run_line, &mut caches);
+                    flush(block, &mut run_line, caches);
                 }
             }
         }
-        flush(&mut block, &mut run_line, &mut caches);
+        flush(block, &mut run_line, caches);
 
-        // every class fetched exactly one read per dynamic instruction
-        let fetches = self.trace.summary.instructions;
-        caches.iter().map(|cache| cache.stats(fetches, 0)).collect()
+        let classes = self
+            .caches
+            .iter()
+            .zip(&before)
+            .map(|(cache, &misses_before)| cache.miss_counts().0 - misses_before)
+            .collect();
+        FetchSegmentPartial { classes }
+    }
+}
+
+/// Stateful segmented walker over the memory classes of one span: walk the
+/// segments strictly in order, collect the per-segment partials, reduce.
+/// The walker owns the chained tag-cache and window-automaton state, so it
+/// can be parked (e.g. in a scheduler slot between class × segment work
+/// units) and resumed on the next segment by any thread.
+pub struct MemSpanWalker<'a> {
+    trace: &'a Trace,
+    core: MemWalkCore,
+    next_segment: usize,
+}
+
+impl MemSpanWalker<'_> {
+    /// Segments of the underlying trace (the number of `walk_segment` calls
+    /// a full span walk makes).
+    pub fn segment_count(&self) -> usize {
+        self.trace.segment_count()
     }
 
-    /// Reconstruct every configuration's [`Stats`] closed-form from the walk
-    /// results (`mem` and `fetch` are the per-class results, concatenated in
-    /// class order).  Element `i` equals `replay(trace, &configs[i],
-    /// max_cycles)` exactly, including errors.
-    pub fn finish(
-        &self,
-        mem: &[(CacheStats, u64, u64)],
-        fetch: &[CacheStats],
-    ) -> Vec<Result<Stats, SimError>> {
-        assert_eq!(mem.len(), self.mem_classes.len(), "one walk result per memory class");
-        assert_eq!(fetch.len(), self.fetch_classes.len(), "one walk result per fetch class");
-        self.dispositions
-            .iter()
-            .zip(&self.configs)
-            .map(|(disposition, config)| match disposition {
-                Disposition::Invalid(error) => Err(error.clone()),
-                Disposition::Valid { mem_class, fetch_class } => {
-                    let icache = match fetch_class {
-                        Some(class) => fetch[*class],
-                        None => self.trace.base_icache,
-                    };
-                    let (dcache, overflows, underflows) = match mem_class {
-                        Some(class) => mem[*class],
-                        None => {
-                            (self.trace.base_dcache, self.trace.base_overflows, self.trace.base_underflows)
-                        }
-                    };
-                    reconstruct_stats(
-                        self.trace,
-                        config,
-                        icache,
-                        dcache,
-                        overflows,
-                        underflows,
-                        self.max_cycles,
-                    )
-                }
-            })
-            .collect()
+    /// Walk segment `seg` (must be `0, 1, 2, …` in order) and return its
+    /// per-class counter deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when segments are walked out of order.
+    pub fn walk_segment(&mut self, seg: usize) -> MemSegmentPartial {
+        assert_eq!(seg, self.next_segment, "segments must be walked in order");
+        self.next_segment += 1;
+        record_segment_walk();
+        let range = self.trace.folded_range(seg);
+        self.core.walk_segment_folded(&self.trace.folded[range])
+    }
+}
+
+/// Stateful segmented walker over the fetch classes of one span (see
+/// [`MemSpanWalker`]).
+pub struct FetchSpanWalker<'a> {
+    trace: &'a Trace,
+    core: FetchWalkCore,
+    next_segment: usize,
+}
+
+impl FetchSpanWalker<'_> {
+    /// Segments of the underlying trace.
+    pub fn segment_count(&self) -> usize {
+        self.trace.segment_count()
+    }
+
+    /// Walk segment `seg` (must be `0, 1, 2, …` in order) and return its
+    /// per-class read-miss deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when segments are walked out of order.
+    pub fn walk_segment(&mut self, seg: usize) -> FetchSegmentPartial {
+        assert_eq!(seg, self.next_segment, "segments must be walked in order");
+        self.next_segment += 1;
+        record_segment_walk();
+        let range = self.trace.ops_range(seg);
+        self.core.walk_segment_ops(&self.trace.ops[range])
     }
 }
 
@@ -1340,6 +2201,262 @@ pub fn capture(
     let ops = cpu.take_trace().expect("trace was enabled before the run");
     let trace = Trace::assemble(ops, config, &result.stats);
     Ok((result, trace))
+}
+
+// ---------------------------------------------------------------------------
+// Streaming decode: one segment resident at a time
+// ---------------------------------------------------------------------------
+
+/// Random-access byte source a [`StreamedTrace`] reads segments from — a
+/// file, an in-memory buffer, or an artifact-store payload window.
+pub trait SegmentRead: Send + Sync {
+    /// Fill `buf` from the source starting at `offset`; errors (rather than
+    /// short-reads) when the range is out of bounds.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()>;
+
+    /// Total byte length of the source.
+    fn total_len(&self) -> std::io::Result<u64>;
+}
+
+impl SegmentRead for Vec<u8> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        let start = usize::try_from(offset)
+            .ok()
+            .filter(|&s| s.checked_add(buf.len()).is_some_and(|end| end <= self.len()));
+        match start {
+            Some(start) => {
+                buf.copy_from_slice(&self[start..start + buf.len()]);
+                Ok(())
+            }
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "read past the end of the trace buffer",
+            )),
+        }
+    }
+
+    fn total_len(&self) -> std::io::Result<u64> {
+        Ok(self.len() as u64)
+    }
+}
+
+/// One materialised trace segment: the records and the capture-folded
+/// memory items, exactly the slices the in-memory walkers see.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// The segment's trace records.
+    pub ops: Vec<TraceOp>,
+    /// The segment's capture-folded memory items.
+    pub folded: Vec<u64>,
+}
+
+/// A version-2 serialised trace opened for streaming: the header and the
+/// segment index are resident, the payload is fetched one segment at a time
+/// through a [`SegmentRead`], so peak memory is O(largest segment) instead
+/// of O(trace).
+///
+/// Opening validates the header fields, the segment index structure and the
+/// total length; each [`StreamedTrace::load_segment`] then verifies its
+/// segment's checksum and re-derives the folded stream from the records
+/// (segments are self-contained: capture-side folds split at segment
+/// boundaries).  The whole-file checksum is deliberately *not* verified —
+/// doing so would read O(trace) bytes, which is exactly what streaming
+/// avoids; corruption in any payload byte is still caught by the per-segment
+/// checksums.
+pub struct StreamedTrace {
+    source: Box<dyn SegmentRead>,
+    header: TraceHeader,
+    /// Absolute byte offset of the payload region (just past the index).
+    payload_base: u64,
+}
+
+impl std::fmt::Debug for StreamedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamedTrace")
+            .field("header", &self.header)
+            .field("payload_base", &self.payload_base)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Serialised byte length of the fixed v2 prefix (everything before the
+/// segment index): magic, version, config, base stats, trap counts, record
+/// count, summary, folded count, segment count.
+const V2_PREFIX_LEN: usize = 252;
+
+impl StreamedTrace {
+    /// Open a serialised version-2 trace for streaming access.
+    ///
+    /// Reads O(header + index) bytes.  Version-1 traces are rejected —
+    /// their monolithic layout has no segment index to stream from; decode
+    /// them with [`Trace::from_bytes`] (re-serialising writes version 2).
+    pub fn open(source: Box<dyn SegmentRead>) -> Result<StreamedTrace, TraceCodecError> {
+        let total = source
+            .total_len()
+            .map_err(|e| TraceCodecError::new(format!("could not size the trace source: {e}")))?;
+        let read = |offset: u64, len: usize| -> Result<Vec<u8>, TraceCodecError> {
+            let mut buf = vec![0u8; len];
+            source
+                .read_at(offset, &mut buf)
+                .map_err(|e| TraceCodecError::new(format!("could not read the trace source: {e}")))?;
+            Ok(buf)
+        };
+
+        if total < (TRACE_MAGIC.len() + 4 + 8) as u64 {
+            return Err(TraceCodecError::new("input shorter than the fixed header"));
+        }
+        let probe = read(0, 8)?;
+        if probe[..4] != TRACE_MAGIC {
+            return Err(TraceCodecError::new("bad magic (not a serialised trace)"));
+        }
+        let version = u32::from_le_bytes(probe[4..8].try_into().unwrap());
+        if version == TRACE_FORMAT_V1 {
+            return Err(TraceCodecError::new(
+                "version 1 traces have no segment index and cannot be streamed; decode with \
+                 Trace::from_bytes (re-serialising writes version 2)",
+            ));
+        }
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TraceCodecError::new(format!(
+                "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+            )));
+        }
+        if total < (V2_PREFIX_LEN + 8) as u64 {
+            return Err(TraceCodecError::new("input shorter than the version-2 prefix"));
+        }
+        let mut head = read(0, V2_PREFIX_LEN)?;
+        let count =
+            u32::from_le_bytes(head[V2_PREFIX_LEN - 4..].try_into().unwrap()) as u64;
+        let index_len = count
+            .checked_mul(SEGMENT_INFO_LEN as u64)
+            .filter(|&n| V2_PREFIX_LEN as u64 + n + 8 <= total)
+            .ok_or_else(|| {
+                TraceCodecError::new("segment index does not fit the serialised trace")
+            })?;
+        head.extend_from_slice(&read(V2_PREFIX_LEN as u64, index_len as usize)?);
+
+        let mut r = ByteReader { bytes: &head, pos: 0 };
+        let header = parse_header(&mut r)?;
+        debug_assert_eq!(r.pos, head.len());
+        let payload = validate_segment_index(&header)?;
+        let payload_base = head.len() as u64;
+        if payload_base + payload + 8 != total {
+            return Err(TraceCodecError::new(format!(
+                "record count {} does not match the remaining payload",
+                header.records
+            )));
+        }
+        Ok(StreamedTrace { source, header, payload_base })
+    }
+
+    /// The resident header (capturing config, base stats, summary, index).
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Number of segments in the trace.
+    pub fn segment_count(&self) -> usize {
+        self.header.segments.len()
+    }
+
+    /// Fetch, verify and decode segment `i`.
+    ///
+    /// Verification is self-contained: the payload bytes must match the
+    /// index's per-segment checksum, and the stored folded items must equal
+    /// re-derivation from the segment's own records (folds never cross a
+    /// segment boundary, so no predecessor context is needed).
+    pub fn load_segment(&self, i: usize) -> Result<TraceSegment, TraceCodecError> {
+        assert!(i < self.header.segments.len(), "segment index out of range");
+        let info = &self.header.segments[i];
+        let (recs, folded_count, len) = segment_payload_len(&self.header, i);
+        let mut bytes = vec![0u8; len as usize];
+        self.source
+            .read_at(self.payload_base + info.payload_offset, &mut bytes)
+            .map_err(|e| TraceCodecError::new(format!("could not read segment {i}: {e}")))?;
+        let computed = fnv1a64(&bytes);
+        if computed != info.checksum {
+            return Err(TraceCodecError::new(format!(
+                "segment {i} checksum mismatch: stored {:#018x}, computed {computed:#018x}",
+                info.checksum
+            )));
+        }
+        let mut r = ByteReader { bytes: &bytes, pos: 0 };
+        let mut ops = Vec::with_capacity(recs as usize);
+        for _ in 0..recs {
+            ops.push(TraceOp { pc: r.u32()?, flags: r.u16()?, aux: r.u32()? });
+        }
+        let mut folded = Vec::with_capacity(folded_count as usize);
+        for _ in 0..folded_count {
+            folded.push(r.u64()?);
+        }
+        let (_, derived) =
+            derive_segments(&ops, &[0], self.header.captured.iu.reg_windows as u32);
+        if derived != folded {
+            return Err(TraceCodecError::new(format!(
+                "segment {i}: stored folded items do not match the record stream"
+            )));
+        }
+        Ok(TraceSegment { ops, folded })
+    }
+}
+
+/// Retime every configuration of a batch against a [`StreamedTrace`],
+/// holding **one segment** in memory at a time: peak memory is
+/// O(largest segment + classes), never O(trace).
+///
+/// Element `i` of the result equals `replay(trace, &configs[i], max_cycles)`
+/// bit-for-bit for the fully-decoded equivalent trace — the walkers are the
+/// same chained [`MemWalkCore`]/[`FetchWalkCore`] the in-memory spans use,
+/// fed the identical per-segment record and folded-item slices.  The walk is
+/// serial (all classes advance together through each segment); callers
+/// wanting parallelism should decode fully and partition class × segment
+/// units instead.
+pub fn replay_batch_streamed(
+    streamed: &StreamedTrace,
+    configs: &[LeonConfig],
+    max_cycles: u64,
+) -> Result<Vec<Result<Stats, SimError>>, TraceCodecError> {
+    let header = streamed.header();
+    let summary =
+        header.summary.as_ref().expect("a streamed trace is v2 and stores its summary");
+    let plan = BatchPlan::new(&header.captured, configs, max_cycles);
+
+    let mut mem_core = (!plan.mem_classes.is_empty()).then(|| {
+        record_trace_walk();
+        MemWalkCore::new(&plan.mem_classes)
+    });
+    let mut fetch_core = (!plan.fetch_classes.is_empty()).then(|| {
+        record_trace_walk();
+        FetchWalkCore::new(&plan.fetch_classes)
+    });
+
+    let mut mem_partials: Vec<MemSegmentPartial> = Vec::new();
+    let mut fetch_partials: Vec<FetchSegmentPartial> = Vec::new();
+    if mem_core.is_some() || fetch_core.is_some() {
+        for seg in 0..streamed.segment_count() {
+            let segment = streamed.load_segment(seg)?;
+            if let Some(core) = mem_core.as_mut() {
+                record_segment_walk();
+                mem_partials.push(core.walk_segment_folded(&segment.folded));
+            }
+            if let Some(core) = fetch_core.as_mut() {
+                record_segment_walk();
+                fetch_partials.push(core.walk_segment_ops(&segment.ops));
+            }
+        }
+    }
+
+    let mem = reduce_mem(summary, plan.mem_classes.len(), &mem_partials);
+    let fetch = reduce_fetch(summary, plan.fetch_classes.len(), &fetch_partials);
+    Ok(plan.finish(
+        summary,
+        header.base_icache,
+        header.base_dcache,
+        header.base_overflows,
+        header.base_underflows,
+        &mem,
+        &fetch,
+    ))
 }
 
 #[cfg(test)]
@@ -1745,5 +2862,126 @@ mod tests {
         assert_eq!(mem_loads, s.loads);
         assert_eq!(saves, s.saves);
         assert!(s.saves > 0 && s.restores > 0, "recursion must rotate windows");
+    }
+
+    /// A small mixed batch: base geometry, a d-cache + window variant, an
+    /// i-cache variant, and a pure closed-form variant.
+    fn mixed_batch(base: &LeonConfig) -> Vec<LeonConfig> {
+        let mut dcache_small = *base;
+        dcache_small.dcache.way_kb = 1;
+        dcache_small.iu.reg_windows = 2;
+        let mut icache_small = *base;
+        icache_small.icache.way_kb = 1;
+        let mut closed_form = *base;
+        closed_form.iu.multiplier = Multiplier::M32x32;
+        vec![*base, dcache_small, icache_small, closed_form]
+    }
+
+    #[test]
+    fn resegmented_traces_replay_and_round_trip_identically() {
+        let base = LeonConfig::base();
+        let configs = mixed_batch(&base);
+        for program in [demo_program(), recursing_program()] {
+            let (_, trace) = capture(&base, &program, 1_000_000).unwrap();
+            let expected = replay_batch(&trace, &configs, 1_000_000);
+
+            // deliberately odd boundaries: 1-record segments up front, cuts
+            // mid-stream — results and the codec round-trip must not care
+            let n = trace.ops.len();
+            let mut boundaries: Vec<usize> = vec![0, 1, 2, n / 3, n / 2, n - 1];
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            boundaries.retain(|&b| b < n);
+            let mut resegmented = trace.clone();
+            resegmented.resegment_at(&boundaries);
+            assert!(resegmented.segment_count() >= 4);
+
+            assert_eq!(replay_batch(&resegmented, &configs, 1_000_000), expected);
+            let decoded = Trace::from_bytes(&resegmented.to_bytes()).unwrap();
+            assert_eq!(decoded, resegmented, "v2 codec must preserve the segmentation");
+        }
+    }
+
+    #[test]
+    fn streamed_replay_matches_in_memory_replay() {
+        let base = LeonConfig::base();
+        let configs = mixed_batch(&base);
+        for program in [demo_program(), recursing_program()] {
+            let (_, mut trace) = capture(&base, &program, 1_000_000).unwrap();
+            // cut into several segments so streaming actually iterates
+            let step = (trace.ops.len() / 5).max(1);
+            let boundaries: Vec<usize> = (0..trace.ops.len()).step_by(step).collect();
+            trace.resegment_at(&boundaries);
+
+            let bytes = trace.to_bytes();
+            let streamed = StreamedTrace::open(Box::new(bytes.clone())).unwrap();
+            assert_eq!(streamed.segment_count(), trace.segment_count());
+            assert_eq!(streamed.header().captured, trace.captured);
+
+            let got = replay_batch_streamed(&streamed, &configs, 1_000_000).unwrap();
+            assert_eq!(got, replay_batch(&trace, &configs, 1_000_000));
+
+            // payload corruption passes open() (header-only) but is caught
+            // by the damaged segment's checksum on load
+            let mut damaged = bytes.clone();
+            let target = V2_PREFIX_LEN + trace.segment_count() * SEGMENT_INFO_LEN;
+            damaged[target] ^= 0x40; // first byte of segment 0's payload
+            let opened = StreamedTrace::open(Box::new(damaged)).unwrap();
+            assert!(opened.load_segment(0).unwrap_err().to_string().contains("checksum"));
+        }
+    }
+
+    #[test]
+    fn v1_traces_still_decode_and_replay() {
+        let base = LeonConfig::base();
+        let (_, trace) = capture(&base, &recursing_program(), 1_000_000).unwrap();
+        let bytes = trace.to_bytes_v1();
+
+        let header = Trace::peek_header(&bytes).unwrap();
+        assert_eq!(header.version, 1);
+        assert!(header.segments.is_empty() && header.summary.is_none());
+
+        // full decode re-derives the default segmentation and folded stream
+        let decoded = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, trace);
+        let configs = mixed_batch(&base);
+        assert_eq!(
+            replay_batch(&decoded, &configs, 1_000_000),
+            replay_batch(&trace, &configs, 1_000_000)
+        );
+
+        // the streaming opener refuses v1 with a pointed error
+        let err = StreamedTrace::open(Box::new(bytes)).unwrap_err();
+        assert!(err.to_string().contains("streamed"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn segment_walkers_tick_the_segment_counter() {
+        let base = LeonConfig::base();
+        let (_, mut trace) = capture(&base, &recursing_program(), 1_000_000).unwrap();
+        let step = (trace.ops.len() / 4).max(1);
+        let boundaries: Vec<usize> = (0..trace.ops.len()).step_by(step).collect();
+        trace.resegment_at(&boundaries);
+        let segments = trace.segment_count() as u64;
+        assert!(segments >= 3);
+
+        let configs = mixed_batch(&base);
+        let plan = ReplayBatch::new(&trace, &configs, 1_000_000);
+        let walks_before = trace_walks_performed();
+        let segs_before = trace_segments_walked();
+        let mem = plan.walk_mem_span(0..plan.mem_class_count());
+        let fetch = plan.walk_fetch_span(0..plan.fetch_class_count());
+        assert_eq!(trace_walks_performed() - walks_before, 2);
+        assert_eq!(trace_segments_walked() - segs_before, 2 * segments);
+
+        // per-segment partials reduce to exactly the fused span results
+        let mut walker = plan.mem_span_walker(0..plan.mem_class_count());
+        let partials: Vec<MemSegmentPartial> =
+            (0..walker.segment_count()).map(|seg| walker.walk_segment(seg)).collect();
+        assert_eq!(plan.reduce_mem_partials(0..plan.mem_class_count(), &partials), mem);
+        let mut walker = plan.fetch_span_walker(0..plan.fetch_class_count());
+        let partials: Vec<FetchSegmentPartial> =
+            (0..walker.segment_count()).map(|seg| walker.walk_segment(seg)).collect();
+        assert_eq!(plan.reduce_fetch_partials(0..plan.fetch_class_count(), &partials), fetch);
     }
 }

@@ -10,6 +10,9 @@
 //! * the Figure 2 exhaustive d-cache sweep collapses to a single
 //!   memory-stream pass, where the per-config kernel pays one walk per
 //!   feasible non-base geometry;
+//! * the segmented engine's finer-grained `trace_segments_walked` counter
+//!   stays within classes × segments (parallel table) and hits exactly one
+//!   tick per segment for the fused Figure 2 pass;
 //! * both engines produce byte-identical tables/sweeps (`serde_json`
 //!   compared), so the walk budget is a pure cost change.
 //!
@@ -22,7 +25,9 @@ use std::sync::Mutex;
 
 use liquid_autoreconf::apps::{capture_verified, Blastn, Scale};
 use liquid_autoreconf::fpga::SynthesisModel;
-use liquid_autoreconf::sim::{trace_walks_performed, CacheConfig, LeonConfig};
+use liquid_autoreconf::sim::{
+    trace_segments_walked, trace_walks_performed, CacheConfig, LeonConfig,
+};
 use liquid_autoreconf::tuner::{
     dcache_exhaustive_traced, dcache_exhaustive_traced_per_config, measure_cost_table_traced,
     MeasurementOptions, ParameterSpace,
@@ -108,15 +113,25 @@ fn cost_table_walks_at_most_once_per_behavior_class() {
         "threads=1 must fuse all classes into one pass per stream, walked {serial_walks}"
     );
 
-    // threads = 4: classes are partitioned, never duplicated
+    // threads = 4: classes are partitioned, never duplicated — and the
+    // segmented engine ticks at most one segment walk per class × segment
+    // unit (each class-span walker visits every segment exactly once)
+    let segments = trace.segment_count() as u64;
     let before = trace_walks_performed();
+    let seg_before = trace_segments_walked();
     let parallel =
         measure_cost_table_traced(&space, &workload, &base, &model, &options(4, true), &trace)
             .unwrap();
     let parallel_walks = trace_walks_performed() - before;
+    let parallel_segment_walks = trace_segments_walked() - seg_before;
     assert!(
         parallel_walks <= classes as u64,
         "batched table must walk at most once per class ({classes}), walked {parallel_walks}"
+    );
+    assert!(
+        parallel_segment_walks <= classes as u64 * segments,
+        "segment walks ({parallel_segment_walks}) must not exceed classes ({classes}) × \
+         segments ({segments})"
     );
 
     // the per-config engine pays one walk per walked configuration — the
@@ -152,11 +167,18 @@ fn fig2_sweep_collapses_to_one_memory_stream_pass() {
     let (_, trace) = capture_verified(&workload, &base, MAX_CYCLES).unwrap();
 
     let before = trace_walks_performed();
+    let seg_before = trace_segments_walked();
     let batched = dcache_exhaustive_traced(&trace, &base, &model, MAX_CYCLES, 1).unwrap();
     let batched_walks = trace_walks_performed() - before;
+    let batched_segment_walks = trace_segments_walked() - seg_before;
     assert_eq!(
         batched_walks, 1,
         "the sweep changes only the d-cache: one fused memory-stream pass"
+    );
+    assert_eq!(
+        batched_segment_walks,
+        trace.segment_count() as u64,
+        "that one pass visits each of the trace's segments exactly once"
     );
 
     let before = trace_walks_performed();
