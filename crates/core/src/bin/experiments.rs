@@ -6,13 +6,21 @@
 //! ```text
 //! experiments fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all \
 //!     [--scale tiny|small|medium|large] [--threads N] [--json DIR] \
-//!     [--store DIR] [--gc-budget BYTES]
+//!     [--store DIR] [--gc-budget BYTES] [--counters FILE]
+//! experiments serve [--addr HOST:PORT] [--scale S] [--threads N] \
+//!     [--space paper|dcache] [--store DIR]
 //! experiments store doctor [--repair] [--store DIR]
 //! experiments store stats            [--store DIR]
 //! experiments store gc --budget BYTES [--store DIR]
 //! experiments store pack --file FILE  [--store DIR]
 //! experiments store unpack --file FILE [--store DIR]
 //! ```
+//!
+//! `serve` runs the campaign daemon (same engine configuration as the
+//! `campaign` target, so they share store entries); `--counters FILE`
+//! writes this process's guest-instruction / trace-byte counters as JSON on
+//! exit, which the multi-process store tests sum to prove no duplicated
+//! compute across processes.
 //!
 //! `--store DIR` (or the `AUTORECONF_STORE` environment variable) roots the
 //! `campaign` target on the incremental artifact store: a second run over an
@@ -36,7 +44,9 @@ const FIGURES: [&str; 10] =
 
 const USAGE: &str = "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|campaign|space|all]... \
      [--scale tiny|small|medium|large] [--threads N] [--json DIR] [--store DIR] \
-     [--gc-budget BYTES]\n\
+     [--gc-budget BYTES] [--counters FILE]\n\
+       experiments serve [--addr HOST:PORT] [--scale S] [--threads N] \
+     [--space paper|dcache] [--store DIR]\n\
        experiments store doctor [--repair] [--store DIR]\n\
        experiments store stats [--store DIR]\n\
        experiments store gc --budget BYTES [--store DIR]\n\
@@ -44,7 +54,8 @@ const USAGE: &str = "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|camp
        experiments store unpack --file FILE [--store DIR]\n\
 \n\
 BYTES accepts K/M/G suffixes (e.g. 64K, 16M). --store defaults to \
-$AUTORECONF_STORE; --gc-budget defaults to $AUTORECONF_STORE_BUDGET.";
+$AUTORECONF_STORE; --gc-budget defaults to $AUTORECONF_STORE_BUDGET. \
+--counters writes this process's compute counters as JSON on exit.";
 
 /// A fully parsed invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,9 +69,43 @@ enum Command {
         json_dir: Option<String>,
         store_dir: Option<String>,
         gc_budget: Option<u64>,
+        counters_file: Option<String>,
+    },
+    /// Run the campaign-as-a-service daemon.
+    Serve {
+        addr: String,
+        options: ExperimentOptions,
+        space: SpaceChoice,
+        store_dir: Option<String>,
     },
     /// Operate on the artifact store.
     Store { action: StoreAction, store_dir: Option<String> },
+}
+
+/// Which decision-variable space `serve` optimizes over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SpaceChoice {
+    /// The paper's full 52-variable space (the `campaign` target's space).
+    Paper,
+    /// The restricted d-cache geometry study space (fast smoke runs).
+    Dcache,
+}
+
+impl SpaceChoice {
+    fn parse(name: &str) -> Result<SpaceChoice, String> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "paper" | "full" => Ok(SpaceChoice::Paper),
+            "dcache" => Ok(SpaceChoice::Dcache),
+            other => Err(format!("unknown space `{other}` (expected paper or dcache)")),
+        }
+    }
+
+    fn space(self) -> autoreconf::ParameterSpace {
+        match self {
+            SpaceChoice::Paper => autoreconf::ParameterSpace::paper(),
+            SpaceChoice::Dcache => autoreconf::ParameterSpace::dcache_geometry(),
+        }
+    }
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -157,6 +202,35 @@ fn parse_store_args(args: &[String]) -> Result<Command, String> {
     Ok(Command::Store { action, store_dir })
 }
 
+/// Parse a `serve` invocation (everything after the `serve` word).
+fn parse_serve_args(args: &[String]) -> Result<Command, String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut options = ExperimentOptions::default();
+    let mut space = SpaceChoice::Paper;
+    let mut store_dir = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = flag_value("--addr", &mut iter)?,
+            "--scale" => {
+                let value = flag_value("--scale", &mut iter)?;
+                options.scale = Scale::parse(&value).map_err(|e| e.to_string())?;
+            }
+            "--threads" => {
+                let value = flag_value("--threads", &mut iter)?;
+                options.threads = value.trim().parse().map_err(|_| {
+                    format!("invalid --threads value `{value}` (expected a number; 0 = all cores)")
+                })?;
+            }
+            "--space" => space = SpaceChoice::parse(&flag_value("--space", &mut iter)?)?,
+            "--store" => store_dir = Some(flag_value("--store", &mut iter)?),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("serve: unknown argument `{other}`")),
+        }
+    }
+    Ok(Command::Serve { addr, options, space, store_dir })
+}
+
 /// Parse a full command line (without the program name).  Every malformed
 /// argument is an `Err` with a message naming the flag — never a silent
 /// fallback to a default.
@@ -164,11 +238,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     if args.first().map(String::as_str) == Some("store") {
         return parse_store_args(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return parse_serve_args(&args[1..]);
+    }
     let mut figures = Vec::new();
     let mut options = ExperimentOptions::default();
     let mut json_dir = None;
     let mut store_dir = None;
     let mut gc_budget = None;
+    let mut counters_file = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -187,6 +265,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--gc-budget" => {
                 gc_budget = Some(parse_bytes(&flag_value("--gc-budget", &mut iter)?)?)
             }
+            "--counters" => counters_file = Some(flag_value("--counters", &mut iter)?),
             "--help" | "-h" => return Ok(Command::Help),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
@@ -212,7 +291,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     if store_dir.is_some() && !wants_campaign {
         return Err("--store only applies to the campaign target".to_string());
     }
-    Ok(Command::Figures { figures, options, json_dir, store_dir, gc_budget })
+    Ok(Command::Figures { figures, options, json_dir, store_dir, gc_budget, counters_file })
 }
 
 /// Resolve the GC budget: the explicit flag wins, else
@@ -255,6 +334,39 @@ fn write_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
         file.write_all(body.as_bytes()).expect("write json file");
         eprintln!("wrote {path}");
     }
+}
+
+/// Write this process's compute counters (guest instructions executed,
+/// trace payload bytes read) as JSON — the audit record the multi-process
+/// store tests sum across processes to prove claim/lease dedup worked.
+fn write_counters_file(path: &str) -> Result<(), String> {
+    let body = format!(
+        "{{\"guest_instructions\":{},\"trace_payload_bytes\":{}}}\n",
+        workloads::guest_instructions_executed(),
+        workloads::trace_payload_bytes_read()
+    );
+    std::fs::write(path, body).map_err(|e| format!("cannot write counters file `{path}`: {e}"))
+}
+
+/// Run the campaign daemon until a client sends `Shutdown`.
+fn run_serve(
+    addr: &str,
+    options: &ExperimentOptions,
+    space: SpaceChoice,
+    store_dir: &Option<String>,
+) -> Result<(), String> {
+    let config = autoreconf::service::ServerConfig {
+        addr: addr.to_string(),
+        options: *options,
+        space: space.space(),
+        store: open_store(store_dir)?,
+    };
+    let server = autoreconf::service::Server::bind(config)
+        .map_err(|e| format!("cannot bind listener on `{addr}`: {e}"))?;
+    let bound = server.local_addr().map_err(|e| format!("no local address: {e}"))?;
+    println!("autoreconf-serve listening on {bound}");
+    std::io::stdout().flush().map_err(|e| format!("cannot flush address line: {e}"))?;
+    server.run().map_err(|e| format!("server failed: {e}"))
 }
 
 fn run_store_action(action: &StoreAction, store_dir: &Option<String>) -> Result<(), String> {
@@ -390,6 +502,13 @@ fn run_figures(
 }
 
 fn main() {
+    // a malformed AUTORECONF_THREADS must fail fast with a clean message —
+    // not panic inside the first worker-pool setup, and never be silently
+    // ignored (the same contract as every CLI flag)
+    if let Err(message) = autoreconf::campaign::threads_env() {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match parse_args(&args) {
         Ok(command) => command,
@@ -405,8 +524,18 @@ fn main() {
             Ok(())
         }
         Command::Store { action, store_dir } => run_store_action(action, store_dir),
-        Command::Figures { figures, options, json_dir, store_dir, gc_budget } => {
-            run_figures(figures, options, json_dir, store_dir, *gc_budget)
+        Command::Serve { addr, options, space, store_dir } => {
+            run_serve(addr, options, *space, store_dir)
+        }
+        Command::Figures { figures, options, json_dir, store_dir, gc_budget, counters_file } => {
+            let result = run_figures(figures, options, json_dir, store_dir, *gc_budget);
+            // write the audit record even after a failed run — a crashed
+            // process's compute still counts toward the duplication audit
+            let counters = match counters_file {
+                Some(path) => write_counters_file(path),
+                None => Ok(()),
+            };
+            result.and(counters)
         }
     };
     if let Err(message) = result {
@@ -443,20 +572,64 @@ mod tests {
     fn parses_a_full_campaign_invocation() {
         let cmd = parse(&[
             "campaign", "--scale", "medium", "--threads", "4", "--json", "out", "--store",
-            ".store", "--gc-budget", "64M",
+            ".store", "--gc-budget", "64M", "--counters", "c.json",
         ])
         .unwrap();
         match cmd {
-            Command::Figures { figures, options, json_dir, store_dir, gc_budget } => {
+            Command::Figures { figures, options, json_dir, store_dir, gc_budget, counters_file } => {
                 assert_eq!(figures, vec!["campaign"]);
                 assert_eq!(options.scale, Scale::Medium);
                 assert_eq!(options.threads, 4);
                 assert_eq!(json_dir.as_deref(), Some("out"));
                 assert_eq!(store_dir.as_deref(), Some(".store"));
                 assert_eq!(gc_budget, Some(64 << 20));
+                assert_eq!(counters_file.as_deref(), Some("c.json"));
             }
             other => panic!("unexpected parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_subcommand_parses() {
+        match parse(&["serve"]).unwrap() {
+            Command::Serve { addr, options, space, store_dir } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(options.scale, Scale::Small);
+                assert_eq!(space, SpaceChoice::Paper);
+                assert_eq!(store_dir, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&[
+            "serve", "--addr", "0.0.0.0:7071", "--scale", "tiny", "--threads", "2", "--space",
+            "dcache", "--store", "d",
+        ])
+        .unwrap()
+        {
+            Command::Serve { addr, options, space, store_dir } => {
+                assert_eq!(addr, "0.0.0.0:7071");
+                assert_eq!(options.scale, Scale::Tiny);
+                assert_eq!(options.threads, 2);
+                assert_eq!(space, SpaceChoice::Dcache);
+                assert_eq!(store_dir.as_deref(), Some("d"));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert_eq!(parse(&["serve", "--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn serve_errors_are_loud() {
+        assert!(parse_err(&["serve", "--scale", "big"]).contains("unknown scale"));
+        assert!(parse_err(&["serve", "--space", "everything"]).contains("unknown space"));
+        assert!(parse_err(&["serve", "--addr"]).contains("requires a value"));
+        assert!(parse_err(&["serve", "campaign"]).contains("serve: unknown argument"));
+        assert!(parse_err(&["serve", "--threads", "all"]).contains("invalid --threads"));
+    }
+
+    #[test]
+    fn counters_flag_requires_a_value() {
+        assert!(parse_err(&["campaign", "--counters"]).contains("--counters requires a value"));
     }
 
     #[test]

@@ -36,24 +36,64 @@ use crate::formulation::{formulate_mixed, FormulationOptions, Weights};
 use crate::measure::{measure_cost_table_traced, CostTable, MeasurementOptions};
 use crate::optimizer::{AutoReconfigurator, OptimizeError, Outcome};
 use crate::params::ParameterSpace;
-use crate::store::{ArtifactStore, Fingerprint, FingerprintBuilder, LazyArtifact, RESULTS_VERSION};
+use crate::store::{
+    ArtifactStore, ClaimOutcome, Fingerprint, FingerprintBuilder, LazyArtifact, DEFAULT_LEASE_TTL,
+    RESULTS_VERSION,
+};
+
+/// Parse an `AUTORECONF_THREADS` value: a non-negative integer worker
+/// count.  `Ok(None)` means "no override" — the value is empty or `0`, both
+/// of which mean one worker per available CPU.  Anything else (`all`, `4x`,
+/// `-1`, …) is an error: a mistyped override must fail loudly, not silently
+/// fall back to all cores (the same no-silent-fallback contract as
+/// [`workloads::Scale::parse`]).
+pub fn parse_threads_env(value: &str) -> Result<Option<usize>, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "invalid AUTORECONF_THREADS value `{value}`: expected a non-negative \
+             integer (0 = one worker per available CPU)"
+        )),
+    }
+}
+
+/// Read and strictly validate the `AUTORECONF_THREADS` environment
+/// variable (see [`parse_threads_env`]).  Front ends (the `experiments`
+/// CLI, the service daemon) call this once at startup so a bad value is a
+/// clean error instead of a mid-campaign panic.
+pub fn threads_env() -> Result<Option<usize>, String> {
+    match std::env::var("AUTORECONF_THREADS") {
+        Ok(v) => parse_threads_env(&v),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("invalid AUTORECONF_THREADS value: not valid UTF-8".to_string())
+        }
+    }
+}
 
 /// Resolve a requested worker count.  `0` means one worker per available
 /// CPU, overridable via the `AUTORECONF_THREADS` environment variable —
 /// the CI matrix runs the whole test suite at 1 and at 4 workers through
 /// it without touching any call site.
+///
+/// Panics on an invalid `AUTORECONF_THREADS` value: an override that
+/// silently fell back to all cores would make "why is threads=1 not
+/// threads=1?" undebuggable (validate early via [`threads_env`] to turn
+/// that panic into a clean CLI error).
 pub fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Some(n) = std::env::var("AUTORECONF_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    match threads_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        Err(e) => panic!("{e}"),
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 /// Fan `count` independent jobs out over a scoped worker pool and collect
@@ -776,6 +816,74 @@ impl Campaign {
     // wires them so that the compute half — and therefore the trace — is
     // only reached on a store miss.
 
+    /// Materialise one artifact under the store's claim/lease dedup
+    /// protocol: load when present, otherwise race concurrent processes for
+    /// the compute claim — the winner computes (under a heartbeat, so a slow
+    /// compute cannot be usurped) and persists; losers block on the winner's
+    /// atomically published result instead of duplicating the work.
+    ///
+    /// The boolean reports whether *this* caller computed (`true`) or was
+    /// served — from the store, or by a sibling process's compute
+    /// (`false`).  Without a store the compute half runs directly.  Claim
+    /// I/O failures degrade to undeduplicated compute: the protocol only
+    /// ever removes duplicate work, never adds a failure mode.
+    fn lease_guarded<T, E>(
+        &self,
+        kind: &str,
+        key: Fingerprint,
+        mut try_load: impl FnMut() -> Option<T>,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(T, bool), E> {
+        // stamp *before* the load: any publish after this point changes the
+        // stamp and forces the next load attempt to look again
+        let mut last_seen = self.store.as_ref().and_then(|s| s.entry_file_stamp(kind, key));
+        if let Some(value) = try_load() {
+            return Ok((value, false));
+        }
+        let Some(store) = &self.store else {
+            return Ok((compute()?, true));
+        };
+        let mut compute = Some(compute);
+        loop {
+            match store.try_claim(kind, key, DEFAULT_LEASE_TTL) {
+                Ok(ClaimOutcome::Acquired(mut lease)) => {
+                    // double-check under the claim: the previous holder may
+                    // have published while we raced for it — but only if the
+                    // entry file actually changed since we last looked, so a
+                    // corrupt entry is not detected (and counted) twice
+                    if store.entry_file_stamp(kind, key) != last_seen {
+                        if let Some(value) = try_load() {
+                            return Ok((value, false));
+                        }
+                    }
+                    lease.start_heartbeat();
+                    let value = (compute.take().expect("compute reached at most once"))()?;
+                    return Ok((value, true)); // dropping the lease releases the claim
+                }
+                Ok(ClaimOutcome::Busy(_)) => {
+                    if store.await_entry_or_lease(kind, key) {
+                        last_seen = store.entry_file_stamp(kind, key);
+                        if let Some(value) = try_load() {
+                            return Ok((value, false));
+                        }
+                        // the published entry didn't decode for us: fall
+                        // through and claim the recompute ourselves
+                    }
+                    // no entry and no live lease: the holder failed or
+                    // crashed — retry the claim (we may now win it)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: could not claim {kind}-{key} for cold-compute dedup ({e}); \
+                         computing without a claim"
+                    );
+                    let value = (compute.take().expect("compute reached at most once"))()?;
+                    return Ok((value, true));
+                }
+            }
+        }
+    }
+
     /// Serve the workload's verified trace (plus its base-run costs) from
     /// the store, if a valid entry exists.  Ticks the process-wide
     /// [`workloads::trace_payload_bytes_read`] counter on every actual
@@ -845,10 +953,12 @@ impl Campaign {
         workload: &(dyn Workload + Send + Sync),
         workload_fp: u64,
     ) -> Result<(TracedWorkload, bool), SimError> {
-        if let Some(entry) = self.try_load_trace(workload.name(), workload_fp) {
-            return Ok((entry, false));
-        }
-        Ok((self.capture_and_persist_trace(workload, workload_fp)?, true))
+        self.lease_guarded(
+            "trace",
+            self.trace_key(workload_fp),
+            || self.try_load_trace(workload.name(), workload_fp),
+            || self.capture_and_persist_trace(workload, workload_fp),
+        )
     }
 
     /// Load a JSON artifact from the attached store, if any.
@@ -904,11 +1014,12 @@ impl Campaign {
         workload_fp: u64,
         entry: &TracedWorkload,
     ) -> Result<(CostTable, bool), SimError> {
-        if let Some(table) = self.try_load_json::<CostTable>("table", self.table_key(workload_fp))
-        {
-            return Ok((table, false));
-        }
-        Ok((self.measure_and_persist_table(workload, workload_fp, entry)?, true))
+        self.lease_guarded(
+            "table",
+            self.table_key(workload_fp),
+            || self.try_load_json::<CostTable>("table", self.table_key(workload_fp)),
+            || self.measure_and_persist_table(workload, workload_fp, entry),
+        )
     }
 
     /// Recompute the workload's Figure 2 exhaustive sweep by replay and
@@ -941,12 +1052,12 @@ impl Campaign {
         workload_fp: u64,
         entry: &TracedWorkload,
     ) -> Result<(Vec<DcacheRow>, bool), SimError> {
-        if let Some(sweep) =
-            self.try_load_json::<Vec<DcacheRow>>("sweep", self.sweep_key(workload_fp))
-        {
-            return Ok((sweep, false));
-        }
-        Ok((self.compute_and_persist_sweep(workload_fp, entry)?, true))
+        self.lease_guarded(
+            "sweep",
+            self.sweep_key(workload_fp),
+            || self.try_load_json::<Vec<DcacheRow>>("sweep", self.sweep_key(workload_fp)),
+            || self.compute_and_persist_sweep(workload_fp, entry),
+        )
     }
 
     /// Formulate + solve + replay-validate the workload's per-application
@@ -983,12 +1094,12 @@ impl Campaign {
         entry: &TracedWorkload,
         table: &CostTable,
     ) -> Result<(Outcome, bool), OptimizeError> {
-        if let Some(outcome) =
-            self.try_load_json::<Outcome>("optimum", self.optimum_key(workload_fp))
-        {
-            return Ok((outcome, false));
-        }
-        Ok((self.solve_and_persist_optimum(tool, workload, workload_fp, entry, table)?, true))
+        self.lease_guarded(
+            "optimum",
+            self.optimum_key(workload_fp),
+            || self.try_load_json::<Outcome>("optimum", self.optimum_key(workload_fp)),
+            || self.solve_and_persist_optimum(tool, workload, workload_fp, entry, table),
+        )
     }
 }
 
@@ -1256,16 +1367,18 @@ impl<'a> CampaignSession<'a> {
     pub fn table(&self, index: usize) -> Result<&CostTable, OptimizeError> {
         self.tables[index].get_or_try_materialize(|| {
             let fp = self.fingerprints[index];
-            if let Some(table) =
-                self.engine.try_load_json::<CostTable>("table", self.engine.table_key(fp))
-            {
-                self.bump(false, |c| (&mut c.table_measurements, &mut c.table_store_hits));
-                return Ok(table);
-            }
-            let entry = self.trace(index)?;
-            let table =
-                self.engine.measure_and_persist_table(self.suite[index].as_ref(), fp, entry)?;
-            self.bump(true, |c| (&mut c.table_measurements, &mut c.table_store_hits));
+            let (table, measured) = self.engine.lease_guarded(
+                "table",
+                self.engine.table_key(fp),
+                || self.engine.try_load_json::<CostTable>("table", self.engine.table_key(fp)),
+                || -> Result<CostTable, OptimizeError> {
+                    let entry = self.trace(index)?;
+                    Ok(self
+                        .engine
+                        .measure_and_persist_table(self.suite[index].as_ref(), fp, entry)?)
+                },
+            )?;
+            self.bump(measured, |c| (&mut c.table_measurements, &mut c.table_store_hits));
             Ok(table)
         })
     }
@@ -1281,46 +1394,51 @@ impl<'a> CampaignSession<'a> {
     pub fn sweep(&self, index: usize) -> Result<&Vec<DcacheRow>, OptimizeError> {
         self.sweeps[index].get_or_try_materialize(|| {
             let fp = self.fingerprints[index];
-            if let Some(sweep) =
-                self.engine.try_load_json::<Vec<DcacheRow>>("sweep", self.engine.sweep_key(fp))
-            {
-                self.bump(false, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
-                return Ok(sweep);
-            }
-            if !self.traces[index].is_materialized() {
-                if let Some(streamed) = self.engine.open_streamed_trace(fp) {
-                    match crate::dcache_study::dcache_exhaustive_traced_streamed(
-                        &streamed,
-                        &self.engine.base,
-                        &self.engine.model,
-                        self.engine.measurement.max_cycles,
-                    ) {
-                        Ok(sweep) => {
-                            self.engine.persist_json(
-                                "sweep",
-                                self.engine.sweep_key(fp),
-                                &format!("sweep for {}", self.names[index]),
-                                &sweep,
-                            );
-                            self.bump(true, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
-                            return Ok(sweep);
-                        }
-                        Err(crate::dcache_study::StreamedSweepError::Sim(e)) => {
-                            return Err(e.into());
-                        }
-                        Err(crate::dcache_study::StreamedSweepError::Codec(_)) => {
-                            // the stored entry is damaged mid-payload: fall
-                            // through to the full decode, which recounts the
-                            // corruption and recaptures the trace
-                        }
+            let (sweep, computed) = self.engine.lease_guarded(
+                "sweep",
+                self.engine.sweep_key(fp),
+                || self.engine.try_load_json::<Vec<DcacheRow>>("sweep", self.engine.sweep_key(fp)),
+                || self.compute_sweep_cold(index, fp),
+            )?;
+            self.bump(computed, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
+            Ok(sweep)
+        })
+    }
+
+    /// The sweep-miss recompute path (runs under the sweep claim): streaming
+    /// replay of the stored trace entry when possible, full decode + capture
+    /// otherwise.
+    fn compute_sweep_cold(&self, index: usize, fp: u64) -> Result<Vec<DcacheRow>, OptimizeError> {
+        if !self.traces[index].is_materialized() {
+            if let Some(streamed) = self.engine.open_streamed_trace(fp) {
+                match crate::dcache_study::dcache_exhaustive_traced_streamed(
+                    &streamed,
+                    &self.engine.base,
+                    &self.engine.model,
+                    self.engine.measurement.max_cycles,
+                ) {
+                    Ok(sweep) => {
+                        self.engine.persist_json(
+                            "sweep",
+                            self.engine.sweep_key(fp),
+                            &format!("sweep for {}", self.names[index]),
+                            &sweep,
+                        );
+                        return Ok(sweep);
+                    }
+                    Err(crate::dcache_study::StreamedSweepError::Sim(e)) => {
+                        return Err(e.into());
+                    }
+                    Err(crate::dcache_study::StreamedSweepError::Codec(_)) => {
+                        // the stored entry is damaged mid-payload: fall
+                        // through to the full decode, which recounts the
+                        // corruption and recaptures the trace
                     }
                 }
             }
-            let entry = self.trace(index)?;
-            let sweep = self.engine.compute_and_persist_sweep(fp, entry)?;
-            self.bump(true, |c| (&mut c.sweeps_computed, &mut c.sweep_store_hits));
-            Ok(sweep)
-        })
+        }
+        let entry = self.trace(index)?;
+        Ok(self.engine.compute_and_persist_sweep(fp, entry)?)
     }
 
     /// The workload's per-application optimum; a store hit touches neither
@@ -1328,23 +1446,24 @@ impl<'a> CampaignSession<'a> {
     pub fn per_app_outcome(&self, index: usize) -> Result<&Outcome, OptimizeError> {
         self.per_app[index].get_or_try_materialize(|| {
             let fp = self.fingerprints[index];
-            if let Some(outcome) =
-                self.engine.try_load_json::<Outcome>("optimum", self.engine.optimum_key(fp))
-            {
-                self.bump(false, |c| (&mut c.optimizations_solved, &mut c.optimum_store_hits));
-                return Ok(outcome);
-            }
-            let table = self.table(index)?;
-            let entry = self.trace(index)?;
-            let tool = self.engine.per_app_tool();
-            let outcome = self.engine.solve_and_persist_optimum(
-                &tool,
-                self.suite[index].as_ref(),
-                fp,
-                entry,
-                table,
+            let (outcome, solved) = self.engine.lease_guarded(
+                "optimum",
+                self.engine.optimum_key(fp),
+                || self.engine.try_load_json::<Outcome>("optimum", self.engine.optimum_key(fp)),
+                || {
+                    let table = self.table(index)?;
+                    let entry = self.trace(index)?;
+                    let tool = self.engine.per_app_tool();
+                    self.engine.solve_and_persist_optimum(
+                        &tool,
+                        self.suite[index].as_ref(),
+                        fp,
+                        entry,
+                        table,
+                    )
+                },
             )?;
-            self.bump(true, |c| (&mut c.optimizations_solved, &mut c.optimum_store_hits));
+            self.bump(solved, |c| (&mut c.optimizations_solved, &mut c.optimum_store_hits));
             Ok(outcome)
         })
     }
@@ -1414,16 +1533,23 @@ impl<'a> CampaignSession<'a> {
         assert_eq!(mix.len(), self.len(), "one mix weight per workload required");
         let key = self.co_key(mix);
         self.pins.pin("co", key);
-        if let Some(outcome) = self.engine.try_load_json::<CoOutcome>("co", key) {
-            return Ok(outcome);
-        }
-        self.materialize_measurements()?;
-        let entries: Vec<&TracedWorkload> =
-            (0..self.len()).map(|i| self.traces[i].get().expect("just materialised")).collect();
-        let tables: Vec<&CostTable> =
-            (0..self.len()).map(|i| self.tables[i].get().expect("just materialised")).collect();
-        let outcome = self.engine.co_optimize_on(&entries, &tables, mix)?;
-        self.engine.persist_json("co", key, "co-optimization outcome", &outcome);
+        let (outcome, _computed) = self.engine.lease_guarded(
+            "co",
+            key,
+            || self.engine.try_load_json::<CoOutcome>("co", key),
+            || -> Result<CoOutcome, OptimizeError> {
+                self.materialize_measurements()?;
+                let entries: Vec<&TracedWorkload> = (0..self.len())
+                    .map(|i| self.traces[i].get().expect("just materialised"))
+                    .collect();
+                let tables: Vec<&CostTable> = (0..self.len())
+                    .map(|i| self.tables[i].get().expect("just materialised"))
+                    .collect();
+                let outcome = self.engine.co_optimize_on(&entries, &tables, mix)?;
+                self.engine.persist_json("co", key, "co-optimization outcome", &outcome);
+                Ok(outcome)
+            },
+        )?;
         Ok(outcome)
     }
 
@@ -1537,6 +1663,22 @@ mod tests {
     fn effective_threads_prefers_explicit_requests() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn threads_env_values_parse_strictly() {
+        assert_eq!(parse_threads_env(""), Ok(None));
+        assert_eq!(parse_threads_env("   "), Ok(None));
+        assert_eq!(parse_threads_env("0"), Ok(None)); // 0 = one worker per CPU
+        assert_eq!(parse_threads_env("4"), Ok(Some(4)));
+        assert_eq!(parse_threads_env(" 16 "), Ok(Some(16)));
+        for bad in ["all", "-1", "2.5", "4x", "0x2"] {
+            let err = parse_threads_env(bad).unwrap_err();
+            assert!(
+                err.contains("invalid AUTORECONF_THREADS") && err.contains(bad),
+                "error for {bad:?} should name the variable and echo the value: {err}"
+            );
+        }
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl ExperimentOptions {
         ExperimentOptions { scale: Scale::Tiny, max_cycles: 400_000_000, threads: 0 }
     }
 
-    fn measurement(&self) -> MeasurementOptions {
+    /// The replay-first measurement configuration every experiment target —
+    /// and the campaign service, which must share store keys with them —
+    /// derives from these options.
+    pub fn measurement(&self) -> MeasurementOptions {
         MeasurementOptions { max_cycles: self.max_cycles, threads: self.threads, use_replay: true, batch_replay: true }
     }
 }

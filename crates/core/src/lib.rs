@@ -41,6 +41,7 @@ pub mod formulation;
 pub mod measure;
 pub mod optimizer;
 pub mod params;
+pub mod service;
 pub mod store;
 
 pub use campaign::{
@@ -49,8 +50,9 @@ pub use campaign::{
     WorkloadShare,
 };
 pub use store::{
-    ArtifactStore, DoctorReport, EntryMeta, Fingerprint, FingerprintBuilder, GcReport, KindUsage,
-    LazyArtifact, Manifest, ManifestEntry, PackStats, StoreStats,
+    ArtifactStore, ClaimOutcome, DoctorReport, EntryMeta, Fingerprint, FingerprintBuilder,
+    GcReport, KindUsage, LazyArtifact, Lease, LeaseInfo, Manifest, ManifestEntry, PackStats,
+    StoreStats, DEFAULT_LEASE_TTL,
 };
 pub use dcache_study::{
     best_runtime_row, dcache_exhaustive, dcache_exhaustive_full, dcache_exhaustive_traced,

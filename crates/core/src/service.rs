@@ -1,0 +1,521 @@
+//! Campaign-as-a-service: a std-only TCP daemon over one shared artifact
+//! store.
+//!
+//! The [`Server`] owns a lazily materialised [`CampaignSession`] and answers
+//! clients over a tiny length-prefixed JSON protocol (see [`Request`] /
+//! [`Response`]).  A warm query is served straight from the store — zero
+//! guest instructions, zero trace payload bytes; a cold query walks the
+//! session's dependency chain under the store's claim/lease protocol
+//! ([`crate::store::ArtifactStore::try_claim`]), so any number of concurrent
+//! clients — and any number of *other processes* sharing the store — execute
+//! each artifact's guest code exactly once.
+//!
+//! ## Wire protocol
+//!
+//! Every message (both directions) is one *frame*: a 4-byte big-endian
+//! payload length followed by that many bytes of JSON — the externally
+//! tagged serialisation of [`Request`] or [`Response`].  Frames larger than
+//! [`MAX_FRAME_BYTES`] are rejected; a clean EOF between frames ends the
+//! connection.  One connection carries any number of request/response
+//! round-trips, strictly in order.
+//!
+//! Campaign outcomes travel as their canonical JSON text (the exact bytes
+//! `serde_json::to_string` produces for [`crate::campaign::CoOutcome`] /
+//! [`crate::Outcome`]), so clients can byte-compare answers against a local
+//! run without worrying about field ordering drift.
+//!
+//! ```no_run
+//! use autoreconf::service::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run().unwrap(); // blocks until a Shutdown request
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+use workloads::Scale;
+
+use crate::campaign::{Campaign, CampaignSession};
+use crate::experiments::ExperimentOptions;
+use crate::formulation::Weights;
+use crate::params::ParameterSpace;
+use crate::store::ArtifactStore;
+
+/// Version tag answered by [`Request::Ping`]; bumped on any incompatible
+/// change to the frame format or the request/response enums.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame's payload, both directions.  Large enough
+/// for any campaign outcome, small enough that a malformed length prefix
+/// cannot balloon into a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+// -- framing ----------------------------------------------------------------
+
+/// Write one length-prefixed frame and flush it.
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit", body.len()),
+        ));
+    }
+    // one contiguous write: a separate prefix write would interact with
+    // Nagle + delayed ACK on a TCP peer (~40 ms stalls per response)
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(body);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Read one length-prefixed frame.  `Ok(None)` on a clean EOF *between*
+/// frames (the peer hung up); an EOF mid-frame is an error.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        let n = reader.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame (inside the length prefix)",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame (limit {MAX_FRAME_BYTES})"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// -- protocol ---------------------------------------------------------------
+
+/// A client request, one per frame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Health check; answered with [`Response::Pong`].
+    Ping,
+    /// Describe the served suite (workload names, scale, store attachment).
+    Describe,
+    /// Per-application optimum for one workload of the served suite, by
+    /// name (e.g. `"BLASTN"`).
+    Optimize {
+        /// Workload name, as listed by [`Request::Describe`].
+        workload: String,
+    },
+    /// The workload's exhaustive d-cache sweep (the paper's Figure 2 rows).
+    Sweep {
+        /// Workload name, as listed by [`Request::Describe`].
+        workload: String,
+    },
+    /// Co-optimize the whole served suite for a workload mix (one weight
+    /// per workload, suite order; weights are normalised server-side).
+    CoOptimize {
+        /// Un-normalised mix weights, one per workload.
+        mix: Vec<f64>,
+    },
+    /// Process-wide compute counters — the duplicated-work audit surface.
+    Counters,
+    /// Stop the daemon after answering with [`Response::Bye`].
+    Shutdown,
+}
+
+/// Process-wide compute counters reported by [`Response::Counters`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCounters {
+    /// Guest instructions executed by this server process since start
+    /// ([`workloads::guest_instructions_executed`]).
+    pub guest_instructions: u64,
+    /// Trace payload bytes materialised from the store
+    /// ([`workloads::trace_payload_bytes_read`]).
+    pub trace_payload_bytes: u64,
+    /// Requests answered so far, across all connections.
+    pub requests_served: u64,
+}
+
+/// A server response, one per request frame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Answer to [`Request::Describe`].
+    Describe {
+        /// Workload names, in suite order — the order mix weights apply in.
+        workloads: Vec<String>,
+        /// Problem scale the suite was built at (`tiny`/`small`/…).
+        scale: String,
+        /// Whether an artifact store is attached (warm hits possible).
+        store: bool,
+    },
+    /// Answer to [`Request::Optimize`]: the canonical JSON text of the
+    /// [`crate::Outcome`].
+    Outcome {
+        /// `serde_json::to_string` of the outcome, byte-comparable against
+        /// a local run.
+        json: String,
+    },
+    /// Answer to [`Request::Sweep`]: the canonical JSON text of the
+    /// `Vec<DcacheRow>`.
+    Sweep {
+        /// `serde_json::to_string` of the sweep rows.
+        json: String,
+    },
+    /// Answer to [`Request::CoOptimize`]: the canonical JSON text of the
+    /// [`crate::campaign::CoOutcome`].
+    CoOutcome {
+        /// `serde_json::to_string` of the co-optimization outcome.
+        json: String,
+    },
+    /// Answer to [`Request::Counters`].
+    Counters {
+        /// The counter snapshot.
+        counters: ServiceCounters,
+    },
+    /// Acknowledgement of [`Request::Shutdown`]; the daemon exits after
+    /// sending it.
+    Bye,
+    /// Any failure: unknown workload, malformed request, campaign error.
+    /// The connection stays usable.
+    Error {
+        /// Human-readable description of what was wrong.
+        message: String,
+    },
+}
+
+// -- server -----------------------------------------------------------------
+
+/// Configuration for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to listen on.  Port 0 picks a free port — read it back via
+    /// [`Server::local_addr`].
+    pub addr: String,
+    /// Campaign sizing (scale, cycle budget, worker threads) — identical
+    /// semantics to the `experiments campaign` target, so the service
+    /// shares its store entries with CLI runs.
+    pub options: ExperimentOptions,
+    /// The decision-variable space to optimize over.  The default —
+    /// [`ParameterSpace::paper`] — matches the `campaign` CLI target;
+    /// smoke tests restrict it (e.g. [`ParameterSpace::dcache_geometry`])
+    /// to keep cold queries fast.
+    pub space: ParameterSpace,
+    /// The shared artifact store; `None` serves every query by computing.
+    pub store: Option<ArtifactStore>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            options: ExperimentOptions::default(),
+            space: ParameterSpace::paper(),
+            store: ArtifactStore::from_env(),
+        }
+    }
+}
+
+/// The campaign daemon: a bound listener plus the campaign configuration it
+/// will serve.  [`Server::run`] blocks until a [`Request::Shutdown`].
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind the listening socket (without serving yet).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The bound address — the one to hand to clients when the configured
+    /// port was 0.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a client sends [`Request::Shutdown`].
+    ///
+    /// Connections are handled one thread each; they all share one lazy
+    /// [`CampaignSession`], so concurrent cold queries for the same
+    /// artifact dedup in-process ([`crate::store::LazyArtifact`]) and
+    /// across processes (claim/lease).
+    pub fn run(self) -> io::Result<()> {
+        let suite = workloads::benchmark_suite(self.config.options.scale);
+        let mut engine = Campaign::new()
+            .with_space(self.config.space.clone())
+            .with_weights(Weights::runtime_optimized())
+            .with_measurement(self.config.options.measurement());
+        if let Some(store) = self.config.store.clone() {
+            engine = engine.with_store(store);
+        }
+        let session = engine
+            .session(&suite)
+            .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))?;
+        let scale = self.config.options.scale;
+        let state = ServerState {
+            session,
+            scale,
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            addr: self.listener.local_addr()?,
+        };
+        std::thread::scope(|scope| {
+            for conn in self.listener.incoming() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(stream) => stream,
+                    Err(_) => continue, // transient accept failure
+                };
+                // small request/response frames: don't let Nagle batch them
+                let _ = stream.set_nodelay(true);
+                let state = &state;
+                scope.spawn(move || {
+                    if let Err(e) = handle_connection(stream, state) {
+                        // a dropped client mid-request is routine, not fatal
+                        eprintln!("connection error: {e}");
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Everything the connection handlers share.
+struct ServerState<'suite> {
+    session: CampaignSession<'suite>,
+    scale: Scale,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    addr: SocketAddr,
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    loop {
+        let Some(frame) = read_frame(&mut stream)? else {
+            return Ok(()); // client hung up cleanly
+        };
+        let request: Result<Request, String> = std::str::from_utf8(&frame)
+            .map_err(|e| format!("request is not UTF-8: {e}"))
+            .and_then(|text| {
+                serde_json::from_str(text).map_err(|e| format!("malformed request: {e}"))
+            });
+        let (response, stop) = match request {
+            Err(message) => (Response::Error { message }, false),
+            Ok(Request::Shutdown) => (Response::Bye, true),
+            Ok(request) => (dispatch(state, &request), false),
+        };
+        state.served.fetch_add(1, Ordering::Relaxed);
+        let body = serde_json::to_string(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_frame(&mut stream, body.as_bytes())?;
+        if stop {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // wake the accept loop so it observes the flag and exits
+            let _ = TcpStream::connect(state.addr);
+            return Ok(());
+        }
+    }
+}
+
+/// Answer one (non-shutdown) request.  Campaign failures become
+/// [`Response::Error`]; the connection survives them.
+fn dispatch(state: &ServerState, request: &Request) -> Response {
+    let session = &state.session;
+    let index_of = |workload: &str| {
+        session.names().iter().position(|name| name == workload).ok_or_else(|| {
+            format!("unknown workload `{workload}` (serving: {})", session.names().join(", "))
+        })
+    };
+    fn as_json<T: serde::Serialize>(value: &T) -> Result<String, String> {
+        serde_json::to_string(value).map_err(|e| format!("serialisation failed: {e}"))
+    }
+    let result = match request {
+        Request::Ping => Ok(Response::Pong { protocol: PROTOCOL_VERSION }),
+        Request::Describe => Ok(Response::Describe {
+            workloads: session.names().to_vec(),
+            scale: state.scale.name().to_string(),
+            store: session.engine().store().is_some(),
+        }),
+        Request::Optimize { workload } => index_of(workload)
+            .and_then(|i| session.per_app_outcome(i).map_err(|e| e.to_string()))
+            .and_then(|outcome| as_json(outcome))
+            .map(|json| Response::Outcome { json }),
+        Request::Sweep { workload } => index_of(workload)
+            .and_then(|i| session.sweep(i).map_err(|e| e.to_string()))
+            .and_then(|sweep| as_json(sweep))
+            .map(|json| Response::Sweep { json }),
+        Request::CoOptimize { mix } => validate_mix(mix, session.len())
+            .and_then(|()| session.co_optimize(mix).map_err(|e| e.to_string()))
+            .and_then(|outcome| as_json(&outcome))
+            .map(|json| Response::CoOutcome { json }),
+        Request::Counters => Ok(Response::Counters {
+            counters: ServiceCounters {
+                guest_instructions: workloads::guest_instructions_executed(),
+                trace_payload_bytes: workloads::trace_payload_bytes_read(),
+                requests_served: state.served.load(Ordering::Relaxed),
+            },
+        }),
+        Request::Shutdown => unreachable!("handled by the connection loop"),
+    };
+    result.unwrap_or_else(|message| Response::Error { message })
+}
+
+/// Reject a mix the session would panic on (wrong arity) or fold into a
+/// nonsense key (non-finite or negative weights, all-zero total).
+fn validate_mix(mix: &[f64], suite_len: usize) -> Result<(), String> {
+    if mix.len() != suite_len {
+        return Err(format!("mix has {} weights but the suite has {suite_len}", mix.len()));
+    }
+    if mix.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err("mix weights must be finite and non-negative".to_string());
+    }
+    if mix.iter().sum::<f64>() <= 0.0 {
+        return Err("mix weights must not all be zero".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        // cut the frame mid-payload and mid-prefix
+        let mut reader = &wire[..6];
+        assert!(read_frame(&mut reader).is_err());
+        let mut reader = &wire[..2];
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn oversized_announcements_are_rejected() {
+        let wire = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    }
+
+    #[test]
+    fn protocol_messages_round_trip_through_json() {
+        let requests = vec![
+            Request::Ping,
+            Request::Describe,
+            Request::Optimize { workload: "BLASTN".to_string() },
+            Request::Sweep { workload: "DRR".to_string() },
+            Request::CoOptimize { mix: vec![1.0, 2.0, 0.5, 0.0] },
+            Request::Counters,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let text = serde_json::to_string(&request).unwrap();
+            let back: Request = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, request, "{text}");
+        }
+        let responses = vec![
+            Response::Pong { protocol: PROTOCOL_VERSION },
+            Response::Error { message: "nope".to_string() },
+            Response::Counters {
+                counters: ServiceCounters {
+                    guest_instructions: 1,
+                    trace_payload_bytes: 2,
+                    requests_served: 3,
+                },
+            },
+            Response::Bye,
+        ];
+        for response in responses {
+            let text = serde_json::to_string(&response).unwrap();
+            let back: Response = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, response, "{text}");
+        }
+    }
+
+    #[test]
+    fn mix_validation_catches_nonsense() {
+        assert!(validate_mix(&[1.0, 1.0], 2).is_ok());
+        assert!(validate_mix(&[1.0], 2).unwrap_err().contains("2"));
+        assert!(validate_mix(&[1.0, -1.0], 2).unwrap_err().contains("non-negative"));
+        assert!(validate_mix(&[f64::NAN, 1.0], 2).unwrap_err().contains("finite"));
+        assert!(validate_mix(&[0.0, 0.0], 2).unwrap_err().contains("zero"));
+    }
+
+    /// End-to-end over a real socket: ping, describe, bad request, shutdown.
+    /// (Compute-heavy queries are exercised by the service crate's smoke
+    /// test and the multi-process store test.)
+    #[test]
+    fn server_answers_control_requests_over_tcp() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            options: ExperimentOptions::test_sized(),
+            space: ParameterSpace::dcache_geometry(),
+            store: None,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut roundtrip = |request: &Request| -> Response {
+            let body = serde_json::to_string(request).unwrap();
+            write_frame(&mut stream, body.as_bytes()).unwrap();
+            let frame = read_frame(&mut stream).unwrap().expect("response frame");
+            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap()
+        };
+
+        assert_eq!(roundtrip(&Request::Ping), Response::Pong { protocol: PROTOCOL_VERSION });
+        match roundtrip(&Request::Describe) {
+            Response::Describe { workloads, scale, store } => {
+                assert_eq!(workloads, vec!["BLASTN", "DRR", "FRAG", "Arith"]);
+                assert_eq!(scale, "tiny");
+                assert!(!store);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match roundtrip(&Request::Optimize { workload: "NOPE".to_string() }) {
+            Response::Error { message } => assert!(message.contains("unknown workload")),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match roundtrip(&Request::CoOptimize { mix: vec![1.0] }) {
+            Response::Error { message } => assert!(message.contains("4")),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        assert_eq!(roundtrip(&Request::Shutdown), Response::Bye);
+        handle.join().unwrap();
+    }
+}

@@ -28,6 +28,15 @@
 //!   store directory and `rename`d into place, so a crash mid-write leaves
 //!   either the old entry or no entry, never a torn one.  Concurrent writers
 //!   of the same key race benignly: both produce identical bytes.
+//! * **Cold-compute dedup** — concurrent processes that all miss the same
+//!   key race to [`ArtifactStore::try_claim`] a *lease* file beside the
+//!   entry; exactly one acquires it and computes, the rest block on the
+//!   winner's atomically published result
+//!   ([`ArtifactStore::await_entry_or_lease`]) instead of recomputing.
+//!   Leases are renewed by a heartbeat while the winner computes and expire
+//!   (and are taken over) when the holder crashes, so the protocol adds
+//!   liveness without ever risking wrongness: even a duplicated compute in
+//!   the crash-recovery path saves byte-identical bytes.
 //!
 //! # Store lifecycle (manifest, GC, doctor, pack)
 //!
@@ -64,6 +73,7 @@ use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use serde::{Deserialize, Serialize};
 
@@ -91,6 +101,32 @@ const ENTRY_MAGIC: [u8; 4] = *b"ARST";
 const PACK_MAGIC: [u8; 4] = *b"ARPK";
 const ENVELOPE_LEN: usize = 40;
 const MANIFEST_FILE: &str = "manifest.json";
+
+/// Version of the lease-file body written by [`ArtifactStore::try_claim`].
+pub const LEASE_VERSION: u32 = 1;
+
+/// Default time-to-live of a compute claim before other processes may assume
+/// the holder crashed and take the claim over.  Holders of long computations
+/// keep a live claim fresh with [`Lease::start_heartbeat`] (renewal is
+/// automatic well inside this window), so the default only bounds how long a
+/// *crashed* holder can stall its waiters.
+pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(10);
+
+/// Default grace window under which `doctor --repair` leaves `.tmp-*` files
+/// alone: a file this young may be an in-flight atomic write (`write` done,
+/// `rename` pending) of a live process in another OS process, and deleting
+/// it would destroy that save mid-flight.  Older ones are debris from an
+/// interrupted writer and are safe to remove.
+pub const DEFAULT_TMP_GRACE: Duration = Duration::from_secs(60);
+
+/// Poll interval of [`ArtifactStore::await_entry_or_lease`].
+const LEASE_POLL: Duration = Duration::from_millis(5);
+
+/// Milliseconds since the Unix epoch (the clock lease expiry is measured
+/// in — wall time, comparable across processes on one machine).
+fn unix_now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
 
 /// A stable 64-bit content fingerprint identifying one store entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -327,7 +363,7 @@ impl ManifestState {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shared {
     stats: StatsCells,
     manifest: Mutex<ManifestState>,
@@ -338,6 +374,21 @@ struct Shared {
     /// Refcounted pins: entries an open session depends on.  GC never
     /// evicts a pinned entry.
     pins: Mutex<HashMap<(String, u64), usize>>,
+    /// Grace window (ms) under which doctor treats `.tmp-*` files as
+    /// in-flight writes rather than debris (see [`DEFAULT_TMP_GRACE`]).
+    tmp_grace_ms: AtomicU64,
+}
+
+impl Default for Shared {
+    fn default() -> Shared {
+        Shared {
+            stats: StatsCells::default(),
+            manifest: Mutex::new(ManifestState::default()),
+            manifest_dirty: std::sync::atomic::AtomicBool::new(false),
+            pins: Mutex::new(HashMap::new()),
+            tmp_grace_ms: AtomicU64::new(DEFAULT_TMP_GRACE.as_millis() as u64),
+        }
+    }
 }
 
 /// Positional reader over one stored entry's payload, opened by
@@ -444,8 +495,22 @@ pub struct DoctorReport {
     /// envelope (re-synced when repairing).
     pub mismatched_manifest_entries: usize,
     /// Leftover temporary files from interrupted writes (deleted when
-    /// repairing).
+    /// repairing).  Only files older than the tmp grace window count here —
+    /// see [`DoctorReport::inflight_tmp_files`].
     pub stray_tmp_files: usize,
+    /// `.tmp-*` files younger than the grace window
+    /// ([`ArtifactStore::set_tmp_grace`], default [`DEFAULT_TMP_GRACE`]):
+    /// possibly an atomic save a live writer in another process has written
+    /// but not yet renamed into place.  Never deleted, and not dirt — an
+    /// in-flight write is healthy concurrency, not damage.
+    pub inflight_tmp_files: usize,
+    /// Lease files whose claim has expired — the holder crashed without
+    /// releasing (deleted when repairing).  A *live* lease is counted in
+    /// [`DoctorReport::active_leases`] instead and left untouched.
+    pub expired_leases: usize,
+    /// Lease files of claims still inside their TTL: another process is
+    /// computing the entry right now.  Informational, never dirt.
+    pub active_leases: usize,
     /// Trace entries in the legacy version-1 (monolithic) codec.  They
     /// still load — the decoder keeps v1 support — but re-serialising
     /// (or re-capturing) upgrades them to the segmented format.
@@ -471,6 +536,7 @@ impl DoctorReport {
             && self.stale_manifest_entries == 0
             && self.mismatched_manifest_entries == 0
             && self.stray_tmp_files == 0
+            && self.expired_leases == 0
             && self.segment_index_errors == 0
     }
 
@@ -486,12 +552,25 @@ impl DoctorReport {
             (self.stale_manifest_entries, "manifest record(s) without a file"),
             (self.mismatched_manifest_entries, "manifest record(s) out of sync"),
             (self.stray_tmp_files, "stray temporary file(s)"),
+            (self.expired_leases, "expired compute lease(s) (holder crashed)"),
             (self.segment_index_errors, "trace entry(ies) with a broken segment index"),
         ];
         for (count, what) in issues {
             if count > 0 {
                 out.push_str(&format!("  {count} {what}\n"));
             }
+        }
+        if self.inflight_tmp_files > 0 {
+            out.push_str(&format!(
+                "  {} in-flight temporary file(s) left alone (younger than the grace window)\n",
+                self.inflight_tmp_files
+            ));
+        }
+        if self.active_leases > 0 {
+            out.push_str(&format!(
+                "  {} live compute lease(s): another process is computing those entries\n",
+                self.active_leases
+            ));
         }
         if self.trace_v1_entries + self.trace_v2_entries > 0 {
             out.push_str(&format!(
@@ -536,6 +615,191 @@ pub struct KindUsage {
     pub entries: usize,
     /// Total file bytes (envelopes included) of this kind.
     pub file_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Claim / lease protocol
+// ---------------------------------------------------------------------------
+
+/// On-disk body of a lease file (JSON, published atomically — a lease file
+/// that exists is always complete).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct LeaseBody {
+    version: u32,
+    owner_pid: u32,
+    token: u64,
+    expires_unix_ms: u64,
+}
+
+/// Snapshot of a lease observed on disk: who holds the claim and until when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// OS process id of the claim holder.
+    pub owner_pid: u32,
+    /// Wall-clock expiry (milliseconds since the Unix epoch).  A holder that
+    /// stops renewing — i.e. crashed — is past this within one TTL.
+    pub expires_unix_ms: u64,
+}
+
+impl LeaseInfo {
+    /// Whether the claim's TTL has elapsed, making it eligible for takeover.
+    pub fn is_expired(&self) -> bool {
+        unix_now_ms() >= self.expires_unix_ms
+    }
+}
+
+/// What [`ArtifactStore::try_claim`] got.
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// The caller now holds the exclusive compute claim for the entry; it
+    /// must compute + [`ArtifactStore::save`] the artifact and then drop (or
+    /// [`Lease::release`]) the lease.
+    Acquired(Lease),
+    /// Another process holds a live claim: it is computing the entry right
+    /// now.  Wait for its result ([`ArtifactStore::await_entry_or_lease`])
+    /// instead of recomputing.
+    Busy(LeaseInfo),
+}
+
+/// The shareable core of a held lease — everything the renewal heartbeat
+/// thread needs without owning the [`Lease`] itself.
+#[derive(Debug)]
+struct LeaseCore {
+    dir: PathBuf,
+    path: PathBuf,
+    owner_pid: u32,
+    token: u64,
+    ttl_ms: u64,
+    shared: Arc<Shared>,
+}
+
+impl LeaseCore {
+    fn body(&self) -> LeaseBody {
+        LeaseBody {
+            version: LEASE_VERSION,
+            owner_pid: self.owner_pid,
+            token: self.token,
+            expires_unix_ms: unix_now_ms() + self.ttl_ms,
+        }
+    }
+
+    /// Push the expiry forward by one TTL: write a fresh body to a tmp
+    /// sibling and `rename` it over the lease (atomic replace — we own the
+    /// name, and readers only ever see a complete body).
+    fn renew(&self) -> std::io::Result<()> {
+        let body = serde_json::to_string(&self.body())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = self.dir.join(format!(
+            ".tmp-lease-{}-{}",
+            self.owner_pid,
+            self.shared.stats.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, body.as_bytes())?;
+        let renamed = std::fs::rename(&tmp, &self.path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed
+    }
+
+    /// Remove the lease file iff it is still ours and still live.  An
+    /// already-expired lease is left for the takeover path to claim (by the
+    /// time we notice the expiry, another process may already own the name —
+    /// removing it here could destroy *their* claim).
+    fn release(&self) {
+        match read_lease_file(&self.path) {
+            Some((body, _)) if body.token == self.token => {
+                if unix_now_ms() < body.expires_unix_ms {
+                    let _ = std::fs::remove_file(&self.path);
+                }
+            }
+            _ => {} // gone, or no longer ours: nothing to release
+        }
+    }
+}
+
+/// Read and parse a lease file.  `None` when the file is missing; an
+/// unparseable body maps to an already-expired [`LeaseInfo`] (our writers
+/// publish complete bodies atomically, so garbage is foreign debris and
+/// safe to take over).
+fn read_lease_file(path: &Path) -> Option<(LeaseBody, LeaseInfo)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let body = serde_json::from_str::<LeaseBody>(&text).unwrap_or(LeaseBody {
+        version: LEASE_VERSION,
+        owner_pid: 0,
+        token: 0,
+        expires_unix_ms: 0,
+    });
+    Some((body, LeaseInfo { owner_pid: body.owner_pid, expires_unix_ms: body.expires_unix_ms }))
+}
+
+/// An exclusive compute claim on one store entry, acquired by
+/// [`ArtifactStore::try_claim`].
+///
+/// The claim is a *lease*, not a lock: it expires after its TTL unless
+/// renewed ([`Lease::renew`], or automatically via
+/// [`Lease::start_heartbeat`]), so a crashed holder can never wedge the
+/// other processes — one of them takes the claim over and computes.  Drop
+/// (or [`Lease::release`]) removes the lease file, which is the signal
+/// waiters poll for.
+///
+/// Takeover safety: expiry is judged by wall clock, so a holder that loses
+/// its claim to takeover (it stalled past the TTL without renewing) may end
+/// up computing concurrently with the usurper.  That costs one duplicate
+/// compute in a *crash-recovery* path, never a wrong result — saves of the
+/// same key are byte-identical and atomic.
+#[derive(Debug)]
+pub struct Lease {
+    core: Arc<LeaseCore>,
+    heartbeat: Option<(std::sync::mpsc::Sender<()>, std::thread::JoinHandle<()>)>,
+}
+
+impl Lease {
+    /// The lease's claim token (unique per acquisition; diagnostic).
+    pub fn token(&self) -> u64 {
+        self.core.token
+    }
+
+    /// Push the expiry one TTL forward.
+    pub fn renew(&self) -> std::io::Result<()> {
+        self.core.renew()
+    }
+
+    /// Spawn a background thread renewing the lease every TTL/3 until the
+    /// lease is dropped, so an arbitrarily long compute keeps its claim no
+    /// matter how short the TTL.  Idempotent.
+    pub fn start_heartbeat(&mut self) {
+        if self.heartbeat.is_some() {
+            return;
+        }
+        let core = self.core.clone();
+        let interval = Duration::from_millis((core.ttl_ms / 3).max(1));
+        let (stop, stopped) = std::sync::mpsc::channel::<()>();
+        let thread = std::thread::spawn(move || {
+            // a transient renew failure is retried on the next beat; the
+            // worst case is losing the claim, which is the documented
+            // duplicate-compute (never wrong-result) path
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) =
+                stopped.recv_timeout(interval)
+            {
+                let _ = core.renew();
+            }
+        });
+        self.heartbeat = Some((stop, thread));
+    }
+
+    /// Release the claim now (dropping does the same).
+    pub fn release(self) {}
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if let Some((stop, thread)) = self.heartbeat.take() {
+            drop(stop); // disconnects the channel: the heartbeat loop exits
+            let _ = thread.join();
+        }
+        self.core.release();
+    }
 }
 
 /// The content-addressed artifact store (see the module docs).
@@ -639,6 +903,19 @@ impl ArtifactStore {
             .collect();
         out.sort();
         out
+    }
+
+    /// Cheap change detector for an entry file — `(length, mtime)` from
+    /// file metadata, no content reads.  `None` when the entry is absent.
+    /// Used by the claim/lease path to decide whether a previously failed
+    /// load is worth retrying under the claim.
+    pub(crate) fn entry_file_stamp(
+        &self,
+        kind: &str,
+        key: Fingerprint,
+    ) -> Option<(u64, std::time::SystemTime)> {
+        let meta = std::fs::metadata(self.entry_path(kind, key)).ok()?;
+        Some((meta.len(), meta.modified().ok()?))
     }
 
     fn entry_path(&self, kind: &str, key: Fingerprint) -> PathBuf {
@@ -769,7 +1046,18 @@ impl ArtifactStore {
 
     fn flush_impl(&self, quiet: bool) {
         if self.shared.manifest_dirty.swap(false, Ordering::Relaxed) {
-            let state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+            let mut state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+            // Merge-on-persist: another handle (possibly another process) on
+            // the same directory may have persisted its own access stamps
+            // since we loaded.  Overwriting blindly would be
+            // last-writer-wins — the sibling's stamps and clock ticks would
+            // vanish and GC's LRU order would rot — so adopt the disk state
+            // first (max clock, newest stamp per entry) and persist the
+            // union.  The lifecycle passes (gc, doctor) don't merge here:
+            // they just reconciled against the directory and their state is
+            // authoritative (merging back would resurrect records for files
+            // they deleted).
+            self.sync_with_disk_locked(&mut state);
             self.persist_manifest(&state, quiet);
         }
     }
@@ -816,6 +1104,131 @@ impl ArtifactStore {
     /// Number of distinct pinned entries.
     pub fn pinned_count(&self) -> usize {
         self.shared.pins.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    // -- claim / lease ------------------------------------------------------
+
+    /// Path of the lease file guarding `(kind, key)`'s cold compute — a
+    /// sibling of the `.art` entry it protects.
+    fn lease_path(&self, kind: &str, key: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{kind}-{key}.lease"))
+    }
+
+    /// The lease currently guarding `(kind, key)`, if any.
+    pub fn lease_info(&self, kind: &str, key: Fingerprint) -> Option<LeaseInfo> {
+        read_lease_file(&self.lease_path(kind, key)).map(|(_, info)| info)
+    }
+
+    /// Try to claim the exclusive right to compute `(kind, key)`.
+    ///
+    /// The claim is published by `hard_link`ing a fully written tmp file to
+    /// the lease name: link creation is atomic and fails with
+    /// `AlreadyExists` when any live claim holds the name, so exactly one of
+    /// any number of concurrent claimants — across threads *and* OS
+    /// processes — acquires, and a lease file that exists is always
+    /// complete.  An expired lease (crashed holder) is taken over by
+    /// `rename`ing the corpse aside — also atomic, so exactly one contender
+    /// wins the takeover — and re-running the claim.
+    ///
+    /// Returns [`ClaimOutcome::Busy`] when another process holds a live
+    /// claim; the caller should wait for its result
+    /// ([`ArtifactStore::await_entry_or_lease`]) instead of computing.
+    pub fn try_claim(
+        &self,
+        kind: &str,
+        key: Fingerprint,
+        ttl: Duration,
+    ) -> std::io::Result<ClaimOutcome> {
+        let path = self.lease_path(kind, key);
+        let pid = std::process::id();
+        let ttl_ms = (ttl.as_millis() as u64).max(1);
+        loop {
+            let counter = self.shared.stats.tmp_counter.fetch_add(1, Ordering::Relaxed);
+            let core = LeaseCore {
+                dir: self.dir.clone(),
+                path: path.clone(),
+                owner_pid: pid,
+                // unique per acquisition attempt: distinguishes our claim
+                // from any other process's (and our own earlier ones)
+                token: FingerprintBuilder::new()
+                    .u64(pid as u64)
+                    .u64(counter)
+                    .u64(unix_now_ms())
+                    .finish()
+                    .0,
+                ttl_ms,
+                shared: self.shared.clone(),
+            };
+            let body = serde_json::to_string(&core.body())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let tmp = self.dir.join(format!(".tmp-lease-{pid}-{counter}"));
+            std::fs::write(&tmp, body.as_bytes())?;
+            let linked = std::fs::hard_link(&tmp, &path);
+            let _ = std::fs::remove_file(&tmp);
+            match linked {
+                Ok(()) => {
+                    return Ok(ClaimOutcome::Acquired(Lease {
+                        core: Arc::new(core),
+                        heartbeat: None,
+                    }))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match read_lease_file(&path) {
+                        // released between our link attempt and the read:
+                        // the name is free again
+                        None => continue,
+                        Some((_, info)) if !info.is_expired() => {
+                            return Ok(ClaimOutcome::Busy(info))
+                        }
+                        Some(_) => {
+                            // crashed holder: steal the corpse by renaming it
+                            // to a unique name (one winner), then re-claim
+                            let stale = self.dir.join(format!(".tmp-lease-stale-{pid}-{counter}"));
+                            match std::fs::rename(&path, &stale) {
+                                Ok(()) => {
+                                    let _ = std::fs::remove_file(&stale);
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                                Err(e) => return Err(e),
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Block until either a valid-looking entry for `(kind, key)` is present
+    /// (returns `true`) or no live lease guards it (returns `false`: the
+    /// holder released without saving, crashed, or there never was one —
+    /// the caller should retry [`ArtifactStore::try_claim`]).
+    ///
+    /// This is the loser's half of the dedup protocol: instead of
+    /// recomputing a cold artifact a sibling process is already computing,
+    /// wait for the winner's atomically published result.
+    pub fn await_entry_or_lease(&self, kind: &str, key: Fingerprint) -> bool {
+        let path = self.lease_path(kind, key);
+        loop {
+            if self.contains(kind, key) {
+                return true;
+            }
+            match read_lease_file(&path) {
+                Some((_, info)) if !info.is_expired() => std::thread::sleep(LEASE_POLL),
+                // no (live) lease: one final presence check closes the race
+                // where the holder saved + released between our two looks
+                _ => return self.contains(kind, key),
+            }
+        }
+    }
+
+    /// Override the `.tmp-*` grace window used by [`ArtifactStore::doctor`]
+    /// (default [`DEFAULT_TMP_GRACE`]).  `Duration::ZERO` makes every tmp
+    /// file immediately collectable — useful in tests and for offline
+    /// stores no live writer shares.
+    pub fn set_tmp_grace(&self, grace: Duration) {
+        self.shared.tmp_grace_ms.store(grace.as_millis() as u64, Ordering::Relaxed);
     }
 
     // -- save / load / peek -------------------------------------------------
@@ -1237,14 +1650,42 @@ impl ArtifactStore {
             }
         }
 
-        // stray temporaries from interrupted writes
+        // stray temporaries from interrupted writes — age-gated: a .tmp-*
+        // file younger than the grace window may be a live writer's
+        // in-flight atomic save (written, not yet renamed) in another
+        // process, and deleting it would destroy that save.  When the age
+        // cannot be determined, err on the side of leaving the file alone.
+        let grace = Duration::from_millis(self.shared.tmp_grace_ms.load(Ordering::Relaxed));
         for entry in std::fs::read_dir(&self.dir)?.flatten() {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if name.starts_with(".tmp-") {
-                report.stray_tmp_files += 1;
-                if repair {
-                    remove_entry_file(&entry.path())?;
+                let age = entry
+                    .metadata()
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|mtime| SystemTime::now().duration_since(mtime).ok());
+                match age {
+                    Some(age) if age >= grace => {
+                        report.stray_tmp_files += 1;
+                        if repair {
+                            remove_entry_file(&entry.path())?;
+                        }
+                    }
+                    _ => report.inflight_tmp_files += 1,
+                }
+            } else if name.ends_with(".lease") {
+                // leases expire rather than leak: a live one means a
+                // sibling process is computing (healthy), an expired one is
+                // a crashed holder's corpse (cleaned on repair)
+                match read_lease_file(&entry.path()) {
+                    Some((_, info)) if !info.is_expired() => report.active_leases += 1,
+                    _ => {
+                        report.expired_leases += 1;
+                        if repair {
+                            remove_entry_file(&entry.path())?;
+                        }
+                    }
                 }
             }
         }
@@ -1699,8 +2140,12 @@ mod tests {
         // the corrupted sweep still has a (now mismatching or stale)
         // manifest record, and the deleted optimum is stale
         assert_eq!(report.stale_manifest_entries, 2);
-        assert_eq!(report.stray_tmp_files, 1);
+        // the tmp file was written microseconds ago: under the default
+        // grace window it is a possible in-flight save, not debris
+        assert_eq!(report.stray_tmp_files, 0);
+        assert_eq!(report.inflight_tmp_files, 1);
         assert!(report.render().contains("corrupt"));
+        assert!(report.render().contains("in-flight"));
 
         let repaired = store.doctor(true).unwrap();
         assert!(repaired.repaired);
@@ -1708,6 +2153,211 @@ mod tests {
         assert!(after.is_clean(), "{after:?}");
         assert_eq!(after.entries_ok, 1);
         assert_eq!(store.manifest().entries.len(), 1);
+        // repair under the grace window must NOT have touched the young tmp
+        assert!(store.dir().join(".tmp-1234-99-stray").exists());
+
+        // with the grace window collapsed the same file is collectable
+        store.set_tmp_grace(Duration::ZERO);
+        let report = store.doctor(false).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!((report.stray_tmp_files, report.inflight_tmp_files), (1, 0));
+        assert!(store.doctor(true).unwrap().repaired);
+        assert!(!store.dir().join(".tmp-1234-99-stray").exists());
+        assert!(store.doctor(false).unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn claim_is_exclusive_across_handles_and_released_on_drop() {
+        let store = scratch_store("claim");
+        let sibling = ArtifactStore::open(store.dir()).unwrap();
+        let key = FingerprintBuilder::new().str("claimed").finish();
+        let ttl = Duration::from_secs(60);
+
+        let lease = match store.try_claim("table", key, ttl).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("first claim must acquire, got {other:?}"),
+        };
+        // a second claimant — even through a separately opened handle —
+        // sees the live claim, with the holder identified
+        match sibling.try_claim("table", key, ttl).unwrap() {
+            ClaimOutcome::Busy(info) => {
+                assert_eq!(info.owner_pid, std::process::id());
+                assert!(!info.is_expired());
+            }
+            other => panic!("second claim must be busy, got {other:?}"),
+        }
+        assert!(store.lease_info("table", key).is_some());
+        // other keys and kinds are unaffected
+        let other_key = FingerprintBuilder::new().str("other").finish();
+        assert!(matches!(
+            sibling.try_claim("table", other_key, ttl).unwrap(),
+            ClaimOutcome::Acquired(_)
+        ));
+        assert!(matches!(
+            sibling.try_claim("trace", key, ttl).unwrap(),
+            ClaimOutcome::Acquired(_)
+        ));
+
+        drop(lease);
+        assert!(store.lease_info("table", key).is_none());
+        match sibling.try_claim("table", key, ttl).unwrap() {
+            ClaimOutcome::Acquired(lease) => lease.release(),
+            other => panic!("released claim must be re-acquirable, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn expired_claims_are_taken_over_and_heartbeats_prevent_that() {
+        let store = scratch_store("claim-expiry");
+        let key = FingerprintBuilder::new().str("expiring").finish();
+
+        // a claim whose holder never renews (simulating a crash: leak it so
+        // release never runs) expires and is taken over
+        let dead = match store.try_claim("table", key, Duration::from_millis(30)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("got {other:?}"),
+        };
+        std::mem::forget(dead);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(store.lease_info("table", key).unwrap().is_expired());
+        let usurper = match store.try_claim("table", key, Duration::from_secs(60)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("expired claim must be stolen, got {other:?}"),
+        };
+        assert!(!store.lease_info("table", key).unwrap().is_expired());
+        drop(usurper);
+
+        // a heartbeat keeps a short-TTL claim alive arbitrarily long
+        let mut held = match store.try_claim("table", key, Duration::from_millis(40)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("got {other:?}"),
+        };
+        held.start_heartbeat();
+        std::thread::sleep(Duration::from_millis(200));
+        match store.try_claim("table", key, Duration::from_millis(40)).unwrap() {
+            ClaimOutcome::Busy(info) => assert!(!info.is_expired()),
+            other => panic!("heartbeat must keep the claim live, got {other:?}"),
+        }
+        drop(held);
+        assert!(store.lease_info("table", key).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn waiters_block_on_the_winner_and_see_its_result() {
+        let store = scratch_store("claim-wait");
+        let key = FingerprintBuilder::new().str("awaited").finish();
+
+        // no lease, no entry: nothing to wait for
+        assert!(!store.await_entry_or_lease("table", key));
+
+        // winner computes and saves under a live claim; the waiter blocks
+        // and then loads the winner's bytes
+        let winner_store = store.clone();
+        let lease = match store.try_claim("table", key, Duration::from_secs(60)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("got {other:?}"),
+        };
+        let winner = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            winner_store.save("table", key, b"computed once").unwrap();
+            lease.release();
+        });
+        assert!(store.await_entry_or_lease("table", key));
+        assert_eq!(store.load("table", key).as_deref(), Some(&b"computed once"[..]));
+        winner.join().unwrap();
+
+        // a winner that releases *without* saving (failed compute) unblocks
+        // the waiter with `false` so it can claim and compute itself
+        let key2 = FingerprintBuilder::new().str("abandoned").finish();
+        let loser_store = store.clone();
+        let lease = match store.try_claim("table", key2, Duration::from_secs(60)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("got {other:?}"),
+        };
+        let quitter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            drop(lease);
+        });
+        assert!(!loser_store.await_entry_or_lease("table", key2));
+        quitter.join().unwrap();
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn doctor_reports_live_leases_and_collects_expired_ones() {
+        let store = scratch_store("claim-doctor");
+        let live_key = FingerprintBuilder::new().str("live").finish();
+        let dead_key = FingerprintBuilder::new().str("dead").finish();
+
+        let live = match store.try_claim("table", live_key, Duration::from_secs(60)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("got {other:?}"),
+        };
+        let dead = match store.try_claim("table", dead_key, Duration::from_millis(1)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("got {other:?}"),
+        };
+        std::mem::forget(dead);
+        std::thread::sleep(Duration::from_millis(20));
+
+        let report = store.doctor(false).unwrap();
+        assert_eq!((report.active_leases, report.expired_leases), (1, 1));
+        assert!(!report.is_clean(), "an expired lease is a crashed holder's corpse");
+        assert!(report.render().contains("live compute lease"));
+
+        let repaired = store.doctor(true).unwrap();
+        assert_eq!((repaired.active_leases, repaired.expired_leases), (1, 1));
+        // repair removed only the corpse; the live claim survives
+        assert!(store.lease_info("table", live_key).is_some());
+        assert!(store.lease_info("table", dead_key).is_none());
+        drop(live);
+        assert!(store.doctor(false).unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn manifest_merge_on_persist_keeps_both_handles_stamps() {
+        let store = scratch_store("manifest-merge");
+        let sibling = ArtifactStore::open(store.dir()).unwrap();
+        let ka = FingerprintBuilder::new().str("from-a").finish();
+        let kb = FingerprintBuilder::new().str("from-b").finish();
+
+        // interleave: each handle saves its own entry, then A advances its
+        // clock well past B's and flushes first
+        store.save("table", ka, b"handle A's entry").unwrap();
+        sibling.save("sweep", kb, b"handle B's entry").unwrap();
+        for _ in 0..5 {
+            store.load("table", ka).unwrap();
+        }
+        store.flush();
+        // (A's flush may already index B's entry *file* via the envelope
+        // rebuild — but only with a know-nothing stamp of 0; B's actual
+        // access stamp exists solely in B's in-memory state.)
+        let disk_after_a = ArtifactStore::open(store.dir()).unwrap().manifest();
+
+        // B persists last.  Last-writer-wins would now wipe A's entry and
+        // rewind the clock; merge-on-persist must keep both.
+        sibling.flush();
+        let merged = ArtifactStore::open(store.dir()).unwrap().manifest();
+        assert_eq!(merged.entries.len(), 2, "{merged:?}");
+        let stamp = |kind: &str| merged.entries.iter().find(|e| e.kind == kind).unwrap();
+        assert_eq!(stamp("table").fingerprint, ka.0);
+        assert_eq!(stamp("sweep").fingerprint, kb.0);
+        assert_eq!(
+            merged.clock,
+            disk_after_a.clock,
+            "B's lower clock must not rewind A's ticks"
+        );
+        assert!(
+            stamp("table").last_access > stamp("sweep").last_access,
+            "A's five loads keep its entry newest in LRU order: {merged:?}"
+        );
+
+        // and the merged view survives a doctor pass untouched
+        assert!(store.doctor(false).unwrap().is_clean());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

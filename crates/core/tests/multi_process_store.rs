@@ -1,0 +1,169 @@
+//! Multi-process store contention: two real `experiments` OS processes run
+//! the same campaign against one shared store directory, simultaneously.
+//!
+//! The claim/lease protocol must guarantee that:
+//! * no guest instruction is executed twice — the two processes' counter
+//!   files sum to exactly one store-less run's count (each trace captured
+//!   exactly once, by whichever process won its claim);
+//! * both processes produce byte-identical campaign JSON, identical to the
+//!   store-less single-process run;
+//! * the store is clean afterwards (leases released, manifests merged, no
+//!   strays) — `store doctor` exits successfully with no repair.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "autoreconf-multiproc-{}-{}-{tag}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn one `experiments campaign` process (tiny scale, one worker).
+fn spawn_campaign(store: Option<&Path>, json_dir: &Path, counters: &Path) -> Child {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    command.args(["campaign", "--scale", "tiny", "--threads", "1"]);
+    if let Some(store) = store {
+        command.args(["--store", store.to_str().unwrap()]);
+    }
+    command.args(["--json", json_dir.to_str().unwrap()]);
+    command.args(["--counters", counters.to_str().unwrap()]);
+    // isolate from any ambient store/budget configuration
+    command.env_remove("AUTORECONF_STORE").env_remove("AUTORECONF_STORE_BUDGET");
+    command.stdout(Stdio::null()).stderr(Stdio::null());
+    command.spawn().expect("spawn experiments campaign")
+}
+
+/// Extract `guest_instructions` from a `--counters` JSON file.
+fn guest_instructions(counters: &Path) -> u64 {
+    let text = std::fs::read_to_string(counters).expect("counters file");
+    let needle = "\"guest_instructions\":";
+    let start = text.find(needle).expect("guest_instructions field") + needle.len();
+    text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("guest_instructions value")
+}
+
+fn campaign_json(json_dir: &Path) -> String {
+    std::fs::read_to_string(json_dir.join("campaign.json")).expect("campaign.json")
+}
+
+#[test]
+fn two_processes_share_one_store_without_duplicating_guest_execution() {
+    // -- reference: one store-less process computes everything -------------
+    let ref_json = scratch_dir("ref-json");
+    let ref_counters = scratch_dir("ref-counters").join("counters.json");
+    let status = spawn_campaign(None, &ref_json, &ref_counters).wait().unwrap();
+    assert!(status.success(), "reference campaign failed: {status:?}");
+    let reference_guest = guest_instructions(&ref_counters);
+    assert!(reference_guest > 0, "the reference run must execute guest code");
+    let reference_result = campaign_json(&ref_json);
+
+    // -- contended: two processes, one fresh store, launched together ------
+    let store = scratch_dir("store");
+    let (a_json, b_json) = (scratch_dir("a-json"), scratch_dir("b-json"));
+    let a_counters = scratch_dir("a-counters").join("counters.json");
+    let b_counters = scratch_dir("b-counters").join("counters.json");
+    let mut a = spawn_campaign(Some(&store), &a_json, &a_counters);
+    let mut b = spawn_campaign(Some(&store), &b_json, &b_counters);
+    let a_status = a.wait().unwrap();
+    let b_status = b.wait().unwrap();
+    assert!(a_status.success(), "process A failed: {a_status:?}");
+    assert!(b_status.success(), "process B failed: {b_status:?}");
+
+    // byte-identical results, no matter how the two runs interleaved
+    assert_eq!(
+        campaign_json(&a_json),
+        reference_result,
+        "process A's campaign must match the store-less single-process run"
+    );
+    assert_eq!(
+        campaign_json(&b_json),
+        reference_result,
+        "process B's campaign must match the store-less single-process run"
+    );
+
+    // no duplicated guest execution: every trace was captured exactly once,
+    // by exactly one of the two processes
+    let (a_guest, b_guest) = (guest_instructions(&a_counters), guest_instructions(&b_counters));
+    assert_eq!(
+        a_guest + b_guest,
+        reference_guest,
+        "the two processes together must execute exactly one run's worth of \
+         guest instructions (A={a_guest}, B={b_guest}, reference={reference_guest})"
+    );
+
+    // the store survived the contention cleanly: no stray tmp files, no
+    // leftover leases, merged manifest — doctor (without --repair) passes
+    let doctor = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["store", "doctor", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run store doctor");
+    assert!(
+        doctor.status.success(),
+        "store doctor found damage after concurrent runs:\n{}",
+        String::from_utf8_lossy(&doctor.stdout)
+    );
+
+    for dir in [&ref_json, &a_json, &b_json, &store] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// A campaign re-run over the store the contended pair left behind must be
+/// fully warm: zero guest instructions.
+#[test]
+fn a_store_warmed_under_contention_serves_a_third_process_completely() {
+    let store = scratch_dir("warm-store");
+    let (a_json, b_json) = (scratch_dir("wa-json"), scratch_dir("wb-json"));
+    let a_counters = scratch_dir("wa-counters").join("counters.json");
+    let b_counters = scratch_dir("wb-counters").join("counters.json");
+    let mut a = spawn_campaign(Some(&store), &a_json, &a_counters);
+    let mut b = spawn_campaign(Some(&store), &b_json, &b_counters);
+    assert!(a.wait().unwrap().success());
+    assert!(b.wait().unwrap().success());
+
+    let c_json = scratch_dir("wc-json");
+    let c_counters = scratch_dir("wc-counters").join("counters.json");
+    let status = spawn_campaign(Some(&store), &c_json, &c_counters).wait().unwrap();
+    assert!(status.success());
+    assert_eq!(
+        guest_instructions(&c_counters),
+        0,
+        "a warm store must serve the whole campaign without guest execution"
+    );
+    assert_eq!(campaign_json(&c_json), campaign_json(&a_json));
+
+    for dir in [&a_json, &b_json, &c_json, &store] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// `AUTORECONF_THREADS` with a malformed value must abort the CLI with a
+/// clean error — not silently fall back to all cores (the PR-4 `Scale`
+/// no-silent-fallback contract, extended to the environment).
+#[test]
+fn malformed_thread_env_is_a_clean_cli_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--help"])
+        .env("AUTORECONF_THREADS", "all")
+        .output()
+        .expect("run experiments");
+    assert!(!output.status.success(), "a malformed AUTORECONF_THREADS must fail the run");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("invalid AUTORECONF_THREADS value `all`"),
+        "stderr must name the variable and echo the value, got:\n{stderr}"
+    );
+}

@@ -1,0 +1,178 @@
+//! # autoreconf-service
+//!
+//! Client SDK for the autoreconf campaign service (the `autoreconf-serve`
+//! daemon, also reachable as `experiments serve`).
+//!
+//! The daemon answers campaign queries over a length-prefixed JSON protocol
+//! (one shared lazy store, claim/lease-deduplicated cold compute — see
+//! [`autoreconf::service`] for the wire format and server).  This crate is
+//! the thin blocking client: a [`Client`] wraps one TCP connection and
+//! offers a typed helper per request.
+//!
+//! Campaign answers are returned as their *canonical JSON text* — the exact
+//! bytes the server's serialiser produced — so callers can byte-compare
+//! service answers against a local in-process run, which is how the smoke
+//! test and the service benchmark assert end-to-end determinism.
+//!
+//! ```no_run
+//! use autoreconf_service::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:7071").unwrap();
+//! let description = client.describe().unwrap();
+//! let outcome_json = client.optimize(&description.workloads[0]).unwrap();
+//! println!("{outcome_json}");
+//! ```
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+pub use autoreconf::service::{
+    read_frame, write_frame, Request, Response, ServiceCounters, PROTOCOL_VERSION,
+};
+
+/// What went wrong with a service call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (refused, reset, mid-frame EOF, …).
+    Io(io::Error),
+    /// The server answered [`Response::Error`] — the request was understood
+    /// and rejected (unknown workload, bad mix, campaign failure).
+    Server(String),
+    /// The server answered something the protocol does not allow for this
+    /// request — a version mismatch or a server bug.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "service connection error: {e}"),
+            ClientError::Server(message) => write!(f, "service error: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Answer to [`Client::describe`]: what the daemon is serving.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Description {
+    /// Workload names, in suite order — the order mix weights apply in.
+    pub workloads: Vec<String>,
+    /// Problem scale of the served suite (`tiny`/`small`/`medium`/`large`).
+    pub scale: String,
+    /// Whether the daemon has an artifact store attached.
+    pub store: bool,
+}
+
+/// One blocking connection to an `autoreconf-serve` daemon.
+///
+/// A client is cheap; hundreds can be open against one daemon.  Requests on
+/// one client are strictly sequential (the protocol is request/response in
+/// order); use one client per thread for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one raw request and read its response — the escape hatch the
+    /// typed helpers below are built on.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("cannot encode request: {e}")))?;
+        write_frame(&mut self.stream, body.as_bytes())?;
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection without answering",
+            ))
+        })?;
+        let text = std::str::from_utf8(&frame)
+            .map_err(|e| ClientError::Protocol(format!("response is not UTF-8: {e}")))?;
+        match serde_json::from_str::<Response>(text) {
+            Ok(Response::Error { message }) => Err(ClientError::Server(message)),
+            Ok(response) => Ok(response),
+            Err(e) => Err(ClientError::Protocol(format!("undecodable response: {e} in {text}"))),
+        }
+    }
+
+    fn unexpected<T>(request: &str, response: Response) -> Result<T, ClientError> {
+        Err(ClientError::Protocol(format!("{request} answered with {response:?}")))
+    }
+
+    /// Health-check the daemon; returns its protocol version.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { protocol } => Ok(protocol),
+            other => Self::unexpected("Ping", other),
+        }
+    }
+
+    /// What suite the daemon serves.
+    pub fn describe(&mut self) -> Result<Description, ClientError> {
+        match self.request(&Request::Describe)? {
+            Response::Describe { workloads, scale, store } => {
+                Ok(Description { workloads, scale, store })
+            }
+            other => Self::unexpected("Describe", other),
+        }
+    }
+
+    /// The named workload's per-application optimum, as canonical JSON.
+    pub fn optimize(&mut self, workload: &str) -> Result<String, ClientError> {
+        match self.request(&Request::Optimize { workload: workload.to_string() })? {
+            Response::Outcome { json } => Ok(json),
+            other => Self::unexpected("Optimize", other),
+        }
+    }
+
+    /// The named workload's exhaustive d-cache sweep, as canonical JSON.
+    pub fn sweep(&mut self, workload: &str) -> Result<String, ClientError> {
+        match self.request(&Request::Sweep { workload: workload.to_string() })? {
+            Response::Sweep { json } => Ok(json),
+            other => Self::unexpected("Sweep", other),
+        }
+    }
+
+    /// Co-optimize the served suite for a mix (one weight per workload, in
+    /// [`Description::workloads`] order), as canonical JSON.
+    pub fn co_optimize(&mut self, mix: &[f64]) -> Result<String, ClientError> {
+        match self.request(&Request::CoOptimize { mix: mix.to_vec() })? {
+            Response::CoOutcome { json } => Ok(json),
+            other => Self::unexpected("CoOptimize", other),
+        }
+    }
+
+    /// The daemon's process-wide compute counters.
+    pub fn counters(&mut self) -> Result<ServiceCounters, ClientError> {
+        match self.request(&Request::Counters)? {
+            Response::Counters { counters } => Ok(counters),
+            other => Self::unexpected("Counters", other),
+        }
+    }
+
+    /// Ask the daemon to exit.  Consumes the client — the connection is
+    /// useless afterwards.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Self::unexpected("Shutdown", other),
+        }
+    }
+}
