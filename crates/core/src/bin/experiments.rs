@@ -9,6 +9,8 @@
 //!     [--store DIR] [--gc-budget BYTES] [--counters FILE]
 //! experiments serve [--addr HOST:PORT] [--scale S] [--threads N] \
 //!     [--space paper|dcache] [--store DIR]
+//! experiments population (--mixes FILE | --random N [--seed S]) \
+//!     [--tolerance PCT] [--scale S] [--threads N] [--json DIR] [--store DIR]
 //! experiments store doctor [--repair] [--store DIR]
 //! experiments store stats            [--store DIR]
 //! experiments store gc --budget BYTES [--store DIR]
@@ -17,7 +19,11 @@
 //! ```
 //!
 //! `serve` runs the campaign daemon (same engine configuration as the
-//! `campaign` target, so they share store entries); `--counters FILE`
+//! `campaign` target, so they share store entries); `population` batch
+//! co-optimizes a fleet of tenant mixes (from a JSON profile file or
+//! generated deterministically) and prints the Pareto frontier of
+//! configurations covering every tenant within `--tolerance` percent of its
+//! own optimum; `--counters FILE`
 //! writes this process's guest-instruction / trace-byte counters as JSON on
 //! exit, which the multi-process store tests sum to prove no duplicated
 //! compute across processes.
@@ -47,6 +53,8 @@ const USAGE: &str = "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|camp
      [--gc-budget BYTES] [--counters FILE]\n\
        experiments serve [--addr HOST:PORT] [--scale S] [--threads N] \
      [--space paper|dcache] [--store DIR]\n\
+       experiments population (--mixes FILE | --random N [--seed S]) \
+     [--tolerance PCT] [--scale S] [--threads N] [--json DIR] [--store DIR]\n\
        experiments store doctor [--repair] [--store DIR]\n\
        experiments store stats [--store DIR]\n\
        experiments store gc --budget BYTES [--store DIR]\n\
@@ -78,8 +86,26 @@ enum Command {
         space: SpaceChoice,
         store_dir: Option<String>,
     },
+    /// Batch co-optimize a population of tenant mixes.
+    Population {
+        source: MixSource,
+        tolerance_pct: f64,
+        options: ExperimentOptions,
+        json_dir: Option<String>,
+        store_dir: Option<String>,
+    },
     /// Operate on the artifact store.
     Store { action: StoreAction, store_dir: Option<String> },
+}
+
+/// Where the `population` target's tenant mixes come from (exactly one of
+/// `--mixes FILE` and `--random N` must be given).
+#[derive(Clone, Debug, PartialEq)]
+enum MixSource {
+    /// A `MixProfileFile` JSON document.
+    File(String),
+    /// Deterministically generated mixes.
+    Random { count: usize, seed: u64 },
 }
 
 /// Which decision-variable space `serve` optimizes over.
@@ -231,6 +257,83 @@ fn parse_serve_args(args: &[String]) -> Result<Command, String> {
     Ok(Command::Serve { addr, options, space, store_dir })
 }
 
+/// Parse a `population` invocation (everything after the `population` word).
+fn parse_population_args(args: &[String]) -> Result<Command, String> {
+    let mut mixes_file = None;
+    let mut random_count = None;
+    let mut seed = None;
+    let mut tolerance_pct = 5.0f64;
+    let mut options = ExperimentOptions::default();
+    let mut json_dir = None;
+    let mut store_dir = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--mixes" => mixes_file = Some(flag_value("--mixes", &mut iter)?),
+            "--random" => {
+                let value = flag_value("--random", &mut iter)?;
+                let count: usize = value.trim().parse().map_err(|_| {
+                    format!("invalid --random value `{value}` (expected a mix count)")
+                })?;
+                if count == 0 {
+                    return Err("--random requires at least one mix".to_string());
+                }
+                random_count = Some(count);
+            }
+            "--seed" => {
+                let value = flag_value("--seed", &mut iter)?;
+                seed = Some(value.trim().parse().map_err(|_| {
+                    format!("invalid --seed value `{value}` (expected a 64-bit integer)")
+                })?);
+            }
+            "--tolerance" => {
+                let value = flag_value("--tolerance", &mut iter)?;
+                tolerance_pct = value.trim().parse().map_err(|_| {
+                    format!("invalid --tolerance value `{value}` (expected a percentage)")
+                })?;
+                if !tolerance_pct.is_finite() || tolerance_pct < 0.0 {
+                    return Err(format!(
+                        "invalid --tolerance value `{value}` (must be a finite, \
+                         non-negative percentage)"
+                    ));
+                }
+            }
+            "--scale" => {
+                let value = flag_value("--scale", &mut iter)?;
+                options.scale = Scale::parse(&value).map_err(|e| e.to_string())?;
+            }
+            "--threads" => {
+                let value = flag_value("--threads", &mut iter)?;
+                options.threads = value.trim().parse().map_err(|_| {
+                    format!("invalid --threads value `{value}` (expected a number; 0 = all cores)")
+                })?;
+            }
+            "--json" => json_dir = Some(flag_value("--json", &mut iter)?),
+            "--store" => store_dir = Some(flag_value("--store", &mut iter)?),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("population: unknown argument `{other}`")),
+        }
+    }
+    let source = match (mixes_file, random_count) {
+        (Some(_), Some(_)) => {
+            return Err("population: --mixes and --random are mutually exclusive".to_string())
+        }
+        (Some(file), None) => {
+            if seed.is_some() {
+                return Err("population: --seed only applies to --random".to_string());
+            }
+            MixSource::File(file)
+        }
+        (None, Some(count)) => MixSource::Random { count, seed: seed.unwrap_or(0) },
+        (None, None) => {
+            return Err(
+                "population: one of --mixes FILE or --random N is required".to_string()
+            )
+        }
+    };
+    Ok(Command::Population { source, tolerance_pct, options, json_dir, store_dir })
+}
+
 /// Parse a full command line (without the program name).  Every malformed
 /// argument is an `Err` with a message naming the flag — never a silent
 /// fallback to a default.
@@ -240,6 +343,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return parse_serve_args(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("population") {
+        return parse_population_args(&args[1..]);
     }
     let mut figures = Vec::new();
     let mut options = ExperimentOptions::default();
@@ -367,6 +473,35 @@ fn run_serve(
     println!("autoreconf-serve listening on {bound}");
     std::io::stdout().flush().map_err(|e| format!("cannot flush address line: {e}"))?;
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// Run the `population` target: resolve the mix source, batch co-optimize,
+/// print the frontier, and optionally write `population.json`.
+fn run_population(
+    source: &MixSource,
+    tolerance_pct: f64,
+    options: &ExperimentOptions,
+    json_dir: &Option<String>,
+    store_dir: &Option<String>,
+) -> Result<(), String> {
+    let resolved = match source {
+        MixSource::File(path) => {
+            let body = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read mix profile file `{path}`: {e}"))?;
+            let file: autoreconf::MixProfileFile = serde_json::from_str(&body)
+                .map_err(|e| format!("malformed mix profile file `{path}`: {e}"))?;
+            experiments::PopulationSource::Profiles(file.mixes)
+        }
+        MixSource::Random { count, seed } => {
+            experiments::PopulationSource::Random { count: *count, seed: *seed }
+        }
+    };
+    let store = open_store(store_dir)?;
+    let outcome = experiments::population_with_store(options, store, &resolved, tolerance_pct)
+        .map_err(|e| format!("population failed: {e}"))?;
+    println!("{}", outcome.render());
+    write_json(json_dir, "population", &outcome);
+    Ok(())
 }
 
 fn run_store_action(action: &StoreAction, store_dir: &Option<String>) -> Result<(), String> {
@@ -527,6 +662,9 @@ fn main() {
         Command::Serve { addr, options, space, store_dir } => {
             run_serve(addr, options, *space, store_dir)
         }
+        Command::Population { source, tolerance_pct, options, json_dir, store_dir } => {
+            run_population(source, *tolerance_pct, options, json_dir, store_dir)
+        }
         Command::Figures { figures, options, json_dir, store_dir, gc_budget, counters_file } => {
             let result = run_figures(figures, options, json_dir, store_dir, *gc_budget);
             // write the audit record even after a failed run — a crashed
@@ -625,6 +763,67 @@ mod tests {
         assert!(parse_err(&["serve", "--addr"]).contains("requires a value"));
         assert!(parse_err(&["serve", "campaign"]).contains("serve: unknown argument"));
         assert!(parse_err(&["serve", "--threads", "all"]).contains("invalid --threads"));
+    }
+
+    #[test]
+    fn population_subcommand_parses() {
+        match parse(&["population", "--random", "64", "--seed", "7", "--tolerance", "2.5"])
+            .unwrap()
+        {
+            Command::Population { source, tolerance_pct, options, json_dir, store_dir } => {
+                assert_eq!(source, MixSource::Random { count: 64, seed: 7 });
+                assert_eq!(tolerance_pct, 2.5);
+                assert_eq!(options.scale, Scale::Small);
+                assert_eq!(json_dir, None);
+                assert_eq!(store_dir, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&[
+            "population", "--mixes", "fleet.json", "--scale", "tiny", "--threads", "4",
+            "--json", "out", "--store", "d",
+        ])
+        .unwrap()
+        {
+            Command::Population { source, tolerance_pct, options, json_dir, store_dir } => {
+                assert_eq!(source, MixSource::File("fleet.json".to_string()));
+                assert_eq!(tolerance_pct, 5.0, "tolerance defaults to 5%");
+                assert_eq!(options.scale, Scale::Tiny);
+                assert_eq!(options.threads, 4);
+                assert_eq!(json_dir.as_deref(), Some("out"));
+                assert_eq!(store_dir.as_deref(), Some("d"));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // seed defaults to 0 when --random is given alone
+        match parse(&["population", "--random", "8"]).unwrap() {
+            Command::Population { source, .. } => {
+                assert_eq!(source, MixSource::Random { count: 8, seed: 0 });
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert_eq!(parse(&["population", "--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn population_errors_are_loud() {
+        assert!(parse_err(&["population"]).contains("one of --mixes FILE or --random N"));
+        assert!(parse_err(&["population", "--mixes", "f.json", "--random", "4"])
+            .contains("mutually exclusive"));
+        assert!(parse_err(&["population", "--mixes", "f.json", "--seed", "1"])
+            .contains("--seed only applies to --random"));
+        assert!(parse_err(&["population", "--random", "0"]).contains("at least one mix"));
+        assert!(parse_err(&["population", "--random", "many"]).contains("invalid --random"));
+        assert!(parse_err(&["population", "--random", "4", "--seed", "x"])
+            .contains("invalid --seed"));
+        assert!(parse_err(&["population", "--random", "4", "--tolerance", "loose"])
+            .contains("invalid --tolerance"));
+        assert!(parse_err(&["population", "--random", "4", "--tolerance", "-1"])
+            .contains("non-negative"));
+        assert!(parse_err(&["population", "--random", "4", "--tolerance", "nan"])
+            .contains("finite"));
+        assert!(parse_err(&["population", "--mixes"]).contains("--mixes requires a value"));
+        assert!(parse_err(&["population", "fig2"]).contains("population: unknown argument"));
     }
 
     #[test]

@@ -136,7 +136,7 @@ where
 }
 
 /// Collect per-index `Result`s, propagating the lowest-indexed error.
-fn collect_indexed<T, E>(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+pub(crate) fn collect_indexed<T, E>(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
     let mut out = Vec::with_capacity(results.len());
     for r in results {
         out.push(r?);
@@ -346,6 +346,44 @@ impl TraceSet {
     pub fn memory_bytes(&self) -> usize {
         self.entries.iter().map(|e| e.trace.memory_bytes()).sum()
     }
+}
+
+/// Validate a workload mix and normalise it into its canonical shares.
+///
+/// Canonical means every share is `weight / total` with an IEEE `-0.0`
+/// result mapped to `+0.0` (the `+ 0.0`), so two mixes that are scalar
+/// multiples of each other — including ones differing only in the sign of
+/// a zero weight — yield bit-identical share vectors.  The share vector is
+/// what both the blended objective and every co/population store
+/// fingerprint are built from, so this function is the single definition
+/// of "the same mix".
+///
+/// Rejected with [`OptimizeError::InvalidMix`] (never a panic — mixes
+/// arrive over the wire): an empty mix, a negative or non-finite weight, a
+/// weight *sum* that overflows to infinity (finite weights can still sum
+/// to `+inf`, which would zero every share and collide store keys), and an
+/// all-zero mix.
+pub fn canonical_shares(mix: &[f64]) -> Result<Vec<f64>, OptimizeError> {
+    if mix.is_empty() {
+        return Err(OptimizeError::InvalidMix("mix must not be empty".to_string()));
+    }
+    if mix.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(OptimizeError::InvalidMix(
+            "mix weights must be finite and non-negative".to_string(),
+        ));
+    }
+    let total: f64 = mix.iter().sum();
+    if !total.is_finite() {
+        return Err(OptimizeError::InvalidMix(
+            "mix weight sum must be finite (the weights overflow when summed)".to_string(),
+        ));
+    }
+    if total <= 0.0 {
+        return Err(OptimizeError::InvalidMix(
+            "mix weights must not all be zero".to_string(),
+        ));
+    }
+    Ok(mix.iter().map(|w| w / total + 0.0).collect())
 }
 
 /// A workload's share of the co-optimization objective.
@@ -558,6 +596,11 @@ impl Campaign {
         self.store.as_ref()
     }
 
+    /// The measurement options (cycle budget, worker threads).
+    pub(crate) fn measurement(&self) -> &MeasurementOptions {
+        &self.measurement
+    }
+
     /// The parameter space being explored.
     pub fn space(&self) -> &ParameterSpace {
         &self.space
@@ -684,10 +727,14 @@ impl Campaign {
         mix: &[f64],
     ) -> Result<CoOutcome, OptimizeError> {
         assert_eq!(tables.len(), entries.len(), "tables and traces must align");
-        assert_eq!(mix.len(), tables.len(), "one mix weight per workload required");
-        let total: f64 = mix.iter().sum();
-        assert!(total > 0.0, "mix weights must sum to a positive value");
-        let shares: Vec<f64> = mix.iter().map(|w| w / total).collect();
+        if mix.len() != tables.len() {
+            return Err(OptimizeError::InvalidMix(format!(
+                "mix has {} weights but the suite has {}",
+                mix.len(),
+                tables.len()
+            )));
+        }
+        let shares = canonical_shares(mix)?;
 
         let weighted: Vec<(f64, &CostTable)> =
             shares.iter().copied().zip(tables.iter().copied()).collect();
@@ -772,7 +819,7 @@ impl Campaign {
     /// interchangeable) and the base configuration every artifact derives
     /// from.  `co_key` builds on this too — any field added here invalidates
     /// all key families together.
-    fn engine_key(&self) -> FingerprintBuilder {
+    pub(crate) fn engine_key(&self) -> FingerprintBuilder {
         FingerprintBuilder::new()
             .u64(RESULTS_VERSION as u64)
             .u64(self.measurement.max_cycles)
@@ -781,7 +828,7 @@ impl Campaign {
 
     /// Mix in the fields the solve-stage artifacts (`optimum`, `co`) depend
     /// on beyond the engine key: space, model and objective.
-    fn objective_fields(&self, b: FingerprintBuilder) -> FingerprintBuilder {
+    pub(crate) fn objective_fields(&self, b: FingerprintBuilder) -> FingerprintBuilder {
         b.debug(&self.space).debug(&self.model).debug(&self.weights).debug(&self.formulation)
     }
 
@@ -827,7 +874,7 @@ impl Campaign {
     /// (`false`).  Without a store the compute half runs directly.  Claim
     /// I/O failures degrade to undeduplicated compute: the protocol only
     /// ever removes duplicate work, never adds a failure mode.
-    fn lease_guarded<T, E>(
+    pub(crate) fn lease_guarded<T, E>(
         &self,
         kind: &str,
         key: Fingerprint,
@@ -962,12 +1009,12 @@ impl Campaign {
     }
 
     /// Load a JSON artifact from the attached store, if any.
-    fn try_load_json<T: serde::Deserialize>(&self, kind: &str, key: Fingerprint) -> Option<T> {
+    pub(crate) fn try_load_json<T: serde::Deserialize>(&self, kind: &str, key: Fingerprint) -> Option<T> {
         self.store.as_ref()?.load_json(kind, key)
     }
 
     /// Persist a JSON artifact to the attached store (best effort).
-    fn persist_json<T: serde::Serialize>(
+    pub(crate) fn persist_json<T: serde::Serialize>(
         &self,
         kind: &str,
         key: Fingerprint,
@@ -1187,6 +1234,10 @@ pub struct SessionCounters {
     pub optimizations_solved: usize,
     /// Per-application optima served from the store.
     pub optimum_store_hits: usize,
+    /// Population outcomes computed fresh (batch solve + frontier prune).
+    pub populations_solved: usize,
+    /// Population outcomes served from the store.
+    pub population_store_hits: usize,
 }
 
 /// RAII pin set: every key registered here is pinned in the store for the
@@ -1511,14 +1562,33 @@ impl<'a> CampaignSession<'a> {
         self.materialize_result_artifacts()
     }
 
+    /// Per-workload content fingerprints, in suite order — the identity the
+    /// population key folds in alongside the engine configuration.
+    pub(crate) fn workload_fingerprints(&self) -> &[u64] {
+        &self.fingerprints
+    }
+
+    /// Pin a store key for the rest of the session (no-op without a store).
+    pub(crate) fn pin_artifact(&self, kind: &'static str, key: Fingerprint) {
+        self.pins.pin(kind, key);
+    }
+
+    /// Tick the population computed/served counters.
+    pub(crate) fn bump_population(&self, computed_fresh: bool) {
+        self.bump(computed_fresh, |c| {
+            (&mut c.populations_solved, &mut c.population_store_hits)
+        });
+    }
+
     /// Content key of a co-optimization outcome: every workload fingerprint
-    /// (in mix order), the normalised shares, and the whole engine
-    /// configuration.  Any change to any of them is a different key.
-    fn co_key(&self, mix: &[f64]) -> Fingerprint {
-        let total: f64 = mix.iter().sum();
+    /// (in mix order), the *canonical* normalised shares (see
+    /// [`canonical_shares`] — `-0.0` never reaches a fingerprint), and the
+    /// whole engine configuration.  Any change to any of them is a
+    /// different key.
+    fn co_key(&self, shares: &[f64]) -> Fingerprint {
         let mut b = self.engine.objective_fields(self.engine.engine_key().str("co"));
-        for (fp, weight) in self.fingerprints.iter().zip(mix) {
-            b = b.u64(*fp).u64((weight / total).to_bits());
+        for (fp, share) in self.fingerprints.iter().zip(shares) {
+            b = b.u64(*fp).u64(share.to_bits());
         }
         b.finish()
     }
@@ -1530,8 +1600,15 @@ impl<'a> CampaignSession<'a> {
     /// no solver.  Only a miss materialises the traces and cost tables and
     /// runs blend + BINLP + replay validation, then persists the outcome.
     pub fn co_optimize(&self, mix: &[f64]) -> Result<CoOutcome, OptimizeError> {
-        assert_eq!(mix.len(), self.len(), "one mix weight per workload required");
-        let key = self.co_key(mix);
+        if mix.len() != self.len() {
+            return Err(OptimizeError::InvalidMix(format!(
+                "mix has {} weights but the suite has {}",
+                mix.len(),
+                self.len()
+            )));
+        }
+        let shares = canonical_shares(mix)?;
+        let key = self.co_key(&shares);
         self.pins.pin("co", key);
         let (outcome, _computed) = self.engine.lease_guarded(
             "co",
@@ -1657,6 +1734,43 @@ mod tests {
             assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
         }
         assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn canonical_shares_normalise_and_scale_invariantly() {
+        let a = canonical_shares(&[1.0, 1.0, 0.0, 2.0]).unwrap();
+        let b = canonical_shares(&[2.0, 2.0, 0.0, 4.0]).unwrap();
+        assert_eq!(a, b, "scalar multiples must canonicalise identically");
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_shares_scrub_negative_zero() {
+        // -0.0 compares equal to 0.0 (so it passes validation) but has a
+        // different bit pattern; a canonical share vector must never leak
+        // it into a fingerprint
+        let shares = canonical_shares(&[-0.0, 1.0]).unwrap();
+        assert_eq!(shares[0].to_bits(), 0.0_f64.to_bits(), "share must be +0.0, not -0.0");
+        let plain = canonical_shares(&[0.0, 1.0]).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&shares), bits(&plain), "-0.0 and 0.0 weights must key identically");
+    }
+
+    #[test]
+    fn canonical_shares_reject_degenerate_weight_vectors() {
+        let err = |mix: &[f64]| match canonical_shares(mix).unwrap_err() {
+            OptimizeError::InvalidMix(m) => m,
+            other => panic!("expected InvalidMix, got {other:?}"),
+        };
+        assert!(err(&[]).contains("empty"));
+        assert!(err(&[0.0, 0.0]).contains("zero"));
+        assert!(err(&[1.0, -1.0]).contains("non-negative"));
+        assert!(err(&[1.0, f64::NAN]).contains("finite"));
+        assert!(err(&[1.0, f64::INFINITY]).contains("finite"));
+        // every weight finite, but the *sum* overflows to +inf: without the
+        // sum check this normalised to all-zero shares and collided with
+        // every other overflowing mix in the store
+        assert!(err(&[f64::MAX, f64::MAX]).contains("finite"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use workloads::{Arith, Blastn, Drr, Frag, Scale, Workload};
 
 use crate::campaign::{run_indexed, Campaign, CampaignResult};
 use crate::dcache_study::{best_runtime_row, dcache_exhaustive, DcacheRow};
+use crate::population::{random_mixes, MixProfile, PopulationOutcome};
 use crate::formulation::Weights;
 use crate::measure::MeasurementOptions;
 use crate::optimizer::{AutoReconfigurator, Outcome, OptimizeError};
@@ -627,6 +628,63 @@ pub fn campaign_with_store(
         );
     }
     Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// Population — fleet-scale mix co-optimization
+// ---------------------------------------------------------------------------
+
+/// Where the `population` target's tenant mixes come from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PopulationSource {
+    /// Explicit tenant profiles (parsed from a `--mixes FILE` document).
+    Profiles(Vec<MixProfile>),
+    /// `count` deterministic pseudo-random mixes over the served suite
+    /// (the `--random N --seed S` flags).
+    Random {
+        /// How many tenant mixes to generate.
+        count: usize,
+        /// PRNG seed — the same seed always yields the same population.
+        seed: u64,
+    },
+}
+
+/// Batch co-optimize a population of tenant mixes and reduce them to a
+/// Pareto frontier of configurations — the `population` CLI target's entry
+/// point (same engine configuration as the `campaign` target and the
+/// service daemon, so all three share store entries).
+pub fn population_with_store(
+    options: &ExperimentOptions,
+    store: Option<crate::store::ArtifactStore>,
+    source: &PopulationSource,
+    tolerance_pct: f64,
+) -> Result<PopulationOutcome, OptimizeError> {
+    let suite = suite(options.scale);
+    let mut engine = Campaign::new()
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(options.measurement());
+    if let Some(store) = store {
+        engine = engine.with_store(store);
+    }
+    let session = engine.session(&suite)?;
+    let profiles = match source {
+        PopulationSource::Profiles(profiles) => profiles.clone(),
+        PopulationSource::Random { count, seed } => random_mixes(*count, suite.len(), *seed),
+    };
+    let outcome = session.population(&profiles, tolerance_pct)?;
+    if let Some(store) = session.engine().store() {
+        let s = store.stats();
+        eprintln!(
+            "artifact store {}: {} hits, {} misses ({} corrupt), {} writes, {} payload bytes read",
+            store.dir().display(),
+            s.hits,
+            s.misses,
+            s.corrupt,
+            s.writes,
+            s.payload_bytes_read
+        );
+    }
+    Ok(outcome)
 }
 
 // ---------------------------------------------------------------------------

@@ -41,13 +41,17 @@ pub mod formulation;
 pub mod measure;
 pub mod optimizer;
 pub mod params;
+pub mod population;
 pub mod service;
 pub mod store;
 
 pub use campaign::{
-    effective_threads, replay_batch_indexed, run_indexed, Campaign, CampaignResult,
-    CampaignSession, CoOutcome, CoWorkloadRun, SessionCounters, TraceSet, TracedWorkload,
-    WorkloadShare,
+    canonical_shares, effective_threads, replay_batch_indexed, run_indexed, Campaign,
+    CampaignResult, CampaignSession, CoOutcome, CoWorkloadRun, SessionCounters, TraceSet,
+    TracedWorkload, WorkloadShare,
+};
+pub use population::{
+    random_mixes, FrontierPoint, MixProfile, MixProfileFile, PopulationOutcome, TenantOutcome,
 };
 pub use store::{
     ArtifactStore, ClaimOutcome, DoctorReport, EntryMeta, Fingerprint, FingerprintBuilder,

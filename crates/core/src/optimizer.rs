@@ -83,6 +83,12 @@ pub enum OptimizeError {
     Simulation(SimError),
     /// The solver found no feasible configuration.
     Infeasible,
+    /// A workload mix (or other request parameter) failed validation —
+    /// e.g. a negative/non-finite weight, a weight sum that is zero or
+    /// overflows to infinity, or a mix whose arity does not match the
+    /// suite.  Wire-reachable inputs must surface this as an error, never
+    /// a panic or a silently mis-keyed store entry.
+    InvalidMix(String),
 }
 
 impl std::fmt::Display for OptimizeError {
@@ -90,6 +96,7 @@ impl std::fmt::Display for OptimizeError {
         match self {
             OptimizeError::Simulation(e) => write!(f, "simulation failed: {e}"),
             OptimizeError::Infeasible => write!(f, "no feasible configuration satisfies the constraints"),
+            OptimizeError::InvalidMix(m) => write!(f, "invalid mix: {m}"),
         }
     }
 }

@@ -47,7 +47,8 @@ use crate::store::ArtifactStore;
 
 /// Version tag answered by [`Request::Ping`]; bumped on any incompatible
 /// change to the frame format or the request/response enums.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added [`Request::Population`] / [`Response::Population`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a single frame's payload, both directions.  Large enough
 /// for any campaign outcome, small enough that a malformed length prefix
@@ -129,6 +130,18 @@ pub enum Request {
         /// Un-normalised mix weights, one per workload.
         mix: Vec<f64>,
     },
+    /// Batch co-optimize a *population* of tenant mixes and reduce the
+    /// per-mix optima to the Pareto frontier of configurations covering
+    /// every tenant within `tolerance_pct` of its own optimum (see
+    /// [`crate::population`]).
+    Population {
+        /// One un-normalised mix per tenant (each: one weight per
+        /// workload, suite order).  Tenants are named `mix-0`, `mix-1`, …
+        /// in the outcome.
+        mixes: Vec<Vec<f64>>,
+        /// Per-tenant regret tolerance, in percent (≥ 0).
+        tolerance_pct: f64,
+    },
     /// Process-wide compute counters — the duplicated-work audit surface.
     Counters,
     /// Stop the daemon after answering with [`Response::Bye`].
@@ -182,6 +195,12 @@ pub enum Response {
     /// [`crate::campaign::CoOutcome`].
     CoOutcome {
         /// `serde_json::to_string` of the co-optimization outcome.
+        json: String,
+    },
+    /// Answer to [`Request::Population`]: the canonical JSON text of the
+    /// [`crate::population::PopulationOutcome`].
+    Population {
+        /// `serde_json::to_string` of the population outcome.
         json: String,
     },
     /// Answer to [`Request::Counters`].
@@ -370,6 +389,21 @@ fn dispatch(state: &ServerState, request: &Request) -> Response {
             .and_then(|()| session.co_optimize(mix).map_err(|e| e.to_string()))
             .and_then(|outcome| as_json(&outcome))
             .map(|json| Response::CoOutcome { json }),
+        Request::Population { mixes, tolerance_pct } => {
+            let profiles: Vec<crate::population::MixProfile> = mixes
+                .iter()
+                .enumerate()
+                .map(|(i, weights)| crate::population::MixProfile {
+                    name: format!("mix-{i}"),
+                    weights: weights.clone(),
+                })
+                .collect();
+            session
+                .population(&profiles, *tolerance_pct)
+                .map_err(|e| e.to_string())
+                .and_then(|outcome| as_json(&outcome))
+                .map(|json| Response::Population { json })
+        }
         Request::Counters => Ok(Response::Counters {
             counters: ServiceCounters {
                 guest_instructions: workloads::guest_instructions_executed(),
@@ -382,19 +416,18 @@ fn dispatch(state: &ServerState, request: &Request) -> Response {
     result.unwrap_or_else(|message| Response::Error { message })
 }
 
-/// Reject a mix the session would panic on (wrong arity) or fold into a
-/// nonsense key (non-finite or negative weights, all-zero total).
+/// Reject a mix the session would refuse (wrong arity) or fold into a
+/// nonsense key.  Value checks delegate to
+/// [`crate::campaign::canonical_shares`] — the exact validation (and
+/// canonicalisation) the session applies before fingerprinting, so
+/// nothing the wire accepts can mis-key the store: finite weights whose
+/// *sum* overflows to `+inf` are rejected here too, not folded into the
+/// all-zero-shares key.
 fn validate_mix(mix: &[f64], suite_len: usize) -> Result<(), String> {
     if mix.len() != suite_len {
         return Err(format!("mix has {} weights but the suite has {suite_len}", mix.len()));
     }
-    if mix.iter().any(|w| !w.is_finite() || *w < 0.0) {
-        return Err("mix weights must be finite and non-negative".to_string());
-    }
-    if mix.iter().sum::<f64>() <= 0.0 {
-        return Err("mix weights must not all be zero".to_string());
-    }
-    Ok(())
+    crate::campaign::canonical_shares(mix).map(|_| ()).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -439,6 +472,10 @@ mod tests {
             Request::Optimize { workload: "BLASTN".to_string() },
             Request::Sweep { workload: "DRR".to_string() },
             Request::CoOptimize { mix: vec![1.0, 2.0, 0.5, 0.0] },
+            Request::Population {
+                mixes: vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 2.0, 0.0, 1.0]],
+                tolerance_pct: 5.0,
+            },
             Request::Counters,
             Request::Shutdown,
         ];
@@ -473,6 +510,11 @@ mod tests {
         assert!(validate_mix(&[1.0, -1.0], 2).unwrap_err().contains("non-negative"));
         assert!(validate_mix(&[f64::NAN, 1.0], 2).unwrap_err().contains("finite"));
         assert!(validate_mix(&[0.0, 0.0], 2).unwrap_err().contains("zero"));
+        // finite weights whose *sum* overflows must be rejected, not folded
+        // into all-zero shares (and the all-zero store key)
+        assert!(validate_mix(&[1e308, 1e308], 2).unwrap_err().contains("finite"));
+        // -0.0 is an accepted weight (it canonicalises to +0.0 — same key)
+        assert!(validate_mix(&[-0.0, 1.0], 2).is_ok());
     }
 
     /// End-to-end over a real socket: ping, describe, bad request, shutdown.

@@ -68,7 +68,7 @@
 //! variable ([`ArtifactStore::from_env`]); the GC budget comes from
 //! `campaign --gc-budget` or `AUTORECONF_STORE_BUDGET`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -374,10 +374,22 @@ struct Shared {
     /// Refcounted pins: entries an open session depends on.  GC never
     /// evicts a pinned entry.
     pins: Mutex<HashMap<(String, u64), usize>>,
+    /// Unique identity of this handle family (all clones share it): names
+    /// the on-disk `.pin-<owner>` markers that make pins visible to GC
+    /// passes in *other* processes.
+    pin_owner: u64,
+    /// Whether the pin-marker renewal thread has been spawned (lazily, on
+    /// the first pin).
+    pin_heartbeat_spawned: std::sync::atomic::AtomicBool,
     /// Grace window (ms) under which doctor treats `.tmp-*` files as
     /// in-flight writes rather than debris (see [`DEFAULT_TMP_GRACE`]).
     tmp_grace_ms: AtomicU64,
 }
+
+/// Process-wide sequence distinguishing separately opened handles of the
+/// same process (they do not share pin tables, so they must not share pin
+/// marker files either).
+static PIN_OWNER_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl Default for Shared {
     fn default() -> Shared {
@@ -386,6 +398,13 @@ impl Default for Shared {
             manifest: Mutex::new(ManifestState::default()),
             manifest_dirty: std::sync::atomic::AtomicBool::new(false),
             pins: Mutex::new(HashMap::new()),
+            pin_owner: FingerprintBuilder::new()
+                .u64(std::process::id() as u64)
+                .u64(PIN_OWNER_SEQ.fetch_add(1, Ordering::Relaxed))
+                .u64(unix_now_ms())
+                .finish()
+                .0,
+            pin_heartbeat_spawned: std::sync::atomic::AtomicBool::new(false),
             tmp_grace_ms: AtomicU64::new(DEFAULT_TMP_GRACE.as_millis() as u64),
         }
     }
@@ -451,13 +470,19 @@ pub struct GcReport {
     pub evicted: usize,
     /// Bytes reclaimed.
     pub evicted_bytes: u64,
-    /// Entries that survived only because a session pins them.
+    /// Entries that survived only because a session pins them — via this
+    /// process's in-memory pin table or a live `.pin-*` marker published by
+    /// a session in another process.
     pub pinned_retained: usize,
+    /// Entries that survived only because a live (unexpired) `.lease` file
+    /// guards them: a sibling process claimed the key and may be publishing
+    /// right now — evicting under it could destroy a just-published result.
+    pub lease_retained: usize,
 }
 
 impl GcReport {
-    /// Whether the store fits the budget (always true unless pinned entries
-    /// alone exceed it).
+    /// Whether the store fits the budget (always true unless pinned or
+    /// lease-guarded entries alone exceed it).
     pub fn within_budget(&self) -> bool {
         self.bytes_after <= self.budget_bytes
     }
@@ -465,7 +490,7 @@ impl GcReport {
     /// Human-readable one-paragraph summary.
     pub fn render(&self) -> String {
         format!(
-            "gc: budget {} bytes: {} -> {} entries, {} -> {} bytes ({} evicted, {} bytes freed, {} pinned retained)",
+            "gc: budget {} bytes: {} -> {} entries, {} -> {} bytes ({} evicted, {} bytes freed, {} pinned retained, {} lease-guarded retained)",
             self.budget_bytes,
             self.entries_before,
             self.entries_after,
@@ -473,7 +498,8 @@ impl GcReport {
             self.bytes_after,
             self.evicted,
             self.evicted_bytes,
-            self.pinned_retained
+            self.pinned_retained,
+            self.lease_retained
         )
     }
 }
@@ -511,6 +537,13 @@ pub struct DoctorReport {
     /// Lease files of claims still inside their TTL: another process is
     /// computing the entry right now.  Informational, never dirt.
     pub active_leases: usize,
+    /// `.pin-*` markers whose TTL has elapsed — the pinning session's
+    /// process crashed without unpinning (deleted when repairing).  A
+    /// *live* marker is counted in [`DoctorReport::active_pins`] instead.
+    pub expired_pins: usize,
+    /// `.pin-*` markers still inside their TTL: a session in this or
+    /// another process holds the entry pinned.  Informational, never dirt.
+    pub active_pins: usize,
     /// Trace entries in the legacy version-1 (monolithic) codec.  They
     /// still load — the decoder keeps v1 support — but re-serialising
     /// (or re-capturing) upgrades them to the segmented format.
@@ -537,6 +570,7 @@ impl DoctorReport {
             && self.mismatched_manifest_entries == 0
             && self.stray_tmp_files == 0
             && self.expired_leases == 0
+            && self.expired_pins == 0
             && self.segment_index_errors == 0
     }
 
@@ -553,6 +587,7 @@ impl DoctorReport {
             (self.mismatched_manifest_entries, "manifest record(s) out of sync"),
             (self.stray_tmp_files, "stray temporary file(s)"),
             (self.expired_leases, "expired compute lease(s) (holder crashed)"),
+            (self.expired_pins, "expired pin marker(s) (pinning session crashed)"),
             (self.segment_index_errors, "trace entry(ies) with a broken segment index"),
         ];
         for (count, what) in issues {
@@ -570,6 +605,12 @@ impl DoctorReport {
             out.push_str(&format!(
                 "  {} live compute lease(s): another process is computing those entries\n",
                 self.active_leases
+            ));
+        }
+        if self.active_pins > 0 {
+            out.push_str(&format!(
+                "  {} live pin marker(s): open sessions hold those entries pinned\n",
+                self.active_pins
             ));
         }
         if self.trace_v1_entries + self.trace_v2_entries > 0 {
@@ -716,6 +757,39 @@ impl LeaseCore {
             _ => {} // gone, or no longer ours: nothing to release
         }
     }
+}
+
+/// Atomically publish (or renew) an on-disk pin marker: a [`LeaseBody`]
+/// with a [`DEFAULT_LEASE_TTL`] expiry, written to a tmp sibling and
+/// renamed into place so readers only ever see a complete body.
+fn write_pin_marker(dir: &Path, shared: &Shared, path: &Path) -> std::io::Result<()> {
+    let pid = std::process::id();
+    let body = LeaseBody {
+        version: LEASE_VERSION,
+        owner_pid: pid,
+        token: shared.pin_owner,
+        expires_unix_ms: unix_now_ms() + DEFAULT_LEASE_TTL.as_millis() as u64,
+    };
+    let text = serde_json::to_string(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let counter = shared.stats.tmp_counter.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(".tmp-pin-{pid}-{counter}"));
+    std::fs::write(&tmp, text.as_bytes())?;
+    let renamed = std::fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+/// Parse the `<kind>-<16 hex>` stem shared by `.art`, `.lease` and
+/// `.pin-*` file names back into an entry id.
+fn parse_guard_stem(stem: &str) -> Option<(String, u64)> {
+    let (kind, hex) = stem.rsplit_once('-')?;
+    if kind.is_empty() || hex.len() != 16 {
+        return None;
+    }
+    Some((kind.to_string(), u64::from_str_radix(hex, 16).ok()?))
 }
 
 /// Read and parse a lease file.  `None` when the file is missing; an
@@ -929,13 +1003,8 @@ impl ArtifactStore {
     /// Parse `<kind>-<16 hex>.art` back into `(kind, fingerprint)`.
     fn parse_entry_name(path: &Path) -> Option<(String, Fingerprint)> {
         let name = path.file_name()?.to_str()?;
-        let stem = name.strip_suffix(".art")?;
-        let (kind, hex) = stem.rsplit_once('-')?;
-        if kind.is_empty() || hex.len() != 16 {
-            return None;
-        }
-        let fp = u64::from_str_radix(hex, 16).ok()?;
-        Some((kind.to_string(), Fingerprint(fp)))
+        let (kind, fp) = parse_guard_stem(name.strip_suffix(".art")?)?;
+        Some((kind, Fingerprint(fp)))
     }
 
     // -- manifest -----------------------------------------------------------
@@ -1070,26 +1139,86 @@ impl ArtifactStore {
     // -- pinning ------------------------------------------------------------
 
     /// Pin an entry: [`ArtifactStore::gc`] will not evict it until every pin
-    /// is released.  Pins are refcounted and shared by all clones of this
-    /// handle — but **not** across handles or processes: a GC run from a
-    /// separately opened handle cannot see them (eviction then costs a
-    /// recompute, never a wrong result).
+    /// is released.  The refcounted pin *table* is in-memory, shared by all
+    /// clones of this handle but **not** across handles or processes.  To
+    /// protect pinned entries from a GC pass in *another* process (e.g.
+    /// `experiments store gc` beside a live `autoreconf-serve` daemon),
+    /// each first pin also publishes an on-disk `.pin-<owner>` marker with
+    /// a [`DEFAULT_LEASE_TTL`] expiry, renewed by a background heartbeat
+    /// every TTL/3 while the pin is held — so foreign GC skips the entry
+    /// while the pinning session lives, and a crashed session's markers
+    /// expire instead of leaking protection forever.
     /// [`crate::campaign::CampaignSession`] pins every key it may
     /// dereference for its whole lifetime.
     pub fn pin(&self, kind: &str, key: Fingerprint) {
-        let mut pins = self.shared.pins.lock().unwrap_or_else(|e| e.into_inner());
-        *pins.entry((kind.to_string(), key.0)).or_insert(0) += 1;
+        let fresh = {
+            let mut pins = self.shared.pins.lock().unwrap_or_else(|e| e.into_inner());
+            let count = pins.entry((kind.to_string(), key.0)).or_insert(0);
+            *count += 1;
+            *count == 1
+        };
+        if fresh {
+            let _ = write_pin_marker(&self.dir, &self.shared, &self.pin_marker_path(kind, key));
+            self.ensure_pin_heartbeat();
+        }
     }
 
     /// Release one pin of an entry (refcounted; no-op when not pinned).
+    /// The last release removes the on-disk marker.
     pub fn unpin(&self, kind: &str, key: Fingerprint) {
-        let mut pins = self.shared.pins.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(count) = pins.get_mut(&(kind.to_string(), key.0)) {
-            *count -= 1;
-            if *count == 0 {
-                pins.remove(&(kind.to_string(), key.0));
+        let released = {
+            let mut pins = self.shared.pins.lock().unwrap_or_else(|e| e.into_inner());
+            match pins.get_mut(&(kind.to_string(), key.0)) {
+                Some(count) => {
+                    *count -= 1;
+                    if *count == 0 {
+                        pins.remove(&(kind.to_string(), key.0));
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
             }
+        };
+        if released {
+            let _ = std::fs::remove_file(self.pin_marker_path(kind, key));
         }
+    }
+
+    /// Path of this handle family's on-disk pin marker for `(kind, key)`.
+    /// The owner suffix keeps separately opened handles (which do not share
+    /// a pin table) from clobbering each other's markers.
+    fn pin_marker_path(&self, kind: &str, key: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{kind}-{key}.pin-{:016x}", self.shared.pin_owner))
+    }
+
+    /// Lazily spawn the marker-renewal thread: every TTL/3 it rewrites a
+    /// live marker for each currently pinned id, and it exits once every
+    /// handle of this family is dropped (the `Weak` stops upgrading).
+    fn ensure_pin_heartbeat(&self) {
+        if self.shared.pin_heartbeat_spawned.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let weak = Arc::downgrade(&self.shared);
+        let dir = self.dir.clone();
+        std::thread::spawn(move || {
+            let interval =
+                Duration::from_millis(((DEFAULT_LEASE_TTL.as_millis() as u64) / 3).max(1));
+            loop {
+                std::thread::sleep(interval);
+                let Some(shared) = weak.upgrade() else { return };
+                let ids: Vec<(String, u64)> = {
+                    let pins = shared.pins.lock().unwrap_or_else(|e| e.into_inner());
+                    pins.keys().cloned().collect()
+                };
+                for (kind, fp) in ids {
+                    let key = Fingerprint(fp);
+                    let path = dir.join(format!("{kind}-{key}.pin-{:016x}", shared.pin_owner));
+                    let _ = write_pin_marker(&dir, &shared, &path);
+                }
+            }
+        });
     }
 
     /// Whether an entry currently holds at least one pin.
@@ -1505,14 +1634,18 @@ impl ArtifactStore {
     }
 
     /// Evict least-recently-accessed entries until the entry files fit
-    /// `budget_bytes`, skipping entries pinned by open sessions.
+    /// `budget_bytes`, skipping entries pinned by open sessions — in this
+    /// process (the in-memory pin table) or any other (a live `.pin-*`
+    /// marker) — and entries guarded by a live `.lease` file (a sibling
+    /// process's in-flight cold compute, whose just-published result must
+    /// not be evicted before the lease is released).
     ///
     /// The invariant (property-tested in `tests/incremental_store.rs`):
     /// after `gc(b)` either the store's entry files total ≤ `b` bytes, or
-    /// every remaining entry is pinned.  Eviction order is strictly by
-    /// ascending access stamp (ties broken by kind + fingerprint for
-    /// determinism); the manifest is reconciled with the directory before
-    /// and persisted after the pass.
+    /// every remaining entry is pinned or lease-guarded.  Eviction order is
+    /// strictly by ascending access stamp (ties broken by kind +
+    /// fingerprint for determinism); the manifest is reconciled with the
+    /// directory before and persisted after the pass.
     pub fn gc(&self, budget_bytes: u64) -> std::io::Result<GcReport> {
         let mut state = self.shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
         self.sync_with_disk_locked(&mut state);
@@ -1521,6 +1654,36 @@ impl ArtifactStore {
         let mut total: u64 = present.iter().map(|(_, len)| *len).sum();
         let entries_before = present.len();
         let bytes_before = total;
+
+        // entries guarded on disk by live sibling-process state the
+        // in-memory pin table cannot see: `.lease` (in-flight cold compute)
+        // and `.pin-*` (another session's pins); expired guards are ignored
+        let mut lease_guarded: HashSet<(String, u64)> = HashSet::new();
+        let mut pin_guarded: HashSet<(String, u64)> = HashSet::new();
+        for entry in std::fs::read_dir(&self.dir)?.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(".tmp-") {
+                continue;
+            }
+            let (stem, is_pin) = if let Some(stem) = name.strip_suffix(".lease") {
+                (stem, false)
+            } else if let Some((stem, _owner)) = name.rsplit_once(".pin-") {
+                (stem, true)
+            } else {
+                continue;
+            };
+            let Some(id) = parse_guard_stem(stem) else { continue };
+            if let Some((_, info)) = read_lease_file(&entry.path()) {
+                if !info.is_expired() {
+                    if is_pin {
+                        pin_guarded.insert(id);
+                    } else {
+                        lease_guarded.insert(id);
+                    }
+                }
+            }
+        }
 
         // LRU order: unknown entries (not in the manifest) evict first with
         // stamp 0, then by ascending last_access
@@ -1537,12 +1700,17 @@ impl ArtifactStore {
         let mut evicted = 0usize;
         let mut evicted_bytes = 0u64;
         let mut pinned_retained = 0usize;
+        let mut lease_retained = 0usize;
         for (_stamp, id, len) in candidates {
             if total <= budget_bytes {
                 break;
             }
-            if pins.contains_key(&id) {
+            if pins.contains_key(&id) || pin_guarded.contains(&id) {
                 pinned_retained += 1;
+                continue;
+            }
+            if lease_guarded.contains(&id) {
+                lease_retained += 1;
                 continue;
             }
             let (kind, fp) = (&id.0, Fingerprint(id.1));
@@ -1565,6 +1733,7 @@ impl ArtifactStore {
             evicted,
             evicted_bytes,
             pinned_retained,
+            lease_retained,
         })
     }
 
@@ -1682,6 +1851,19 @@ impl ArtifactStore {
                     Some((_, info)) if !info.is_expired() => report.active_leases += 1,
                     _ => {
                         report.expired_leases += 1;
+                        if repair {
+                            remove_entry_file(&entry.path())?;
+                        }
+                    }
+                }
+            } else if name.contains(".pin-") {
+                // pin markers follow the same TTL discipline: a live one is
+                // an open session's pin (healthy), an expired one means the
+                // pinning process crashed without unpinning
+                match read_lease_file(&entry.path()) {
+                    Some((_, info)) if !info.is_expired() => report.active_pins += 1,
+                    _ => {
+                        report.expired_pins += 1;
                         if repair {
                             remove_entry_file(&entry.path())?;
                         }
@@ -2315,6 +2497,88 @@ mod tests {
         assert!(store.lease_info("table", dead_key).is_none());
         drop(live);
         assert!(store.doctor(false).unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_skips_entries_guarded_by_live_leases_and_foreign_pins() {
+        let store = scratch_store("gc-guards");
+        let leased = FingerprintBuilder::new().str("leased").finish();
+        let pinned = FingerprintBuilder::new().str("foreign-pin").finish();
+        let loose = FingerprintBuilder::new().str("loose").finish();
+        store.save("co", leased, b"in-flight result").unwrap();
+        store.save("co", pinned, b"daemon-pinned").unwrap();
+        store.save("co", loose, b"evictable").unwrap();
+
+        // a sibling handle — its own pin table, exactly what a separate
+        // *process* would have — pins one entry; the first handle's
+        // in-memory table knows nothing about it, only the disk marker does
+        let sibling = ArtifactStore::open(store.dir()).unwrap();
+        sibling.pin("co", pinned);
+        assert!(!store.is_pinned("co", pinned), "pin tables are per handle family");
+
+        // and a live claim guards another (a sibling's in-flight compute)
+        let lease = match sibling.try_claim("co", leased, Duration::from_secs(60)).unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            other => panic!("got {other:?}"),
+        };
+
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.pinned_retained, 1, "{report:?}");
+        assert_eq!(report.lease_retained, 1, "{report:?}");
+        assert!(store.contains("co", pinned), "a foreign pin must survive gc");
+        assert!(store.contains("co", leased), "a lease-guarded entry must survive gc");
+        assert!(!store.contains("co", loose), "unguarded entries still evict");
+        assert!(report.render().contains("lease-guarded"));
+
+        // releasing both guards makes the entries ordinary again
+        lease.release();
+        sibling.unpin("co", pinned);
+        let report = store.gc(0).unwrap();
+        assert!(report.within_budget(), "{report:?}");
+        assert!(store.entries(None).is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn expired_pin_markers_do_not_guard_gc_and_doctor_collects_them() {
+        let store = scratch_store("gc-expired-pin");
+        let key = FingerprintBuilder::new().str("crashed-session").finish();
+        store.save("co", key, b"was pinned by a crashed session").unwrap();
+        // forge a long-expired marker — what a crashed session's pin looks
+        // like after its heartbeat stops renewing the TTL
+        let marker = store.dir().join(format!("co-{key}.pin-{:016x}", 0xdead_beef_u64));
+        let body = LeaseBody {
+            version: LEASE_VERSION,
+            owner_pid: 1,
+            token: 0xdead_beef,
+            expires_unix_ms: 1,
+        };
+        std::fs::write(&marker, serde_json::to_string(&body).unwrap()).unwrap();
+
+        let report = store.doctor(false).unwrap();
+        assert_eq!((report.active_pins, report.expired_pins), (0, 1));
+        assert!(!report.is_clean(), "an expired pin marker is dirt");
+        assert!(report.render().contains("pin marker"));
+
+        // the expired marker guards nothing: gc may evict the entry
+        let report = store.gc(0).unwrap();
+        assert_eq!((report.pinned_retained, report.lease_retained), (0, 0));
+        assert!(!store.contains("co", key));
+
+        assert!(store.doctor(true).unwrap().repaired);
+        assert!(!marker.exists(), "repair removes the corpse marker");
+        assert!(store.doctor(false).unwrap().is_clean());
+
+        // a *live* pin in this very handle is reported as healthy
+        let live = FingerprintBuilder::new().str("live-pin").finish();
+        store.save("co", live, b"pinned here").unwrap();
+        store.pin("co", live);
+        let report = store.doctor(false).unwrap();
+        assert_eq!((report.active_pins, report.expired_pins), (1, 0));
+        assert!(report.is_clean(), "a live pin is healthy: {report:?}");
+        store.unpin("co", live);
+        assert_eq!(store.doctor(false).unwrap().active_pins, 0);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

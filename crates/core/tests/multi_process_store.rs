@@ -150,6 +150,131 @@ fn a_store_warmed_under_contention_serves_a_third_process_completely() {
     }
 }
 
+/// Entry files of a given kind currently in the store directory, sorted.
+fn art_files(store: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(store)
+        .expect("read store dir")
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .filter(|n| n.ends_with(".art"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// An external `experiments store gc` running beside a live daemon must not
+/// evict the daemon's pinned entries: the daemon's session pins live only
+/// in *its* process memory, so gc has to honour the on-disk `.pin-*`
+/// markers the daemon publishes.  (Before those markers existed, this exact
+/// sequence silently evicted every entry the daemon depended on.)
+#[test]
+fn external_gc_cannot_evict_a_live_daemons_pinned_entries() {
+    use std::io::BufRead;
+
+    use autoreconf::service::{read_frame, write_frame, Request, Response};
+
+    // warm a store with one tiny campaign run, then note its session
+    // artifacts (trace/table/sweep/optimum per workload — the entries a
+    // daemon session pins at startup)
+    let store = scratch_dir("gc-store");
+    let json = scratch_dir("gc-json");
+    let counters = scratch_dir("gc-counters").join("counters.json");
+    assert!(spawn_campaign(Some(&store), &json, &counters).wait().unwrap().success());
+    let pinned_kinds = ["trace-", "table-", "sweep-", "optimum-"];
+    let session_entries: Vec<String> = art_files(&store)
+        .into_iter()
+        .filter(|n| pinned_kinds.iter().any(|k| n.starts_with(k)))
+        .collect();
+    assert_eq!(session_entries.len(), 16, "4 kinds x 4 workloads: {session_entries:?}");
+
+    // start a daemon over the same store and wait for its address line —
+    // by then its session is open and every artifact above is pinned
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--scale", "tiny", "--threads", "1"])
+        .args(["--store", store.to_str().unwrap()])
+        .env_remove("AUTORECONF_STORE")
+        .env_remove("AUTORECONF_STORE_BUDGET")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn experiments serve");
+    let mut stdout = std::io::BufReader::new(daemon.stdout.take().expect("daemon stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read address line");
+    let addr = line
+        .trim()
+        .strip_prefix("autoreconf-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected address line: {line:?}"))
+        .to_string();
+
+    // the address line is printed before the serving session opens; a
+    // Describe round-trip is answered only once the session (and thus its
+    // pins) exists, so wait for one before unleashing the external gc
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect to daemon");
+    let ask = |conn: &mut std::net::TcpStream, request: &Request| -> Response {
+        let body = serde_json::to_string(request).unwrap();
+        write_frame(conn, body.as_bytes()).expect("send request");
+        let frame = read_frame(conn).expect("read response").expect("response frame");
+        let text = std::str::from_utf8(&frame).expect("utf-8 response");
+        serde_json::from_str(text).expect("decode response")
+    };
+    match ask(&mut conn, &Request::Describe) {
+        Response::Describe { store: true, .. } => {}
+        other => panic!("daemon must describe itself with a store: {other:?}"),
+    }
+
+    // a *separate process* garbage-collects the shared store to zero bytes
+    let gc = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["store", "gc", "--budget", "0", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run external store gc");
+    assert!(gc.status.success(), "external gc failed: {gc:?}");
+
+    // every daemon-pinned entry survived the external gc
+    let surviving = art_files(&store);
+    for entry in &session_entries {
+        assert!(
+            surviving.contains(entry),
+            "external gc evicted the live daemon's pinned entry {entry} \
+             (survivors: {surviving:?})"
+        );
+    }
+
+    // and the daemon still answers from those entries — a co-optimization
+    // over the gc'd store must succeed (its pinned traces/tables are intact)
+    match ask(&mut conn, &Request::CoOptimize { mix: vec![1.0, 1.0, 1.0, 1.0] }) {
+        Response::CoOutcome { .. } => {}
+        other => panic!("co-optimize after external gc failed: {other:?}"),
+    }
+    match ask(&mut conn, &Request::Shutdown) {
+        Response::Bye => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    assert!(daemon.wait().unwrap().success(), "daemon must exit cleanly");
+
+    // with the daemon gone its pins are released (markers removed on
+    // unpin): doctor is clean and a fresh gc may now take everything
+    let doctor = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["store", "doctor", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run store doctor");
+    assert!(
+        doctor.status.success(),
+        "store doctor found damage after daemon shutdown:\n{}",
+        String::from_utf8_lossy(&doctor.stdout)
+    );
+    let gc = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["store", "gc", "--budget", "0", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run final store gc");
+    assert!(gc.status.success());
+    assert!(art_files(&store).is_empty(), "nothing guards the store once the daemon exits");
+
+    for dir in [&json, &store] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
 /// `AUTORECONF_THREADS` with a malformed value must abort the CLI with a
 /// clean error — not silently fall back to all cores (the PR-4 `Scale`
 /// no-silent-fallback contract, extended to the environment).

@@ -159,6 +159,22 @@ impl Client {
         }
     }
 
+    /// Batch co-optimize a population of tenant mixes (each: one weight per
+    /// workload, in [`Description::workloads`] order) and get the Pareto
+    /// frontier of configurations covering every tenant within
+    /// `tolerance_pct` of its own optimum, as canonical JSON of the
+    /// `PopulationOutcome`.
+    pub fn population(
+        &mut self,
+        mixes: &[Vec<f64>],
+        tolerance_pct: f64,
+    ) -> Result<String, ClientError> {
+        match self.request(&Request::Population { mixes: mixes.to_vec(), tolerance_pct })? {
+            Response::Population { json } => Ok(json),
+            other => Self::unexpected("Population", other),
+        }
+    }
+
     /// The daemon's process-wide compute counters.
     pub fn counters(&mut self) -> Result<ServiceCounters, ClientError> {
         match self.request(&Request::Counters)? {

@@ -30,11 +30,19 @@ fn scratch_dir(tag: &str) -> PathBuf {
 
 /// The reference answers: a direct in-process campaign with the exact same
 /// configuration the daemon builds, but *no store* — pure computation.
+/// The population the warm phase asks over the wire: the shared mix, a
+/// scalar multiple of it (dedups onto the same unique mix) and a skewed
+/// one.  Named `mix-{i}` to match the server's wire-profile naming.
+const POPULATION: [[f64; 4]; 3] =
+    [MIX, [0.8, 0.6, 0.4, 0.2], [0.1, 0.1, 0.1, 0.7]];
+const POPULATION_TOLERANCE_PCT: f64 = 5.0;
+
 struct Reference {
     names: Vec<String>,
     outcomes: Vec<String>,
     sweeps: Vec<String>,
     co: String,
+    population: String,
 }
 
 fn reference() -> Reference {
@@ -54,6 +62,20 @@ fn reference() -> Reference {
             .map(|i| serde_json::to_string(session.sweep(i).unwrap()).unwrap())
             .collect(),
         co: serde_json::to_string(&session.co_optimize(&MIX).unwrap()).unwrap(),
+        population: {
+            let profiles: Vec<autoreconf::MixProfile> = POPULATION
+                .iter()
+                .enumerate()
+                .map(|(i, weights)| autoreconf::MixProfile {
+                    name: format!("mix-{i}"),
+                    weights: weights.to_vec(),
+                })
+                .collect();
+            serde_json::to_string(
+                &session.population(&profiles, POPULATION_TOLERANCE_PCT).unwrap(),
+            )
+            .unwrap()
+        },
     }
 }
 
@@ -132,6 +154,12 @@ fn daemon_answers_are_byte_identical_under_contention() {
         assert_eq!(client.sweep(name).expect("warm sweep"), expected.sweeps[w]);
     }
     assert_eq!(client.co_optimize(&MIX).expect("warm co-optimize"), expected.co);
+    let mixes: Vec<Vec<f64>> = POPULATION.iter().map(|m| m.to_vec()).collect();
+    assert_eq!(
+        client.population(&mixes, POPULATION_TOLERANCE_PCT).expect("population"),
+        expected.population,
+        "a population solve over the wire must be byte-identical to a local run"
+    );
     let warm = client.counters().expect("counters after warm phase");
     assert_eq!(
         warm.guest_instructions, cold.guest_instructions,
