@@ -11,6 +11,9 @@
 //!     [--space paper|dcache] [--store DIR]
 //! experiments population (--mixes FILE | --random N [--seed S]) \
 //!     [--tolerance PCT] [--scale S] [--threads N] [--json DIR] [--store DIR]
+//! experiments search [--workload NAME] [--space figure2|expanded] \
+//!     [--mode pruned|exhaustive] [--scale S] [--threads N] [--json DIR] \
+//!     [--store DIR]
 //! experiments store doctor [--repair] [--store DIR]
 //! experiments store stats            [--store DIR]
 //! experiments store gc --budget BYTES [--store DIR]
@@ -23,7 +26,12 @@
 //! co-optimizes a fleet of tenant mixes (from a JSON profile file or
 //! generated deterministically) and prints the Pareto frontier of
 //! configurations covering every tenant within `--tolerance` percent of its
-//! own optimum; `--counters FILE`
+//! own optimum; `search` runs the enumerate-then-prune design-space funnel
+//! over a shipped candidate space (`figure2` = the paper's 28 d-cache
+//! geometries, `expanded` = the 24 192-candidate i-cache × d-cache ×
+//! windows × timings cross) — `--mode exhaustive` walk-validates every
+//! feasible candidate, `--mode pruned` (the default) finds the
+//! byte-identical optimum while walking a small fraction; `--counters FILE`
 //! writes this process's guest-instruction / trace-byte counters as JSON on
 //! exit, which the multi-process store tests sum to prove no duplicated
 //! compute across processes.
@@ -55,6 +63,8 @@ const USAGE: &str = "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|camp
      [--space paper|dcache] [--store DIR]\n\
        experiments population (--mixes FILE | --random N [--seed S]) \
      [--tolerance PCT] [--scale S] [--threads N] [--json DIR] [--store DIR]\n\
+       experiments search [--workload NAME] [--space figure2|expanded] \
+     [--mode pruned|exhaustive] [--scale S] [--threads N] [--json DIR] [--store DIR]\n\
        experiments store doctor [--repair] [--store DIR]\n\
        experiments store stats [--store DIR]\n\
        experiments store gc --budget BYTES [--store DIR]\n\
@@ -90,6 +100,15 @@ enum Command {
     Population {
         source: MixSource,
         tolerance_pct: f64,
+        options: ExperimentOptions,
+        json_dir: Option<String>,
+        store_dir: Option<String>,
+    },
+    /// Search a candidate space for measured optima (pruned or exhaustive).
+    Search {
+        workload: Option<String>,
+        space: autoreconf::SearchSpaceChoice,
+        mode: autoreconf::SearchMode,
         options: ExperimentOptions,
         json_dir: Option<String>,
         store_dir: Option<String>,
@@ -334,6 +353,41 @@ fn parse_population_args(args: &[String]) -> Result<Command, String> {
     Ok(Command::Population { source, tolerance_pct, options, json_dir, store_dir })
 }
 
+/// Parse a `search` invocation (everything after the `search` word).
+fn parse_search_args(args: &[String]) -> Result<Command, String> {
+    let mut workload = None;
+    let mut space = autoreconf::SearchSpaceChoice::Figure2;
+    let mut mode = autoreconf::SearchMode::Pruned;
+    let mut options = ExperimentOptions::default();
+    let mut json_dir = None;
+    let mut store_dir = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workload" => workload = Some(flag_value("--workload", &mut iter)?),
+            "--space" => {
+                space = autoreconf::SearchSpaceChoice::parse(&flag_value("--space", &mut iter)?)?
+            }
+            "--mode" => mode = autoreconf::SearchMode::parse(&flag_value("--mode", &mut iter)?)?,
+            "--scale" => {
+                let value = flag_value("--scale", &mut iter)?;
+                options.scale = Scale::parse(&value).map_err(|e| e.to_string())?;
+            }
+            "--threads" => {
+                let value = flag_value("--threads", &mut iter)?;
+                options.threads = value.trim().parse().map_err(|_| {
+                    format!("invalid --threads value `{value}` (expected a number; 0 = all cores)")
+                })?;
+            }
+            "--json" => json_dir = Some(flag_value("--json", &mut iter)?),
+            "--store" => store_dir = Some(flag_value("--store", &mut iter)?),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("search: unknown argument `{other}`")),
+        }
+    }
+    Ok(Command::Search { workload, space, mode, options, json_dir, store_dir })
+}
+
 /// Parse a full command line (without the program name).  Every malformed
 /// argument is an `Err` with a message naming the flag — never a silent
 /// fallback to a default.
@@ -346,6 +400,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     }
     if args.first().map(String::as_str) == Some("population") {
         return parse_population_args(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("search") {
+        return parse_search_args(&args[1..]);
     }
     let mut figures = Vec::new();
     let mut options = ExperimentOptions::default();
@@ -501,6 +558,31 @@ fn run_population(
         .map_err(|e| format!("population failed: {e}"))?;
     println!("{}", outcome.render());
     write_json(json_dir, "population", &outcome);
+    Ok(())
+}
+
+/// Run the `search` target: prune (or exhaust) a shipped candidate space
+/// for each requested workload, print each outcome, and optionally write
+/// `search_<workload>.json` (the full outcome) plus
+/// `search_best_<workload>.json` (only the winning row, which CI diffs
+/// across modes and thread counts to pin pruned ≡ exhaustive).
+fn run_search(
+    workload: &Option<String>,
+    space: autoreconf::SearchSpaceChoice,
+    mode: autoreconf::SearchMode,
+    options: &ExperimentOptions,
+    json_dir: &Option<String>,
+    store_dir: &Option<String>,
+) -> Result<(), String> {
+    let store = open_store(store_dir)?;
+    let outcomes =
+        experiments::search_with_store(options, store, workload.as_deref(), space, mode)
+            .map_err(|e| format!("search failed: {e}"))?;
+    for outcome in &outcomes {
+        println!("{}", outcome.render());
+        write_json(json_dir, &format!("search_{}", outcome.workload), outcome);
+        write_json(json_dir, &format!("search_best_{}", outcome.workload), &outcome.best);
+    }
     Ok(())
 }
 
@@ -665,6 +747,9 @@ fn main() {
         Command::Population { source, tolerance_pct, options, json_dir, store_dir } => {
             run_population(source, *tolerance_pct, options, json_dir, store_dir)
         }
+        Command::Search { workload, space, mode, options, json_dir, store_dir } => {
+            run_search(workload, *space, *mode, options, json_dir, store_dir)
+        }
         Command::Figures { figures, options, json_dir, store_dir, gc_budget, counters_file } => {
             let result = run_figures(figures, options, json_dir, store_dir, *gc_budget);
             // write the audit record even after a failed run — a crashed
@@ -824,6 +909,49 @@ mod tests {
             .contains("finite"));
         assert!(parse_err(&["population", "--mixes"]).contains("--mixes requires a value"));
         assert!(parse_err(&["population", "fig2"]).contains("population: unknown argument"));
+    }
+
+    #[test]
+    fn search_subcommand_parses() {
+        match parse(&["search"]).unwrap() {
+            Command::Search { workload, space, mode, options, json_dir, store_dir } => {
+                assert_eq!(workload, None, "default is every workload in the suite");
+                assert_eq!(space, autoreconf::SearchSpaceChoice::Figure2);
+                assert_eq!(mode, autoreconf::SearchMode::Pruned);
+                assert_eq!(options.scale, Scale::Small);
+                assert_eq!(json_dir, None);
+                assert_eq!(store_dir, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&[
+            "search", "--workload", "BLASTN", "--space", "expanded", "--mode", "exhaustive",
+            "--scale", "tiny", "--threads", "4", "--json", "out", "--store", "d",
+        ])
+        .unwrap()
+        {
+            Command::Search { workload, space, mode, options, json_dir, store_dir } => {
+                assert_eq!(workload.as_deref(), Some("BLASTN"));
+                assert_eq!(space, autoreconf::SearchSpaceChoice::Expanded);
+                assert_eq!(mode, autoreconf::SearchMode::Exhaustive);
+                assert_eq!(options.scale, Scale::Tiny);
+                assert_eq!(options.threads, 4);
+                assert_eq!(json_dir.as_deref(), Some("out"));
+                assert_eq!(store_dir.as_deref(), Some("d"));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert_eq!(parse(&["search", "--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn search_errors_are_loud() {
+        assert!(parse_err(&["search", "--space", "everything"]).contains("unknown search space"));
+        assert!(parse_err(&["search", "--mode", "greedy"]).contains("unknown search mode"));
+        assert!(parse_err(&["search", "--workload"]).contains("--workload requires a value"));
+        assert!(parse_err(&["search", "--scale", "big"]).contains("unknown scale"));
+        assert!(parse_err(&["search", "--threads", "all"]).contains("invalid --threads"));
+        assert!(parse_err(&["search", "fig2"]).contains("search: unknown argument"));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::formulation::{formulate_mixed, FormulationOptions, Weights};
 use crate::measure::{measure_cost_table_traced, CostTable, MeasurementOptions};
 use crate::optimizer::{AutoReconfigurator, OptimizeError, Outcome};
 use crate::params::ParameterSpace;
+use crate::search::{SearchInputs, SearchMode, SearchOutcome, SearchSpace};
 use crate::store::{
     ArtifactStore, ClaimOutcome, Fingerprint, FingerprintBuilder, LazyArtifact, DEFAULT_LEASE_TTL,
     RESULTS_VERSION,
@@ -855,6 +856,29 @@ impl Campaign {
         self.objective_fields(self.key_base(workload_fp).str("optimum")).finish()
     }
 
+    /// Content key of a search outcome: the engine key, the workload, the
+    /// synthesis model, the objective weights, the *search space fingerprint*
+    /// (variables + full candidate list in enumeration order) and the funnel
+    /// mode.  Deliberately independent of the session's own
+    /// [`ParameterSpace`] — a search carries its space with it, so the same
+    /// search issued from differently-spaced sessions shares one entry.
+    fn search_key(&self, workload_fp: u64, sspace: &SearchSpace, mode: SearchMode) -> Fingerprint {
+        self.key_base(workload_fp)
+            .str("search")
+            .debug(&self.model)
+            .debug(&self.weights)
+            .u64(sspace.fingerprint())
+            .str(mode.name())
+            .finish()
+    }
+
+    /// Cost-table key for an arbitrary variable space — identical to
+    /// [`Campaign::table_key`] when `space` is the session's own space, so a
+    /// search over the session space shares the session's table entry.
+    fn search_table_key(&self, workload_fp: u64, space: &ParameterSpace) -> Fingerprint {
+        self.key_base(workload_fp).str("table").debug(space).debug(&self.model).finish()
+    }
+
     // -- store-aware per-workload derivation --------------------------------
     //
     // Every artifact kind is split into a *try-load* half (store lookup by
@@ -1238,6 +1262,11 @@ pub struct SessionCounters {
     pub populations_solved: usize,
     /// Population outcomes served from the store.
     pub population_store_hits: usize,
+    /// Design-space searches computed fresh (the enumerate-then-prune
+    /// funnel actually ran).
+    pub searches_solved: usize,
+    /// Search outcomes served from the store.
+    pub search_store_hits: usize,
 }
 
 /// RAII pin set: every key registered here is pinned in the store for the
@@ -1578,6 +1607,120 @@ impl<'a> CampaignSession<'a> {
         self.bump(computed_fresh, |c| {
             (&mut c.populations_solved, &mut c.population_store_hits)
         });
+    }
+
+    /// Tick the search computed/served counters.
+    fn bump_search(&self, computed_fresh: bool) {
+        self.bump(computed_fresh, |c| (&mut c.searches_solved, &mut c.search_store_hits));
+    }
+
+    /// The cost table for workload `index` measured over an arbitrary
+    /// variable space (a search space is allowed to differ from the
+    /// session's).  Served through the same `table` artifact kind under
+    /// [`Campaign::search_table_key`]; when the spaces coincide, this *is*
+    /// the session's table entry.
+    fn search_table(
+        &self,
+        index: usize,
+        space: &ParameterSpace,
+    ) -> Result<CostTable, OptimizeError> {
+        let fp = self.fingerprints[index];
+        let key = self.engine.search_table_key(fp, space);
+        self.pins.pin("table", key);
+        let (table, measured) = self.engine.lease_guarded(
+            "table",
+            key,
+            || self.engine.try_load_json::<CostTable>("table", key),
+            || -> Result<CostTable, OptimizeError> {
+                let entry = self.trace(index)?;
+                let table = measure_cost_table_traced(
+                    space,
+                    self.suite[index].as_ref(),
+                    &self.engine.base,
+                    &self.engine.model,
+                    &self.engine.measurement,
+                    &entry.trace,
+                )?;
+                self.engine.persist_json(
+                    "table",
+                    key,
+                    &format!("search cost table for {}", self.names[index]),
+                    &table,
+                );
+                Ok(table)
+            },
+        )?;
+        self.bump(measured, |c| (&mut c.table_measurements, &mut c.table_store_hits));
+        Ok(table)
+    }
+
+    /// Search a candidate space for workload `index`'s optimum through the
+    /// enumerate-then-prune funnel (DESIGN.md §13).
+    ///
+    /// With a store attached, an unchanged (workload, space, objective,
+    /// mode) search is served straight from disk — zero guest instructions,
+    /// zero trace walks, and none of the funnel counters tick.  Only a miss
+    /// materialises the trace and the search-space cost table, runs the
+    /// funnel (closed-form bounds → Pareto frontier → batched
+    /// branch-and-bound validation) and persists the outcome under the
+    /// `search` artifact kind, keyed by [`SearchSpace::fingerprint`].
+    ///
+    /// [`SearchMode::Pruned`] and [`SearchMode::Exhaustive`] return the
+    /// byte-identical optimum (`best`); their funnel statistics differ.
+    pub fn search(
+        &self,
+        index: usize,
+        sspace: &SearchSpace,
+        mode: SearchMode,
+    ) -> Result<SearchOutcome, OptimizeError> {
+        let weights = self.engine.weights;
+        if !(weights.runtime.is_finite() && weights.runtime >= 0.0)
+            || !(weights.resources.is_finite() && weights.resources >= 0.0)
+        {
+            return Err(OptimizeError::InvalidMix(format!(
+                "search weights must be finite and non-negative, got w1={} w2={}",
+                weights.runtime, weights.resources
+            )));
+        }
+        if sspace.is_empty() {
+            return Err(OptimizeError::InvalidMix(format!(
+                "search space `{}` has no candidates",
+                sspace.name
+            )));
+        }
+        let fp = self.fingerprints[index];
+        let key = self.engine.search_key(fp, sspace, mode);
+        self.pins.pin("search", key);
+        let (outcome, computed) = self.engine.lease_guarded(
+            "search",
+            key,
+            || self.engine.try_load_json::<SearchOutcome>("search", key),
+            || -> Result<SearchOutcome, OptimizeError> {
+                let table = self.search_table(index, &sspace.space)?;
+                let entry = self.trace(index)?;
+                let inputs = SearchInputs {
+                    workload: &self.names[index],
+                    sspace,
+                    base: &self.engine.base,
+                    model: &self.engine.model,
+                    weights,
+                    table: &table,
+                    trace: &entry.trace,
+                    max_cycles: self.engine.measurement.max_cycles,
+                    threads: self.engine.measurement.threads,
+                };
+                let outcome = crate::search::run_search(&inputs, mode)?;
+                self.engine.persist_json(
+                    "search",
+                    key,
+                    &format!("search outcome for {}", self.names[index]),
+                    &outcome,
+                );
+                Ok(outcome)
+            },
+        )?;
+        self.bump_search(computed);
+        Ok(outcome)
     }
 
     /// Content key of a co-optimization outcome: every workload fingerprint

@@ -317,15 +317,22 @@ pub fn dcache_exhaustive_full(
 }
 
 /// The feasible row with the lowest runtime ("a simple sort yields the
-/// optimal configuration", Section 5).  Ties are broken towards lower BRAM
-/// and then lower total capacity.
+/// optimal configuration", Section 5).
+///
+/// Ties are broken deterministically: lowest total capacity, then lowest
+/// row index.  The index makes the order strictly total, so the winner no
+/// longer depends on enumeration order (the previous `(cycles, %BRAM,
+/// total KB)` chain could tie across distinct rows — truncated %BRAM and
+/// equal capacity — and `min_by` keeps the *last* minimal element, so a
+/// reversed sweep could crown a different row).
 pub fn best_runtime_row(rows: &[DcacheRow]) -> Option<&DcacheRow> {
-    rows.iter().filter(|r| r.fits).min_by(|a, b| {
-        a.cycles
-            .cmp(&b.cycles)
-            .then(a.bram_pct.cmp(&b.bram_pct))
-            .then(a.total_kb().cmp(&b.total_kb()))
-    })
+    rows.iter()
+        .enumerate()
+        .filter(|(_, r)| r.fits)
+        .min_by(|(ai, a), (bi, b)| {
+            a.cycles.cmp(&b.cycles).then(a.total_kb().cmp(&b.total_kb())).then(ai.cmp(bi))
+        })
+        .map(|(_, r)| r)
 }
 
 #[cfg(test)]
@@ -376,6 +383,44 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fast, slow, "trace replay must reproduce Figure 2 exactly");
+    }
+
+    #[test]
+    fn best_runtime_row_tie_break_is_enumeration_order_independent() {
+        let row = |ways: u8, way_kb: u32, cycles: u64, bram_pct: u32, fits: bool| DcacheRow {
+            ways,
+            way_kb,
+            cycles,
+            seconds: cycles as f64,
+            lut_pct: 10,
+            bram_pct,
+            fits,
+        };
+        // runtime ties resolved by total capacity: the winner is the same
+        // configuration whichever way the sweep happens to be enumerated
+        // (the old (cycles, %BRAM, total KB) chain could leave fully tied
+        // rows here — truncated %BRAM — and `min_by` kept the *last* one)
+        let rows = vec![
+            row(1, 4, 500, 9, false), // does not fit: never the winner
+            row(1, 4, 100, 8, true),  // total 4 KB
+            row(1, 2, 100, 8, true),  // total 2 KB → the winner
+            row(2, 4, 100, 8, true),  // total 8 KB
+            row(2, 2, 200, 4, true),  // slower, resources irrelevant
+        ];
+        let best = best_runtime_row(&rows).unwrap();
+        assert_eq!((best.ways, best.way_kb), (1, 2));
+        let reversed: Vec<DcacheRow> = rows.iter().rev().cloned().collect();
+        let best_rev = best_runtime_row(&reversed).unwrap();
+        assert_eq!((best_rev.ways, best_rev.way_kb), (1, 2));
+
+        // rows fully tied on (cycles, total KB) — 1×2 KB vs 2×1 KB — pin to
+        // the lowest index (the old chain crowned the *last* tied row)
+        let tied = vec![row(1, 2, 100, 8, true), row(2, 1, 100, 8, true)];
+        let best = best_runtime_row(&tied).unwrap();
+        assert_eq!((best.ways, best.way_kb), (1, 2));
+
+        // and nothing feasible means no winner
+        assert!(best_runtime_row(&[row(1, 64, 1, 99, false)]).is_none());
     }
 
     #[test]

@@ -688,6 +688,65 @@ pub fn population_with_store(
 }
 
 // ---------------------------------------------------------------------------
+// Design-space search — the enumerate-then-prune funnel
+// ---------------------------------------------------------------------------
+
+/// Search a shipped candidate space for each requested workload's measured
+/// optimum — the `search` CLI target's entry point (same engine
+/// configuration as the `campaign` target and the service daemon, so all
+/// three share store entries).  `workload = None` searches the whole suite.
+///
+/// [`crate::SearchMode::Pruned`] and [`crate::SearchMode::Exhaustive`]
+/// return the byte-identical optimum; pruned walk-validates a fraction of
+/// the candidates (the `search_budget` suite pins how small).
+pub fn search_with_store(
+    options: &ExperimentOptions,
+    store: Option<crate::store::ArtifactStore>,
+    workload: Option<&str>,
+    choice: crate::search::SearchSpaceChoice,
+    mode: crate::search::SearchMode,
+) -> Result<Vec<crate::search::SearchOutcome>, OptimizeError> {
+    let suite = suite(options.scale);
+    let mut engine = Campaign::new()
+        .with_weights(Weights::runtime_optimized())
+        .with_measurement(options.measurement());
+    if let Some(store) = store {
+        engine = engine.with_store(store);
+    }
+    let session = engine.session(&suite)?;
+    let indices: Vec<usize> = match workload {
+        None => (0..suite.len()).collect(),
+        Some(name) => {
+            let index = session.names().iter().position(|n| n == name).ok_or_else(|| {
+                OptimizeError::InvalidMix(format!(
+                    "unknown workload `{name}` (expected one of: {})",
+                    session.names().join(", ")
+                ))
+            })?;
+            vec![index]
+        }
+    };
+    let sspace = choice.space();
+    let outcomes = indices
+        .into_iter()
+        .map(|i| session.search(i, &sspace, mode))
+        .collect::<Result<Vec<_>, _>>()?;
+    if let Some(store) = session.engine().store() {
+        let s = store.stats();
+        eprintln!(
+            "artifact store {}: {} hits, {} misses ({} corrupt), {} writes, {} payload bytes read",
+            store.dir().display(),
+            s.hits,
+            s.misses,
+            s.corrupt,
+            s.writes,
+            s.payload_bytes_read
+        );
+    }
+    Ok(outcomes)
+}
+
+// ---------------------------------------------------------------------------
 // Section 3 — search-space accounting
 // ---------------------------------------------------------------------------
 

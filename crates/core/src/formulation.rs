@@ -48,6 +48,15 @@ impl Weights {
     pub fn runtime_only() -> Weights {
         Weights { runtime: 100.0, resources: 0.0 }
     }
+
+    /// The scalar objective `w₁·Δruntime% + w₂·resource%` these weights
+    /// induce — the same linear form as the Section 4.1 BINLP objective,
+    /// evaluated on a *whole candidate* (measured or bounded runtime delta,
+    /// combined %LUT + %BRAM) instead of per-variable coefficients.  The
+    /// search funnel ranks, prunes and tie-breaks with exactly this value.
+    pub fn objective(&self, runtime_delta_pct: f64, resource_pct: f64) -> f64 {
+        self.runtime * runtime_delta_pct + self.resources * resource_pct
+    }
 }
 
 /// Whether a resource constraint (and the matching cost prediction) uses the
@@ -479,5 +488,13 @@ mod tests {
         assert_eq!(Weights::runtime_optimized(), Weights { runtime: 100.0, resources: 1.0 });
         assert_eq!(Weights::resource_optimized(), Weights { runtime: 1.0, resources: 100.0 });
         assert_eq!(Weights::runtime_only(), Weights { runtime: 100.0, resources: 0.0 });
+    }
+
+    #[test]
+    fn objective_is_the_weighted_linear_form() {
+        let w = Weights::runtime_optimized();
+        assert_eq!(w.objective(-8.0, 22.5), 100.0 * -8.0 + 22.5);
+        assert_eq!(Weights::runtime_only().objective(-8.0, 1e9), -800.0);
+        assert_eq!(Weights::resource_optimized().objective(0.0, 3.0), 300.0);
     }
 }

@@ -42,6 +42,7 @@ pub mod measure;
 pub mod optimizer;
 pub mod params;
 pub mod population;
+pub mod search;
 pub mod service;
 pub mod store;
 
@@ -72,3 +73,7 @@ pub use measure::{
 };
 pub use optimizer::{AutoReconfigurator, OptimizeError, Outcome, Validation};
 pub use params::{ParamChange, ParameterSpace, Variable};
+pub use search::{
+    candidates_enumerated, candidates_pruned_closed_form, candidates_walk_validated, SearchBest,
+    SearchMode, SearchOutcome, SearchSpace, SearchSpaceChoice,
+};

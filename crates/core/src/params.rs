@@ -302,6 +302,48 @@ impl ParameterSpace {
         }
     }
 
+    /// The paper index of the extra 64 KB dcache way-size variable the
+    /// search spaces append (see [`ParameterSpace::dcache_figure2`]).
+    pub const DCACHE_WAY_KB_64: usize = 53;
+
+    /// The Figure 2 search space: the dcache geometry variables plus a 64 KB
+    /// way-size variable (x₅₃).
+    ///
+    /// The paper's 52-variable space excludes 64 KB ways because they exceed
+    /// the device BRAM, but the *exhaustive* Figure 2 sweep enumerates them
+    /// (and lets synthesis reject them) — so a search that must reproduce
+    /// the sweep's optimum byte-for-byte enumerates them too and prunes them
+    /// closed-form.  x₅₃ is deliberately outside [`ParameterSpace::paper`]
+    /// (whose one-hot formulation ranges are fixed); only the `search`
+    /// module's own semantic grouping routes it.
+    pub fn dcache_figure2() -> ParameterSpace {
+        let mut space = ParameterSpace::dcache_geometry();
+        space.variables.push(Variable {
+            index: Self::DCACHE_WAY_KB_64,
+            change: ParamChange::DcacheWayKb(64),
+            enabler: None,
+            name: ParamChange::DcacheWayKb(64).describe(),
+        });
+        space
+    }
+
+    /// The expanded search space: the paper's 52 variables plus the 64 KB
+    /// dcache way size (x₅₃) of [`ParameterSpace::dcache_figure2`].  Used by
+    /// the `search` module's cross-product candidate enumeration (i-cache ×
+    /// d-cache × register windows × multipliers); never routed through
+    /// [`crate::formulation::formulate`], whose one-hot groups cover the
+    /// paper indices only.
+    pub fn expanded() -> ParameterSpace {
+        let mut space = ParameterSpace::paper();
+        space.variables.push(Variable {
+            index: Self::DCACHE_WAY_KB_64,
+            change: ParamChange::DcacheWayKb(64),
+            enabler: None,
+            name: ParamChange::DcacheWayKb(64).describe(),
+        });
+        space
+    }
+
     /// Number of decision variables.
     pub fn len(&self) -> usize {
         self.variables.len()
@@ -457,6 +499,25 @@ mod tests {
         for v in s.variables() {
             assert!(v.is_trace_invariant(), "x{} ({}) should replay", v.index, v.name);
         }
+    }
+
+    #[test]
+    fn search_spaces_append_the_64kb_dcache_way() {
+        let f2 = ParameterSpace::dcache_figure2();
+        assert_eq!(f2.len(), 9);
+        assert_eq!(
+            f2.by_index(ParameterSpace::DCACHE_WAY_KB_64).unwrap().change,
+            ParamChange::DcacheWayKb(64)
+        );
+        let exp = ParameterSpace::expanded();
+        assert_eq!(exp.len(), 53);
+        // the paper indices are untouched — x53 is purely additive
+        for v in ParameterSpace::paper().variables() {
+            assert_eq!(exp.by_index(v.index).unwrap().change, v.change);
+        }
+        let cfg = exp.apply(&LeonConfig::base(), &[14, ParameterSpace::DCACHE_WAY_KB_64]);
+        assert_eq!(cfg.dcache.ways, 4);
+        assert_eq!(cfg.dcache.way_kb, 64);
     }
 
     #[test]

@@ -48,7 +48,9 @@ use crate::store::ArtifactStore;
 /// Version tag answered by [`Request::Ping`]; bumped on any incompatible
 /// change to the frame format or the request/response enums.
 /// Version 2 added [`Request::Population`] / [`Response::Population`].
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 added [`Request::Search`] / [`Response::Search`] (the pruned
+/// design-space funnel).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on a single frame's payload, both directions.  Large enough
 /// for any campaign outcome, small enough that a malformed length prefix
@@ -142,6 +144,18 @@ pub enum Request {
         /// Per-tenant regret tolerance, in percent (≥ 0).
         tolerance_pct: f64,
     },
+    /// Design-space search for one workload: enumerate a candidate space
+    /// and find its measured optimum, either exhaustively or through the
+    /// three-stage pruned funnel (see [`crate::search`]).
+    Search {
+        /// Workload name, as listed by [`Request::Describe`].
+        workload: String,
+        /// Which shipped candidate space to search.
+        space: crate::search::SearchSpaceChoice,
+        /// Exhaustive baseline or the pruned funnel (both return the
+        /// byte-identical optimum).
+        mode: crate::search::SearchMode,
+    },
     /// Process-wide compute counters — the duplicated-work audit surface.
     Counters,
     /// Stop the daemon after answering with [`Response::Bye`].
@@ -201,6 +215,12 @@ pub enum Response {
     /// [`crate::population::PopulationOutcome`].
     Population {
         /// `serde_json::to_string` of the population outcome.
+        json: String,
+    },
+    /// Answer to [`Request::Search`]: the canonical JSON text of the
+    /// [`crate::search::SearchOutcome`].
+    Search {
+        /// `serde_json::to_string` of the search outcome.
         json: String,
     },
     /// Answer to [`Request::Counters`].
@@ -404,6 +424,12 @@ fn dispatch(state: &ServerState, request: &Request) -> Response {
                 .and_then(|outcome| as_json(&outcome))
                 .map(|json| Response::Population { json })
         }
+        Request::Search { workload, space, mode } => index_of(workload)
+            .and_then(|i| {
+                session.search(i, &space.space(), *mode).map_err(|e| e.to_string())
+            })
+            .and_then(|outcome| as_json(&outcome))
+            .map(|json| Response::Search { json }),
         Request::Counters => Ok(Response::Counters {
             counters: ServiceCounters {
                 guest_instructions: workloads::guest_instructions_executed(),
@@ -475,6 +501,11 @@ mod tests {
             Request::Population {
                 mixes: vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 2.0, 0.0, 1.0]],
                 tolerance_pct: 5.0,
+            },
+            Request::Search {
+                workload: "FRAG".to_string(),
+                space: crate::search::SearchSpaceChoice::Figure2,
+                mode: crate::search::SearchMode::Pruned,
             },
             Request::Counters,
             Request::Shutdown,
@@ -550,6 +581,14 @@ mod tests {
             other => panic!("unexpected response: {other:?}"),
         }
         match roundtrip(&Request::Optimize { workload: "NOPE".to_string() }) {
+            Response::Error { message } => assert!(message.contains("unknown workload")),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match roundtrip(&Request::Search {
+            workload: "NOPE".to_string(),
+            space: crate::search::SearchSpaceChoice::Figure2,
+            mode: crate::search::SearchMode::Pruned,
+        }) {
             Response::Error { message } => assert!(message.contains("unknown workload")),
             other => panic!("unexpected response: {other:?}"),
         }

@@ -556,6 +556,11 @@ pub struct DoctorReport {
     /// not monotone, payload mis-tiled) or a per-segment checksum mismatch
     /// (deleted when repairing).
     pub segment_index_errors: usize,
+    /// `search` entries whose payload deserialises as a search outcome.
+    pub search_entries: usize,
+    /// `search` entries whose envelope checksum passes but whose payload is
+    /// not a well-formed search outcome (deleted when repairing).
+    pub search_payload_errors: usize,
     /// Whether the pass repaired what it found.
     pub repaired: bool,
 }
@@ -572,6 +577,7 @@ impl DoctorReport {
             && self.expired_leases == 0
             && self.expired_pins == 0
             && self.segment_index_errors == 0
+            && self.search_payload_errors == 0
     }
 
     /// Human-readable multi-line summary.
@@ -589,6 +595,7 @@ impl DoctorReport {
             (self.expired_leases, "expired compute lease(s) (holder crashed)"),
             (self.expired_pins, "expired pin marker(s) (pinning session crashed)"),
             (self.segment_index_errors, "trace entry(ies) with a broken segment index"),
+            (self.search_payload_errors, "search entry(ies) with a malformed outcome payload"),
         ];
         for (count, what) in issues {
             if count > 0 {
@@ -624,6 +631,9 @@ impl DoctorReport {
                      on the next capture\n",
                 );
             }
+        }
+        if self.search_entries > 0 {
+            out.push_str(&format!("  searches: {} well-formed outcome(s)\n", self.search_entries));
         }
         if self.is_clean() {
             out.push_str("  store is clean\n");
@@ -1777,6 +1787,23 @@ impl ArtifactStore {
                                 report.segment_index_errors += 1;
                                 false
                             }
+                        }
+                    } else if kind == "search" {
+                        // search outcomes are structured JSON the envelope
+                        // checksum cannot vouch for — a payload that fails
+                        // to deserialise would poison every warm re-search
+                        if std::str::from_utf8(&payload)
+                            .ok()
+                            .and_then(|t| {
+                                serde_json::from_str::<crate::search::SearchOutcome>(t).ok()
+                            })
+                            .is_some()
+                        {
+                            report.search_entries += 1;
+                            true
+                        } else {
+                            report.search_payload_errors += 1;
+                            false
                         }
                     } else {
                         true

@@ -31,6 +31,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub use autoreconf::service::{
     read_frame, write_frame, Request, Response, ServiceCounters, PROTOCOL_VERSION,
 };
+pub use autoreconf::{SearchMode, SearchSpaceChoice};
 
 /// What went wrong with a service call.
 #[derive(Debug)]
@@ -172,6 +173,23 @@ impl Client {
         match self.request(&Request::Population { mixes: mixes.to_vec(), tolerance_pct })? {
             Response::Population { json } => Ok(json),
             other => Self::unexpected("Population", other),
+        }
+    }
+
+    /// Search a shipped candidate space (`figure2` / `expanded`) for the
+    /// named workload's measured optimum, exhaustively or through the
+    /// pruned funnel, as canonical JSON of the `SearchOutcome`.  Both modes
+    /// return the byte-identical optimum; `Pruned` walk-validates a small
+    /// fraction of the space.
+    pub fn search(
+        &mut self,
+        workload: &str,
+        space: SearchSpaceChoice,
+        mode: SearchMode,
+    ) -> Result<String, ClientError> {
+        match self.request(&Request::Search { workload: workload.to_string(), space, mode })? {
+            Response::Search { json } => Ok(json),
+            other => Self::unexpected("Search", other),
         }
     }
 
