@@ -1,0 +1,98 @@
+//! Fault-injection hook overhead (DESIGN.md §14), emitting `BENCH_faults.json`.
+//!
+//! Every store syscall site carries a fault-injection check.  The contract
+//! is that the check is free when nothing is installed — one relaxed atomic
+//! load — and still negligible when a plan is armed but does not match
+//! (out-of-scope store, or an nth that is never reached).  Three variants
+//! of the same save + load + claim round-trip:
+//!
+//! * `disabled` — no plan installed (the production configuration);
+//! * `armed_out_of_scope` — a plan scoped to a different directory: the
+//!   slow path runs but exits at the scope filter, without counting;
+//! * `armed_unmatched` — a plan scoped to this store whose rules can never
+//!   fire: the full site-counter + rule-matching path runs every time.
+//!
+//! Before anything is timed, each armed variant re-verifies the pinned
+//! invariants: zero faults actually injected, every load byte-identical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use autoreconf::faults::{self, FaultPlan};
+use autoreconf::{ArtifactStore, ClaimOutcome, Fingerprint};
+
+const BODY: &[u8] = &[0xa5; 64];
+
+/// One save + load + claim/release round-trip over a fresh key: exercises
+/// the `store.write`, `store.rename`, `store.read`, `lease.link` and
+/// `lease.release` fault sites once each.
+fn roundtrip(store: &ArtifactStore, key: u64) -> usize {
+    let key = Fingerprint(key);
+    store.save("bench", key, BODY).expect("save");
+    let got = store.load("bench", key).expect("entry just saved");
+    assert_eq!(got.as_slice(), BODY, "round-trip must stay byte-identical");
+    match store.try_claim("bench", key, Duration::from_secs(5)).expect("claim") {
+        ClaimOutcome::Acquired(lease) => drop(lease),
+        ClaimOutcome::Busy(info) => panic!("single-threaded bench saw a foreign lease: {info:?}"),
+    }
+    got.len()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("autoreconf-bench-faults-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let dir = scratch("store");
+    let store = ArtifactStore::open(&dir).expect("open bench store");
+    let elsewhere = scratch("elsewhere");
+
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+
+    // keys never repeat across variants, so every save takes the write path
+    let mut next_key = 0u64;
+    let run = |group: &mut criterion::BenchmarkGroup, name: &str, key: &mut u64| {
+        let before = faults::injected();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                *key += 1;
+                roundtrip(&store, *key)
+            })
+        });
+        let after = faults::injected();
+        assert_eq!(after.errors, before.errors, "{name}: no injected errors");
+        assert_eq!(after.torn_writes, before.torn_writes, "{name}: no torn writes");
+        assert_eq!(after.skips, before.skips, "{name}: no skipped operations");
+        assert_eq!(after.kills, before.kills, "{name}: no kills");
+    };
+
+    assert!(!faults::enabled(), "bench must start with injection disabled");
+    run(&mut group, "disabled/roundtrip", &mut next_key);
+
+    faults::install(FaultPlan::seeded(0xfau64).scoped(&elsewhere));
+    assert!(faults::enabled());
+    run(&mut group, "armed_out_of_scope/roundtrip", &mut next_key);
+
+    faults::install(
+        FaultPlan::new()
+            .fail("store.write", u64::MAX)
+            .fail("store.read", u64::MAX)
+            .fail("lease.link", u64::MAX)
+            .scoped(&dir),
+    );
+    run(&mut group, "armed_unmatched/roundtrip", &mut next_key);
+
+    faults::clear();
+    group.finish();
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&elsewhere);
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

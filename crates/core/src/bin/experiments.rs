@@ -8,7 +8,8 @@
 //!     [--scale tiny|small|medium|large] [--threads N] [--json DIR] \
 //!     [--store DIR] [--gc-budget BYTES] [--counters FILE]
 //! experiments serve [--addr HOST:PORT] [--scale S] [--threads N] \
-//!     [--space paper|dcache] [--store DIR]
+//!     [--space paper|dcache] [--store DIR] [--doctor] [--max-inflight N] \
+//!     [--io-timeout-ms N]
 //! experiments population (--mixes FILE | --random N [--seed S]) \
 //!     [--tolerance PCT] [--scale S] [--threads N] [--json DIR] [--store DIR]
 //! experiments search [--workload NAME] [--space figure2|expanded] \
@@ -60,7 +61,8 @@ const USAGE: &str = "usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|fig7|camp
      [--scale tiny|small|medium|large] [--threads N] [--json DIR] [--store DIR] \
      [--gc-budget BYTES] [--counters FILE]\n\
        experiments serve [--addr HOST:PORT] [--scale S] [--threads N] \
-     [--space paper|dcache] [--store DIR]\n\
+     [--space paper|dcache] [--store DIR] [--doctor] [--max-inflight N] \
+     [--io-timeout-ms N]\n\
        experiments population (--mixes FILE | --random N [--seed S]) \
      [--tolerance PCT] [--scale S] [--threads N] [--json DIR] [--store DIR]\n\
        experiments search [--workload NAME] [--space figure2|expanded] \
@@ -95,6 +97,7 @@ enum Command {
         options: ExperimentOptions,
         space: SpaceChoice,
         store_dir: Option<String>,
+        tuning: ServeTuning,
     },
     /// Batch co-optimize a population of tenant mixes.
     Population {
@@ -125,6 +128,28 @@ enum MixSource {
     File(String),
     /// Deterministically generated mixes.
     Random { count: usize, seed: u64 },
+}
+
+/// Robustness knobs of the `serve` target, mirroring
+/// [`autoreconf::service::ServerConfig`]'s hardening fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ServeTuning {
+    /// Run a `doctor --repair` pass over the store before serving.
+    doctor: bool,
+    /// In-flight compute cap (0 = unbounded).
+    max_in_flight: usize,
+    /// Per-connection io timeout in milliseconds (0 = none).
+    io_timeout_ms: u64,
+}
+
+impl Default for ServeTuning {
+    fn default() -> Self {
+        ServeTuning {
+            doctor: false,
+            max_in_flight: autoreconf::service::DEFAULT_MAX_IN_FLIGHT,
+            io_timeout_ms: autoreconf::service::DEFAULT_IO_TIMEOUT.as_millis() as u64,
+        }
+    }
 }
 
 /// Which decision-variable space `serve` optimizes over.
@@ -253,6 +278,7 @@ fn parse_serve_args(args: &[String]) -> Result<Command, String> {
     let mut options = ExperimentOptions::default();
     let mut space = SpaceChoice::Paper;
     let mut store_dir = None;
+    let mut tuning = ServeTuning::default();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -269,11 +295,26 @@ fn parse_serve_args(args: &[String]) -> Result<Command, String> {
             }
             "--space" => space = SpaceChoice::parse(&flag_value("--space", &mut iter)?)?,
             "--store" => store_dir = Some(flag_value("--store", &mut iter)?),
+            "--doctor" => tuning.doctor = true,
+            "--max-inflight" => {
+                let value = flag_value("--max-inflight", &mut iter)?;
+                tuning.max_in_flight = value.trim().parse().map_err(|_| {
+                    format!(
+                        "invalid --max-inflight value `{value}` (expected a number; 0 = unbounded)"
+                    )
+                })?;
+            }
+            "--io-timeout-ms" => {
+                let value = flag_value("--io-timeout-ms", &mut iter)?;
+                tuning.io_timeout_ms = value.trim().parse().map_err(|_| {
+                    format!("invalid --io-timeout-ms value `{value}` (expected milliseconds; 0 = none)")
+                })?;
+            }
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("serve: unknown argument `{other}`")),
         }
     }
-    Ok(Command::Serve { addr, options, space, store_dir })
+    Ok(Command::Serve { addr, options, space, store_dir, tuning })
 }
 
 /// Parse a `population` invocation (everything after the `population` word).
@@ -517,12 +558,17 @@ fn run_serve(
     options: &ExperimentOptions,
     space: SpaceChoice,
     store_dir: &Option<String>,
+    tuning: ServeTuning,
 ) -> Result<(), String> {
     let config = autoreconf::service::ServerConfig {
         addr: addr.to_string(),
         options: *options,
         space: space.space(),
         store: open_store(store_dir)?,
+        io_timeout: (tuning.io_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(tuning.io_timeout_ms)),
+        max_in_flight: tuning.max_in_flight,
+        doctor_on_start: tuning.doctor,
     };
     let server = autoreconf::service::Server::bind(config)
         .map_err(|e| format!("cannot bind listener on `{addr}`: {e}"))?;
@@ -726,6 +772,17 @@ fn main() {
         eprintln!("error: {message}");
         std::process::exit(2);
     }
+    // same fail-fast contract for the fault-injection plan and the lease
+    // TTL override: a typo must not silently disable a crash schedule or
+    // run a crash test at the 10 s default TTL
+    if let Err(message) = autoreconf::faults::install_from_env() {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+    if let Err(message) = autoreconf::store::lease_ttl_env() {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match parse_args(&args) {
         Ok(command) => command,
@@ -741,8 +798,8 @@ fn main() {
             Ok(())
         }
         Command::Store { action, store_dir } => run_store_action(action, store_dir),
-        Command::Serve { addr, options, space, store_dir } => {
-            run_serve(addr, options, *space, store_dir)
+        Command::Serve { addr, options, space, store_dir, tuning } => {
+            run_serve(addr, options, *space, store_dir, *tuning)
         }
         Command::Population { source, tolerance_pct, options, json_dir, store_dir } => {
             run_population(source, *tolerance_pct, options, json_dir, store_dir)
@@ -815,11 +872,12 @@ mod tests {
     #[test]
     fn serve_subcommand_parses() {
         match parse(&["serve"]).unwrap() {
-            Command::Serve { addr, options, space, store_dir } => {
+            Command::Serve { addr, options, space, store_dir, tuning } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(options.scale, Scale::Small);
                 assert_eq!(space, SpaceChoice::Paper);
                 assert_eq!(store_dir, None);
+                assert_eq!(tuning, ServeTuning::default());
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -829,12 +887,26 @@ mod tests {
         ])
         .unwrap()
         {
-            Command::Serve { addr, options, space, store_dir } => {
+            Command::Serve { addr, options, space, store_dir, tuning } => {
                 assert_eq!(addr, "0.0.0.0:7071");
                 assert_eq!(options.scale, Scale::Tiny);
                 assert_eq!(options.threads, 2);
                 assert_eq!(space, SpaceChoice::Dcache);
                 assert_eq!(store_dir.as_deref(), Some("d"));
+                assert_eq!(tuning, ServeTuning::default());
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&[
+            "serve", "--doctor", "--max-inflight", "4", "--io-timeout-ms", "0",
+        ])
+        .unwrap()
+        {
+            Command::Serve { tuning, .. } => {
+                assert_eq!(
+                    tuning,
+                    ServeTuning { doctor: true, max_in_flight: 4, io_timeout_ms: 0 }
+                );
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -848,6 +920,8 @@ mod tests {
         assert!(parse_err(&["serve", "--addr"]).contains("requires a value"));
         assert!(parse_err(&["serve", "campaign"]).contains("serve: unknown argument"));
         assert!(parse_err(&["serve", "--threads", "all"]).contains("invalid --threads"));
+        assert!(parse_err(&["serve", "--max-inflight", "many"]).contains("--max-inflight"));
+        assert!(parse_err(&["serve", "--io-timeout-ms", "soon"]).contains("--io-timeout-ms"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::optimizer::{AutoReconfigurator, OptimizeError, Outcome};
 use crate::params::ParameterSpace;
 use crate::search::{SearchInputs, SearchMode, SearchOutcome, SearchSpace};
 use crate::store::{
-    ArtifactStore, ClaimOutcome, Fingerprint, FingerprintBuilder, LazyArtifact, DEFAULT_LEASE_TTL,
+    ArtifactStore, ClaimOutcome, Fingerprint, FingerprintBuilder, LazyArtifact,
     RESULTS_VERSION,
 };
 
@@ -315,7 +315,7 @@ impl TraceSet {
         max_cycles: u64,
         threads: usize,
     ) -> Result<TraceSet, SimError> {
-        let results = run_indexed(suite.len(), threads, |i| {
+        let results = run_indexed(suite.len(), threads, |i| -> Result<TracedWorkload, SimError> {
             let workload = suite[i].as_ref();
             let (run, trace) = workloads::capture_verified(workload, base, max_cycles)?;
             Ok(TracedWorkload {
@@ -897,8 +897,11 @@ impl Campaign {
     /// served — from the store, or by a sibling process's compute
     /// (`false`).  Without a store the compute half runs directly.  Claim
     /// I/O failures degrade to undeduplicated compute: the protocol only
-    /// ever removes duplicate work, never adds a failure mode.
-    pub(crate) fn lease_guarded<T, E>(
+    /// ever removes duplicate work, never adds a failure mode.  The one
+    /// typed failure it *can* surface is [`LeaseWaitTimeout`] (hence the
+    /// `E: From` bound): a sibling that holds a live, renewing claim but
+    /// never publishes would otherwise hang every waiter forever.
+    pub(crate) fn lease_guarded<T, E: From<crate::store::LeaseWaitTimeout>>(
         &self,
         kind: &str,
         key: Fingerprint,
@@ -916,7 +919,7 @@ impl Campaign {
         };
         let mut compute = Some(compute);
         loop {
-            match store.try_claim(kind, key, DEFAULT_LEASE_TTL) {
+            match store.try_claim(kind, key, crate::store::lease_ttl()) {
                 Ok(ClaimOutcome::Acquired(mut lease)) => {
                     // double-check under the claim: the previous holder may
                     // have published while we raced for it — but only if the
@@ -928,11 +931,17 @@ impl Campaign {
                         }
                     }
                     lease.start_heartbeat();
+                    // the canonical crash point: claim held and heartbeating,
+                    // artifact not yet computed or published
+                    let _ = crate::faults::check("lease.acquired", store.dir());
                     let value = (compute.take().expect("compute reached at most once"))()?;
                     return Ok((value, true)); // dropping the lease releases the claim
                 }
                 Ok(ClaimOutcome::Busy(_)) => {
-                    if store.await_entry_or_lease(kind, key) {
+                    let published = store
+                        .await_entry_or_lease_deadline(kind, key, crate::store::lease_wait())
+                        .map_err(E::from)?;
+                    if published {
                         last_seen = store.entry_file_stamp(kind, key);
                         if let Some(value) = try_load() {
                             return Ok((value, false));

@@ -244,7 +244,7 @@ pub fn dcache_exhaustive_traced_per_config(
     threads: usize,
 ) -> Result<Vec<DcacheRow>, SimError> {
     let combos = dcache_combinations();
-    let results = crate::campaign::run_indexed(combos.len(), threads, |i| {
+    let results = crate::campaign::run_indexed(combos.len(), threads, |i| -> Result<DcacheRow, SimError> {
         let (ways, way_kb) = combos[i];
         let config = sweep_config(base, ways, way_kb);
         let report = model.synthesize(&config);

@@ -1,0 +1,555 @@
+//! Deterministic fault injection for the store and service stack.
+//!
+//! The claim/lease protocol, the atomic-write discipline and the service's
+//! retry/timeout machinery all exist to survive failures — crashed lease
+//! holders, torn writes, stalled heartbeats, lost releases.  Testing those
+//! paths with real crashes and sleeps is luck-based; this module makes every
+//! failure a *first-class, replayable schedule* instead.
+//!
+//! A [`FaultPlan`] names store syscall **sites** (`store.write`,
+//! `store.rename`, `store.read`, `lease.link`, `lease.renew`,
+//! `lease.release`, `lease.acquired`) and schedules a [`FaultAction`] at the
+//! nth operation of a site: an injected I/O error, a torn write truncated at
+//! a byte offset, a silently skipped heartbeat renewal or claim release, or
+//! a hard process kill (`abort`, the in-process stand-in for `kill -9`).
+//! Plans come from code ([`FaultPlan::seeded`], the builder methods) or from
+//! the `AUTORECONF_FAULTS` environment variable ([`install_from_env`], used
+//! by the `experiments` and `autoreconf-serve` binaries so *real
+//! subprocesses* can be crashed at exact points — see
+//! `crates/core/tests/crash_recovery.rs`).
+//!
+//! ## Cost when disabled
+//!
+//! Injection is off unless a plan is installed: every instrumented site
+//! costs exactly one relaxed atomic load ([`check`]'s fast path), which
+//! `BENCH_faults.json` pins as unmeasurable against the surrounding file
+//! I/O.  Nothing else — no locks, no map lookups — happens on the disabled
+//! path.
+//!
+//! ## Scoping and auditing
+//!
+//! A plan may be [`FaultPlan::scoped`] to one store directory so concurrent
+//! tests in one process cannot perturb each other's stores; operations
+//! outside the scope neither count nor fire.  Every *injected* fault ticks a
+//! process-wide audit counter ([`injected`]), so tests can assert not just
+//! that the system survived, but that the schedule actually fired.
+//!
+//! ## `AUTORECONF_FAULTS` grammar
+//!
+//! Semicolon-separated rules, each `SITE:NTH=ACTION` where `NTH` is a
+//! 0-based per-site operation index or `*` (every operation), and `ACTION`
+//! is `err`, `torn@BYTES`, `stall`, `lose` or `kill`:
+//!
+//! ```text
+//! AUTORECONF_FAULTS="store.rename:0=kill"            # die publishing entry 0
+//! AUTORECONF_FAULTS="store.write:2=torn@17;lease.renew:*=stall"
+//! AUTORECONF_FAULTS="seed=42"                        # a seeded random plan
+//! ```
+//!
+//! Malformed specs are a hard error with a precise message — never a silent
+//! no-fault fallback (a typo must not quietly disable a crash test).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Every instrumented site, in documentation order.
+///
+/// * `store.write` — the `fs::write` of an entry's tmp file in
+///   [`crate::store::ArtifactStore::save`] (supports `err` and `torn@N`);
+/// * `store.rename` — the atomic `rename` publishing an entry;
+/// * `store.read` — the `fs::read` in [`crate::store::ArtifactStore::load`];
+/// * `lease.link` — the `hard_link` that acquires a claim in
+///   [`crate::store::ArtifactStore::try_claim`];
+/// * `lease.renew` — a heartbeat renewal of a held claim (`stall` skips it,
+///   simulating a wedged holder whose TTL silently runs out);
+/// * `lease.release` — the removal of a released claim (`lose` skips it,
+///   leaving a corpse for expiry takeover / doctor);
+/// * `lease.acquired` — fires right after a claim is acquired, before the
+///   compute runs (the canonical `kill` point *between claim and publish*).
+pub const SITES: [&str; 7] = [
+    "store.write",
+    "store.rename",
+    "store.read",
+    "lease.link",
+    "lease.renew",
+    "lease.release",
+    "lease.acquired",
+];
+
+/// What a matched rule does to the operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with an injected `io::Error`.
+    Error,
+    /// Truncate the written bytes at this offset (torn write), then let the
+    /// operation proceed — the on-disk result is a short, corrupt file that
+    /// the envelope/checksum validation must catch.
+    Torn(u64),
+    /// Silently skip the operation (a stalled heartbeat renewal or a lost
+    /// claim release).
+    Skip,
+    /// `std::process::abort()` — the holder dies instantly, Drop impls and
+    /// atexit handlers never run.  The in-process equivalent of `kill -9`.
+    Kill,
+}
+
+/// When a rule fires: at one specific per-site operation index, or at every
+/// operation of its site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Nth {
+    /// The 0-based nth operation of the site.
+    At(u64),
+    /// Every operation of the site.
+    Every,
+}
+
+impl Nth {
+    fn matches(self, op: u64) -> bool {
+        match self {
+            Nth::At(n) => n == op,
+            Nth::Every => true,
+        }
+    }
+}
+
+/// One scheduled fault: at the [`Nth`] operation of `site`, do `action`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Site name (one of [`SITES`]).
+    pub site: String,
+    /// Which operation(s) of the site the rule fires at.
+    pub nth: Nth,
+    /// What happens when it fires.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault schedule: a set of [`FaultRule`]s plus an optional
+/// store-directory scope.  Install with [`install`]; one plan is active per
+/// process at a time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    scope: Option<PathBuf>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The plan's rules, in match order (first match wins).
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Add an arbitrary rule.
+    pub fn rule(mut self, site: &str, nth: Nth, action: FaultAction) -> FaultPlan {
+        debug_assert!(SITES.contains(&site), "unknown fault site `{site}`");
+        self.rules.push(FaultRule { site: site.to_string(), nth, action });
+        self
+    }
+
+    /// Fail the nth operation of `site` with an injected I/O error.
+    pub fn fail(self, site: &str, nth: u64) -> FaultPlan {
+        self.rule(site, Nth::At(nth), FaultAction::Error)
+    }
+
+    /// Tear the nth entry write: truncate the written file at byte `at`.
+    pub fn torn_write(self, nth: u64, at: u64) -> FaultPlan {
+        self.rule("store.write", Nth::At(nth), FaultAction::Torn(at))
+    }
+
+    /// Stall every heartbeat renewal from the nth on (the holder looks
+    /// alive to itself but its lease silently expires).
+    pub fn stall_renewals(self) -> FaultPlan {
+        self.rule("lease.renew", Nth::Every, FaultAction::Skip)
+    }
+
+    /// Lose the nth claim release (the lease file is left behind as a
+    /// corpse for expiry takeover / doctor to collect).
+    pub fn lose_release(self, nth: u64) -> FaultPlan {
+        self.rule("lease.release", Nth::At(nth), FaultAction::Skip)
+    }
+
+    /// Abort the process at the nth operation of `site`.
+    pub fn kill_at(self, site: &str, nth: u64) -> FaultPlan {
+        self.rule(site, Nth::At(nth), FaultAction::Kill)
+    }
+
+    /// Restrict the plan to operations on stores rooted under `dir`:
+    /// operations elsewhere neither count toward the per-site indexes nor
+    /// fire.  This is what lets concurrent tests in one process each run
+    /// their own schedule against their own scratch store.
+    pub fn scoped(mut self, dir: impl AsRef<Path>) -> FaultPlan {
+        self.scope = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// A deterministic pseudo-random schedule: 1–4 rules over the store and
+    /// lease sites, each action drawn from the set that is meaningful at its
+    /// site (kills are never generated — they are only ever explicit).  The
+    /// same seed always yields the same plan.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64: short, well-mixed, and easy to reproduce by hand
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::new();
+        let rules = 1 + next() % 4;
+        for _ in 0..rules {
+            let nth = Nth::At(next() % 8);
+            let (site, action) = match next() % 6 {
+                0 => ("store.write", FaultAction::Error),
+                1 => ("store.write", FaultAction::Torn(next() % 64)),
+                2 => ("store.rename", FaultAction::Error),
+                3 => ("store.read", FaultAction::Error),
+                4 => ("lease.link", FaultAction::Error),
+                _ => {
+                    if next() % 2 == 0 {
+                        ("lease.renew", FaultAction::Skip)
+                    } else {
+                        ("lease.release", FaultAction::Skip)
+                    }
+                }
+            };
+            plan = plan.rule(site, nth, action);
+        }
+        plan
+    }
+
+    /// Parse the `AUTORECONF_FAULTS` grammar (see the module docs).  Every
+    /// malformed rule is an error naming the offending fragment.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(seed) = part.strip_prefix("seed=") {
+                let seed: u64 = seed.trim().parse().map_err(|_| {
+                    format!("invalid fault seed `{seed}` (expected a 64-bit integer)")
+                })?;
+                let mut seeded = FaultPlan::seeded(seed);
+                plan.rules.append(&mut seeded.rules);
+                continue;
+            }
+            let (head, action) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed fault rule `{part}` (expected SITE:NTH=ACTION)"))?;
+            let (site, nth) = head
+                .split_once(':')
+                .ok_or_else(|| format!("malformed fault rule `{part}` (expected SITE:NTH=ACTION)"))?;
+            let site = site.trim();
+            if !SITES.contains(&site) {
+                return Err(format!(
+                    "unknown fault site `{site}` (expected one of: {})",
+                    SITES.join(", ")
+                ));
+            }
+            let nth = match nth.trim() {
+                "*" => Nth::Every,
+                n => Nth::At(n.parse().map_err(|_| {
+                    format!("invalid fault index `{n}` in `{part}` (expected a number or *)")
+                })?),
+            };
+            let action = match action.trim() {
+                "err" => FaultAction::Error,
+                "stall" | "lose" | "skip" => FaultAction::Skip,
+                "kill" => FaultAction::Kill,
+                torn if torn.starts_with("torn@") => {
+                    let at = torn["torn@".len()..].trim();
+                    FaultAction::Torn(at.parse().map_err(|_| {
+                        format!("invalid torn-write offset `{at}` in `{part}`")
+                    })?)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault action `{other}` in `{part}` \
+                         (expected err, torn@BYTES, stall, lose or kill)"
+                    ))
+                }
+            };
+            plan.rules.push(FaultRule { site: site.to_string(), nth, action });
+        }
+        Ok(plan)
+    }
+}
+
+/// What [`check`] tells an instrumented call site to do.  `Kill` never
+/// reaches the caller — the process aborts inside [`check`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: perform the operation normally.
+    None,
+    /// Fail the operation with [`injected_io`].
+    Error,
+    /// Truncate the written bytes at this offset, then proceed.
+    Torn(u64),
+    /// Silently skip the operation.
+    Skip,
+}
+
+/// Process-wide audit counters of every fault actually injected, across all
+/// plans ever installed in this process.  Monotonic — [`clear`] does not
+/// reset them — so a test can assert its schedule *fired*, not just that
+/// the system survived.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Operations that were failed with an injected I/O error.
+    pub errors: u64,
+    /// Writes that were torn (truncated).
+    pub torn_writes: u64,
+    /// Operations that were silently skipped (stalled renewals, lost
+    /// releases).
+    pub skips: u64,
+    /// Kill faults reached (only ever observed by *other* processes — the
+    /// counter is bumped just before the abort, so in-process readers never
+    /// see it).
+    pub kills: u64,
+    /// Instrumented operations inspected while a plan was active and in
+    /// scope (fired or not).
+    pub ops_observed: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected (errors + torn writes + skips + kills).
+    pub fn total(&self) -> u64 {
+        self.errors + self.torn_writes + self.skips + self.kills
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ERRORS: AtomicU64 = AtomicU64::new(0);
+static TORN: AtomicU64 = AtomicU64::new(0);
+static SKIPS: AtomicU64 = AtomicU64::new(0);
+static KILLS: AtomicU64 = AtomicU64::new(0);
+static OPS: AtomicU64 = AtomicU64::new(0);
+
+/// The active plan plus its per-site operation counters.
+struct ActivePlan {
+    plan: FaultPlan,
+    ops: Mutex<HashMap<String, u64>>,
+}
+
+fn active_slot() -> &'static Mutex<Option<Arc<ActivePlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<ActivePlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install a plan process-wide (replacing any active one) and reset its
+/// per-site operation counters.  The audit counters ([`injected`]) are
+/// never reset.
+pub fn install(plan: FaultPlan) {
+    let mut slot = active_slot().lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(Arc::new(ActivePlan { plan, ops: Mutex::new(HashMap::new()) }));
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Deactivate fault injection (the fast path goes back to a single relaxed
+/// atomic load).
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut slot = active_slot().lock().unwrap_or_else(|e| e.into_inner());
+    *slot = None;
+}
+
+/// Whether a plan is currently installed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install the plan named by `AUTORECONF_FAULTS`, if set.  Returns whether
+/// a plan was installed; a malformed spec is a hard error (binaries exit
+/// loudly — a typo must not silently disable a crash schedule).
+pub fn install_from_env() -> Result<bool, String> {
+    let Ok(spec) = std::env::var("AUTORECONF_FAULTS") else { return Ok(false) };
+    if spec.trim().is_empty() {
+        return Ok(false);
+    }
+    let plan = FaultPlan::parse(&spec).map_err(|e| format!("AUTORECONF_FAULTS: {e}"))?;
+    install(plan);
+    Ok(true)
+}
+
+/// Snapshot of the process-wide injected-fault audit counters.
+pub fn injected() -> FaultCounters {
+    FaultCounters {
+        errors: ERRORS.load(Ordering::Relaxed),
+        torn_writes: TORN.load(Ordering::Relaxed),
+        skips: SKIPS.load(Ordering::Relaxed),
+        kills: KILLS.load(Ordering::Relaxed),
+        ops_observed: OPS.load(Ordering::Relaxed),
+    }
+}
+
+/// The `io::Error` every injected failure surfaces as — deliberately
+/// distinctive so test assertions (and confused operators) can tell an
+/// injected fault from a real one.
+pub fn injected_io(site: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::Other, format!("injected fault at {site}"))
+}
+
+/// The instrumentation hook: called by every instrumented call site with
+/// its site name and the store directory the operation targets.
+///
+/// Disabled fast path: one relaxed atomic load, nothing else.  With a plan
+/// active (and the directory in scope) the site's operation counter
+/// advances and the first matching rule fires.  `Kill` rules abort the
+/// process here — the caller never observes them.
+pub fn check(site: &str, dir: &Path) -> Fault {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Fault::None;
+    }
+    check_slow(site, dir)
+}
+
+#[cold]
+fn check_slow(site: &str, dir: &Path) -> Fault {
+    let Some(active) = active_slot().lock().unwrap_or_else(|e| e.into_inner()).clone() else {
+        return Fault::None;
+    };
+    if let Some(scope) = &active.plan.scope {
+        if !dir.starts_with(scope) {
+            return Fault::None;
+        }
+    }
+    let op = {
+        let mut ops = active.ops.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = ops.entry(site.to_string()).or_insert(0);
+        let op = *slot;
+        *slot += 1;
+        op
+    };
+    OPS.fetch_add(1, Ordering::Relaxed);
+    let rule = active
+        .plan
+        .rules
+        .iter()
+        .find(|rule| rule.site == site && rule.nth.matches(op));
+    match rule.map(|r| r.action) {
+        None => Fault::None,
+        Some(FaultAction::Error) => {
+            ERRORS.fetch_add(1, Ordering::Relaxed);
+            Fault::Error
+        }
+        Some(FaultAction::Torn(at)) => {
+            TORN.fetch_add(1, Ordering::Relaxed);
+            Fault::Torn(at)
+        }
+        Some(FaultAction::Skip) => {
+            SKIPS.fetch_add(1, Ordering::Relaxed);
+            Fault::Skip
+        }
+        Some(FaultAction::Kill) => {
+            KILLS.fetch_add(1, Ordering::Relaxed);
+            eprintln!("fault injection: kill at {site} op {op}");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_to_the_expected_rules() {
+        let plan =
+            FaultPlan::parse("store.write:2=torn@17; lease.renew:*=stall;store.rename:0=err")
+                .unwrap();
+        assert_eq!(
+            plan.rules(),
+            &[
+                FaultRule {
+                    site: "store.write".to_string(),
+                    nth: Nth::At(2),
+                    action: FaultAction::Torn(17),
+                },
+                FaultRule {
+                    site: "lease.renew".to_string(),
+                    nth: Nth::Every,
+                    action: FaultAction::Skip,
+                },
+                FaultRule {
+                    site: "store.rename".to_string(),
+                    nth: Nth::At(0),
+                    action: FaultAction::Error,
+                },
+            ]
+        );
+        let kill = FaultPlan::parse("lease.acquired:0=kill").unwrap();
+        assert_eq!(kill.rules()[0].action, FaultAction::Kill);
+        assert_eq!(FaultPlan::parse("  ").unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn malformed_specs_are_loud() {
+        assert!(FaultPlan::parse("store.write:1").unwrap_err().contains("SITE:NTH=ACTION"));
+        assert!(FaultPlan::parse("nope.site:1=err").unwrap_err().contains("unknown fault site"));
+        assert!(FaultPlan::parse("store.write:x=err").unwrap_err().contains("invalid fault index"));
+        assert!(FaultPlan::parse("store.write:1=explode")
+            .unwrap_err()
+            .contains("unknown fault action"));
+        assert!(FaultPlan::parse("store.write:1=torn@zz")
+            .unwrap_err()
+            .contains("torn-write offset"));
+        assert!(FaultPlan::parse("seed=banana").unwrap_err().contains("invalid fault seed"));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_never_kill() {
+        for seed in 0..64u64 {
+            let plan = FaultPlan::seeded(seed);
+            assert_eq!(plan, FaultPlan::seeded(seed));
+            assert!(!plan.rules().is_empty() && plan.rules().len() <= 4);
+            for rule in plan.rules() {
+                assert_ne!(rule.action, FaultAction::Kill, "seed {seed}");
+                assert!(SITES.contains(&rule.site.as_str()));
+            }
+        }
+        assert_ne!(FaultPlan::seeded(1), FaultPlan::seeded(2));
+        let seeded_via_env = FaultPlan::parse("seed=9").unwrap();
+        assert_eq!(seeded_via_env.rules(), FaultPlan::seeded(9).rules());
+    }
+
+    /// Scoped install/fire/counter behavior.  The scope makes this safe to
+    /// run beside the store's own unit tests: the plan only ever matches a
+    /// directory no other test uses.
+    #[test]
+    fn scoped_plans_fire_at_the_nth_op_and_audit_it() {
+        let dir = std::env::temp_dir().join(format!("autoreconf-faults-unit-{}", std::process::id()));
+        let foreign = std::env::temp_dir().join("autoreconf-faults-unit-elsewhere");
+        let before = injected();
+        install(
+            FaultPlan::new()
+                .fail("store.read", 1)
+                .torn_write(0, 5)
+                .lose_release(0)
+                .scoped(&dir),
+        );
+        // out-of-scope ops neither count nor fire
+        assert_eq!(check("store.read", &foreign), Fault::None);
+        assert_eq!(check("store.read", &dir), Fault::None); // op 0
+        assert_eq!(check("store.read", &dir), Fault::Error); // op 1 fires
+        assert_eq!(check("store.read", &dir), Fault::None); // op 2
+        assert_eq!(check("store.write", &dir), Fault::Torn(5));
+        assert_eq!(check("lease.release", &dir), Fault::Skip);
+        clear();
+        assert_eq!(check("store.read", &dir), Fault::None, "disabled after clear");
+        let after = injected();
+        assert_eq!(after.errors - before.errors, 1);
+        assert_eq!(after.torn_writes - before.torn_writes, 1);
+        assert_eq!(after.skips - before.skips, 1);
+        assert!(after.ops_observed - before.ops_observed >= 5);
+        assert!(after.total() > before.total());
+    }
+}

@@ -37,6 +37,7 @@
 pub mod campaign;
 pub mod dcache_study;
 pub mod experiments;
+pub mod faults;
 pub mod formulation;
 pub mod measure;
 pub mod optimizer;
@@ -54,10 +55,11 @@ pub use campaign::{
 pub use population::{
     random_mixes, FrontierPoint, MixProfile, MixProfileFile, PopulationOutcome, TenantOutcome,
 };
+pub use faults::{FaultAction, FaultCounters, FaultPlan, FaultRule};
 pub use store::{
     ArtifactStore, ClaimOutcome, DoctorReport, EntryMeta, Fingerprint, FingerprintBuilder,
-    GcReport, KindUsage, LazyArtifact, Lease, LeaseInfo, Manifest, ManifestEntry, PackStats,
-    StoreStats, DEFAULT_LEASE_TTL,
+    GcReport, KindUsage, LazyArtifact, Lease, LeaseInfo, LeaseWaitTimeout, Manifest,
+    ManifestEntry, PackStats, StoreStats, DEFAULT_LEASE_TTL, DEFAULT_LEASE_WAIT,
 };
 pub use dcache_study::{
     best_runtime_row, dcache_exhaustive, dcache_exhaustive_full, dcache_exhaustive_traced,

@@ -34,7 +34,8 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use workloads::Scale;
@@ -50,7 +51,24 @@ use crate::store::ArtifactStore;
 /// Version 2 added [`Request::Population`] / [`Response::Population`].
 /// Version 3 added [`Request::Search`] / [`Response::Search`] (the pruned
 /// design-space funnel).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Version 4 added [`Response::Overloaded`] (load shedding when the
+/// server's in-flight compute cap is reached).
+pub const PROTOCOL_VERSION: u32 = 4;
+
+/// Granularity at which a blocked connection read re-checks the shutdown
+/// flag and its idle deadline.  Purely an internal polling interval — it
+/// bounds shutdown-drain latency, not request latency.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Default [`ServerConfig::io_timeout`]: generous enough that no
+/// legitimate client trips it between keep-alive requests, small enough
+/// that a half-open peer cannot pin a connection thread for hours.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Default [`ServerConfig::max_in_flight`]: far above any plausible
+/// concurrent compute load, so shedding only starts when the server is
+/// genuinely drowning.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 256;
 
 /// Upper bound on a single frame's payload, both directions.  Large enough
 /// for any campaign outcome, small enough that a malformed length prefix
@@ -104,6 +122,99 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     Ok(Some(body))
+}
+
+/// [`read_frame`] over a socket, with an idle deadline and shutdown
+/// awareness — the server-side read path.
+///
+/// The stream is switched to a short ([`READ_POLL`]) read timeout so the
+/// wait is a poll loop rather than an unbounded block; each tick re-checks
+/// the shutdown flag (a flagged shutdown closes the connection cleanly at
+/// the frame boundary — the drain half of graceful shutdown) and the idle
+/// clock.  A peer idle past `io_timeout` *between* frames gets a clean
+/// close (`Ok(None)`); one that stalls `io_timeout` *mid-frame* — a
+/// half-open or wedged client — is an error, so it can no longer pin a
+/// connection thread forever.  `io_timeout: None` waits indefinitely (but
+/// still honours shutdown).
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    io_timeout: Option<Duration>,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let start = Instant::now();
+    let mut len_buf = [0u8; 4];
+    let mut prefix_filled = 0usize;
+    let mut body: Vec<u8> = Vec::new();
+    let mut body_len: Option<usize> = None;
+    let mut body_filled = 0usize;
+    loop {
+        let mid_frame = prefix_filled > 0 || body_len.is_some();
+        let read = match body_len {
+            Some(len) => stream.read(&mut body[body_filled..len]),
+            None => stream.read(&mut len_buf[prefix_filled..]),
+        };
+        match read {
+            Ok(0) => {
+                if mid_frame {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ));
+                }
+                return Ok(None); // clean EOF between frames
+            }
+            Ok(n) => match body_len {
+                Some(len) => {
+                    body_filled += n;
+                    if body_filled == len {
+                        return Ok(Some(body));
+                    }
+                }
+                None => {
+                    prefix_filled += n;
+                    if prefix_filled == len_buf.len() {
+                        let len = u32::from_be_bytes(len_buf) as usize;
+                        if len > MAX_FRAME_BYTES {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("peer announced a {len}-byte frame (limit {MAX_FRAME_BYTES})"),
+                            ));
+                        }
+                        if len == 0 {
+                            return Ok(Some(Vec::new()));
+                        }
+                        body = vec![0u8; len];
+                        body_len = Some(len);
+                    }
+                }
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None); // draining: close at the frame boundary
+                }
+                if let Some(limit) = io_timeout {
+                    if start.elapsed() >= limit {
+                        if mid_frame {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!(
+                                    "peer stalled mid-frame for {:.0}s",
+                                    limit.as_secs_f64()
+                                ),
+                            ));
+                        }
+                        return Ok(None); // idle client: close cleanly
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 // -- protocol ---------------------------------------------------------------
@@ -228,6 +339,17 @@ pub enum Response {
         /// The counter snapshot.
         counters: ServiceCounters,
     },
+    /// The server's in-flight compute cap ([`ServerConfig::max_in_flight`])
+    /// is reached: the request was *shed*, not queued.  The connection
+    /// stays usable; because every request is idempotent, the client simply
+    /// retries after a backoff (the SDK's `RetryPolicy` does this
+    /// automatically).
+    Overloaded {
+        /// Compute requests in flight when this one was shed.
+        in_flight: usize,
+        /// The configured cap.
+        limit: usize,
+    },
     /// Acknowledgement of [`Request::Shutdown`]; the daemon exits after
     /// sending it.
     Bye,
@@ -258,6 +380,19 @@ pub struct ServerConfig {
     pub space: ParameterSpace,
     /// The shared artifact store; `None` serves every query by computing.
     pub store: Option<ArtifactStore>,
+    /// Per-connection socket deadline (see [`read_frame_deadline`]): idle
+    /// peers are closed cleanly, mid-frame stalls and blocked writes are
+    /// errors.  `None` disables the deadline (shutdown is still honoured).
+    pub io_timeout: Option<Duration>,
+    /// Cap on concurrently *computing* requests; excess load is shed with
+    /// [`Response::Overloaded`] instead of queueing without bound.  Control
+    /// requests (ping, describe, counters, shutdown) are always served.
+    /// `0` disables the cap.
+    pub max_in_flight: usize,
+    /// Run a `doctor --repair` pass over the attached store before serving,
+    /// so a daemon (re)started over a store a crashed process left dirty
+    /// begins from a verified-clean state.
+    pub doctor_on_start: bool,
 }
 
 impl Default for ServerConfig {
@@ -267,6 +402,9 @@ impl Default for ServerConfig {
             options: ExperimentOptions::default(),
             space: ParameterSpace::paper(),
             store: ArtifactStore::from_env(),
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            doctor_on_start: false,
         }
     }
 }
@@ -298,6 +436,12 @@ impl Server {
     /// artifact dedup in-process ([`crate::store::LazyArtifact`]) and
     /// across processes (claim/lease).
     pub fn run(self) -> io::Result<()> {
+        if self.config.doctor_on_start {
+            if let Some(store) = &self.config.store {
+                let report = store.doctor(true)?;
+                eprintln!("{}", report.render());
+            }
+        }
         let suite = workloads::benchmark_suite(self.config.options.scale);
         let mut engine = Campaign::new()
             .with_space(self.config.space.clone())
@@ -316,6 +460,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             served: AtomicU64::new(0),
             addr: self.listener.local_addr()?,
+            io_timeout: self.config.io_timeout,
+            max_in_flight: self.config.max_in_flight,
+            in_flight: AtomicUsize::new(0),
         };
         std::thread::scope(|scope| {
             for conn in self.listener.incoming() {
@@ -348,12 +495,63 @@ struct ServerState<'suite> {
     shutdown: AtomicBool,
     served: AtomicU64,
     addr: SocketAddr,
+    io_timeout: Option<Duration>,
+    max_in_flight: usize,
+    in_flight: AtomicUsize,
+}
+
+/// RAII slot in the in-flight compute gate: dropping it (however the
+/// request ends) frees the slot.
+#[derive(Debug)]
+struct InFlightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Try to admit one compute request under `limit` (0 = unbounded).
+/// `Err(observed)` when the cap is reached — the caller sheds the request.
+fn try_admit(in_flight: &AtomicUsize, limit: usize) -> Result<InFlightSlot<'_>, usize> {
+    let prev = in_flight.fetch_add(1, Ordering::SeqCst);
+    if limit != 0 && prev >= limit {
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+        return Err(prev);
+    }
+    Ok(InFlightSlot(in_flight))
+}
+
+/// Whether a request runs campaign compute (and is therefore subject to
+/// the in-flight cap), as opposed to a constant-time control request.
+fn is_compute(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Optimize { .. }
+            | Request::Sweep { .. }
+            | Request::CoOptimize { .. }
+            | Request::Population { .. }
+            | Request::Search { .. }
+    )
 }
 
 fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    // a peer that stops draining its receive buffer must not pin this
+    // thread in write_all forever either
+    stream.set_write_timeout(state.io_timeout)?;
     loop {
-        let Some(frame) = read_frame(&mut stream)? else {
-            return Ok(()); // client hung up cleanly
+        let frame = match read_frame_deadline(&mut stream, state.io_timeout, &state.shutdown) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean EOF, idle past deadline, or drain
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // protocol violation (oversized announcement): tell the peer
+                // why before closing, instead of a bare EOF
+                let body = serde_json::to_string(&Response::Error { message: e.to_string() })
+                    .unwrap_or_else(|_| String::from("{\"Error\":{\"message\":\"protocol error\"}}"));
+                let _ = write_frame(&mut stream, body.as_bytes());
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         };
         let request: Result<Request, String> = std::str::from_utf8(&frame)
             .map_err(|e| format!("request is not UTF-8: {e}"))
@@ -363,6 +561,18 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
         let (response, stop) = match request {
             Err(message) => (Response::Error { message }, false),
             Ok(Request::Shutdown) => (Response::Bye, true),
+            Ok(request) if is_compute(&request) => {
+                match try_admit(&state.in_flight, state.max_in_flight) {
+                    Ok(_slot) => (dispatch(state, &request), false),
+                    Err(observed) => (
+                        Response::Overloaded {
+                            in_flight: observed,
+                            limit: state.max_in_flight,
+                        },
+                        false,
+                    ),
+                }
+            }
             Ok(request) => (dispatch(state, &request), false),
         };
         state.served.fetch_add(1, Ordering::Relaxed);
@@ -518,6 +728,7 @@ mod tests {
         let responses = vec![
             Response::Pong { protocol: PROTOCOL_VERSION },
             Response::Error { message: "nope".to_string() },
+            Response::Overloaded { in_flight: 256, limit: 256 },
             Response::Counters {
                 counters: ServiceCounters {
                     guest_instructions: 1,
@@ -558,6 +769,7 @@ mod tests {
             options: ExperimentOptions::test_sized(),
             space: ParameterSpace::dcache_geometry(),
             store: None,
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = server.local_addr().unwrap();
@@ -597,6 +809,151 @@ mod tests {
             other => panic!("unexpected response: {other:?}"),
         }
         assert_eq!(roundtrip(&Request::Shutdown), Response::Bye);
+        handle.join().unwrap();
+    }
+
+    fn control_server(io_timeout: Option<Duration>, max_in_flight: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            options: ExperimentOptions::test_sized(),
+            space: ParameterSpace::dcache_geometry(),
+            store: None,
+            io_timeout,
+            max_in_flight,
+            doctor_on_start: false,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        (addr, std::thread::spawn(move || server.run().unwrap()))
+    }
+
+    fn roundtrip_on(stream: &mut TcpStream, request: &Request) -> Response {
+        let body = serde_json::to_string(request).unwrap();
+        write_frame(stream, body.as_bytes()).unwrap();
+        let frame = read_frame(stream).unwrap().expect("response frame");
+        serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap()
+    }
+
+    /// Satellite regression: a half-open client (connected, silent) used to
+    /// pin its connection thread forever.  With an io_timeout it is closed
+    /// cleanly, a *mid-frame* staller is dropped as an error, and the
+    /// server keeps serving healthy clients throughout.
+    #[test]
+    fn half_open_clients_are_closed_not_pinned() {
+        let (addr, handle) = control_server(Some(Duration::from_millis(300)), 0);
+
+        // idle at a frame boundary: the server closes cleanly — our read
+        // sees EOF, not a hang
+        let mut idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(idle.read(&mut buf).unwrap(), 0, "idle client should see a clean close");
+
+        // stalled mid-frame: announce a frame, send half of it, go silent
+        let mut staller = TcpStream::connect(addr).unwrap();
+        staller.write_all(&8u32.to_be_bytes()).unwrap();
+        staller.write_all(b"half").unwrap();
+        staller.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // the server drops the connection (TimedOut error side); our read
+        // ends with EOF or a reset rather than blocking forever
+        let _ = staller.read(&mut buf);
+
+        // a healthy client is still served promptly
+        let mut healthy = TcpStream::connect(addr).unwrap();
+        assert_eq!(
+            roundtrip_on(&mut healthy, &Request::Ping),
+            Response::Pong { protocol: PROTOCOL_VERSION }
+        );
+        assert_eq!(roundtrip_on(&mut healthy, &Request::Shutdown), Response::Bye);
+        handle.join().unwrap();
+    }
+
+    /// Satellite regression: an oversized announced frame used to kill the
+    /// connection with a bare EOF; now the peer gets a readable
+    /// [`Response::Error`] frame first.
+    #[test]
+    fn oversized_announcement_gets_an_error_frame_before_close() {
+        let (addr, handle) = control_server(Some(Duration::from_secs(10)), 0);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        match read_frame(&mut stream).unwrap() {
+            Some(frame) => {
+                let response: Response =
+                    serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+                match response {
+                    Response::Error { message } => {
+                        assert!(message.contains("byte frame"), "{message}")
+                    }
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            }
+            None => panic!("expected an error frame before close, got bare EOF"),
+        }
+        assert_eq!(read_frame(&mut stream).unwrap(), None, "connection closed after the error");
+
+        let mut healthy = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip_on(&mut healthy, &Request::Shutdown), Response::Bye);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn in_flight_gate_sheds_over_the_cap_and_frees_slots() {
+        let gate = AtomicUsize::new(0);
+        let a = try_admit(&gate, 2).unwrap();
+        let b = try_admit(&gate, 2).unwrap();
+        let shed = try_admit(&gate, 2).unwrap_err();
+        assert_eq!(shed, 2, "observed in-flight count reported to the shed client");
+        drop(a);
+        let c = try_admit(&gate, 2).unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(gate.load(Ordering::SeqCst), 0, "all slots returned");
+        // 0 = unbounded
+        let unbounded = AtomicUsize::new(0);
+        let slots: Vec<_> = (0..64).map(|_| try_admit(&unbounded, 0).unwrap()).collect();
+        drop(slots);
+        assert_eq!(unbounded.load(Ordering::SeqCst), 0);
+    }
+
+    /// Load shedding end to end: with a cap of 1, concurrent compute
+    /// requests each end as a real outcome or a clean
+    /// [`Response::Overloaded`] — never a hang, never a dropped
+    /// connection — and a shed client succeeds by retrying (the requests
+    /// are idempotent).  Timing-robust: how many requests are shed depends
+    /// on scheduling, but every shed one must eventually succeed.
+    #[test]
+    fn overloaded_requests_are_shed_cleanly_and_retry_to_success() {
+        let (addr, handle) = control_server(Some(Duration::from_secs(30)), 1);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let request = Request::Optimize { workload: "BLASTN".to_string() };
+                    let mut shed = 0u32;
+                    for _ in 0..200 {
+                        match roundtrip_on(&mut stream, &request) {
+                            Response::Outcome { json } => {
+                                assert!(json.contains("recommended"), "{json}");
+                                return shed;
+                            }
+                            Response::Overloaded { limit, .. } => {
+                                assert_eq!(limit, 1);
+                                shed += 1;
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            other => panic!("unexpected response: {other:?}"),
+                        }
+                    }
+                    panic!("request never admitted after 200 retries");
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip_on(&mut stream, &Request::Shutdown), Response::Bye);
         handle.join().unwrap();
     }
 }

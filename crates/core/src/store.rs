@@ -119,8 +119,112 @@ pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(10);
 /// interrupted writer and are safe to remove.
 pub const DEFAULT_TMP_GRACE: Duration = Duration::from_secs(60);
 
-/// Poll interval of [`ArtifactStore::await_entry_or_lease`].
+/// Initial poll interval of [`ArtifactStore::await_entry_or_lease`]; the
+/// wait backs off exponentially from here up to [`LEASE_POLL_MAX`].
 const LEASE_POLL: Duration = Duration::from_millis(5);
+
+/// Backoff cap of [`ArtifactStore::await_entry_or_lease`]: waiters never
+/// sleep longer than this between looks, so a published entry is noticed
+/// within ~100 ms even after a long wait.
+const LEASE_POLL_MAX: Duration = Duration::from_millis(100);
+
+/// Default overall deadline of [`ArtifactStore::await_entry_or_lease`]: how
+/// long a waiter tolerates a *live, renewing* lease whose holder never
+/// publishes (a wedged winner) before surfacing [`LeaseWaitTimeout`].
+/// Generous — the longest legitimate cold compute (a `Scale::Large`
+/// capture) finishes well inside it — because expiry takeover already
+/// covers the *crashed*-holder case within one TTL.
+pub const DEFAULT_LEASE_WAIT: Duration = Duration::from_secs(300);
+
+/// The claim TTL in effect: [`DEFAULT_LEASE_TTL`] unless overridden by the
+/// `AUTORECONF_LEASE_TTL_MS` environment variable (cached on first use).
+/// The override exists for crash-recovery tests, which need expiry
+/// takeover of a killed holder in milliseconds, not 10 s; binaries
+/// validate the variable loudly at startup via [`lease_ttl_env`].
+pub fn lease_ttl() -> Duration {
+    static TTL: OnceLock<Duration> = OnceLock::new();
+    *TTL.get_or_init(|| lease_ttl_env().unwrap_or(None).unwrap_or(DEFAULT_LEASE_TTL))
+}
+
+/// Parse `AUTORECONF_LEASE_TTL_MS` strictly: `Ok(None)` when unset or
+/// blank, `Ok(Some(ttl))` for a positive integer, `Err` otherwise (so
+/// binaries can exit loudly instead of silently running with the default
+/// TTL — a typo must not turn a 500 ms crash-test TTL into 10 s).
+pub fn lease_ttl_env() -> Result<Option<Duration>, String> {
+    let Ok(raw) = std::env::var("AUTORECONF_LEASE_TTL_MS") else { return Ok(None) };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    match raw.parse::<u64>() {
+        Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+        _ => Err(format!(
+            "invalid AUTORECONF_LEASE_TTL_MS `{raw}` (expected a positive integer of milliseconds)"
+        )),
+    }
+}
+
+/// The overall [`ArtifactStore::await_entry_or_lease`] deadline in effect:
+/// [`DEFAULT_LEASE_WAIT`] unless overridden by `AUTORECONF_LEASE_WAIT_MS`
+/// (cached on first use; invalid values fall back to the default — the
+/// variable only tunes how fast a *wedged-winner* bug is reported, so a
+/// typo cannot change any result).
+pub fn lease_wait() -> Duration {
+    static WAIT: OnceLock<Duration> = OnceLock::new();
+    *WAIT.get_or_init(|| {
+        std::env::var("AUTORECONF_LEASE_WAIT_MS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .filter(|ms| *ms > 0)
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_LEASE_WAIT)
+    })
+}
+
+/// Typed failure of [`ArtifactStore::await_entry_or_lease_deadline`]: the
+/// deadline elapsed while a *live* lease still guarded the entry — the
+/// holder keeps heartbeating but never publishes.  Distinct from the
+/// crashed-holder case (which expiry takeover resolves within one TTL)
+/// and surfaced as an error rather than hanging the waiter forever.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaseWaitTimeout {
+    /// Entry kind being waited for.
+    pub kind: String,
+    /// Entry fingerprint being waited for.
+    pub key: Fingerprint,
+    /// How long the waiter waited before giving up.
+    pub waited: Duration,
+    /// PID of the lease holder observed at the deadline.
+    pub holder_pid: u32,
+}
+
+impl std::fmt::Display for LeaseWaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "timed out after {:.1}s waiting for {}-{}: pid {} holds a live lease but never \
+             published the entry",
+            self.waited.as_secs_f64(),
+            self.kind,
+            self.key,
+            self.holder_pid
+        )
+    }
+}
+
+impl std::error::Error for LeaseWaitTimeout {}
+
+impl From<LeaseWaitTimeout> for leon_sim::SimError {
+    fn from(timeout: LeaseWaitTimeout) -> Self {
+        leon_sim::SimError::ArtifactWaitTimeout(timeout.to_string())
+    }
+}
+
+impl From<LeaseWaitTimeout> for crate::optimizer::OptimizeError {
+    fn from(timeout: LeaseWaitTimeout) -> Self {
+        crate::optimizer::OptimizeError::Simulation(timeout.into())
+    }
+}
 
 /// Milliseconds since the Unix epoch (the clock lease expiry is measured
 /// in — wall time, comparable across processes on one machine).
@@ -738,6 +842,11 @@ impl LeaseCore {
     /// sibling and `rename` it over the lease (atomic replace — we own the
     /// name, and readers only ever see a complete body).
     fn renew(&self) -> std::io::Result<()> {
+        match crate::faults::check("lease.renew", &self.dir) {
+            crate::faults::Fault::Skip => return Ok(()), // stalled heartbeat
+            crate::faults::Fault::Error => return Err(crate::faults::injected_io("lease.renew")),
+            _ => {}
+        }
         let body = serde_json::to_string(&self.body())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let tmp = self.dir.join(format!(
@@ -758,6 +867,9 @@ impl LeaseCore {
     /// time we notice the expiry, another process may already own the name —
     /// removing it here could destroy *their* claim).
     fn release(&self) {
+        if crate::faults::check("lease.release", &self.dir) == crate::faults::Fault::Skip {
+            return; // lost release: the corpse is left for expiry takeover
+        }
         match read_lease_file(&self.path) {
             Some((body, _)) if body.token == self.token => {
                 if unix_now_ms() < body.expires_unix_ms {
@@ -778,7 +890,7 @@ fn write_pin_marker(dir: &Path, shared: &Shared, path: &Path) -> std::io::Result
         version: LEASE_VERSION,
         owner_pid: pid,
         token: shared.pin_owner,
-        expires_unix_ms: unix_now_ms() + DEFAULT_LEASE_TTL.as_millis() as u64,
+        expires_unix_ms: unix_now_ms() + lease_ttl().as_millis() as u64,
     };
     let text = serde_json::to_string(&body)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -1213,8 +1325,7 @@ impl ArtifactStore {
         let weak = Arc::downgrade(&self.shared);
         let dir = self.dir.clone();
         std::thread::spawn(move || {
-            let interval =
-                Duration::from_millis(((DEFAULT_LEASE_TTL.as_millis() as u64) / 3).max(1));
+            let interval = Duration::from_millis(((lease_ttl().as_millis() as u64) / 3).max(1));
             loop {
                 std::thread::sleep(interval);
                 let Some(shared) = weak.upgrade() else { return };
@@ -1302,6 +1413,10 @@ impl ArtifactStore {
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
             let tmp = self.dir.join(format!(".tmp-lease-{pid}-{counter}"));
             std::fs::write(&tmp, body.as_bytes())?;
+            if crate::faults::check("lease.link", &self.dir) == crate::faults::Fault::Error {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(crate::faults::injected_io("lease.link"));
+            }
             let linked = std::fs::hard_link(&tmp, &path);
             let _ = std::fs::remove_file(&tmp);
             match linked {
@@ -1348,16 +1463,53 @@ impl ArtifactStore {
     /// recomputing a cold artifact a sibling process is already computing,
     /// wait for the winner's atomically published result.
     pub fn await_entry_or_lease(&self, kind: &str, key: Fingerprint) -> bool {
+        // a wedged winner past the (generous) deadline degrades to "no
+        // entry, retry the claim" for callers of the legacy signature
+        self.await_entry_or_lease_deadline(kind, key, lease_wait()).unwrap_or(false)
+    }
+
+    /// [`ArtifactStore::await_entry_or_lease`] with an explicit overall
+    /// deadline and a typed timeout.
+    ///
+    /// Polling backs off exponentially from [`LEASE_POLL`] (5 ms) to
+    /// [`LEASE_POLL_MAX`] (100 ms) — a short compute is picked up nearly as
+    /// fast as before, while a long wait no longer busy-spins at 200
+    /// lease-file reads per second.  If the deadline elapses while a *live*
+    /// lease still guards the entry — the holder keeps heartbeating but
+    /// never publishes — the wait fails with [`LeaseWaitTimeout`] instead
+    /// of hanging forever.  (A *crashed* holder is not this case: its lease
+    /// expires within one TTL and the wait returns `Ok(false)` so the
+    /// caller can claim and compute.)
+    pub fn await_entry_or_lease_deadline(
+        &self,
+        kind: &str,
+        key: Fingerprint,
+        deadline: Duration,
+    ) -> Result<bool, LeaseWaitTimeout> {
         let path = self.lease_path(kind, key);
+        let start = std::time::Instant::now();
+        let mut backoff = LEASE_POLL;
         loop {
             if self.contains(kind, key) {
-                return true;
+                return Ok(true);
             }
             match read_lease_file(&path) {
-                Some((_, info)) if !info.is_expired() => std::thread::sleep(LEASE_POLL),
+                Some((_, info)) if !info.is_expired() => {
+                    let waited = start.elapsed();
+                    if waited >= deadline {
+                        return Err(LeaseWaitTimeout {
+                            kind: kind.to_string(),
+                            key,
+                            waited,
+                            holder_pid: info.owner_pid,
+                        });
+                    }
+                    std::thread::sleep(backoff.min(deadline - waited));
+                    backoff = (backoff * 2).min(LEASE_POLL_MAX);
+                }
                 // no (live) lease: one final presence check closes the race
                 // where the holder saved + released between our two looks
-                _ => return self.contains(kind, key),
+                _ => return Ok(self.contains(kind, key)),
             }
         }
     }
@@ -1389,7 +1541,22 @@ impl ArtifactStore {
             std::process::id(),
             self.shared.stats.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, &body)?;
+        // A torn write truncates the body mid-payload and then *publishes*
+        // it — modelling a crash after rename was queued but before the data
+        // made it down.  The resulting entry must fail validation on every
+        // future load/peek (corrupt-as-miss) and be doctor-repairable.
+        match crate::faults::check("store.write", &self.dir) {
+            crate::faults::Fault::Error => return Err(crate::faults::injected_io("store.write")),
+            crate::faults::Fault::Torn(at) => {
+                let cut = (at as usize).min(body.len().saturating_sub(1));
+                std::fs::write(&tmp, &body[..cut])?;
+            }
+            _ => std::fs::write(&tmp, &body)?,
+        }
+        if crate::faults::check("store.rename", &self.dir) == crate::faults::Fault::Error {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(crate::faults::injected_io("store.rename"));
+        }
         let result = std::fs::rename(&tmp, self.entry_path(kind, key));
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);
@@ -1409,6 +1576,10 @@ impl ArtifactStore {
     /// the payload size to [`StoreStats::payload_bytes_read`].
     pub fn load(&self, kind: &str, key: Fingerprint) -> Option<Vec<u8>> {
         let path = self.entry_path(kind, key);
+        if crate::faults::check("store.read", &self.dir) == crate::faults::Fault::Error {
+            self.shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None; // an unreadable entry is a miss, injected or real
+        }
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(_) => {

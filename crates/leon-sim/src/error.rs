@@ -49,6 +49,12 @@ pub enum SimError {
     },
     /// The configuration failed validation before simulation started.
     InvalidConfig(String),
+    /// Waiting on another process's artifact compute timed out (the lease
+    /// holder kept heartbeating but never published).  Raised by the store
+    /// layer, not the simulator — it lives here so every store-backed
+    /// pipeline that already returns `SimError` can surface it as a typed
+    /// error instead of hanging.
+    ArtifactWaitTimeout(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -70,6 +76,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "cycle limit of {limit} exceeded")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::ArtifactWaitTimeout(msg) => write!(f, "artifact wait timed out: {msg}"),
         }
     }
 }

@@ -26,7 +26,8 @@
 #![warn(missing_docs)]
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 pub use autoreconf::service::{
     read_frame, write_frame, Request, Response, ServiceCounters, PROTOCOL_VERSION,
@@ -41,6 +42,22 @@ pub enum ClientError {
     /// The server answered [`Response::Error`] — the request was understood
     /// and rejected (unknown workload, bad mix, campaign failure).
     Server(String),
+    /// The server shed the request at its in-flight compute cap
+    /// ([`Response::Overloaded`]) and it was still overloaded after every
+    /// configured retry.  Safe to retry later — nothing was computed.
+    Overloaded {
+        /// Compute requests in flight at the server when ours was shed.
+        in_flight: usize,
+        /// The server's configured cap.
+        limit: usize,
+    },
+    /// The configured per-request deadline or a socket timeout elapsed.
+    /// The connection is re-established before any retry, so a timeout
+    /// never desynchronises the frame stream.
+    TimedOut {
+        /// Time spent on the request (all attempts) before giving up.
+        after: Duration,
+    },
     /// The server answered something the protocol does not allow for this
     /// request — a version mismatch or a server bug.
     Protocol(String),
@@ -51,6 +68,12 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "service connection error: {e}"),
             ClientError::Server(message) => write!(f, "service error: {message}"),
+            ClientError::Overloaded { in_flight, limit } => {
+                write!(f, "service overloaded: {in_flight} requests in flight (cap {limit})")
+            }
+            ClientError::TimedOut { after } => {
+                write!(f, "service request timed out after {:.3}s", after.as_secs_f64())
+            }
             ClientError::Protocol(message) => write!(f, "protocol violation: {message}"),
         }
     }
@@ -60,8 +83,78 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+            ClientError::TimedOut { after: Duration::ZERO }
+        } else {
+            ClientError::Io(e)
+        }
     }
+}
+
+/// Retry schedule for failed requests: exponential backoff with
+/// decorrelated jitter ("sleep = rand(base, 3 × previous sleep), capped"),
+/// which spreads a thundering herd of shed clients instead of
+/// re-synchronising them.  Retrying is safe because every request is
+/// idempotent — answers are content-addressed, so a duplicate request can
+/// only re-read (or re-derive) the identical artifact, never double-apply.
+///
+/// Only *transport* failures and [`Response::Overloaded`] sheds are
+/// retried; a [`ClientError::Server`] rejection is deterministic and
+/// surfaces immediately.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff sleep.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Jitter seed — fixed default so test runs are reproducible; give
+    /// each client its own seed in a real fleet.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, failures surface immediately (the default —
+    /// existing callers keep their exact semantics).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// A sane production policy: 4 attempts, 10 ms base, 500 ms cap.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy { max_attempts: 4, ..RetryPolicy::none() }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Connection and request-robustness knobs for [`Client::connect_with`].
+/// The default is maximally permissive — no timeouts, no deadline, no
+/// retries — i.e. exactly the behavior of [`Client::connect`].
+#[derive(Clone, Debug, Default)]
+pub struct ClientConfig {
+    /// Bound on TCP connection establishment (per resolved address).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout — bounds each blocking read, so a dead server
+    /// surfaces as [`ClientError::TimedOut`] instead of a hang.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Overall per-request deadline, spanning every retry attempt.  When
+    /// set, socket reads are additionally clamped to the time remaining.
+    pub deadline: Option<Duration>,
+    /// Retry schedule for transport failures and overload sheds.
+    pub retry: RetryPolicy,
 }
 
 /// Answer to [`Client::describe`]: what the daemon is serving.
@@ -82,19 +175,131 @@ pub struct Description {
 /// order); use one client per thread for concurrency.
 pub struct Client {
     stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    rng: u64,
 }
 
 impl Client {
-    /// Connect to a daemon.
+    /// Connect to a daemon with default (maximally permissive) settings —
+    /// no timeouts, no retries.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// Send one raw request and read its response — the escape hatch the
-    /// typed helpers below are built on.
+    /// Connect to a daemon with explicit timeout/deadline/retry settings.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::open(&addrs, &config)?;
+        let rng = config.retry.seed | 1; // xorshift must not start at 0
+        Ok(Client { stream, addrs, config, rng })
+    }
+
+    /// Open a fresh socket to the first reachable resolved address, with
+    /// the configured timeouts applied.
+    fn open(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+        let mut last = None;
+        for addr in addrs {
+            let attempt = match config.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_write_timeout(config.write_timeout)?;
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        // xorshift64*: tiny, seedable, good enough for backoff jitter
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Send one raw request and read its response, applying the configured
+    /// deadline and retry policy — the escape hatch the typed helpers below
+    /// are built on.
+    ///
+    /// Transport failures ([`ClientError::Io`] / [`ClientError::TimedOut`])
+    /// and overload sheds are retried per [`RetryPolicy`] on a *fresh*
+    /// connection (a failed request may have left response bytes in flight;
+    /// reusing the socket would desynchronise frames).  Server rejections
+    /// and protocol violations are never retried.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let start = Instant::now();
+        let attempts = self.config.retry.max_attempts.max(1);
+        let mut sleep = self.config.retry.base_delay;
+        let mut error = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // decorrelated jitter: rand(base, 3 × previous), capped
+                let base = self.config.retry.base_delay.as_millis() as u64;
+                let ceiling = (sleep.as_millis() as u64).saturating_mul(3).max(base + 1);
+                let jittered = base + self.next_jitter() % (ceiling - base);
+                sleep = Duration::from_millis(jittered).min(self.config.retry.max_delay);
+                if let Some(deadline) = self.config.deadline {
+                    let elapsed = start.elapsed();
+                    if elapsed + sleep >= deadline {
+                        return Err(ClientError::TimedOut { after: elapsed });
+                    }
+                }
+                std::thread::sleep(sleep);
+                // transport failures poison the framing; reconnect for the
+                // retry (also how we pick up a restarted daemon)
+                if let Err(e) = Self::open(&self.addrs, &self.config).map(|s| self.stream = s) {
+                    error = Some(ClientError::from(e));
+                    continue;
+                }
+            }
+            match self.request_once(request, start) {
+                Ok(Response::Overloaded { in_flight, limit }) => {
+                    error = Some(ClientError::Overloaded { in_flight, limit });
+                }
+                Ok(response) => return Ok(response),
+                Err(e @ (ClientError::Io(_) | ClientError::TimedOut { .. })) => {
+                    // stamp the true overall elapsed time on timeouts
+                    error = Some(match e {
+                        ClientError::TimedOut { .. } => {
+                            ClientError::TimedOut { after: start.elapsed() }
+                        }
+                        other => other,
+                    });
+                }
+                Err(e) => return Err(e), // Server / Protocol: deterministic
+            }
+        }
+        Err(error.expect("at least one attempt ran"))
+    }
+
+    /// One attempt: write the request frame, read the response frame.
+    fn request_once(
+        &mut self,
+        request: &Request,
+        start: Instant,
+    ) -> Result<Response, ClientError> {
+        if let Some(deadline) = self.config.deadline {
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .ok_or(ClientError::TimedOut { after: start.elapsed() })?;
+            // clamp socket waits to the time left (never to zero — that is
+            // "no timeout" on some platforms and an error on others)
+            let clamp = |configured: Option<Duration>| {
+                Some(configured.unwrap_or(remaining).min(remaining).max(Duration::from_millis(1)))
+            };
+            self.stream.set_read_timeout(clamp(self.config.read_timeout))?;
+            self.stream.set_write_timeout(clamp(self.config.write_timeout))?;
+        }
         let body = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("cannot encode request: {e}")))?;
         write_frame(&mut self.stream, body.as_bytes())?;
@@ -208,5 +413,130 @@ impl Client {
             Response::Bye => Ok(()),
             other => Self::unexpected("Shutdown", other),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn answer_one(stream: &mut TcpStream, response: &Response) {
+        let frame = read_frame(stream).unwrap().expect("request frame");
+        let _: Request = serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+        let body = serde_json::to_string(response).unwrap();
+        write_frame(stream, body.as_bytes()).unwrap();
+    }
+
+    /// The retry path end to end: the first connection dies without an
+    /// answer; the policy reconnects and the request succeeds.  Safe to
+    /// retry blindly because requests are idempotent.
+    #[test]
+    fn retries_reconnect_through_a_flaky_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (first, _) = listener.accept().unwrap();
+            drop(first); // simulated crash before answering
+            let (mut second, _) = listener.accept().unwrap();
+            answer_one(&mut second, &Response::Pong { protocol: PROTOCOL_VERSION });
+        });
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig { retry: RetryPolicy::standard(), ..ClientConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+        server.join().unwrap();
+    }
+
+    /// A server that accepts but never answers is bounded by the read
+    /// timeout + per-request deadline instead of hanging the caller
+    /// forever.
+    #[test]
+    fn deadline_bounds_a_silent_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(1500)); // never answers
+            drop(stream);
+        });
+        let start = Instant::now();
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig {
+                read_timeout: Some(Duration::from_millis(100)),
+                deadline: Some(Duration::from_millis(400)),
+                retry: RetryPolicy::standard(),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        match client.ping() {
+            Err(ClientError::TimedOut { after }) => {
+                assert!(after >= Duration::from_millis(100), "{after:?}")
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_millis(1200), "deadline not honoured");
+        server.join().unwrap();
+    }
+
+    /// An overload shed that persists through every retry surfaces as the
+    /// typed [`ClientError::Overloaded`], not a protocol error.
+    #[test]
+    fn exhausted_overload_retries_surface_typed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // initial connection + one per retry, each shedding the request
+            for _ in 0..3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                answer_one(&mut stream, &Response::Overloaded { in_flight: 7, limit: 4 });
+            }
+        });
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig {
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_delay: Duration::from_millis(1),
+                    max_delay: Duration::from_millis(5),
+                    ..RetryPolicy::none()
+                },
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        match client.request(&Request::Optimize { workload: "BLASTN".to_string() }) {
+            Err(ClientError::Overloaded { in_flight: 7, limit: 4 }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    /// With the default config (no retries), a server rejection surfaces
+    /// once and immediately — retrying a deterministic error is useless.
+    #[test]
+    fn server_rejections_are_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            answer_one(&mut stream, &Response::Error { message: "unknown workload `X`".into() });
+            // a retry would show up as a second request or connection; the
+            // listener going out of scope right after proves there was none
+        });
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig { retry: RetryPolicy::standard(), ..ClientConfig::default() },
+        )
+        .unwrap();
+        match client.optimize("X") {
+            Err(ClientError::Server(message)) => assert!(message.contains("unknown workload")),
+            other => panic!("expected a server rejection, got {other:?}"),
+        }
+        server.join().unwrap();
     }
 }

@@ -6,12 +6,17 @@
 //!
 //! ```text
 //! autoreconf-serve [--addr HOST:PORT] [--scale tiny|small|medium|large] \
-//!     [--threads N] [--store DIR]
+//!     [--threads N] [--store DIR] [--doctor] [--max-inflight N] \
+//!     [--io-timeout-ms N]
 //! ```
 //!
 //! `--store DIR` defaults to `$AUTORECONF_STORE`; with neither, every query
-//! is answered by computing (still deduplicated in-process).  Every
-//! malformed flag is a hard error — never a silent fallback.
+//! is answered by computing (still deduplicated in-process).  `--doctor`
+//! runs a repair pass over the store before serving; `--max-inflight` caps
+//! concurrently computing requests (0 = unbounded — excess load is shed
+//! with `Overloaded`); `--io-timeout-ms` bounds how long an idle or stalled
+//! client may hold a connection thread (0 = no timeout).  Every malformed
+//! flag is a hard error — never a silent fallback.
 
 use std::io::Write;
 
@@ -22,11 +27,14 @@ use workloads::Scale;
 
 const USAGE: &str = "usage: autoreconf-serve [--addr HOST:PORT] \
      [--scale tiny|small|medium|large] [--threads N] [--space paper|dcache] \
-     [--store DIR]\n\
+     [--store DIR] [--doctor] [--max-inflight N] [--io-timeout-ms N]\n\
 \n\
 --addr defaults to 127.0.0.1:0 (a free port; the bound address is printed \
 on stdout). --store defaults to $AUTORECONF_STORE. --space dcache restricts \
-the optimization to the d-cache geometry variables (fast smoke runs).";
+the optimization to the d-cache geometry variables (fast smoke runs). \
+--doctor repairs the store before serving. --max-inflight caps concurrently \
+computing requests (0 = unbounded); excess load is shed with Overloaded. \
+--io-timeout-ms bounds idle/stalled connections (0 = none).";
 
 /// Parse the `--space` flag: the paper's full 52-variable space or the
 /// restricted d-cache geometry study space.
@@ -44,6 +52,7 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
         options: ExperimentOptions::default(),
         space: ParameterSpace::paper(),
         store: None,
+        ..ServerConfig::default()
     };
     let mut store_dir: Option<String> = None;
     let mut iter = args.iter().peekable();
@@ -70,6 +79,21 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
             }
             "--space" => config.space = parse_space(&flag_value("--space", &mut iter)?)?,
             "--store" => store_dir = Some(flag_value("--store", &mut iter)?),
+            "--doctor" => config.doctor_on_start = true,
+            "--max-inflight" => {
+                let value = flag_value("--max-inflight", &mut iter)?;
+                config.max_in_flight = value.trim().parse().map_err(|_| {
+                    format!("invalid --max-inflight value `{value}` (expected a number; 0 = unbounded)")
+                })?;
+            }
+            "--io-timeout-ms" => {
+                let value = flag_value("--io-timeout-ms", &mut iter)?;
+                let ms: u64 = value.trim().parse().map_err(|_| {
+                    format!("invalid --io-timeout-ms value `{value}` (expected milliseconds; 0 = none)")
+                })?;
+                config.io_timeout =
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -88,6 +112,17 @@ fn main() {
     // fail fast on a malformed AUTORECONF_THREADS instead of panicking in a
     // worker-pool setup deep inside the first cold query
     if let Err(message) = autoreconf::campaign::threads_env() {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+    // same fail-fast treatment for the fault-injection and lease-TTL
+    // overrides: a typo must not silently disable a crash schedule or run
+    // a crash test at the 10 s default TTL
+    if let Err(message) = autoreconf::faults::install_from_env() {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+    if let Err(message) = autoreconf::store::lease_ttl_env() {
         eprintln!("error: {message}");
         std::process::exit(2);
     }
@@ -149,6 +184,24 @@ mod tests {
         assert!(parse(&["--addr"]).unwrap_err().contains("requires a value"));
         assert!(parse(&["--space", "everything"]).unwrap_err().contains("unknown space"));
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown argument"));
+        assert!(parse(&["--max-inflight", "many"]).unwrap_err().contains("--max-inflight"));
+        assert!(parse(&["--io-timeout-ms", "soon"]).unwrap_err().contains("--io-timeout-ms"));
+    }
+
+    #[test]
+    fn hardening_flags_parse() {
+        let config = parse(&[]).unwrap().unwrap();
+        assert!(!config.doctor_on_start);
+        assert_eq!(config.max_in_flight, autoreconf::service::DEFAULT_MAX_IN_FLIGHT);
+        assert_eq!(config.io_timeout, Some(autoreconf::service::DEFAULT_IO_TIMEOUT));
+        let config =
+            parse(&["--doctor", "--max-inflight", "8", "--io-timeout-ms", "2500"]).unwrap().unwrap();
+        assert!(config.doctor_on_start);
+        assert_eq!(config.max_in_flight, 8);
+        assert_eq!(config.io_timeout, Some(std::time::Duration::from_millis(2500)));
+        let unbounded = parse(&["--max-inflight", "0", "--io-timeout-ms", "0"]).unwrap().unwrap();
+        assert_eq!(unbounded.max_in_flight, 0);
+        assert_eq!(unbounded.io_timeout, None);
     }
 
     #[test]

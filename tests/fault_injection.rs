@@ -1,0 +1,191 @@
+//! Randomized fault-schedule sweep over the artifact store.
+//!
+//! Property: under ANY seeded [`FaultPlan`] (injected I/O errors, torn
+//! writes, stalled heartbeat renewals, lost claim releases — see
+//! `autoreconf::faults`), across 1 or 4 threads of mixed store operations,
+//!
+//! 1. every load returns the byte-identical expected payload or a miss —
+//!    a corrupt payload is NEVER served as valid;
+//! 2. every failure is typed (`io::Result` / `Option` / `LeaseWaitTimeout`)
+//!    — nothing panics, nothing hangs;
+//! 3. after the faults stop, `doctor --repair` restores the store to a
+//!    verified-clean state.
+//!
+//! Plans are scoped to each schedule's scratch store, so the sweep is safe
+//! to run beside any other test in this process.  One plan is active per
+//! process at a time, which is why the whole sweep is a single `#[test]`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use autoreconf::faults::{self, FaultPlan};
+use autoreconf::{ArtifactStore, ClaimOutcome, Fingerprint};
+use proptest::prelude::*;
+
+/// splitmix64 — the same deterministic generator the seeded plans use, so
+/// every payload and operation choice is a pure function of the seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-key payload: length 1..=192, bytes derived from the
+/// key, so any byte the store hands back is checkable without bookkeeping.
+fn payload_for(key: u64) -> Vec<u8> {
+    let len = 1 + (mix(key) % 192) as usize;
+    (0..len).map(|i| mix(key ^ i as u64) as u8).collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("autoreconf-faultsweep-{}-{tag}", std::process::id()))
+}
+
+/// Run one seeded schedule against one scratch store and check the three
+/// invariants.  Returns the directory for cleanup.
+fn run_schedule(seed: u64, threads: usize, inject: bool) {
+    let dir = scratch_dir(&format!("{seed:016x}-{threads}-{inject}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ArtifactStore::open(&dir).expect("open scratch store");
+    // every tmp file left behind by an injected fault is immediately
+    // collectable — this sweep has no concurrent foreign writer
+    store.set_tmp_grace(Duration::ZERO);
+    if inject {
+        faults::install(FaultPlan::seeded(seed).scoped(&dir));
+    }
+
+    let keys: Vec<(Fingerprint, Vec<u8>)> =
+        (0..3u64).map(|k| (Fingerprint(mix(seed ^ k)), payload_for(mix(seed ^ k)))).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = store.clone();
+            let keys = &keys;
+            scope.spawn(move || {
+                for i in 0..10u64 {
+                    let pick = mix(seed ^ (t as u64) << 32 ^ i);
+                    let (key, expected) = &keys[(pick % keys.len() as u64) as usize];
+                    match pick % 3 {
+                        0 => {
+                            // invariant 2: failures are typed, never panics
+                            let _ = store.save("fault", *key, expected);
+                        }
+                        1 => {
+                            if let Some(got) = store.load("fault", *key) {
+                                // invariant 1: never a corrupt payload
+                                assert_eq!(
+                                    &got, expected,
+                                    "corrupt payload served (seed {seed}, thread {t}, op {i})"
+                                );
+                            }
+                        }
+                        _ => {
+                            match store.try_claim("fault", *key, Duration::from_millis(5)) {
+                                Ok(ClaimOutcome::Acquired(lease)) => {
+                                    let _ = lease.renew(); // may stall or fail — injected
+                                    drop(lease); // release may be lost — injected
+                                }
+                                Ok(ClaimOutcome::Busy(_)) => {
+                                    // bounded wait; a timeout is a typed error
+                                    let _ = store.await_entry_or_lease_deadline(
+                                        "fault",
+                                        *key,
+                                        Duration::from_millis(50),
+                                    );
+                                }
+                                Err(_) => {} // typed claim failure, tolerated
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if inject {
+        faults::clear();
+    }
+    // let the millisecond claim TTLs expire so lost-release corpses are
+    // repairable debris, not live leases
+    std::thread::sleep(Duration::from_millis(20));
+
+    // invariant 3: doctor-clean after repair, whatever the schedule did
+    let repaired = store.doctor(true).expect("doctor --repair");
+    let verify = store.doctor(false).expect("doctor verify");
+    assert!(
+        verify.is_clean(),
+        "store not clean after repair (seed {seed}, threads {threads}):\n\
+         repair pass: {repaired:?}\nverify pass: {verify:?}"
+    );
+
+    // whatever survived repair must still load byte-identical
+    for (key, expected) in &keys {
+        if let Some(got) = store.load("fault", *key) {
+            assert_eq!(&got, expected, "corrupt payload served after repair (seed {seed})");
+        }
+    }
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(224))]
+
+    /// ≥200 seeded schedules × mixed store operations × 1/4 threads.
+    #[test]
+    fn any_fault_schedule_is_correct_or_typed_and_repairable(
+        seed in any::<u64>(),
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        run_schedule(seed, threads, true);
+    }
+}
+
+/// Control: the identical workload with injection disabled is fully clean
+/// (doctor-clean *without* repair) and every load hits.
+#[test]
+fn fault_free_control_is_clean_without_repair() {
+    let dir = scratch_dir("control");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ArtifactStore::open(&dir).expect("open scratch store");
+    let keys: Vec<(Fingerprint, Vec<u8>)> =
+        (0..3u64).map(|k| (Fingerprint(mix(0xc0ff_ee ^ k)), payload_for(k))).collect();
+    for (key, expected) in &keys {
+        store.save("fault", *key, expected).expect("save without faults");
+        assert_eq!(store.load("fault", *key).as_deref(), Some(expected.as_slice()));
+    }
+    let report = store.doctor(false).expect("doctor");
+    assert!(report.is_clean(), "fault-free store needed repair: {report:?}");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The audit counters prove a known-firing schedule actually fired — the
+/// sweep above would pass vacuously if injection were broken.
+#[test]
+fn sweep_audits_injected_faults() {
+    let dir = scratch_dir("audit");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ArtifactStore::open(&dir).expect("open scratch store");
+    store.set_tmp_grace(Duration::ZERO);
+    let before = faults::injected();
+    faults::install(
+        FaultPlan::new().torn_write(0, 3).fail("store.read", 0).scoped(&dir),
+    );
+    let key = Fingerprint(0xdead_beef);
+    let body = payload_for(key.0);
+    store.save("fault", key, &body).expect("torn write still publishes");
+    assert_eq!(store.load("fault", key), None, "first load fails by injection");
+    assert_eq!(store.load("fault", key), None, "torn entry must never validate");
+    faults::clear();
+    let after = faults::injected();
+    assert_eq!(after.torn_writes - before.torn_writes, 1);
+    assert_eq!(after.errors - before.errors, 1);
+    let repaired = store.doctor(true).expect("doctor --repair");
+    assert!(repaired.corrupt_entries > 0, "torn entry seen by doctor: {repaired:?}");
+    assert!(store.doctor(false).expect("verify").is_clean());
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
